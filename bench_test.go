@@ -1,0 +1,364 @@
+// Benchmarks regenerating every table and figure of the TGMiner paper
+// (Section 6) at a scaled-down size, plus micro-benchmarks and ablations
+// for the design choices called out in DESIGN.md. Run:
+//
+//	go test -bench=. -benchmem
+//
+// Each BenchmarkTableN / BenchmarkFigureN corresponds to the same-numbered
+// exhibit in the paper; cmd/experiments prints the full rendered output.
+package tgminer
+
+import (
+	"sync"
+	"testing"
+
+	"tgminer/internal/experiments"
+	"tgminer/internal/miner"
+	"tgminer/internal/seqcode"
+	"tgminer/internal/tgraph"
+	"tgminer/internal/vf2"
+)
+
+// benchScale is smaller than experiments.Quick so the whole bench suite
+// stays fast; drivers and data paths are identical.
+func benchScale() experiments.Scale {
+	s := experiments.Quick()
+	s.Name = "bench"
+	s.GraphsPerBehavior = 8
+	s.BackgroundGraphs = 24
+	s.TestInstances = 36
+	s.MaxPatternEdges = 6
+	return s
+}
+
+var (
+	benchEnvOnce sync.Once
+	benchEnvVal  *experiments.Env
+)
+
+func benchEnv(b *testing.B) *experiments.Env {
+	b.Helper()
+	benchEnvOnce.Do(func() {
+		benchEnvVal = experiments.NewEnv(benchScale())
+		benchEnvVal.Timeline() // include index build outside timed loops
+		benchEnvVal.Interest()
+	})
+	return benchEnvVal
+}
+
+func BenchmarkTable1TrainingData(b *testing.B) {
+	env := benchEnv(b)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		res := experiments.Table1(env)
+		if len(res.Rows) == 0 {
+			b.Fatal("empty table 1")
+		}
+	}
+}
+
+func BenchmarkTable2QueryAccuracy(b *testing.B) {
+	env := benchEnv(b)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Table2(env)
+		if err != nil {
+			b.Fatal(err)
+		}
+		prec, _ := res.Averages()
+		if prec[2] == 0 {
+			b.Fatal("degenerate TGMiner precision")
+		}
+	}
+}
+
+func BenchmarkTable3PruningTriggers(b *testing.B) {
+	env := benchEnv(b)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Table3(env); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFigure10Patterns(b *testing.B) {
+	env := benchEnv(b)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Figure10(env, ""); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFigure11QuerySize(b *testing.B) {
+	env := benchEnv(b)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Figure11(env, []int{2, 4}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFigure12TrainingAmount(b *testing.B) {
+	env := benchEnv(b)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Figure12(env, []float64{0.5, 1.0}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigure13Mining* times one full mining run per algorithm over the
+// paper's size classes (the content of Figure 13's bar charts).
+func benchmarkMiningAlgo(b *testing.B, algo Algorithm, behavior string) {
+	env := benchEnv(b)
+	pos := env.Data.ByName(behavior)
+	if pos == nil {
+		b.Fatalf("behavior %s missing", behavior)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := Mine(pos, env.Data.Background, MineOptions{
+			Algorithm: algo, MaxEdges: benchScale().MaxPatternEdges,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.TieCount == 0 {
+			b.Fatal("no patterns")
+		}
+	}
+}
+
+func BenchmarkFigure13MiningSmallTGMiner(b *testing.B) {
+	benchmarkMiningAlgo(b, AlgoTGMiner, "bzip2-decompress")
+}
+func BenchmarkFigure13MiningSmallPruneGI(b *testing.B) {
+	benchmarkMiningAlgo(b, AlgoPruneGI, "bzip2-decompress")
+}
+func BenchmarkFigure13MiningSmallSubPrune(b *testing.B) {
+	benchmarkMiningAlgo(b, AlgoSubPrune, "bzip2-decompress")
+}
+func BenchmarkFigure13MiningSmallLinearScan(b *testing.B) {
+	benchmarkMiningAlgo(b, AlgoLinearScan, "bzip2-decompress")
+}
+func BenchmarkFigure13MiningSmallPruneVF2(b *testing.B) {
+	benchmarkMiningAlgo(b, AlgoPruneVF2, "bzip2-decompress")
+}
+func BenchmarkFigure13MiningSmallSupPrune(b *testing.B) {
+	benchmarkMiningAlgo(b, AlgoSupPrune, "bzip2-decompress")
+}
+
+func BenchmarkFigure13MiningMediumTGMiner(b *testing.B) {
+	benchmarkMiningAlgo(b, AlgoTGMiner, "ssh-login")
+}
+func BenchmarkFigure13MiningMediumPruneVF2(b *testing.B) {
+	benchmarkMiningAlgo(b, AlgoPruneVF2, "ssh-login")
+}
+func BenchmarkFigure13MiningLargeTGMiner(b *testing.B) {
+	benchmarkMiningAlgo(b, AlgoTGMiner, "sshd-login")
+}
+func BenchmarkFigure13MiningLargePruneVF2(b *testing.B) {
+	benchmarkMiningAlgo(b, AlgoPruneVF2, "sshd-login")
+}
+
+func BenchmarkFigure14MaxPatternSize(b *testing.B) {
+	env := benchEnv(b)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Figure14(env, []int{2, 4, 6}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFigure15TrainingScaling(b *testing.B) {
+	env := benchEnv(b)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Figure15(env, []float64{0.5, 1.0}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFigure16Synthetic(b *testing.B) {
+	env := benchEnv(b)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Figure16(env, []int{2, 4}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Micro-benchmarks and ablations --------------------------------------
+
+// randomishPatternPair builds a (sub, super) pattern pair for subgraph-test
+// benchmarks.
+func patternPair(edges int) (*tgraph.Pattern, *tgraph.Pattern) {
+	sub := tgraph.SingleEdgePattern(0, 1, false)
+	for sub.NumEdges() < edges {
+		sub = sub.GrowForward(tgraph.NodeID(sub.NumNodes()-1), tgraph.Label(sub.NumNodes()%3))
+	}
+	super := sub
+	for i := 0; i < edges; i++ {
+		super = super.GrowForward(tgraph.NodeID(i%super.NumNodes()), tgraph.Label(i%3))
+	}
+	return sub, super
+}
+
+// BenchmarkSubgraphTestSeqcode vs VF2 is the ablation behind Section 4.3:
+// sequence-encoded tests against the modified-VF2 baseline.
+func BenchmarkSubgraphTestSeqcode(b *testing.B) {
+	sub, super := patternPair(10)
+	var tester seqcode.Tester
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, ok := tester.Test(sub, super); !ok {
+			b.Fatal("embed failed")
+		}
+	}
+}
+
+func BenchmarkSubgraphTestVF2(b *testing.B) {
+	sub, super := patternPair(10)
+	var tester vf2.Tester
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, ok := tester.Test(sub, super); !ok {
+			b.Fatal("embed failed")
+		}
+	}
+}
+
+// adversarialMissPair builds a test that must FAIL, on a label-ambiguous
+// host: the sub pattern needs a final edge label the host lacks, which the
+// sequence encoding rejects via its O(n) label-sequence pre-test while
+// plain state-space search backtracks over combinatorially many partial
+// embeddings first. Mining workloads are dominated by such misses.
+func adversarialMissPair(k, m int) (*tgraph.Pattern, *tgraph.Pattern) {
+	// sub: k parallel A->B edges between distinct same-label nodes, then
+	// one A->C edge. Labels: A=0, B=1, C=2.
+	sub := tgraph.SingleEdgePattern(0, 1, false)
+	for sub.NumEdges() < k {
+		sub = sub.GrowBackward(0, 1) // new A -> the B node
+	}
+	sub = sub.GrowForward(0, 2) // A -> C (label 2 absent from host)
+	// host: m A->B edges among distinct same-label nodes; no C at all.
+	super := tgraph.SingleEdgePattern(0, 1, false)
+	for super.NumEdges() < m {
+		super = super.GrowBackward(0, 1)
+	}
+	return sub, super
+}
+
+func BenchmarkSubgraphTestMissSeqcode(b *testing.B) {
+	sub, super := adversarialMissPair(8, 18)
+	var tester seqcode.Tester
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, ok := tester.Test(sub, super); ok {
+			b.Fatal("impossible embed succeeded")
+		}
+	}
+}
+
+func BenchmarkSubgraphTestMissVF2(b *testing.B) {
+	sub, super := adversarialMissPair(8, 18)
+	var tester vf2.Tester
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, ok := tester.Test(sub, super); ok {
+			b.Fatal("impossible embed succeeded")
+		}
+	}
+}
+
+// BenchmarkResidualEquivalence ablates Lemma 6: integer comparison vs
+// linear scan, measured end-to-end through mining configs.
+func BenchmarkResidualEquivalenceInteger(b *testing.B) {
+	env := benchEnv(b)
+	pos := env.Data.ByName("ftp-download")
+	opts := miner.TGMinerOptions()
+	opts.MaxEdges = 5
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := miner.Mine(pos, env.Data.Background, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkResidualEquivalenceLinearScan(b *testing.B) {
+	env := benchEnv(b)
+	pos := env.Data.ByName("ftp-download")
+	opts := miner.LinearScanOptions()
+	opts.MaxEdges = 5
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := miner.Mine(pos, env.Data.Background, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTemporalSearch measures behavior-query evaluation over the test
+// timeline (the paper's online search step, delegated to [38]).
+func BenchmarkTemporalSearch(b *testing.B) {
+	env := benchEnv(b)
+	tl, _ := env.Timeline()
+	pos := env.Data.ByName("wget-download")
+	bq, err := DiscoverQueries(pos, env.Data.Background, QueryOptions{
+		QuerySize: 4, TopK: 1, Interest: env.Interest(),
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	eng := NewEngine(tl.Graph)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := eng.FindTemporal(bq.Queries[0], SearchOptions{Window: tl.Window})
+		if len(res.Matches) == 0 {
+			b.Fatal("no matches")
+		}
+	}
+}
+
+// BenchmarkGrowthEnumeration measures raw pattern-space exploration without
+// any pruning (the Theorem 1 machinery).
+func BenchmarkGrowthEnumeration(b *testing.B) {
+	env := benchEnv(b)
+	pos := env.Data.ByName("gzip-decompress")
+	opts := miner.ExhaustiveOptions()
+	opts.MaxEdges = 4
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := miner.Mine(pos, env.Data.Background, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSyntheticGeneration measures corpus generation throughput.
+func BenchmarkSyntheticGeneration(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		ds := GenerateSynthetic(SyntheticConfig{
+			Scale: 0.25, GraphsPerBehavior: 4, BackgroundGraphs: 8, Seed: int64(i),
+			Behaviors: []string{"sshd-login"},
+		})
+		if len(ds.Behaviors) != 1 {
+			b.Fatal("bad dataset")
+		}
+	}
+}

@@ -1,0 +1,103 @@
+// Command experiments regenerates every table and figure of the TGMiner
+// paper's evaluation (Section 6) on the synthetic corpus. Each experiment
+// prints measured values alongside the paper's reported numbers.
+//
+// Usage:
+//
+//	experiments                 # all experiments at quick scale
+//	experiments -only table2    # one experiment
+//	experiments -full           # paper-sized run (hours)
+//	experiments -list           # list experiment names
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"tgminer/internal/experiments"
+)
+
+var names = []string{
+	"table1", "table2", "table3",
+	"figure10", "figure11", "figure12", "figure13", "figure14", "figure15", "figure16",
+}
+
+func main() {
+	only := flag.String("only", "", "run only the named experiments (comma-separated)")
+	full := flag.Bool("full", false, "paper-scale run (hours) instead of quick scale")
+	list := flag.Bool("list", false, "list experiment names and exit")
+	includeSlow := flag.Bool("include-slow", false, "run SupPrune on medium/large classes in figure13")
+	flag.Parse()
+
+	if *list {
+		fmt.Println(strings.Join(names, "\n"))
+		return
+	}
+	scale := experiments.Quick()
+	if *full {
+		scale = experiments.Full()
+	}
+	selected := map[string]bool{}
+	if *only != "" {
+		for _, n := range strings.Split(*only, ",") {
+			selected[strings.TrimSpace(n)] = true
+		}
+	} else {
+		for _, n := range names {
+			selected[n] = true
+		}
+	}
+
+	fmt.Printf("generating corpus (scale=%s)...\n", scale.Name)
+	start := time.Now()
+	env := experiments.NewEnv(scale)
+	fmt.Printf("corpus ready in %s\n\n", time.Since(start).Round(time.Millisecond))
+
+	run := func(name string, fn func() (interface{ Render() string }, error)) {
+		if !selected[name] {
+			return
+		}
+		t0 := time.Now()
+		res, err := fn()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Println(res.Render())
+		fmt.Printf("[%s completed in %s]\n\n", name, time.Since(t0).Round(time.Millisecond))
+	}
+
+	run("table1", func() (interface{ Render() string }, error) {
+		return experiments.Table1(env), nil
+	})
+	run("table2", func() (interface{ Render() string }, error) {
+		return experiments.Table2(env)
+	})
+	run("figure10", func() (interface{ Render() string }, error) {
+		return experiments.Figure10(env, "")
+	})
+	run("figure11", func() (interface{ Render() string }, error) {
+		return experiments.Figure11(env, nil)
+	})
+	run("figure12", func() (interface{ Render() string }, error) {
+		return experiments.Figure12(env, nil)
+	})
+	run("figure13", func() (interface{ Render() string }, error) {
+		return experiments.Figure13(env, *includeSlow)
+	})
+	run("figure14", func() (interface{ Render() string }, error) {
+		return experiments.Figure14(env, nil)
+	})
+	run("table3", func() (interface{ Render() string }, error) {
+		return experiments.Table3(env)
+	})
+	run("figure15", func() (interface{ Render() string }, error) {
+		return experiments.Figure15(env, nil)
+	})
+	run("figure16", func() (interface{ Render() string }, error) {
+		return experiments.Figure16(env, nil)
+	})
+}

@@ -1,0 +1,109 @@
+// Command tggen generates synthetic syscall-activity datasets shaped like
+// the TGMiner paper's evaluation corpus (Table 1): per-behavior training
+// files, a background file, and a test timeline with ground truth.
+//
+// Usage:
+//
+//	tggen -out data/ -scale 0.25 -graphs 20 -background 100 -instances 200
+//	tggen -out data/ -behaviors sshd-login,scp-download
+//
+// Outputs, under -out:
+//
+//	<behavior>.tg     positive training graphs, one file per behavior
+//	background.tg     background (negative) training graphs
+//	timeline.tg       test graph (single large temporal graph)
+//	truth.tsv         ground-truth intervals: behavior <TAB> start <TAB> end
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"tgminer"
+)
+
+func main() {
+	out := flag.String("out", "data", "output directory")
+	scale := flag.Float64("scale", 0.25, "size scale factor (1.0 = paper sizes)")
+	graphs := flag.Int("graphs", 20, "training graphs per behavior (paper: 100)")
+	background := flag.Int("background", 100, "background graphs (paper: 10000)")
+	instances := flag.Int("instances", 200, "test timeline instances (paper: 10000)")
+	behaviors := flag.String("behaviors", "", "comma-separated behavior subset (default: all 12)")
+	seed := flag.Int64("seed", 1, "random seed")
+	flag.Parse()
+
+	var names []string
+	if *behaviors != "" {
+		names = strings.Split(*behaviors, ",")
+	}
+	if err := run(*out, *scale, *graphs, *background, *instances, names, *seed); err != nil {
+		fmt.Fprintln(os.Stderr, "tggen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(out string, scale float64, graphs, background, instances int, behaviors []string, seed int64) error {
+	if err := os.MkdirAll(out, 0o755); err != nil {
+		return err
+	}
+	ds := tgminer.GenerateSynthetic(tgminer.SyntheticConfig{
+		Scale:             scale,
+		GraphsPerBehavior: graphs,
+		BackgroundGraphs:  background,
+		Seed:              seed,
+		Behaviors:         behaviors,
+	})
+	for _, bd := range ds.Behaviors {
+		c := &tgminer.Corpus{Dict: ds.Dict}
+		for i, g := range bd.Graphs {
+			c.Add(fmt.Sprintf("%s-%03d", bd.Spec.Name, i), g)
+		}
+		path := filepath.Join(out, bd.Spec.Name+".tg")
+		if err := tgminer.SaveCorpusFile(path, c); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s (%d graphs)\n", path, len(bd.Graphs))
+	}
+	bg := &tgminer.Corpus{Dict: ds.Dict}
+	for i, g := range ds.Background {
+		bg.Add(fmt.Sprintf("background-%05d", i), g)
+	}
+	bgPath := filepath.Join(out, "background.tg")
+	if err := tgminer.SaveCorpusFile(bgPath, bg); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s (%d graphs)\n", bgPath, len(ds.Background))
+
+	tl := tgminer.GenerateTestTimeline(tgminer.TimelineConfig{
+		Instances: instances,
+		Scale:     scale,
+		Seed:      seed + 1000,
+		Behaviors: behaviors,
+	}, ds.Dict)
+	tc := &tgminer.Corpus{Dict: ds.Dict}
+	tc.Add("timeline", tl.Graph)
+	tlPath := filepath.Join(out, "timeline.tg")
+	if err := tgminer.SaveCorpusFile(tlPath, tc); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s (%d nodes, %d edges, window %d)\n",
+		tlPath, tl.Graph.NumNodes(), tl.Graph.NumEdges(), tl.Window)
+
+	truthPath := filepath.Join(out, "truth.tsv")
+	f, err := os.Create(truthPath)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(f, "# behavior\tstart\tend\twindow=%d\n", tl.Window)
+	for _, inst := range tl.Truth {
+		fmt.Fprintf(f, "%s\t%d\t%d\n", inst.Behavior, inst.Start, inst.End)
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s (%d instances)\n", truthPath, len(tl.Truth))
+	return nil
+}

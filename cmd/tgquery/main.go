@@ -1,0 +1,184 @@
+// Command tgquery evaluates behavior queries against a test timeline: it
+// re-discovers the top-k queries from training data, runs them over the
+// test graph, and (when ground truth is available) reports precision and
+// recall per the paper's Section 6.2.
+//
+// Usage:
+//
+//	tgquery -pos data/sshd-login.tg -neg data/background.tg \
+//	        -test data/timeline.tg -truth data/truth.tsv -behavior sshd-login
+//
+// The -mode flag selects the query family: "temporal" (TGMiner, default),
+// "ntemp" (collapsed non-temporal patterns), or "nodeset" (label multiset),
+// matching the three systems of the paper's Table 2.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"tgminer"
+)
+
+func main() {
+	posPath := flag.String("pos", "", "positive (behavior) dataset file")
+	negPath := flag.String("neg", "", "negative (background) dataset file")
+	testPath := flag.String("test", "", "test timeline dataset file")
+	truthPath := flag.String("truth", "", "ground truth TSV (optional)")
+	behavior := flag.String("behavior", "", "behavior name for ground-truth filtering")
+	size := flag.Int("size", 6, "query size in edges")
+	top := flag.Int("top", 5, "number of queries to evaluate (union of matches)")
+	window := flag.Int64("window", 0, "match window in ticks (default: from truth file, else unbounded)")
+	mode := flag.String("mode", "temporal", "query family: temporal, ntemp, nodeset")
+	flag.Parse()
+
+	if *posPath == "" || *negPath == "" || *testPath == "" {
+		fmt.Fprintln(os.Stderr, "tgquery: -pos, -neg and -test are required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err := run(*posPath, *negPath, *testPath, *truthPath, *behavior, *mode, *size, *top, *window); err != nil {
+		fmt.Fprintln(os.Stderr, "tgquery:", err)
+		os.Exit(1)
+	}
+}
+
+func run(posPath, negPath, testPath, truthPath, behavior, mode string, size, top int, window int64) error {
+	dict := tgminer.NewDict()
+	pos, err := tgminer.LoadCorpusFile(posPath, dict)
+	if err != nil {
+		return fmt.Errorf("loading positives: %w", err)
+	}
+	neg, err := tgminer.LoadCorpusFile(negPath, dict)
+	if err != nil {
+		return fmt.Errorf("loading negatives: %w", err)
+	}
+	test, err := tgminer.LoadCorpusFile(testPath, dict)
+	if err != nil {
+		return fmt.Errorf("loading test graph: %w", err)
+	}
+	if len(test.Graphs) != 1 {
+		return fmt.Errorf("test file must contain exactly one graph, got %d", len(test.Graphs))
+	}
+
+	var truth []tgminer.Interval
+	if truthPath != "" {
+		var tw int64
+		truth, tw, err = loadTruth(truthPath, behavior)
+		if err != nil {
+			return err
+		}
+		if window == 0 {
+			window = tw
+		}
+	}
+
+	all := append(append([]*tgminer.Graph{}, pos.Graphs...), neg.Graphs...)
+	interest := tgminer.NewInterest(all, dict, nil)
+	qopts := tgminer.QueryOptions{QuerySize: size, TopK: top, Interest: interest}
+	eng := tgminer.NewEngine(test.Graphs[0])
+	sopts := tgminer.SearchOptions{Window: window}
+
+	var union tgminer.SearchResult
+	switch mode {
+	case "temporal", "":
+		bq, err := tgminer.DiscoverQueries(pos.Graphs, neg.Graphs, qopts)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("discovered %d temporal queries (F* = %.4f)\n", len(bq.Queries), bq.BestScore)
+		results := make([]tgminer.SearchResult, len(bq.Queries))
+		for i, q := range bq.Queries {
+			results[i] = eng.FindTemporal(q, sopts)
+			fmt.Printf("query #%d: %d matches%s\n", i+1, len(results[i].Matches),
+				truncNote(results[i].Truncated))
+		}
+		union = tgminer.UnionMatches(results...)
+	case "ntemp":
+		nq, err := tgminer.DiscoverNonTemporalQueries(pos.Graphs, neg.Graphs, qopts)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("discovered %d non-temporal queries\n", len(nq))
+		results := make([]tgminer.SearchResult, len(nq))
+		for i, q := range nq {
+			results[i] = eng.FindNonTemporal(q, sopts)
+			fmt.Printf("query #%d: %d matches%s\n", i+1, len(results[i].Matches),
+				truncNote(results[i].Truncated))
+		}
+		union = tgminer.UnionMatches(results...)
+	case "nodeset":
+		lq, err := tgminer.DiscoverLabelSetQuery(pos.Graphs, neg.Graphs, qopts)
+		if err != nil {
+			return err
+		}
+		labels := make([]string, len(lq.Labels))
+		for i, l := range lq.Labels {
+			labels[i] = dict.Name(l)
+		}
+		fmt.Printf("label-set query: %v\n", labels)
+		union = eng.FindLabelSet(lq, sopts)
+	default:
+		return fmt.Errorf("unknown mode %q (want temporal, ntemp, or nodeset)", mode)
+	}
+	fmt.Printf("union: %d distinct identified instances%s\n", len(union.Matches), truncNote(union.Truncated))
+
+	if truth != nil {
+		m := tgminer.Evaluate(union.Matches, truth)
+		fmt.Printf("precision = %.1f%%  recall = %.1f%%  (correct %d / identified %d; discovered %d / instances %d)\n",
+			100*m.Precision(), 100*m.Recall(), m.Correct, m.Identified, m.Discovered, m.Instances)
+	}
+	return nil
+}
+
+func truncNote(t bool) string {
+	if t {
+		return " (truncated)"
+	}
+	return ""
+}
+
+// loadTruth parses the tggen truth.tsv: lines "behavior <TAB> start <TAB>
+// end" with an optional "window=N" on the header comment.
+func loadTruth(path, behavior string) ([]tgminer.Interval, int64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, 0, err
+	}
+	defer f.Close()
+	var out []tgminer.Interval
+	var window int64
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			if i := strings.Index(line, "window="); i >= 0 {
+				if w, err := strconv.ParseInt(strings.TrimSpace(line[i+len("window="):]), 10, 64); err == nil {
+					window = w
+				}
+			}
+			continue
+		}
+		fields := strings.Split(line, "\t")
+		if len(fields) != 3 {
+			return nil, 0, fmt.Errorf("truth: malformed line %q", line)
+		}
+		if behavior != "" && fields[0] != behavior {
+			continue
+		}
+		start, err1 := strconv.ParseInt(fields[1], 10, 64)
+		end, err2 := strconv.ParseInt(fields[2], 10, 64)
+		if err1 != nil || err2 != nil {
+			return nil, 0, fmt.Errorf("truth: bad interval in %q", line)
+		}
+		out = append(out, tgminer.Interval{Start: start, End: end})
+	}
+	return out, window, sc.Err()
+}

@@ -1,0 +1,96 @@
+package tgminer
+
+import (
+	"io"
+	"os"
+
+	"tgminer/internal/dataset"
+	"tgminer/internal/sysgen"
+)
+
+// Corpus is a named collection of temporal graphs sharing one dictionary.
+type Corpus = dataset.Corpus
+
+// ReadCorpus parses the text dataset format (see WriteCorpus), interning
+// labels into dict (a fresh Dict if nil).
+func ReadCorpus(r io.Reader, dict *Dict) (*Corpus, error) {
+	return dataset.Read(r, dict)
+}
+
+// WriteCorpus serializes a corpus in the line-oriented text format:
+//
+//	g <name>
+//	v <node-id> <label>
+//	e <src> <dst> <timestamp>
+func WriteCorpus(w io.Writer, c *Corpus) error {
+	return dataset.Write(w, c)
+}
+
+// LoadCorpusFile reads a dataset file.
+func LoadCorpusFile(path string, dict *Dict) (*Corpus, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadCorpus(f, dict)
+}
+
+// SaveCorpusFile writes a dataset file.
+func SaveCorpusFile(path string, c *Corpus) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := WriteCorpus(f, c); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// SyntheticConfig configures synthetic syscall-activity generation (the
+// corpus shaped like the paper's Table 1; see internal/sysgen).
+type SyntheticConfig = sysgen.Config
+
+// SyntheticDataset is a generated training corpus.
+type SyntheticDataset = sysgen.Dataset
+
+// TimelineConfig configures test-timeline generation.
+type TimelineConfig = sysgen.TimelineConfig
+
+// Timeline is a generated test graph with ground-truth behavior intervals.
+type Timeline = sysgen.Timeline
+
+// TruthInstance is one embedded ground-truth behavior occurrence.
+type TruthInstance = sysgen.TruthInstance
+
+// BehaviorSpec describes one of the 12 paper behaviors.
+type BehaviorSpec = sysgen.Spec
+
+// Behaviors returns the 12 behavior specifications of the paper's Table 1.
+func Behaviors() []BehaviorSpec { return sysgen.Specs() }
+
+// GenerateSynthetic builds a training corpus of behavior instances plus
+// background graphs.
+func GenerateSynthetic(cfg SyntheticConfig) *SyntheticDataset {
+	return sysgen.Generate(cfg)
+}
+
+// GenerateTestTimeline builds a large test graph with embedded behavior
+// instances and ground truth.
+func GenerateTestTimeline(cfg TimelineConfig, dict *Dict) *Timeline {
+	return sysgen.GenerateTimeline(cfg, dict)
+}
+
+// TruthIntervalsOf extracts the ground-truth intervals of one behavior from
+// a timeline.
+func TruthIntervalsOf(tl *Timeline, behavior string) []Interval {
+	var out []Interval
+	for _, inst := range tl.Truth {
+		if inst.Behavior == behavior {
+			out = append(out, Interval{Start: inst.Start, End: inst.End})
+		}
+	}
+	return out
+}

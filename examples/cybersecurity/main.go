@@ -1,0 +1,86 @@
+// Cybersecurity: the paper's Example 1 end to end. An analyst wants to
+// detect information-stealing activity — someone logging into a host over
+// ssh and exfiltrating files — but cannot write the query by hand because
+// syscall logs only contain low-level entities.
+//
+// This example runs the full Figure 2 pipeline on synthetic syscall
+// activity: collect behavior instances in a "closed environment"
+// (GenerateSynthetic), mine discriminative temporal patterns for sshd-login
+// and scp-download, then sweep a week-long monitoring timeline for matches
+// and score them against ground truth.
+//
+// Run:
+//
+//	go run ./examples/cybersecurity
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"tgminer"
+)
+
+func main() {
+	behaviors := []string{"sshd-login", "scp-download", "ssh-login"}
+
+	// Step 1: closed-environment collection (paper Figure 2, left).
+	fmt.Println("collecting closed-environment syscall logs...")
+	ds := tgminer.GenerateSynthetic(tgminer.SyntheticConfig{
+		Scale:             0.3,
+		GraphsPerBehavior: 12,
+		BackgroundGraphs:  30,
+		Seed:              42,
+		Behaviors:         behaviors,
+	})
+
+	// Step 2: a week of monitoring data with ground truth for scoring.
+	fmt.Println("collecting monitoring timeline...")
+	tl := tgminer.GenerateTestTimeline(tgminer.TimelineConfig{
+		Instances: 45,
+		Scale:     0.3,
+		Seed:      43,
+		Behaviors: behaviors,
+	}, ds.Dict)
+	fmt.Printf("timeline: %d nodes, %d edges, %d embedded behavior instances\n\n",
+		tl.Graph.NumNodes(), tl.Graph.NumEdges(), len(tl.Truth))
+
+	// Step 3: mine behavior queries per target behavior and hunt.
+	var all []*tgminer.Graph
+	for _, b := range ds.Behaviors {
+		all = append(all, b.Graphs...)
+	}
+	all = append(all, ds.Background...)
+	interest := tgminer.NewInterest(all, ds.Dict, nil)
+	eng := tgminer.NewEngine(tl.Graph)
+
+	for _, target := range []string{"sshd-login", "scp-download"} {
+		var pos []*tgminer.Graph
+		for _, b := range ds.Behaviors {
+			if b.Spec.Name == target {
+				pos = b.Graphs
+			}
+		}
+		bq, err := tgminer.DiscoverQueries(pos, ds.Background, tgminer.QueryOptions{
+			QuerySize: 5, TopK: 5, Interest: interest,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("=== %s ===\n", target)
+		fmt.Printf("mined %d queries (F* = %.2f); top query:\n  %s\n",
+			len(bq.Queries), bq.BestScore, tgminer.FormatPattern(bq.Queries[0], ds.Dict))
+
+		results := make([]tgminer.SearchResult, len(bq.Queries))
+		for i, q := range bq.Queries {
+			results[i] = eng.FindTemporal(q, tgminer.SearchOptions{Window: tl.Window})
+		}
+		union := tgminer.UnionMatches(results...)
+		truth := tgminer.TruthIntervalsOf(tl, target)
+		m := tgminer.Evaluate(union.Matches, truth)
+		fmt.Printf("identified %d instances: precision %.1f%%, recall %.1f%% (%d true occurrences)\n\n",
+			m.Identified, 100*m.Precision(), 100*m.Recall(), m.Instances)
+	}
+
+	fmt.Println("an analyst would now alert on, e.g., sshd-login matches outside business hours")
+}

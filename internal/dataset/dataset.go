@@ -1,0 +1,163 @@
+// Package dataset provides containers and a line-oriented text format for
+// temporal graph corpora, so behavior training sets and test timelines can
+// be generated once (cmd/tggen), mined offline (cmd/tgminer), and queried
+// later (cmd/tgquery) — mirroring the paper's pipeline of Figure 2.
+//
+// Format (one file, any number of graphs):
+//
+//	# comment
+//	g <name>
+//	v <node-id> <label>
+//	e <src-id> <dst-id> <timestamp>
+//
+// Node ids are dense and 0-based within each graph; labels are
+// whitespace-free strings; timestamps are non-negative integers, unique
+// within a graph.
+package dataset
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"tgminer/internal/tgraph"
+)
+
+// Corpus is a named collection of temporal graphs sharing one label
+// dictionary.
+type Corpus struct {
+	Dict   *tgraph.Dict
+	Graphs []*tgraph.Graph
+	Names  []string
+}
+
+// Add appends a graph with a name.
+func (c *Corpus) Add(name string, g *tgraph.Graph) {
+	c.Graphs = append(c.Graphs, g)
+	c.Names = append(c.Names, name)
+}
+
+// Filter returns the graphs whose name passes keep.
+func (c *Corpus) Filter(keep func(name string) bool) []*tgraph.Graph {
+	var out []*tgraph.Graph
+	for i, g := range c.Graphs {
+		if keep(c.Names[i]) {
+			out = append(out, g)
+		}
+	}
+	return out
+}
+
+// Write serializes the corpus.
+func Write(w io.Writer, c *Corpus) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintln(bw, "# tgminer dataset v1")
+	for i, g := range c.Graphs {
+		name := c.Names[i]
+		if name == "" {
+			name = strconv.Itoa(i)
+		}
+		if strings.ContainsAny(name, " \t\n") {
+			return fmt.Errorf("dataset: graph name %q contains whitespace", name)
+		}
+		fmt.Fprintf(bw, "g %s\n", name)
+		for v := 0; v < g.NumNodes(); v++ {
+			label := c.Dict.Name(g.LabelOf(tgraph.NodeID(v)))
+			if strings.ContainsAny(label, " \t\n") {
+				return fmt.Errorf("dataset: label %q contains whitespace", label)
+			}
+			fmt.Fprintf(bw, "v %d %s\n", v, label)
+		}
+		for _, e := range g.Edges() {
+			fmt.Fprintf(bw, "e %d %d %d\n", e.Src, e.Dst, e.Time)
+		}
+	}
+	return bw.Flush()
+}
+
+// Read parses a corpus, interning labels into dict (a new Dict if nil).
+func Read(r io.Reader, dict *tgraph.Dict) (*Corpus, error) {
+	if dict == nil {
+		dict = tgraph.NewDict()
+	}
+	c := &Corpus{Dict: dict}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+
+	var cur *tgraph.Builder
+	var curName string
+	lineNo := 0
+	flush := func() error {
+		if cur == nil {
+			return nil
+		}
+		g, err := cur.Finalize()
+		if err != nil {
+			return fmt.Errorf("dataset: graph %q: %w", curName, err)
+		}
+		c.Add(curName, g)
+		cur = nil
+		return nil
+	}
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		switch fields[0] {
+		case "g":
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("dataset: line %d: want 'g <name>'", lineNo)
+			}
+			if err := flush(); err != nil {
+				return nil, err
+			}
+			cur = &tgraph.Builder{}
+			curName = fields[1]
+		case "v":
+			if cur == nil {
+				return nil, fmt.Errorf("dataset: line %d: 'v' before 'g'", lineNo)
+			}
+			if len(fields) != 3 {
+				return nil, fmt.Errorf("dataset: line %d: want 'v <id> <label>'", lineNo)
+			}
+			id, err := strconv.Atoi(fields[1])
+			if err != nil {
+				return nil, fmt.Errorf("dataset: line %d: bad node id: %w", lineNo, err)
+			}
+			if id != cur.NumNodes() {
+				return nil, fmt.Errorf("dataset: line %d: node ids must be dense and ordered (got %d, want %d)", lineNo, id, cur.NumNodes())
+			}
+			cur.AddNode(dict.Intern(fields[2]))
+		case "e":
+			if cur == nil {
+				return nil, fmt.Errorf("dataset: line %d: 'e' before 'g'", lineNo)
+			}
+			if len(fields) != 4 {
+				return nil, fmt.Errorf("dataset: line %d: want 'e <src> <dst> <time>'", lineNo)
+			}
+			src, err1 := strconv.Atoi(fields[1])
+			dst, err2 := strconv.Atoi(fields[2])
+			ts, err3 := strconv.ParseInt(fields[3], 10, 64)
+			if err1 != nil || err2 != nil || err3 != nil {
+				return nil, fmt.Errorf("dataset: line %d: bad edge fields", lineNo)
+			}
+			if err := cur.AddEdge(tgraph.NodeID(src), tgraph.NodeID(dst), ts); err != nil {
+				return nil, fmt.Errorf("dataset: line %d: %w", lineNo, err)
+			}
+		default:
+			return nil, fmt.Errorf("dataset: line %d: unknown record %q", lineNo, fields[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if err := flush(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}

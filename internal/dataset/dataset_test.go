@@ -1,0 +1,147 @@
+package dataset
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"tgminer/internal/tgraph"
+)
+
+func sampleCorpus(t *testing.T) *Corpus {
+	t.Helper()
+	dict := tgraph.NewDict()
+	c := &Corpus{Dict: dict}
+	var b tgraph.Builder
+	b.AddNode(dict.Intern("proc:a"))
+	b.AddNode(dict.Intern("file:x"))
+	if err := b.AddEdge(0, 1, 5); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.AddEdge(1, 0, 9); err != nil {
+		t.Fatal(err)
+	}
+	g, err := b.Finalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Add("sample-1", g)
+
+	var b2 tgraph.Builder
+	b2.AddNode(dict.Intern("proc:b"))
+	b2.AddNode(dict.Intern("file:y"))
+	if err := b2.AddEdge(0, 1, 0); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := b2.Finalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Add("sample-2", g2)
+	return c
+}
+
+func TestRoundTrip(t *testing.T) {
+	c := sampleCorpus(t)
+	var buf bytes.Buffer
+	if err := Write(&buf, c); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Graphs) != 2 {
+		t.Fatalf("graphs = %d, want 2", len(got.Graphs))
+	}
+	if got.Names[0] != "sample-1" || got.Names[1] != "sample-2" {
+		t.Errorf("names = %v", got.Names)
+	}
+	g := got.Graphs[0]
+	if g.NumNodes() != 2 || g.NumEdges() != 2 {
+		t.Fatalf("graph shape: V=%d E=%d", g.NumNodes(), g.NumEdges())
+	}
+	if got.Dict.Name(g.LabelOf(0)) != "proc:a" {
+		t.Errorf("label round trip failed: %q", got.Dict.Name(g.LabelOf(0)))
+	}
+	if g.EdgeAt(0).Time != 5 || g.EdgeAt(1).Time != 9 {
+		t.Errorf("edge times: %v %v", g.EdgeAt(0), g.EdgeAt(1))
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	cases := map[string]string{
+		"v before g":     "v 0 foo\n",
+		"e before g":     "e 0 1 2\n",
+		"bad g":          "g\n",
+		"bad v arity":    "g a\nv 0\n",
+		"bad v id":       "g a\nv x foo\n",
+		"non-dense v":    "g a\nv 1 foo\n",
+		"bad e arity":    "g a\nv 0 foo\ne 0 1\n",
+		"bad e fields":   "g a\nv 0 foo\ne x y z\n",
+		"edge bad node":  "g a\nv 0 foo\ne 0 5 1\n",
+		"unknown record": "z 1 2\n",
+		"dup timestamps": "g a\nv 0 foo\nv 1 bar\ne 0 1 3\ne 1 0 3\n",
+	}
+	for name, input := range cases {
+		if _, err := Read(strings.NewReader(input), nil); err == nil {
+			t.Errorf("%s: Read succeeded, want error", name)
+		}
+	}
+}
+
+func TestReadSkipsCommentsAndBlank(t *testing.T) {
+	input := "# header\n\ng a\n# inner\nv 0 foo\nv 1 bar\n\ne 0 1 0\n"
+	c, err := Read(strings.NewReader(input), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Graphs) != 1 || c.Graphs[0].NumEdges() != 1 {
+		t.Errorf("parsed %d graphs", len(c.Graphs))
+	}
+}
+
+func TestWriteRejectsWhitespaceLabels(t *testing.T) {
+	dict := tgraph.NewDict()
+	c := &Corpus{Dict: dict}
+	var b tgraph.Builder
+	b.AddNode(dict.Intern("bad label"))
+	g, err := b.Finalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Add("g1", g)
+	var buf bytes.Buffer
+	if err := Write(&buf, c); err == nil {
+		t.Errorf("Write accepted whitespace label")
+	}
+}
+
+func TestFilter(t *testing.T) {
+	c := sampleCorpus(t)
+	got := c.Filter(func(name string) bool { return name == "sample-2" })
+	if len(got) != 1 || got[0].NumEdges() != 1 {
+		t.Errorf("Filter returned %d graphs", len(got))
+	}
+}
+
+func TestSharedDictAcrossReads(t *testing.T) {
+	c := sampleCorpus(t)
+	var buf bytes.Buffer
+	if err := Write(&buf, c); err != nil {
+		t.Fatal(err)
+	}
+	dict := tgraph.NewDict()
+	first, err := Read(bytes.NewReader(buf.Bytes()), dict)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := Read(bytes.NewReader(buf.Bytes()), dict)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same dict: labels must be identical across the two reads.
+	if first.Graphs[0].LabelOf(0) != second.Graphs[0].LabelOf(0) {
+		t.Errorf("shared dict produced different labels")
+	}
+}

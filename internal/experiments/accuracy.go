@@ -1,0 +1,379 @@
+package experiments
+
+import (
+	"fmt"
+
+	"tgminer/internal/core"
+	"tgminer/internal/search"
+	"tgminer/internal/sysgen"
+	"tgminer/internal/tgraph"
+)
+
+// PaperTable2 holds the paper's reported precision/recall (percent) per
+// behavior for NodeSet, Ntemp, and TGMiner, in that order.
+var PaperTable2 = map[string][6]float64{
+	"bzip2-decompress": {100, 100, 100, 100, 100, 100},
+	"gzip-decompress":  {96.6, 100, 100, 100, 100, 100},
+	"wget-download":    {96.5, 100, 100, 93.6, 93.4, 93.4},
+	"ftp-download":     {100, 100, 100, 100, 96.1, 96.1},
+	"scp-download":     {13.8, 59.4, 100, 11.2, 91.3, 91.3},
+	"gcc-compile":      {69.7, 81.2, 94.3, 89.2, 89.4, 87.6},
+	"g++-compile":      {73.4, 91.3, 95.2, 84.5, 85.3, 85.3},
+	"ftpd-login":       {76.6, 81.8, 94.1, 100, 89.7, 86.8},
+	"ssh-login":        {33.8, 64.3, 93.9, 78.7, 87.2, 85.9},
+	"sshd-login":       {43.4, 59.6, 99.9, 99.8, 99.9, 99.9},
+	"apt-get-update":   {50.3, 79.3, 95.9, 47.6, 84.5, 82.4},
+	"apt-get-install":  {68.3, 81.7, 95.7, 35.6, 86.3, 83.9},
+}
+
+// AccuracyRow is one behavior's evaluation under the three systems.
+type AccuracyRow struct {
+	Behavior string
+	NodeSet  search.Metrics
+	Ntemp    search.Metrics
+	TGMiner  search.Metrics
+}
+
+// Table2Result reproduces Table 2 (query accuracy on different behaviors).
+type Table2Result struct {
+	Rows  []AccuracyRow
+	Scale Scale
+}
+
+// Table2 mines all three query families for every behavior and evaluates
+// them against the test timeline.
+func Table2(env *Env) (*Table2Result, error) {
+	tl, engine := env.Timeline()
+	ev := &core.Evaluator{Engine: engine, Window: tl.Window, Limit: env.Scale.MatchLimit}
+	in := env.Interest()
+	out := &Table2Result{Scale: env.Scale}
+	for _, name := range env.BehaviorNames() {
+		pos := env.Data.ByName(name)
+		truth := TruthIntervals(tl, name)
+		cfg := core.QueryConfig{QuerySize: env.Scale.QuerySize, TopK: env.Scale.TopK, Interest: in}
+
+		bq, err := core.DiscoverQueries(pos, env.Data.Background, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("table2 %s: %w", name, err)
+		}
+		nq, err := core.DiscoverNonTemporalQueries(pos, env.Data.Background, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("table2 %s ntemp: %w", name, err)
+		}
+		sq, err := core.DiscoverNodeSetQuery(pos, env.Data.Background, cfg, in)
+		if err != nil {
+			return nil, fmt.Errorf("table2 %s nodeset: %w", name, err)
+		}
+		out.Rows = append(out.Rows, AccuracyRow{
+			Behavior: name,
+			NodeSet:  ev.EvalNodeSet(sq, truth),
+			Ntemp:    ev.EvalNonTemporal(nq.Queries, truth),
+			TGMiner:  ev.EvalTemporal(bq.Queries, truth),
+		})
+	}
+	return out, nil
+}
+
+// Averages returns mean precision and recall per system, in NodeSet, Ntemp,
+// TGMiner order.
+func (r *Table2Result) Averages() (prec, rec [3]float64) {
+	if len(r.Rows) == 0 {
+		return
+	}
+	for _, row := range r.Rows {
+		prec[0] += row.NodeSet.Precision()
+		prec[1] += row.Ntemp.Precision()
+		prec[2] += row.TGMiner.Precision()
+		rec[0] += row.NodeSet.Recall()
+		rec[1] += row.Ntemp.Recall()
+		rec[2] += row.TGMiner.Recall()
+	}
+	n := float64(len(r.Rows))
+	for i := range prec {
+		prec[i] /= n
+		rec[i] /= n
+	}
+	return prec, rec
+}
+
+// Render produces the paper-style table with paper values alongside.
+func (r *Table2Result) Render() string {
+	t := &Table{
+		Title: "Table 2: Query accuracy on different behaviors (measured% / paper%)",
+		Headers: []string{"Behavior",
+			"P.NodeSet", "P.Ntemp", "P.TGMiner",
+			"R.NodeSet", "R.Ntemp", "R.TGMiner"},
+	}
+	cell := func(measured float64, paper float64) string {
+		return fmt.Sprintf("%s/%.1f", pct(measured), paper)
+	}
+	for _, row := range r.Rows {
+		p := PaperTable2[row.Behavior]
+		t.AddRow(row.Behavior,
+			cell(row.NodeSet.Precision(), p[0]),
+			cell(row.Ntemp.Precision(), p[1]),
+			cell(row.TGMiner.Precision(), p[2]),
+			cell(row.NodeSet.Recall(), p[3]),
+			cell(row.Ntemp.Recall(), p[4]),
+			cell(row.TGMiner.Recall(), p[5]))
+	}
+	prec, rec := r.Averages()
+	t.AddRow("Average",
+		cell(prec[0], 68.5), cell(prec[1], 83.2), cell(prec[2], 97.4),
+		cell(rec[0], 78.4), cell(rec[1], 91.9), cell(rec[2], 91.1))
+	t.AddNote("scale=%s: %d graphs/behavior, %d background, %d test instances, query size %d",
+		r.Scale.Name, r.Scale.GraphsPerBehavior, r.Scale.BackgroundGraphs,
+		r.Scale.TestInstances, r.Scale.QuerySize)
+	return t.String()
+}
+
+// Figure10Result holds example discovered patterns (paper Figure 10).
+type Figure10Result struct {
+	Behavior string
+	Patterns []string // formatted top patterns
+}
+
+// Figure10 formats the top discovered patterns for the given behavior
+// (default sshd-login if present).
+func Figure10(env *Env, behavior string) (*Figure10Result, error) {
+	if behavior == "" {
+		behavior = "sshd-login"
+	}
+	pos := env.Data.ByName(behavior)
+	if pos == nil {
+		names := env.BehaviorNames()
+		if len(names) == 0 {
+			return nil, fmt.Errorf("figure10: no behaviors in environment")
+		}
+		behavior = names[0]
+		pos = env.Data.ByName(behavior)
+	}
+	bq, err := core.DiscoverQueries(pos, env.Data.Background, core.QueryConfig{
+		QuerySize: env.Scale.QuerySize, TopK: 3, Interest: env.Interest(),
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := &Figure10Result{Behavior: behavior}
+	for _, q := range bq.Queries {
+		out.Patterns = append(out.Patterns, q.Format(env.Data.Dict))
+	}
+	return out, nil
+}
+
+// Render prints the discovered patterns.
+func (r *Figure10Result) Render() string {
+	s := fmt.Sprintf("Figure 10: discovered discriminative patterns for %s\n", r.Behavior)
+	for i, p := range r.Patterns {
+		s += fmt.Sprintf("  #%d  %s\n", i+1, p)
+	}
+	return s
+}
+
+// SizePoint is one sweep point of Figure 11.
+type SizePoint struct {
+	Size      int
+	Precision float64
+	Recall    float64
+}
+
+// Figure11Result reproduces Figure 11 (accuracy vs query size).
+type Figure11Result struct {
+	Points []SizePoint
+	Scale  Scale
+}
+
+// Figure11 sweeps query size and reports average precision/recall across
+// behaviors.
+func Figure11(env *Env, sizes []int) (*Figure11Result, error) {
+	if len(sizes) == 0 {
+		sizes = []int{1, 2, 3, 4, 5, 6}
+	}
+	tl, engine := env.Timeline()
+	ev := &core.Evaluator{Engine: engine, Window: tl.Window, Limit: env.Scale.MatchLimit}
+	in := env.Interest()
+	out := &Figure11Result{Scale: env.Scale}
+	for _, size := range sizes {
+		var sumP, sumR float64
+		n := 0
+		for _, name := range env.BehaviorNames() {
+			pos := env.Data.ByName(name)
+			bq, err := core.DiscoverQueries(pos, env.Data.Background, core.QueryConfig{
+				QuerySize: size, TopK: env.Scale.TopK, Interest: in,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("figure11 %s size %d: %w", name, size, err)
+			}
+			m := ev.EvalTemporal(bq.Queries, TruthIntervals(tl, name))
+			sumP += m.Precision()
+			sumR += m.Recall()
+			n++
+		}
+		out.Points = append(out.Points, SizePoint{
+			Size: size, Precision: sumP / float64(n), Recall: sumR / float64(n),
+		})
+	}
+	return out, nil
+}
+
+// Render prints the sweep.
+func (r *Figure11Result) Render() string {
+	t := &Table{
+		Title:   "Figure 11: Query accuracy with different query sizes (TGMiner)",
+		Headers: []string{"QuerySize", "AvgPrecision", "AvgRecall"},
+	}
+	for _, p := range r.Points {
+		t.AddRow(intStr(p.Size), f3(p.Precision), f3(p.Recall))
+	}
+	t.AddNote("paper: precision rises with size, recall declines slightly; both flatten past size 6")
+	return t.String()
+}
+
+// FractionPoint is one sweep point of Figure 12.
+type FractionPoint struct {
+	Fraction  float64
+	Precision float64
+	Recall    float64
+}
+
+// Figure12Result reproduces Figure 12 (accuracy vs training amount).
+type Figure12Result struct {
+	Points []FractionPoint
+	Scale  Scale
+}
+
+// Figure12 sweeps the fraction of training data used (first k graphs per
+// set, as the paper does) and reports average accuracy.
+func Figure12(env *Env, fractions []float64) (*Figure12Result, error) {
+	if len(fractions) == 0 {
+		fractions = []float64{0.2, 0.4, 0.6, 0.8, 1.0}
+	}
+	tl, engine := env.Timeline()
+	ev := &core.Evaluator{Engine: engine, Window: tl.Window, Limit: env.Scale.MatchLimit}
+	in := env.Interest()
+	out := &Figure12Result{Scale: env.Scale}
+	for _, frac := range fractions {
+		var sumP, sumR float64
+		n := 0
+		for _, name := range env.BehaviorNames() {
+			pos := takeFraction(env.Data.ByName(name), frac)
+			neg := takeFraction(env.Data.Background, frac)
+			bq, err := core.DiscoverQueries(pos, neg, core.QueryConfig{
+				QuerySize: env.Scale.QuerySize, TopK: env.Scale.TopK, Interest: in,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("figure12 %s frac %.2f: %w", name, frac, err)
+			}
+			m := ev.EvalTemporal(bq.Queries, TruthIntervals(tl, name))
+			sumP += m.Precision()
+			sumR += m.Recall()
+			n++
+		}
+		out.Points = append(out.Points, FractionPoint{
+			Fraction: frac, Precision: sumP / float64(n), Recall: sumR / float64(n),
+		})
+	}
+	return out, nil
+}
+
+func takeFraction(graphs []*tgraph.Graph, frac float64) []*tgraph.Graph {
+	k := int(float64(len(graphs)) * frac)
+	if k < 1 {
+		k = 1
+	}
+	if k > len(graphs) {
+		k = len(graphs)
+	}
+	return graphs[:k]
+}
+
+// Render prints the sweep.
+func (r *Figure12Result) Render() string {
+	t := &Table{
+		Title:   "Figure 12: Query accuracy with different amounts of used training data",
+		Headers: []string{"Fraction", "AvgPrecision", "AvgRecall"},
+	}
+	for _, p := range r.Points {
+		t.AddRow(f3(p.Fraction), f3(p.Precision), f3(p.Recall))
+	}
+	t.AddNote("paper: precision 91%% -> 97%% from 0.01 to 1.0 with diminishing returns")
+	return t.String()
+}
+
+// Table1Result reproduces Table 1 (training-data statistics).
+type Table1Result struct {
+	Rows  []Table1Row
+	Scale Scale
+}
+
+// Table1Row is one behavior's measured statistics.
+type Table1Row struct {
+	Behavior  string
+	AvgNodes  float64
+	AvgEdges  float64
+	Labels    int
+	SizeClass string
+}
+
+// Table1 measures the generated corpus statistics.
+func Table1(env *Env) *Table1Result {
+	out := &Table1Result{Scale: env.Scale}
+	for _, bd := range env.Data.Behaviors {
+		var nodes, edges int
+		labels := map[tgraph.Label]bool{}
+		for _, g := range bd.Graphs {
+			nodes += g.NumNodes()
+			edges += g.NumEdges()
+			for l := range g.EndpointLabels() {
+				labels[l] = true
+			}
+		}
+		n := float64(len(bd.Graphs))
+		out.Rows = append(out.Rows, Table1Row{
+			Behavior:  bd.Spec.Name,
+			AvgNodes:  float64(nodes) / n,
+			AvgEdges:  float64(edges) / n,
+			Labels:    len(labels),
+			SizeClass: bd.Spec.Class,
+		})
+	}
+	var nodes, edges int
+	labels := map[tgraph.Label]bool{}
+	for _, g := range env.Data.Background {
+		nodes += g.NumNodes()
+		edges += g.NumEdges()
+		for l := range g.EndpointLabels() {
+			labels[l] = true
+		}
+	}
+	if n := len(env.Data.Background); n > 0 {
+		out.Rows = append(out.Rows, Table1Row{
+			Behavior: "background",
+			AvgNodes: float64(nodes) / float64(n),
+			AvgEdges: float64(edges) / float64(n),
+			Labels:   len(labels), SizeClass: "-",
+		})
+	}
+	return out
+}
+
+// Render prints the statistics with the paper's targets.
+func (r *Table1Result) Render() string {
+	t := &Table{
+		Title:   "Table 1: Statistics in training data (measured, at scale)",
+		Headers: []string{"Behavior", "Avg#nodes", "Avg#edges", "#labels", "Size", "Paper(n/e/l)"},
+	}
+	for _, row := range r.Rows {
+		paper := "-"
+		if spec, ok := sysgen.SpecByName(row.Behavior); ok {
+			paper = fmt.Sprintf("%d/%d/%d", spec.Nodes, spec.Edges, spec.Labels)
+		} else if row.Behavior == "background" {
+			bg := sysgen.Background()
+			paper = fmt.Sprintf("%d/%d/%d", bg.Nodes, bg.Edges, bg.Labels)
+		}
+		t.AddRow(row.Behavior, fmt.Sprintf("%.1f", row.AvgNodes), fmt.Sprintf("%.1f", row.AvgEdges),
+			intStr(row.Labels), row.SizeClass, paper)
+	}
+	t.AddNote("sizes are scaled by factor %.2f; paper columns are the scale-1.0 targets", r.Scale.SizeFactor)
+	return t.String()
+}

@@ -1,0 +1,161 @@
+// Package gindex implements the graph-index-based temporal subgraph test,
+// the PruneGI baseline of the TGMiner paper (Section 6.1, baseline 3): index
+// one-edge substructures of the host graph, then join partial matches into
+// full matches in timestamp order (after Zong et al. [38]).
+//
+// The characteristic cost of this baseline — the reason the paper reports it
+// 6x slower than the sequence-test algorithm — is that the one-edge index
+// must be rebuilt for every discovered pattern the miner tests against, and
+// the breadth-first join materializes whole partial-match frontiers instead
+// of backtracking.
+package gindex
+
+import (
+	"tgminer/internal/tgraph"
+)
+
+// Tester performs temporal subgraph tests by index-and-join. The zero value
+// is ready to use.
+type Tester struct {
+	// Tests counts Test invocations.
+	Tests int64
+	// IndexBuilds counts one-edge index constructions (one per Test).
+	IndexBuilds int64
+	// PartialMatches counts the total partial matches materialized.
+	PartialMatches int64
+}
+
+// Name identifies the tester in benchmark output.
+func (t *Tester) Name() string { return "gindex" }
+
+type labelPair struct {
+	src, dst tgraph.Label
+}
+
+// partial is one partial match after joining a prefix of the pattern's edge
+// sequence.
+type partial struct {
+	mapping []tgraph.NodeID // g1 node -> g2 node (-1 unset)
+	used    map[tgraph.NodeID]bool
+	lastPos int
+}
+
+// Test reports whether g1 ⊆t g2 and returns the node mapping if so.
+func (t *Tester) Test(g1, g2 *tgraph.Pattern) ([]tgraph.NodeID, bool) {
+	t.Tests++
+	if g1.NumEdges() > g2.NumEdges() || g1.NumNodes() > g2.NumNodes() {
+		return nil, false
+	}
+	if g1.NumEdges() == 0 {
+		m := make([]tgraph.NodeID, g1.NumNodes())
+		for i := range m {
+			m[i] = -1
+		}
+		return m, true
+	}
+
+	// Build the one-edge substructure index for the host pattern. The index
+	// is rebuilt per test: in the mining loop the host is a freshly
+	// discovered pattern, so there is nothing to reuse (this is the
+	// overhead the paper attributes to PruneGI).
+	t.IndexBuilds++
+	index := make(map[labelPair][]int, g2.NumEdges())
+	for pos, e := range g2.Edges() {
+		lp := labelPair{src: g2.LabelOf(e.Src), dst: g2.LabelOf(e.Dst)}
+		index[lp] = append(index[lp], pos)
+	}
+
+	// Seed the frontier with matches of the first pattern edge.
+	first := g1.EdgeAt(0)
+	frontier := make([]partial, 0, 8)
+	for _, pos := range index[labelPair{src: g1.LabelOf(first.Src), dst: g1.LabelOf(first.Dst)}] {
+		ge := g2.EdgeAt(pos)
+		if (first.Src == first.Dst) != (ge.Src == ge.Dst) {
+			continue
+		}
+		m := make([]tgraph.NodeID, g1.NumNodes())
+		for i := range m {
+			m[i] = -1
+		}
+		m[first.Src] = ge.Src
+		m[first.Dst] = ge.Dst
+		used := map[tgraph.NodeID]bool{ge.Src: true, ge.Dst: true}
+		frontier = append(frontier, partial{mapping: m, used: used, lastPos: pos})
+	}
+	t.PartialMatches += int64(len(frontier))
+
+	// Join one pattern edge at a time, breadth first.
+	for i := 1; i < g1.NumEdges() && len(frontier) > 0; i++ {
+		pe := g1.EdgeAt(i)
+		cands := index[labelPair{src: g1.LabelOf(pe.Src), dst: g1.LabelOf(pe.Dst)}]
+		next := make([]partial, 0, len(frontier))
+		seen := make(map[string]bool)
+		for _, pm := range frontier {
+			for _, pos := range cands {
+				if pos <= pm.lastPos {
+					continue
+				}
+				np, ok := join(g1, g2, pm, pe, pos)
+				if !ok {
+					continue
+				}
+				k := stateKey(np.mapping, np.lastPos)
+				if seen[k] {
+					continue
+				}
+				seen[k] = true
+				next = append(next, np)
+			}
+		}
+		frontier = next
+		t.PartialMatches += int64(len(frontier))
+	}
+	if len(frontier) == 0 {
+		return nil, false
+	}
+	return frontier[0].mapping, true
+}
+
+// join extends partial match pm with pattern edge pe matched to host edge at
+// pos, or reports failure.
+func join(g1, g2 *tgraph.Pattern, pm partial, pe tgraph.PEdge, pos int) (partial, bool) {
+	ge := g2.EdgeAt(pos)
+	if (pe.Src == pe.Dst) != (ge.Src == ge.Dst) {
+		return partial{}, false
+	}
+	ms, md := pm.mapping[pe.Src], pm.mapping[pe.Dst]
+	if ms != -1 && ms != ge.Src {
+		return partial{}, false
+	}
+	if md != -1 && md != ge.Dst {
+		return partial{}, false
+	}
+	if ms == -1 && pm.used[ge.Src] {
+		return partial{}, false
+	}
+	if md == -1 && pe.Src != pe.Dst && pm.used[ge.Dst] {
+		return partial{}, false
+	}
+	if ms == -1 && md == -1 && pe.Src != pe.Dst && ge.Src == ge.Dst {
+		return partial{}, false
+	}
+	nm := append([]tgraph.NodeID(nil), pm.mapping...)
+	nu := make(map[tgraph.NodeID]bool, len(pm.used)+2)
+	for k := range pm.used {
+		nu[k] = true
+	}
+	nm[pe.Src] = ge.Src
+	nu[ge.Src] = true
+	nm[pe.Dst] = ge.Dst
+	nu[ge.Dst] = true
+	return partial{mapping: nm, used: nu, lastPos: pos}, true
+}
+
+func stateKey(mapping []tgraph.NodeID, lastPos int) string {
+	buf := make([]byte, 0, 4*len(mapping)+4)
+	for _, v := range mapping {
+		buf = append(buf, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+	}
+	buf = append(buf, byte(lastPos), byte(lastPos>>8), byte(lastPos>>16), byte(lastPos>>24))
+	return string(buf)
+}

@@ -1,0 +1,98 @@
+package gindex
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"tgminer/internal/seqcode"
+	"tgminer/internal/tgraph"
+)
+
+func randomPattern(rng *rand.Rand, maxEdges, labelRange int) *tgraph.Pattern {
+	p := tgraph.SingleEdgePattern(tgraph.Label(rng.Intn(labelRange)), tgraph.Label(rng.Intn(labelRange)), rng.Intn(8) == 0)
+	m := 1 + rng.Intn(maxEdges)
+	for p.NumEdges() < m {
+		switch rng.Intn(3) {
+		case 0:
+			p = p.GrowForward(tgraph.NodeID(rng.Intn(p.NumNodes())), tgraph.Label(rng.Intn(labelRange)))
+		case 1:
+			p = p.GrowBackward(tgraph.Label(rng.Intn(labelRange)), tgraph.NodeID(rng.Intn(p.NumNodes())))
+		default:
+			p = p.GrowInward(tgraph.NodeID(rng.Intn(p.NumNodes())), tgraph.NodeID(rng.Intn(p.NumNodes())))
+		}
+	}
+	return p
+}
+
+func TestGIndexAgreesWithSeqcodeQuick(t *testing.T) {
+	var tester Tester
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g1 := randomPattern(rng, 4, 2)
+		g2 := randomPattern(rng, 8, 2)
+		_, gotGI := tester.Test(g1, g2)
+		_, gotSeq := seqcode.Subsumes(g1, g2)
+		if gotGI != gotSeq {
+			t.Logf("seed=%d disagreement: gindex=%v seq=%v\n g1=%v\n g2=%v", seed, gotGI, gotSeq, g1, g2)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGIndexMappingValid(t *testing.T) {
+	var tester Tester
+	rng := rand.New(rand.NewSource(21))
+	for i := 0; i < 150; i++ {
+		g1 := randomPattern(rng, 4, 3)
+		g2 := g1
+		for j := 0; j < rng.Intn(5); j++ {
+			g2 = g2.GrowBackward(tgraph.Label(rng.Intn(3)), tgraph.NodeID(rng.Intn(g2.NumNodes())))
+		}
+		m, ok := tester.Test(g1, g2)
+		if !ok {
+			t.Fatalf("self-embed failed: %v in %v", g1, g2)
+		}
+		seen := map[tgraph.NodeID]bool{}
+		for v1, v2 := range m {
+			if v2 == -1 {
+				continue
+			}
+			if g1.LabelOf(tgraph.NodeID(v1)) != g2.LabelOf(v2) {
+				t.Fatalf("label mismatch in mapping %v", m)
+			}
+			if seen[v2] {
+				t.Fatalf("non-injective mapping %v", m)
+			}
+			seen[v2] = true
+		}
+	}
+}
+
+func TestGIndexStats(t *testing.T) {
+	var tester Tester
+	g := tgraph.SingleEdgePattern(0, 1, false)
+	h, _ := tgraph.NewPattern([]tgraph.Label{0, 1}, []tgraph.PEdge{{Src: 0, Dst: 1}})
+	if _, ok := tester.Test(g, h); !ok {
+		t.Fatalf("embed failed")
+	}
+	if tester.Tests != 1 || tester.IndexBuilds != 1 || tester.PartialMatches == 0 {
+		t.Errorf("stats: %+v", tester)
+	}
+	if tester.Name() != "gindex" {
+		t.Errorf("Name = %q", tester.Name())
+	}
+}
+
+func TestGIndexEmptyPattern(t *testing.T) {
+	var tester Tester
+	empty, _ := tgraph.NewPattern([]tgraph.Label{0}, nil)
+	host := tgraph.SingleEdgePattern(0, 1, false)
+	if _, ok := tester.Test(empty, host); !ok {
+		t.Errorf("empty pattern should embed")
+	}
+}

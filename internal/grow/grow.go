@@ -1,0 +1,305 @@
+// Package grow implements embedding-list pattern growth for temporal graph
+// mining (Section 3 of the TGMiner paper): consecutive growth with the
+// forward, backward, and inward growth options, which together explore the
+// T-connected pattern space completely and without repetition (Theorem 1).
+//
+// A pattern's occurrences in a graph set are maintained as embedding lists;
+// extending a pattern by one edge filters and extends its embeddings rather
+// than re-matching from scratch. Because edges are totally ordered, a new
+// pattern edge (timestamp |E|+1) can only match graph edges at positions
+// strictly after the embedding's last matched position.
+package grow
+
+import (
+	"sort"
+
+	"tgminer/internal/residual"
+	"tgminer/internal/tgraph"
+)
+
+// Embedding is one match of a pattern in a data graph: the node mapping plus
+// the position of the graph edge matched by the pattern's final (largest
+// timestamp) edge.
+type Embedding struct {
+	GraphID int32
+	LastPos int32
+	Nodes   []tgraph.NodeID // pattern node -> graph node
+}
+
+// List is the embedding list of one pattern over one graph set, ordered by
+// GraphID (ties in arbitrary order).
+type List []Embedding
+
+// SupportCount returns the number of distinct graphs containing at least one
+// embedding.
+func (l List) SupportCount() int {
+	n := 0
+	last := int32(-1)
+	for _, e := range l {
+		if e.GraphID != last {
+			n++
+			last = e.GraphID
+		}
+	}
+	return n
+}
+
+// Frequency returns SupportCount()/total, the paper's freq(G, g).
+func (l List) Frequency(total int) float64 {
+	if total == 0 {
+		return 0
+	}
+	return float64(l.SupportCount()) / float64(total)
+}
+
+// ResidualSet builds the deduplicated residual graph set of the pattern
+// owning this list: one Ref per distinct (graph, cut) pair, per the paper's
+// set-union definition of R(G, g).
+func (l List) ResidualSet() residual.Set {
+	set := make(residual.Set, 0, len(l))
+	for _, e := range l {
+		set = append(set, residual.Ref{GraphID: e.GraphID, Cut: e.LastPos})
+	}
+	set.Normalize()
+	// Deduplicate identical (GraphID, Cut) pairs: distinct matches sharing a
+	// final edge contribute one residual graph.
+	out := set[:0]
+	for i, r := range set {
+		if i == 0 || r != set[i-1] {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// Ext describes one consecutive-growth step applied to a parent pattern:
+// which growth option, which existing pattern nodes participate, and the
+// label of the new node if one is introduced. Ext values are comparable and
+// identify children uniquely (Lemma 3: a pattern extends into a specific
+// larger pattern in at most one way).
+type Ext struct {
+	Kind     tgraph.GrowthKind
+	Src      tgraph.NodeID // existing pattern source (Forward, Inward); -1 otherwise
+	Dst      tgraph.NodeID // existing pattern destination (Backward, Inward); -1 otherwise
+	NewLabel tgraph.Label  // label of the new node (Forward, Backward); -1 otherwise
+}
+
+// Apply grows parent by the extension, returning the child pattern.
+func (x Ext) Apply(parent *tgraph.Pattern) *tgraph.Pattern {
+	switch x.Kind {
+	case tgraph.Forward:
+		return parent.GrowForward(x.Src, x.NewLabel)
+	case tgraph.Backward:
+		return parent.GrowBackward(x.NewLabel, x.Dst)
+	default:
+		return parent.GrowInward(x.Src, x.Dst)
+	}
+}
+
+// Less orders extensions deterministically for reproducible DFS order.
+func (x Ext) Less(y Ext) bool {
+	if x.Kind != y.Kind {
+		return x.Kind < y.Kind
+	}
+	if x.Src != y.Src {
+		return x.Src < y.Src
+	}
+	if x.Dst != y.Dst {
+		return x.Dst < y.Dst
+	}
+	return x.NewLabel < y.NewLabel
+}
+
+// Seed is a one-edge pattern together with its embedding lists in the
+// positive and negative graph sets.
+type Seed struct {
+	Pattern *tgraph.Pattern
+	Pos     List
+	Neg     List
+}
+
+// seedKey identifies a one-edge pattern.
+type seedKey struct {
+	src, dst tgraph.Label
+	loop     bool
+}
+
+// Seeds enumerates all one-edge patterns occurring in the positive set with
+// their embeddings in both sets, ordered deterministically by (source label,
+// destination label, self-loop).
+func Seeds(pos, neg []*tgraph.Graph) []Seed {
+	posEmb := make(map[seedKey]List)
+	for gi, g := range pos {
+		collectSeeds(g, int32(gi), func(k seedKey, e Embedding) {
+			posEmb[k] = append(posEmb[k], e)
+		})
+	}
+	negEmb := make(map[seedKey]List)
+	for gi, g := range neg {
+		collectSeeds(g, int32(gi), func(k seedKey, e Embedding) {
+			if _, ok := posEmb[k]; ok { // only seeds that exist positively matter
+				negEmb[k] = append(negEmb[k], e)
+			}
+		})
+	}
+	keys := make([]seedKey, 0, len(posEmb))
+	for k := range posEmb {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		a, b := keys[i], keys[j]
+		if a.src != b.src {
+			return a.src < b.src
+		}
+		if a.dst != b.dst {
+			return a.dst < b.dst
+		}
+		return !a.loop && b.loop
+	})
+	out := make([]Seed, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, Seed{
+			Pattern: tgraph.SingleEdgePattern(k.src, k.dst, k.loop),
+			Pos:     posEmb[k],
+			Neg:     negEmb[k],
+		})
+	}
+	return out
+}
+
+func collectSeeds(g *tgraph.Graph, gid int32, emit func(k seedKey, e Embedding)) {
+	for pos, e := range g.Edges() {
+		k := seedKey{src: g.LabelOf(e.Src), dst: g.LabelOf(e.Dst), loop: e.Src == e.Dst}
+		var nodes []tgraph.NodeID
+		if k.loop {
+			nodes = []tgraph.NodeID{e.Src}
+		} else {
+			nodes = []tgraph.NodeID{e.Src, e.Dst}
+		}
+		emit(k, Embedding{GraphID: gid, LastPos: int32(pos), Nodes: nodes})
+	}
+}
+
+// Extensions enumerates the distinct consecutive-growth extensions of the
+// pattern that are witnessed by at least one embedding in l over graphs,
+// returned in deterministic order. Only extensions witnessed in the positive
+// set can raise a pattern's positive frequency above zero, so the miner
+// calls this on the positive list only.
+func Extensions(p *tgraph.Pattern, graphs []*tgraph.Graph, l List) []Ext {
+	seen := make(map[Ext]bool)
+	var revBuf []int32 // graph node -> pattern node + 1 (0 = unmapped), reused
+	for _, emb := range l {
+		g := graphs[emb.GraphID]
+		if cap(revBuf) < g.NumNodes() {
+			revBuf = make([]int32, g.NumNodes())
+		}
+		rev := revBuf[:g.NumNodes()]
+		for i := range rev {
+			rev[i] = 0
+		}
+		for pv, gv := range emb.Nodes {
+			rev[gv] = int32(pv) + 1
+		}
+		// Candidate edges: incident to any mapped node, strictly after the
+		// last matched position. Deduplicate edges seen from both endpoints.
+		for _, gv := range emb.Nodes {
+			inc := g.Incident(gv)
+			start := sort.Search(len(inc), func(i int) bool { return inc[i] > emb.LastPos })
+			for _, pos := range inc[start:] {
+				e := g.EdgeAt(int(pos))
+				sm, dm := rev[e.Src], rev[e.Dst]
+				var x Ext
+				switch {
+				case sm != 0 && dm != 0:
+					// Seen from both endpoints; emit only from the source side
+					// to avoid double work (unless it is a self loop).
+					if e.Src != gv && e.Src != e.Dst {
+						continue
+					}
+					x = Ext{Kind: tgraph.Inward, Src: tgraph.NodeID(sm - 1), Dst: tgraph.NodeID(dm - 1), NewLabel: -1}
+				case sm != 0:
+					x = Ext{Kind: tgraph.Forward, Src: tgraph.NodeID(sm - 1), Dst: -1, NewLabel: g.LabelOf(e.Dst)}
+				case dm != 0:
+					x = Ext{Kind: tgraph.Backward, Src: -1, Dst: tgraph.NodeID(dm - 1), NewLabel: g.LabelOf(e.Src)}
+				default:
+					continue // unreachable: pos came from a mapped node's incident list
+				}
+				seen[x] = true
+			}
+		}
+	}
+	out := make([]Ext, 0, len(seen))
+	for x := range seen {
+		out = append(out, x)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Less(out[j]) })
+	return out
+}
+
+// Extend computes the embedding list of the child pattern obtained by
+// applying ext to the parent whose embeddings over graphs are l. Embeddings
+// that cannot host the new edge are dropped; embeddings with several
+// candidate edges fan out into several child embeddings (one per match).
+func Extend(ext Ext, graphs []*tgraph.Graph, l List) List {
+	var out List
+	for _, emb := range l {
+		g := graphs[emb.GraphID]
+		switch ext.Kind {
+		case tgraph.Forward:
+			src := emb.Nodes[ext.Src]
+			forEachIncidentAfter(g, src, emb.LastPos, func(pos int32, e tgraph.Edge) {
+				if e.Src != src || e.Src == e.Dst {
+					return
+				}
+				if g.LabelOf(e.Dst) != ext.NewLabel || containsNode(emb.Nodes, e.Dst) {
+					return
+				}
+				nodes := make([]tgraph.NodeID, len(emb.Nodes)+1)
+				copy(nodes, emb.Nodes)
+				nodes[len(emb.Nodes)] = e.Dst
+				out = append(out, Embedding{GraphID: emb.GraphID, LastPos: pos, Nodes: nodes})
+			})
+		case tgraph.Backward:
+			dst := emb.Nodes[ext.Dst]
+			forEachIncidentAfter(g, dst, emb.LastPos, func(pos int32, e tgraph.Edge) {
+				if e.Dst != dst || e.Src == e.Dst {
+					return
+				}
+				if g.LabelOf(e.Src) != ext.NewLabel || containsNode(emb.Nodes, e.Src) {
+					return
+				}
+				nodes := make([]tgraph.NodeID, len(emb.Nodes)+1)
+				copy(nodes, emb.Nodes)
+				nodes[len(emb.Nodes)] = e.Src
+				out = append(out, Embedding{GraphID: emb.GraphID, LastPos: pos, Nodes: nodes})
+			})
+		default: // Inward
+			src := emb.Nodes[ext.Src]
+			dst := emb.Nodes[ext.Dst]
+			forEachIncidentAfter(g, src, emb.LastPos, func(pos int32, e tgraph.Edge) {
+				if e.Src != src || e.Dst != dst {
+					return
+				}
+				out = append(out, Embedding{GraphID: emb.GraphID, LastPos: pos, Nodes: emb.Nodes})
+			})
+		}
+	}
+	return out
+}
+
+func forEachIncidentAfter(g *tgraph.Graph, v tgraph.NodeID, after int32, fn func(pos int32, e tgraph.Edge)) {
+	inc := g.Incident(v)
+	start := sort.Search(len(inc), func(i int) bool { return inc[i] > after })
+	for _, pos := range inc[start:] {
+		fn(pos, g.EdgeAt(int(pos)))
+	}
+}
+
+func containsNode(nodes []tgraph.NodeID, v tgraph.NodeID) bool {
+	for _, n := range nodes {
+		if n == v {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,329 @@
+package grow
+
+import (
+	"math/rand"
+	"testing"
+
+	"tgminer/internal/tgraph"
+)
+
+// buildGraph builds a small test graph with labels[i] on node i and the
+// given edges timestamped by slice order.
+func buildGraph(t *testing.T, labels []tgraph.Label, edges [][2]tgraph.NodeID) *tgraph.Graph {
+	t.Helper()
+	var b tgraph.Builder
+	for _, l := range labels {
+		b.AddNode(l)
+	}
+	for i, e := range edges {
+		if err := b.AddEdge(e[0], e[1], int64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	g, err := b.Finalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestSeedsBasic(t *testing.T) {
+	// Graph: A->B, B->A, A->B (multi-edge).
+	g := buildGraph(t, []tgraph.Label{0, 1}, [][2]tgraph.NodeID{{0, 1}, {1, 0}, {0, 1}})
+	seeds := Seeds([]*tgraph.Graph{g}, nil)
+	if len(seeds) != 2 {
+		t.Fatalf("got %d seeds, want 2 (A->B and B->A)", len(seeds))
+	}
+	// Deterministic order: (0,1) before (1,0).
+	if seeds[0].Pattern.LabelOf(0) != 0 {
+		t.Errorf("seed order not deterministic")
+	}
+	if len(seeds[0].Pos) != 2 {
+		t.Errorf("A->B embeddings = %d, want 2", len(seeds[0].Pos))
+	}
+	if len(seeds[1].Pos) != 1 {
+		t.Errorf("B->A embeddings = %d, want 1", len(seeds[1].Pos))
+	}
+}
+
+func TestSeedsNegativeOnlyFiltered(t *testing.T) {
+	pos := buildGraph(t, []tgraph.Label{0, 1}, [][2]tgraph.NodeID{{0, 1}})
+	neg := buildGraph(t, []tgraph.Label{5, 6}, [][2]tgraph.NodeID{{0, 1}})
+	seeds := Seeds([]*tgraph.Graph{pos}, []*tgraph.Graph{neg})
+	if len(seeds) != 1 {
+		t.Fatalf("got %d seeds, want 1 (negative-only seed must be dropped)", len(seeds))
+	}
+	if len(seeds[0].Neg) != 0 {
+		t.Errorf("unrelated negative embeddings attached: %d", len(seeds[0].Neg))
+	}
+}
+
+func TestSeedsSelfLoopDistinct(t *testing.T) {
+	g := buildGraph(t, []tgraph.Label{0, 0}, [][2]tgraph.NodeID{{0, 0}, {0, 1}})
+	seeds := Seeds([]*tgraph.Graph{g}, nil)
+	if len(seeds) != 2 {
+		t.Fatalf("got %d seeds, want 2 (loop and non-loop A->A)", len(seeds))
+	}
+}
+
+func TestExtendForward(t *testing.T) {
+	// Chain A->B->C. Seed A->B, extend forward from B with label C.
+	g := buildGraph(t, []tgraph.Label{0, 1, 2}, [][2]tgraph.NodeID{{0, 1}, {1, 2}})
+	graphs := []*tgraph.Graph{g}
+	seeds := Seeds(graphs, nil)
+	seed := seeds[0] // A->B
+	exts := Extensions(seed.Pattern, graphs, seed.Pos)
+	if len(exts) != 1 {
+		t.Fatalf("extensions = %v, want exactly 1", exts)
+	}
+	x := exts[0]
+	if x.Kind != tgraph.Forward || x.Src != 1 || x.NewLabel != 2 {
+		t.Fatalf("ext = %+v", x)
+	}
+	child := Extend(x, graphs, seed.Pos)
+	if len(child) != 1 {
+		t.Fatalf("child embeddings = %d, want 1", len(child))
+	}
+	if child[0].LastPos != 1 || len(child[0].Nodes) != 3 {
+		t.Errorf("child embedding = %+v", child[0])
+	}
+}
+
+func TestExtendBackwardAndInward(t *testing.T) {
+	// A->B, C->B, A->B: seed A->B at pos 0 extends backward (C) and inward
+	// (the second parallel A->B).
+	g := buildGraph(t, []tgraph.Label{0, 1, 2}, [][2]tgraph.NodeID{{0, 1}, {2, 1}, {0, 1}})
+	graphs := []*tgraph.Graph{g}
+	seeds := Seeds(graphs, nil)
+	var ab Seed
+	for _, s := range seeds {
+		if s.Pattern.LabelOf(0) == 0 {
+			ab = s
+		}
+	}
+	exts := Extensions(ab.Pattern, graphs, ab.Pos)
+	var sawBackward, sawInward bool
+	for _, x := range exts {
+		switch x.Kind {
+		case tgraph.Backward:
+			sawBackward = true
+			if x.NewLabel != 2 || x.Dst != 1 {
+				t.Errorf("backward ext = %+v", x)
+			}
+			child := Extend(x, graphs, ab.Pos)
+			if len(child) != 1 {
+				t.Errorf("backward child embeddings = %d, want 1 (only from pos-0 parent)", len(child))
+			}
+		case tgraph.Inward:
+			sawInward = true
+			if x.Src != 0 || x.Dst != 1 {
+				t.Errorf("inward ext = %+v", x)
+			}
+		}
+	}
+	if !sawBackward || !sawInward {
+		t.Errorf("missing growth kinds in %v", exts)
+	}
+}
+
+func TestExtendRespectsTemporalOrder(t *testing.T) {
+	// B->C at time 0, A->B at time 1. Seed A->B cannot extend to B->C
+	// because B->C happens earlier.
+	g := buildGraph(t, []tgraph.Label{0, 1, 2}, [][2]tgraph.NodeID{{1, 2}, {0, 1}})
+	graphs := []*tgraph.Graph{g}
+	seeds := Seeds(graphs, nil)
+	for _, s := range seeds {
+		if s.Pattern.LabelOf(0) != 0 {
+			continue
+		}
+		exts := Extensions(s.Pattern, graphs, s.Pos)
+		if len(exts) != 0 {
+			t.Errorf("A->B should have no extensions, got %v", exts)
+		}
+	}
+}
+
+func TestExtendInjectivity(t *testing.T) {
+	// Triangle back to the same node: A->B then B->A' where A' is the same
+	// node A. Forward growth must not map the new node onto A (that is
+	// inward growth instead).
+	g := buildGraph(t, []tgraph.Label{0, 1}, [][2]tgraph.NodeID{{0, 1}, {1, 0}})
+	graphs := []*tgraph.Graph{g}
+	seeds := Seeds(graphs, nil)
+	ab := seeds[0]
+	exts := Extensions(ab.Pattern, graphs, ab.Pos)
+	if len(exts) != 1 {
+		t.Fatalf("exts = %v, want only the inward B->A", exts)
+	}
+	if exts[0].Kind != tgraph.Inward || exts[0].Src != 1 || exts[0].Dst != 0 {
+		t.Errorf("ext = %+v, want inward 1->0", exts[0])
+	}
+}
+
+func TestFrequencyAndSupport(t *testing.T) {
+	g1 := buildGraph(t, []tgraph.Label{0, 1}, [][2]tgraph.NodeID{{0, 1}, {0, 1}})
+	g2 := buildGraph(t, []tgraph.Label{0, 1}, [][2]tgraph.NodeID{{0, 1}})
+	g3 := buildGraph(t, []tgraph.Label{5, 6}, [][2]tgraph.NodeID{{0, 1}})
+	graphs := []*tgraph.Graph{g1, g2, g3}
+	seeds := Seeds(graphs, nil)
+	ab := seeds[0]
+	if len(ab.Pos) != 3 {
+		t.Fatalf("embeddings = %d, want 3", len(ab.Pos))
+	}
+	if got := ab.Pos.SupportCount(); got != 2 {
+		t.Errorf("SupportCount = %d, want 2", got)
+	}
+	if got := ab.Pos.Frequency(3); got != 2.0/3.0 {
+		t.Errorf("Frequency = %v, want 2/3", got)
+	}
+	if got := (List{}).Frequency(0); got != 0 {
+		t.Errorf("empty Frequency = %v", got)
+	}
+}
+
+func TestResidualSetDedup(t *testing.T) {
+	// Two embeddings with the same (graph, cut) collapse to one residual.
+	l := List{
+		{GraphID: 0, LastPos: 3, Nodes: []tgraph.NodeID{0, 1}},
+		{GraphID: 0, LastPos: 3, Nodes: []tgraph.NodeID{0, 2}},
+		{GraphID: 0, LastPos: 5, Nodes: []tgraph.NodeID{0, 1}},
+	}
+	set := l.ResidualSet()
+	if len(set) != 2 {
+		t.Fatalf("residual set size = %d, want 2", len(set))
+	}
+}
+
+// --- Completeness / non-redundancy (Theorem 1) -------------------------
+
+// enumerateDFS explores the entire pattern space reachable from seeds via
+// consecutive growth, recording each visited pattern's canonical key.
+func enumerateDFS(t *testing.T, graphs []*tgraph.Graph, maxEdges int) map[string]int {
+	t.Helper()
+	visited := map[string]int{}
+	var dfs func(p *tgraph.Pattern, l List)
+	dfs = func(p *tgraph.Pattern, l List) {
+		visited[p.Key()]++
+		if p.NumEdges() >= maxEdges {
+			return
+		}
+		for _, x := range Extensions(p, graphs, l) {
+			child := x.Apply(p)
+			childEmb := Extend(x, graphs, l)
+			if len(childEmb) == 0 {
+				t.Fatalf("extension %+v of %v yielded no embeddings", x, p)
+			}
+			dfs(child, childEmb)
+		}
+	}
+	for _, s := range Seeds(graphs, nil) {
+		dfs(s.Pattern, s.Pos)
+	}
+	return visited
+}
+
+// bruteEnumerate lists the canonical keys of every T-connected temporal
+// subpattern (up to maxEdges edges) of every graph, by trying all edge
+// subsets.
+func bruteEnumerate(graphs []*tgraph.Graph, maxEdges int) map[string]bool {
+	out := map[string]bool{}
+	for _, g := range graphs {
+		n := g.NumEdges()
+		for mask := 1; mask < (1 << n); mask++ {
+			if popcount(mask) > maxEdges {
+				continue
+			}
+			if key, ok := subPatternKey(g, mask); ok {
+				out[key] = true
+			}
+		}
+	}
+	return out
+}
+
+func popcount(x int) int {
+	n := 0
+	for ; x != 0; x &= x - 1 {
+		n++
+	}
+	return n
+}
+
+// subPatternKey builds the pattern induced by the edge subset mask of g,
+// returning its canonical key if it is T-connected.
+func subPatternKey(g *tgraph.Graph, mask int) (string, bool) {
+	var nodes []tgraph.NodeID
+	nodeIdx := map[tgraph.NodeID]tgraph.NodeID{}
+	var edges []tgraph.PEdge
+	for pos := 0; pos < g.NumEdges(); pos++ {
+		if mask&(1<<pos) == 0 {
+			continue
+		}
+		e := g.EdgeAt(pos)
+		for _, v := range []tgraph.NodeID{e.Src, e.Dst} {
+			if _, ok := nodeIdx[v]; !ok {
+				nodeIdx[v] = tgraph.NodeID(len(nodes))
+				nodes = append(nodes, v)
+			}
+		}
+		edges = append(edges, tgraph.PEdge{Src: nodeIdx[e.Src], Dst: nodeIdx[e.Dst]})
+	}
+	labels := make([]tgraph.Label, len(nodes))
+	for i, v := range nodes {
+		labels[i] = g.LabelOf(v)
+	}
+	p, err := tgraph.NewPattern(labels, edges)
+	if err != nil {
+		panic(err)
+	}
+	if !p.IsTConnected() {
+		return "", false
+	}
+	return p.Key(), true
+}
+
+func randomGraph(rng *rand.Rand, nodes, edges, labelRange int) *tgraph.Graph {
+	var b tgraph.Builder
+	for i := 0; i < nodes; i++ {
+		b.AddNode(tgraph.Label(rng.Intn(labelRange)))
+	}
+	for i := 0; i < edges; i++ {
+		if err := b.AddEdge(tgraph.NodeID(rng.Intn(nodes)), tgraph.NodeID(rng.Intn(nodes)), int64(i)); err != nil {
+			panic(err)
+		}
+	}
+	g, err := b.Finalize()
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+func TestTheorem1CompletenessAndNoRepetition(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 30; trial++ {
+		graphs := []*tgraph.Graph{
+			randomGraph(rng, 3+rng.Intn(3), 4+rng.Intn(3), 2),
+			randomGraph(rng, 3+rng.Intn(3), 4+rng.Intn(3), 2),
+		}
+		maxEdges := 6
+		visited := enumerateDFS(t, graphs, maxEdges)
+		want := bruteEnumerate(graphs, maxEdges)
+		// No repetition: every pattern visited exactly once.
+		for key, count := range visited {
+			if count != 1 {
+				t.Fatalf("trial %d: pattern visited %d times", trial, count)
+			}
+			if !want[key] {
+				t.Fatalf("trial %d: DFS visited a pattern brute force did not find", trial)
+			}
+		}
+		// Completeness: every T-connected subpattern visited.
+		for key := range want {
+			if _, ok := visited[key]; !ok {
+				t.Fatalf("trial %d: brute-force pattern missed by DFS (|visited|=%d |want|=%d)",
+					trial, len(visited), len(want))
+			}
+		}
+	}
+}

@@ -1,0 +1,241 @@
+package gspan
+
+import (
+	"math/rand"
+	"testing"
+
+	"tgminer/internal/tgraph"
+)
+
+func tGraph(t *testing.T, labels []tgraph.Label, edges [][3]int64) *tgraph.Graph {
+	t.Helper()
+	var b tgraph.Builder
+	for _, l := range labels {
+		b.AddNode(l)
+	}
+	for _, e := range edges {
+		if err := b.AddEdge(tgraph.NodeID(e[0]), tgraph.NodeID(e[1]), e[2]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	g, err := b.Finalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestFromTemporalCollapsesMultiEdges(t *testing.T) {
+	g := tGraph(t, []tgraph.Label{0, 1}, [][3]int64{{0, 1, 1}, {0, 1, 2}, {1, 0, 3}})
+	ng := FromTemporal(g)
+	if ng.NumEdges() != 2 {
+		t.Errorf("collapsed edges = %d, want 2", ng.NumEdges())
+	}
+	if !ng.HasEdge(0, 1) || !ng.HasEdge(1, 0) {
+		t.Errorf("expected both directions present")
+	}
+}
+
+func TestIsomorphicPermuted(t *testing.T) {
+	p := &Pattern{Labels: []tgraph.Label{0, 1, 2}, E: []Edge{{Src: 0, Dst: 1}, {Src: 1, Dst: 2}}}
+	q := &Pattern{Labels: []tgraph.Label{2, 0, 1}, E: []Edge{{Src: 1, Dst: 2}, {Src: 2, Dst: 0}}}
+	if !p.Isomorphic(q) {
+		t.Errorf("permuted isomorphic patterns reported non-isomorphic")
+	}
+	if p.invariant() != q.invariant() {
+		t.Errorf("isomorphic patterns have different invariants")
+	}
+	r := &Pattern{Labels: []tgraph.Label{0, 1, 2}, E: []Edge{{Src: 1, Dst: 0}, {Src: 1, Dst: 2}}}
+	if p.Isomorphic(r) {
+		t.Errorf("non-isomorphic patterns reported isomorphic")
+	}
+}
+
+func TestIsomorphicDirectionMatters(t *testing.T) {
+	p := &Pattern{Labels: []tgraph.Label{0, 0}, E: []Edge{{Src: 0, Dst: 1}}}
+	q := &Pattern{Labels: []tgraph.Label{0, 0}, E: []Edge{{Src: 1, Dst: 0}}}
+	// Same-label endpoints: A->A is isomorphic to A->A regardless of node ids.
+	if !p.Isomorphic(q) {
+		t.Errorf("A->A patterns should be isomorphic")
+	}
+	p2 := &Pattern{Labels: []tgraph.Label{0, 1}, E: []Edge{{Src: 0, Dst: 1}}}
+	q2 := &Pattern{Labels: []tgraph.Label{0, 1}, E: []Edge{{Src: 1, Dst: 0}}}
+	if p2.Isomorphic(q2) {
+		t.Errorf("A->B vs B->A should differ")
+	}
+}
+
+func TestMineFindsDiscriminativeEdge(t *testing.T) {
+	// Positive graphs contain A->B->C; negatives only A->B.
+	var pos, neg []*Graph
+	for i := 0; i < 4; i++ {
+		pos = append(pos, FromTemporal(tGraph(t, []tgraph.Label{0, 1, 2}, [][3]int64{{0, 1, 1}, {1, 2, 2}})))
+		neg = append(neg, FromTemporal(tGraph(t, []tgraph.Label{0, 1}, [][3]int64{{0, 1, 1}})))
+	}
+	res, err := Mine(pos, neg, Options{MaxEdges: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Best) == 0 {
+		t.Fatal("no patterns")
+	}
+	for _, sp := range res.Best {
+		if sp.PosFreq != 1 || sp.NegFreq != 0 {
+			t.Errorf("best pattern freq = %v/%v, want 1/0", sp.PosFreq, sp.NegFreq)
+		}
+		// Every best pattern must include the discriminative B->C edge.
+		found := false
+		for _, e := range sp.Pattern.E {
+			if sp.Pattern.Labels[e.Src] == 1 && sp.Pattern.Labels[e.Dst] == 2 {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("best pattern lacks B->C: %+v", sp.Pattern)
+		}
+	}
+}
+
+func TestMineIgnoresTemporalOrder(t *testing.T) {
+	// Two positive graphs with the same topology but different edge order
+	// give identical non-temporal mining input: the miner cannot tell them
+	// apart (this is exactly why Ntemp loses precision in the paper).
+	g1 := tGraph(t, []tgraph.Label{0, 1, 2}, [][3]int64{{0, 1, 1}, {1, 2, 2}})
+	g2 := tGraph(t, []tgraph.Label{0, 1, 2}, [][3]int64{{1, 2, 1}, {0, 1, 2}})
+	pos := []*Graph{FromTemporal(g1)}
+	neg := []*Graph{FromTemporal(g2)}
+	res, err := Mine(pos, neg, Options{MaxEdges: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Best possible is freq 1/1 everywhere: nothing discriminative exists.
+	for _, sp := range res.Best {
+		if sp.NegFreq == 0 {
+			t.Errorf("found 'discriminative' pattern in temporally-distinct, topologically-equal graphs: %+v", sp.Pattern)
+		}
+	}
+}
+
+func TestMineEmptyPositive(t *testing.T) {
+	if _, err := Mine(nil, nil, Options{}); err == nil {
+		t.Errorf("expected error for empty positive set")
+	}
+}
+
+func TestMineDupSkipping(t *testing.T) {
+	// A triangle reachable from three seed edges: dedup must kick in.
+	g := FromTemporal(tGraph(t, []tgraph.Label{0, 0, 0},
+		[][3]int64{{0, 1, 1}, {1, 2, 2}, {2, 0, 3}}))
+	res, err := Mine([]*Graph{g}, nil, Options{MaxEdges: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.DupSkipped == 0 {
+		t.Errorf("expected duplicate candidates to be skipped, got 0")
+	}
+}
+
+// bruteCountConnected enumerates connected sub-patterns (up to maxE edges)
+// of the graph by edge subsets and counts isomorphism classes.
+func bruteCountConnected(g *Graph, maxE int) int {
+	edges := g.Edges()
+	n := len(edges)
+	var classes []*Pattern
+	for mask := 1; mask < (1 << n); mask++ {
+		cnt := 0
+		for x := mask; x != 0; x &= x - 1 {
+			cnt++
+		}
+		if cnt > maxE {
+			continue
+		}
+		p := inducedPattern(g, mask)
+		if p == nil || !connected(p) {
+			continue
+		}
+		dup := false
+		for _, q := range classes {
+			if p.Isomorphic(q) {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			classes = append(classes, p)
+		}
+	}
+	return len(classes)
+}
+
+func inducedPattern(g *Graph, mask int) *Pattern {
+	idx := map[tgraph.NodeID]tgraph.NodeID{}
+	var labels []tgraph.Label
+	var pedges []Edge
+	for pos, e := range g.Edges() {
+		if mask&(1<<pos) == 0 {
+			continue
+		}
+		for _, v := range []tgraph.NodeID{e.Src, e.Dst} {
+			if _, ok := idx[v]; !ok {
+				idx[v] = tgraph.NodeID(len(labels))
+				labels = append(labels, g.LabelOf(v))
+			}
+		}
+		pedges = append(pedges, Edge{Src: idx[e.Src], Dst: idx[e.Dst]})
+	}
+	return &Pattern{Labels: labels, E: pedges}
+}
+
+func connected(p *Pattern) bool {
+	if p.NumNodes() == 0 {
+		return false
+	}
+	adj := map[tgraph.NodeID][]tgraph.NodeID{}
+	for _, e := range p.E {
+		adj[e.Src] = append(adj[e.Src], e.Dst)
+		adj[e.Dst] = append(adj[e.Dst], e.Src)
+	}
+	seen := map[tgraph.NodeID]bool{0: true}
+	stack := []tgraph.NodeID{0}
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, w := range adj[v] {
+			if !seen[w] {
+				seen[w] = true
+				stack = append(stack, w)
+			}
+		}
+	}
+	return len(seen) == p.NumNodes()
+}
+
+func TestMineEnumerationCompleteness(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 10; trial++ {
+		var b tgraph.Builder
+		nNodes := 3 + rng.Intn(2)
+		for i := 0; i < nNodes; i++ {
+			b.AddNode(tgraph.Label(rng.Intn(2)))
+		}
+		nEdges := 3 + rng.Intn(3)
+		for i := 0; i < nEdges; i++ {
+			if err := b.AddEdge(tgraph.NodeID(rng.Intn(nNodes)), tgraph.NodeID(rng.Intn(nNodes)), int64(i)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		tg, err := b.Finalize()
+		if err != nil {
+			t.Fatal(err)
+		}
+		g := FromTemporal(tg)
+		res, err := Mine([]*Graph{g}, nil, Options{MaxEdges: 6})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := bruteCountConnected(g, 6)
+		if int(res.Explored) != want {
+			t.Errorf("trial %d: explored %d patterns, brute force says %d", trial, res.Explored, want)
+		}
+	}
+}

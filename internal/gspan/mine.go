@@ -1,0 +1,351 @@
+package gspan
+
+import (
+	"errors"
+	"sort"
+	"time"
+
+	"tgminer/internal/score"
+	"tgminer/internal/tgraph"
+)
+
+// Options configures non-temporal discriminative mining.
+type Options struct {
+	// Score is the discriminative score function (default score.LogRatio).
+	Score score.Func
+	// MaxEdges bounds pattern size (default 6).
+	MaxEdges int
+	// MaxResults caps retained tied best patterns (default 512).
+	MaxResults int
+	// MinSupport is the minimum positive frequency a pattern needs to be
+	// extended (default 0.5). Without the temporal-order constraints of
+	// TGMiner, the collapsed pattern space of large graphs is intractable
+	// to search exhaustively; the paper's Ntemp baseline relies on GAIA's
+	// approximate evolutionary search [11], for which a support floor is
+	// the standard stand-in. Set to a negative value to disable.
+	MinSupport float64
+}
+
+func (o Options) normalize() Options {
+	if o.Score == nil {
+		o.Score = score.LogRatio{}
+	}
+	if o.MaxEdges <= 0 {
+		o.MaxEdges = 6
+	}
+	if o.MaxResults <= 0 {
+		o.MaxResults = 512
+	}
+	if o.MinSupport == 0 {
+		o.MinSupport = 0.5
+	}
+	return o
+}
+
+// ScoredPattern is a discovered non-temporal pattern with its statistics.
+type ScoredPattern struct {
+	Pattern *Pattern
+	Score   float64
+	PosFreq float64
+	NegFreq float64
+}
+
+// Result is the outcome of a mining run.
+type Result struct {
+	Best       []ScoredPattern
+	BestScore  float64
+	TieCount   int
+	Explored   int64
+	DupSkipped int64
+	Elapsed    time.Duration
+}
+
+// ErrNoPositiveGraphs is returned when the positive set is empty.
+var ErrNoPositiveGraphs = errors.New("gspan: positive graph set is empty")
+
+// embedding is an injective node mapping from pattern nodes to graph nodes.
+// Because graphs are simple, the node mapping determines the edge mapping.
+type embedding struct {
+	graphID int32
+	nodes   []tgraph.NodeID
+}
+
+// Mine searches for the connected non-temporal patterns with maximum
+// discriminative score, exploring by one-edge extensions with upper-bound
+// pruning (F(x, 0) < F*).
+func Mine(pos, neg []*Graph, opts Options) (*Result, error) {
+	if len(pos) == 0 {
+		return nil, ErrNoPositiveGraphs
+	}
+	opts = opts.normalize()
+	start := time.Now()
+	s := &miner{pos: pos, neg: neg, opts: opts, fstar: -1e308, visited: map[string][]*Pattern{}}
+	seeds := s.seeds()
+	// High-support seeds first: primes F* so the upper-bound condition can
+	// prune low-support branches immediately (see internal/miner for the
+	// same strategy).
+	sort.SliceStable(seeds, func(i, j int) bool {
+		return support(seeds[i].pos) > support(seeds[j].pos)
+	})
+	for _, seed := range seeds {
+		s.dfs(seed.pat, seed.pos, seed.neg)
+	}
+	return &Result{
+		Best:       s.best,
+		BestScore:  s.fstar,
+		TieCount:   s.tieCount,
+		Explored:   s.explored,
+		DupSkipped: s.dups,
+		Elapsed:    time.Since(start),
+	}, nil
+}
+
+type miner struct {
+	pos, neg []*Graph
+	opts     Options
+	fstar    float64
+	best     []ScoredPattern
+	tieCount int
+	visited  map[string][]*Pattern
+	explored int64
+	dups     int64
+}
+
+type seedEntry struct {
+	pat      *Pattern
+	pos, neg []embedding
+}
+
+func (m *miner) seeds() []seedEntry {
+	type key struct {
+		src, dst tgraph.Label
+		loop     bool
+	}
+	posEmb := map[key][]embedding{}
+	collect := func(graphs []*Graph, sink map[key][]embedding, requirePos bool) {
+		for gi, g := range graphs {
+			for _, e := range g.Edges() {
+				k := key{src: g.LabelOf(e.Src), dst: g.LabelOf(e.Dst), loop: e.Src == e.Dst}
+				if requirePos {
+					if _, ok := posEmb[k]; !ok {
+						continue
+					}
+				}
+				var nodes []tgraph.NodeID
+				if k.loop {
+					nodes = []tgraph.NodeID{e.Src}
+				} else {
+					nodes = []tgraph.NodeID{e.Src, e.Dst}
+				}
+				sink[k] = append(sink[k], embedding{graphID: int32(gi), nodes: nodes})
+			}
+		}
+	}
+	collect(m.pos, posEmb, false)
+	negEmb := map[key][]embedding{}
+	collect(m.neg, negEmb, true)
+	keys := make([]key, 0, len(posEmb))
+	for k := range posEmb {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		a, b := keys[i], keys[j]
+		if a.src != b.src {
+			return a.src < b.src
+		}
+		if a.dst != b.dst {
+			return a.dst < b.dst
+		}
+		return !a.loop && b.loop
+	})
+	out := make([]seedEntry, 0, len(keys))
+	for _, k := range keys {
+		var pat *Pattern
+		if k.loop {
+			pat = &Pattern{Labels: []tgraph.Label{k.src}, E: []Edge{{Src: 0, Dst: 0}}}
+		} else {
+			pat = &Pattern{Labels: []tgraph.Label{k.src, k.dst}, E: []Edge{{Src: 0, Dst: 1}}}
+		}
+		out = append(out, seedEntry{pat: pat, pos: posEmb[k], neg: negEmb[k]})
+	}
+	return out
+}
+
+func support(embs []embedding) int {
+	n := 0
+	last := int32(-1)
+	for _, e := range embs {
+		if e.graphID != last {
+			n++
+			last = e.graphID
+		}
+	}
+	return n
+}
+
+// markVisited records the pattern; it reports false if an isomorphic pattern
+// was already explored.
+func (m *miner) markVisited(p *Pattern) bool {
+	inv := p.invariant()
+	for _, q := range m.visited[inv] {
+		if p.Isomorphic(q) {
+			return false
+		}
+	}
+	m.visited[inv] = append(m.visited[inv], p)
+	return true
+}
+
+func (m *miner) dfs(p *Pattern, posE, negE []embedding) {
+	if !m.markVisited(p) {
+		m.dups++
+		return
+	}
+	m.explored++
+	x := float64(support(posE)) / float64(len(m.pos))
+	var y float64
+	if len(m.neg) > 0 {
+		y = float64(support(negE)) / float64(len(m.neg))
+	}
+	sc := m.opts.Score.Score(x, y)
+	switch {
+	case sc > m.fstar:
+		m.fstar = sc
+		m.best = m.best[:0]
+		m.best = append(m.best, ScoredPattern{Pattern: p, Score: sc, PosFreq: x, NegFreq: y})
+		m.tieCount = 1
+	case sc == m.fstar:
+		m.tieCount++
+		if len(m.best) < m.opts.MaxResults {
+			m.best = append(m.best, ScoredPattern{Pattern: p, Score: sc, PosFreq: x, NegFreq: y})
+		}
+	}
+	if p.NumEdges() >= m.opts.MaxEdges {
+		return
+	}
+	if x < m.opts.MinSupport {
+		return
+	}
+	if m.opts.Score.UpperBound(x) < m.fstar {
+		return
+	}
+	for _, xt := range m.extensions(p, posE) {
+		child := xt.apply(p)
+		childPos := m.extend(xt, m.pos, posE)
+		childNeg := m.extend(xt, m.neg, negE)
+		m.dfs(child, childPos, childNeg)
+	}
+}
+
+// ext is a one-edge extension of a non-temporal pattern.
+type ext struct {
+	srcNode  tgraph.NodeID // existing pattern node, or -1
+	dstNode  tgraph.NodeID // existing pattern node, or -1
+	newLabel tgraph.Label  // label of the new node when one side is -1
+}
+
+func (x ext) apply(p *Pattern) *Pattern {
+	labels := append([]tgraph.Label(nil), p.Labels...)
+	edges := append([]Edge(nil), p.E...)
+	switch {
+	case x.srcNode >= 0 && x.dstNode >= 0:
+		edges = append(edges, Edge{Src: x.srcNode, Dst: x.dstNode})
+	case x.srcNode >= 0:
+		labels = append(labels, x.newLabel)
+		edges = append(edges, Edge{Src: x.srcNode, Dst: tgraph.NodeID(len(labels) - 1)})
+	default:
+		labels = append(labels, x.newLabel)
+		edges = append(edges, Edge{Src: tgraph.NodeID(len(labels) - 1), Dst: x.dstNode})
+	}
+	return &Pattern{Labels: labels, E: edges}
+}
+
+// extensions enumerates distinct one-edge extensions witnessed by positive
+// embeddings, in deterministic order.
+func (m *miner) extensions(p *Pattern, posE []embedding) []ext {
+	seen := map[ext]bool{}
+	for _, emb := range posE {
+		g := m.pos[emb.graphID]
+		rev := map[tgraph.NodeID]tgraph.NodeID{}
+		for pv, gv := range emb.nodes {
+			rev[gv] = tgraph.NodeID(pv)
+		}
+		for pv, gv := range emb.nodes {
+			for _, w := range g.Out(gv) {
+				if pw, ok := rev[w]; ok {
+					if !p.HasEdge(tgraph.NodeID(pv), pw) {
+						seen[ext{srcNode: tgraph.NodeID(pv), dstNode: pw, newLabel: -1}] = true
+					}
+				} else {
+					seen[ext{srcNode: tgraph.NodeID(pv), dstNode: -1, newLabel: g.LabelOf(w)}] = true
+				}
+			}
+			for _, w := range g.In(gv) {
+				if _, ok := rev[w]; !ok {
+					seen[ext{srcNode: -1, dstNode: tgraph.NodeID(pv), newLabel: g.LabelOf(w)}] = true
+				}
+			}
+		}
+	}
+	out := make([]ext, 0, len(seen))
+	for x := range seen {
+		out = append(out, x)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.srcNode != b.srcNode {
+			return a.srcNode < b.srcNode
+		}
+		if a.dstNode != b.dstNode {
+			return a.dstNode < b.dstNode
+		}
+		return a.newLabel < b.newLabel
+	})
+	return out
+}
+
+// extend filters/extends embeddings for the child pattern produced by x.
+func (m *miner) extend(x ext, graphs []*Graph, embs []embedding) []embedding {
+	var out []embedding
+	for _, emb := range embs {
+		g := graphs[emb.graphID]
+		switch {
+		case x.srcNode >= 0 && x.dstNode >= 0:
+			if g.HasEdge(emb.nodes[x.srcNode], emb.nodes[x.dstNode]) {
+				out = append(out, emb)
+			}
+		case x.srcNode >= 0:
+			gv := emb.nodes[x.srcNode]
+			for _, w := range g.Out(gv) {
+				if g.LabelOf(w) != x.newLabel || containsNode(emb.nodes, w) {
+					continue
+				}
+				nodes := make([]tgraph.NodeID, len(emb.nodes)+1)
+				copy(nodes, emb.nodes)
+				nodes[len(emb.nodes)] = w
+				out = append(out, embedding{graphID: emb.graphID, nodes: nodes})
+			}
+		default:
+			gv := emb.nodes[x.dstNode]
+			for _, w := range g.In(gv) {
+				if g.LabelOf(w) != x.newLabel || containsNode(emb.nodes, w) {
+					continue
+				}
+				nodes := make([]tgraph.NodeID, len(emb.nodes)+1)
+				copy(nodes, emb.nodes)
+				nodes[len(emb.nodes)] = w
+				out = append(out, embedding{graphID: emb.graphID, nodes: nodes})
+			}
+		}
+	}
+	return out
+}
+
+func containsNode(nodes []tgraph.NodeID, v tgraph.NodeID) bool {
+	for _, n := range nodes {
+		if n == v {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,501 @@
+// Package miner implements TGMiner, the discriminative temporal graph
+// pattern miner of Zong et al. (VLDB 2015), plus the five efficiency
+// baselines the paper evaluates against (Section 6.1).
+//
+// Given a positive and a negative set of temporal graphs, Mine performs a
+// depth-first search over the T-connected pattern space using consecutive
+// growth (complete and repetition-free by Theorem 1), maintaining embedding
+// lists incrementally. Search branches are cut by
+//
+//   - the naive upper-bound condition F(freq_p(g), 0) < F* (Section 4.1),
+//   - subgraph pruning (Lemma 4), and
+//   - supergraph pruning (Proposition 2),
+//
+// with residual-graph-set equivalence tested either in O(1) through the
+// integer compression of Lemma 6 or by explicit linear scan (the LinearScan
+// baseline), and temporal subgraph tests delegated to a pluggable
+// SubgraphTester (sequence tests, modified VF2, or graph-index join).
+package miner
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"tgminer/internal/gindex"
+	"tgminer/internal/grow"
+	"tgminer/internal/residual"
+	"tgminer/internal/score"
+	"tgminer/internal/seqcode"
+	"tgminer/internal/tgraph"
+	"tgminer/internal/vf2"
+)
+
+// SubgraphTester decides temporal subgraph containment between patterns.
+// Implementations: seqcode.Tester (TGMiner default), vf2.Tester (PruneVF2),
+// gindex.Tester (PruneGI).
+type SubgraphTester interface {
+	// Name identifies the tester in stats output.
+	Name() string
+	// Test reports whether g1 is a temporal subgraph of g2 (g1 ⊆t g2),
+	// returning the node mapping from g1 nodes to g2 nodes when it is.
+	Test(g1, g2 *tgraph.Pattern) ([]tgraph.NodeID, bool)
+}
+
+// Options configures a mining run. Zero values are completed by
+// normalize(); use the named constructors (TGMinerOptions etc.) for the
+// paper's algorithm variants.
+type Options struct {
+	// Score is the discriminative score function F (default score.LogRatio).
+	Score score.Func
+	// MaxEdges bounds the size of explored patterns (default 6, the paper's
+	// default behavior-query size; Figure 14 sweeps it up to 45).
+	MaxEdges int
+	// SubgraphPruning enables Lemma 4 pruning.
+	SubgraphPruning bool
+	// SupergraphPruning enables Proposition 2 pruning.
+	SupergraphPruning bool
+	// Tester performs temporal subgraph tests (default seqcode.Tester).
+	Tester SubgraphTester
+	// ResidualLinear switches residual-set equivalence from the Lemma 6
+	// integer comparison to an explicit linear scan (LinearScan baseline).
+	ResidualLinear bool
+	// MaxResults caps how many tied best patterns are retained (default
+	// 512). The count of ties seen is always exact in Result.TieCount.
+	MaxResults int
+	// MaxRegistry caps the number of completed branches retained for
+	// pruning lookups; exceeding it only forgoes pruning opportunities
+	// (default 1<<20).
+	MaxRegistry int
+}
+
+// TGMinerOptions is the full TGMiner configuration: both prunings, sequence
+// tests, integer residual compression.
+func TGMinerOptions() Options {
+	return Options{SubgraphPruning: true, SupergraphPruning: true}
+}
+
+// SubPruneOptions enables only subgraph pruning (paper baseline 1).
+func SubPruneOptions() Options {
+	return Options{SubgraphPruning: true}
+}
+
+// SupPruneOptions enables only supergraph pruning (paper baseline 2).
+func SupPruneOptions() Options {
+	return Options{SupergraphPruning: true}
+}
+
+// PruneGIOptions uses all pruning but graph-index-join subgraph tests
+// (paper baseline 3).
+func PruneGIOptions() Options {
+	return Options{SubgraphPruning: true, SupergraphPruning: true, Tester: &gindex.Tester{}}
+}
+
+// PruneVF2Options uses all pruning but modified-VF2 subgraph tests (paper
+// baseline 4).
+func PruneVF2Options() Options {
+	return Options{SubgraphPruning: true, SupergraphPruning: true, Tester: &vf2.Tester{}}
+}
+
+// LinearScanOptions uses all pruning but linear-scan residual equivalence
+// tests (paper baseline 5).
+func LinearScanOptions() Options {
+	return Options{SubgraphPruning: true, SupergraphPruning: true, ResidualLinear: true}
+}
+
+// ExhaustiveOptions applies only the naive upper-bound pruning of
+// Section 4.1 (the unnamed exhaustive strawman the paper motivates against).
+func ExhaustiveOptions() Options {
+	return Options{}
+}
+
+func (o Options) normalize() Options {
+	if o.Score == nil {
+		o.Score = score.LogRatio{}
+	}
+	if o.MaxEdges <= 0 {
+		o.MaxEdges = 6
+	}
+	if o.Tester == nil {
+		o.Tester = &seqcode.Tester{}
+	}
+	if o.MaxResults <= 0 {
+		o.MaxResults = 512
+	}
+	if o.MaxRegistry <= 0 {
+		o.MaxRegistry = 1 << 20
+	}
+	return o
+}
+
+// ScoredPattern is a discovered pattern with its frequencies and score.
+type ScoredPattern struct {
+	Pattern *tgraph.Pattern
+	Score   float64
+	PosFreq float64
+	NegFreq float64
+}
+
+// Stats aggregates search counters; Table 3 of the paper reports the
+// trigger probabilities SubgraphPrunes/PatternsExplored and
+// SupergraphPrunes/PatternsExplored.
+type Stats struct {
+	PatternsExplored int64
+	UpperBoundPrunes int64
+	SubgraphTests    int64
+	ResidualEqTests  int64
+	SubgraphPrunes   int64
+	SupergraphPrunes int64
+	RegistrySize     int64
+	MaxEdgesSeen     int
+}
+
+// SubgraphTriggerRate returns the empirical probability that subgraph
+// pruning fires while processing a pattern.
+func (s Stats) SubgraphTriggerRate() float64 {
+	if s.PatternsExplored == 0 {
+		return 0
+	}
+	return float64(s.SubgraphPrunes) / float64(s.PatternsExplored)
+}
+
+// SupergraphTriggerRate returns the empirical probability that supergraph
+// pruning fires while processing a pattern.
+func (s Stats) SupergraphTriggerRate() float64 {
+	if s.PatternsExplored == 0 {
+		return 0
+	}
+	return float64(s.SupergraphPrunes) / float64(s.PatternsExplored)
+}
+
+// Result is the outcome of a mining run.
+type Result struct {
+	// Best holds the patterns achieving BestScore (up to MaxResults).
+	Best []ScoredPattern
+	// BestScore is F*.
+	BestScore float64
+	// TieCount is the exact number of patterns that achieved BestScore,
+	// even when Best was capped.
+	TieCount int
+	Stats    Stats
+	Elapsed  time.Duration
+}
+
+// ErrNoPositiveGraphs is returned when the positive set is empty.
+var ErrNoPositiveGraphs = errors.New("miner: positive graph set is empty")
+
+// Mine runs the discriminative pattern search over pos and neg.
+func Mine(pos, neg []*tgraph.Graph, opts Options) (*Result, error) {
+	if len(pos) == 0 {
+		return nil, ErrNoPositiveGraphs
+	}
+	opts = opts.normalize()
+	start := time.Now()
+	s := &search{
+		pos:   pos,
+		neg:   neg,
+		opts:  opts,
+		fstar: inf(),
+		reg:   newRegistry(opts.ResidualLinear),
+	}
+	seeds := grow.Seeds(pos, neg)
+	// Explore high-positive-support, low-negative-support seeds first. F*
+	// reaches its ceiling as soon as a maximally frequent, zero-negative
+	// pattern is found, after which the upper-bound condition kills every
+	// lower-support branch on sight and the subgraph/supergraph conditions
+	// can cut redundant frequent-but-undiscriminative branches — the "find
+	// discriminative patterns early to prune early" strategy the paper
+	// cites from leap search [30]. Ordering only affects speed: the
+	// searched-or-pruned set of maximum-score patterns is unchanged.
+	sort.SliceStable(seeds, func(i, j int) bool {
+		pi, pj := seeds[i].Pos.SupportCount(), seeds[j].Pos.SupportCount()
+		if pi != pj {
+			return pi > pj
+		}
+		return seeds[i].Neg.SupportCount() < seeds[j].Neg.SupportCount()
+	})
+	for _, seed := range seeds {
+		s.dfs(seed.Pattern, seed.Pos, seed.Neg)
+	}
+	res := &Result{
+		Best:      s.best,
+		BestScore: s.fstar,
+		TieCount:  s.tieCount,
+		Stats:     s.stats,
+		Elapsed:   time.Since(start),
+	}
+	res.Stats.RegistrySize = int64(len(s.reg.entries))
+	return res, nil
+}
+
+func inf() float64 { return -1e308 }
+
+type search struct {
+	pos, neg []*tgraph.Graph
+	opts     Options
+	fstar    float64
+	best     []ScoredPattern
+	tieCount int
+	reg      *registry
+	stats    Stats
+}
+
+// dfs explores the branch rooted at p, returning the best score seen in the
+// branch (p included).
+func (s *search) dfs(p *tgraph.Pattern, posE, negE grow.List) float64 {
+	s.stats.PatternsExplored++
+	if n := p.NumEdges(); n > s.stats.MaxEdgesSeen {
+		s.stats.MaxEdgesSeen = n
+	}
+	x := posE.Frequency(len(s.pos))
+	y := negE.Frequency(len(s.neg))
+	sc := s.opts.Score.Score(x, y)
+	s.record(p, sc, x, y)
+	branchBest := sc
+
+	resPos := posE.ResidualSet()
+	iPos := resPos.I(s.pos)
+
+	// Negative residual sets are only needed by supergraph pruning and its
+	// registration; computed at most once per pattern, and only when a
+	// candidate actually requires comparison.
+	var resNeg residual.Set
+	var iNeg int64
+	haveNeg := false
+	negSet := func() (residual.Set, int64) {
+		if !haveNeg {
+			resNeg = negE.ResidualSet()
+			iNeg = resNeg.I(s.neg)
+			haveNeg = true
+		}
+		return resNeg, iNeg
+	}
+
+	prune := false
+	switch {
+	case p.NumEdges() >= s.opts.MaxEdges:
+		prune = true
+	case s.opts.Score.UpperBound(x) < s.fstar:
+		s.stats.UpperBoundPrunes++
+		prune = true
+	default:
+		if s.opts.SubgraphPruning && s.subgraphPrune(p, resPos, iPos) {
+			s.stats.SubgraphPrunes++
+			prune = true
+		}
+		if !prune && s.opts.SupergraphPruning {
+			if s.supergraphPrune(p, resPos, iPos, negSet) {
+				s.stats.SupergraphPrunes++
+				prune = true
+			}
+		}
+	}
+
+	if !prune {
+		for _, ext := range grow.Extensions(p, s.pos, posE) {
+			child := ext.Apply(p)
+			childPos := grow.Extend(ext, s.pos, posE)
+			childNeg := grow.Extend(ext, s.neg, negE)
+			if b := s.dfs(child, childPos, childNeg); b > branchBest {
+				branchBest = b
+			}
+		}
+	}
+
+	s.register(p, resPos, iPos, negSet, branchBest)
+	return branchBest
+}
+
+// record updates F* and the tied best set.
+func (s *search) record(p *tgraph.Pattern, sc, x, y float64) {
+	switch {
+	case sc > s.fstar:
+		s.fstar = sc
+		s.best = s.best[:0]
+		s.best = append(s.best, ScoredPattern{Pattern: p, Score: sc, PosFreq: x, NegFreq: y})
+		s.tieCount = 1
+	case sc == s.fstar:
+		s.tieCount++
+		if len(s.best) < s.opts.MaxResults {
+			s.best = append(s.best, ScoredPattern{Pattern: p, Score: sc, PosFreq: x, NegFreq: y})
+		}
+	}
+}
+
+// subgraphPrune implements Lemma 4: prune p when some earlier-discovered
+// pattern g1 with a fully explored, sub-F* branch (a) is a temporal
+// supergraph of p, (b) has the same positive residual graph set, and (c)
+// has no extra node whose label appears in p's positive residual label set.
+func (s *search) subgraphPrune(p *tgraph.Pattern, resPos residual.Set, iPos int64) bool {
+	for _, cand := range s.reg.candidates(iPos) {
+		if cand.branchBest >= s.fstar {
+			continue
+		}
+		if cand.edges < p.NumEdges() || cand.nodes < p.NumNodes() {
+			continue
+		}
+		s.stats.ResidualEqTests++
+		if s.opts.ResidualLinear {
+			if !residual.EqualLinear(resPos, cand.resPos, s.pos) {
+				continue
+			}
+		}
+		// In integer mode, I(Gp,·) equality holds by bucket construction;
+		// by Lemma 6 that is residual-set equality once the subgraph
+		// relation (verified next) holds.
+		s.stats.SubgraphTests++
+		mapping, ok := s.opts.Tester.Test(p, cand.pat)
+		if !ok {
+			continue
+		}
+		if extra := extraLabels(cand.pat, mapping); len(extra) > 0 {
+			if labelsTouchResiduals(resPos, extra, s.pos) {
+				continue
+			}
+		}
+		return true
+	}
+	return false
+}
+
+// supergraphPrune implements Proposition 2: prune p when some
+// earlier-discovered pattern g1 with a sub-F* branch is a temporal subgraph
+// of p with identical positive and negative residual sets and the same node
+// count. negSet lazily supplies p's negative residual set.
+func (s *search) supergraphPrune(p *tgraph.Pattern, resPos residual.Set, iPos int64, negSet func() (residual.Set, int64)) bool {
+	for _, cand := range s.reg.candidates(iPos) {
+		if cand.branchBest >= s.fstar {
+			continue
+		}
+		if cand.edges > p.NumEdges() || cand.nodes != p.NumNodes() {
+			continue
+		}
+		resNeg, iNeg := negSet()
+		s.stats.ResidualEqTests += 2
+		if s.opts.ResidualLinear {
+			if !residual.EqualLinear(resPos, cand.resPos, s.pos) {
+				continue
+			}
+			if !residual.EqualLinear(resNeg, cand.resNeg, s.neg) {
+				continue
+			}
+		} else if cand.iNeg != iNeg {
+			continue
+		}
+		s.stats.SubgraphTests++
+		if _, ok := s.opts.Tester.Test(cand.pat, p); !ok {
+			continue
+		}
+		return true
+	}
+	return false
+}
+
+// extraLabels returns the labels of g1 nodes that are not images of the
+// mapped subpattern's nodes (the set L_{g1\g2} of Lemma 4).
+func extraLabels(g1 *tgraph.Pattern, mapping []tgraph.NodeID) []tgraph.Label {
+	image := make([]bool, g1.NumNodes())
+	for _, v := range mapping {
+		if v >= 0 {
+			image[v] = true
+		}
+	}
+	var out []tgraph.Label
+	for v := 0; v < g1.NumNodes(); v++ {
+		if !image[v] {
+			out = append(out, g1.LabelOf(tgraph.NodeID(v)))
+		}
+	}
+	return out
+}
+
+// labelsTouchResiduals reports whether any of the labels occurs in any
+// residual graph of the set (i.e., L(Gp, g2) ∩ labels ≠ ∅).
+func labelsTouchResiduals(set residual.Set, labels []tgraph.Label, graphs []*tgraph.Graph) bool {
+	for _, ref := range set {
+		if residual.LabelsIntersectSuffix(ref, labels, graphs) {
+			return true
+		}
+	}
+	return false
+}
+
+// register adds a completed branch to the pruning registry.
+func (s *search) register(p *tgraph.Pattern, resPos residual.Set, iPos int64, negSet func() (residual.Set, int64), branchBest float64) {
+	if !s.opts.SubgraphPruning && !s.opts.SupergraphPruning {
+		return
+	}
+	if len(s.reg.entries) >= s.opts.MaxRegistry {
+		return
+	}
+	e := &entry{
+		pat:        p,
+		nodes:      p.NumNodes(),
+		edges:      p.NumEdges(),
+		iPos:       iPos,
+		branchBest: branchBest,
+	}
+	if s.opts.SupergraphPruning {
+		resNeg, iNeg := negSet()
+		e.iNeg = iNeg
+		if s.opts.ResidualLinear {
+			e.resNeg = resNeg
+		}
+	}
+	if s.opts.ResidualLinear {
+		e.resPos = resPos
+	}
+	s.reg.add(e)
+}
+
+// entry is one completed branch in the pruning registry.
+type entry struct {
+	pat        *tgraph.Pattern
+	nodes      int
+	edges      int
+	iPos       int64
+	iNeg       int64
+	branchBest float64
+	resPos     residual.Set // only in linear mode
+	resNeg     residual.Set // only in linear mode
+}
+
+// registry indexes completed branches. In integer mode entries are bucketed
+// by I(Gp, g), so candidate discovery touches only residual-set-equal
+// patterns; in linear mode every candidate is compared by scanning, which is
+// the cost the LinearScan baseline demonstrates.
+type registry struct {
+	linear  bool
+	entries []*entry
+	byIPos  map[int64][]*entry
+}
+
+func newRegistry(linear bool) *registry {
+	r := &registry{linear: linear}
+	if !linear {
+		r.byIPos = make(map[int64][]*entry)
+	}
+	return r
+}
+
+func (r *registry) add(e *entry) {
+	r.entries = append(r.entries, e)
+	if !r.linear {
+		r.byIPos[e.iPos] = append(r.byIPos[e.iPos], e)
+	}
+}
+
+func (r *registry) candidates(iPos int64) []*entry {
+	if r.linear {
+		return r.entries
+	}
+	return r.byIPos[iPos]
+}
+
+// String renders stats compactly for logs.
+func (s Stats) String() string {
+	return fmt.Sprintf("patterns=%d ubPrunes=%d subPrunes=%d supPrunes=%d subTests=%d resEqTests=%d maxEdges=%d",
+		s.PatternsExplored, s.UpperBoundPrunes, s.SubgraphPrunes, s.SupergraphPrunes,
+		s.SubgraphTests, s.ResidualEqTests, s.MaxEdgesSeen)
+}

@@ -1,0 +1,327 @@
+package miner
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"tgminer/internal/tgraph"
+	"tgminer/internal/vf2"
+)
+
+// implantGraph builds a graph that interleaves a fixed "footprint" edge
+// sequence (in order) with random noise edges.
+func implantGraph(rng *rand.Rand, footprint [][2]tgraph.Label, noiseEdges, noiseLabels int) *tgraph.Graph {
+	var b tgraph.Builder
+	nodeOf := map[tgraph.Label]tgraph.NodeID{}
+	getNode := func(l tgraph.Label) tgraph.NodeID {
+		if v, ok := nodeOf[l]; ok {
+			return v
+		}
+		v := b.AddNode(l)
+		nodeOf[l] = v
+		return v
+	}
+	type ev struct {
+		src, dst tgraph.Label
+		foot     bool
+	}
+	var evs []ev
+	for _, e := range footprint {
+		evs = append(evs, ev{src: e[0], dst: e[1], foot: true})
+	}
+	for i := 0; i < noiseEdges; i++ {
+		evs = append(evs, ev{
+			src: tgraph.Label(100 + rng.Intn(noiseLabels)),
+			dst: tgraph.Label(100 + rng.Intn(noiseLabels)),
+		})
+	}
+	// Random interleave preserving footprint order.
+	rng.Shuffle(len(evs), func(i, j int) { evs[i], evs[j] = evs[j], evs[i] })
+	// Re-stabilize footprint order: extract foot events and reinsert in order.
+	var footIdx []int
+	for i, e := range evs {
+		if e.foot {
+			footIdx = append(footIdx, i)
+		}
+	}
+	fi := 0
+	for _, idx := range footIdx {
+		evs[idx] = ev{src: footprint[fi][0], dst: footprint[fi][1], foot: true}
+		fi++
+	}
+	t := int64(0)
+	for _, e := range evs {
+		if err := b.AddEdge(getNode(e.src), getNode(e.dst), t); err != nil {
+			panic(err)
+		}
+		t++
+	}
+	g, err := b.Finalize()
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+func noiseGraph(rng *rand.Rand, edges, labels int) *tgraph.Graph {
+	return implantGraph(rng, nil, edges, labels)
+}
+
+func testSets(seed int64, nPos, nNeg int) ([]*tgraph.Graph, []*tgraph.Graph) {
+	rng := rand.New(rand.NewSource(seed))
+	footprint := [][2]tgraph.Label{{1, 2}, {2, 3}, {3, 4}}
+	var pos, neg []*tgraph.Graph
+	for i := 0; i < nPos; i++ {
+		pos = append(pos, implantGraph(rng, footprint, 4, 3))
+	}
+	for i := 0; i < nNeg; i++ {
+		neg = append(neg, noiseGraph(rng, 6, 3))
+	}
+	return pos, neg
+}
+
+func TestMineFindsImplantedFootprint(t *testing.T) {
+	pos, neg := testSets(1, 8, 8)
+	res, err := Mine(pos, neg, TGMinerOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Best) == 0 {
+		t.Fatal("no patterns found")
+	}
+	for _, sp := range res.Best {
+		if sp.PosFreq != 1.0 {
+			t.Errorf("best pattern pos freq = %v, want 1.0", sp.PosFreq)
+		}
+		if sp.NegFreq != 0.0 {
+			t.Errorf("best pattern neg freq = %v, want 0.0", sp.NegFreq)
+		}
+	}
+	// The footprint chain 1->2->3->4 (or a subchain) must be among the best.
+	found := false
+	for _, sp := range res.Best {
+		if sp.Pattern.NumEdges() >= 2 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("no multi-edge discriminative pattern found among %d best", len(res.Best))
+	}
+}
+
+func TestMineEmptyPositiveErrors(t *testing.T) {
+	_, neg := testSets(2, 2, 2)
+	if _, err := Mine(nil, neg, TGMinerOptions()); err == nil {
+		t.Errorf("Mine with empty positive set succeeded")
+	}
+}
+
+func TestMineEmptyNegativeOK(t *testing.T) {
+	pos, _ := testSets(3, 3, 0)
+	res, err := Mine(pos, nil, TGMinerOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Best) == 0 {
+		t.Errorf("no patterns with empty negative set")
+	}
+}
+
+func TestMineRespectsMaxEdges(t *testing.T) {
+	pos, neg := testSets(4, 5, 5)
+	opts := TGMinerOptions()
+	opts.MaxEdges = 2
+	res, err := Mine(pos, neg, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.MaxEdgesSeen > 2 {
+		t.Errorf("explored pattern with %d edges, max 2", res.Stats.MaxEdgesSeen)
+	}
+	for _, sp := range res.Best {
+		if sp.Pattern.NumEdges() > 2 {
+			t.Errorf("best pattern has %d edges", sp.Pattern.NumEdges())
+		}
+	}
+}
+
+func bestKeys(res *Result) []string {
+	keys := make([]string, 0, len(res.Best))
+	for _, sp := range res.Best {
+		keys = append(keys, sp.Pattern.Key())
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func allConfigs() map[string]Options {
+	return map[string]Options{
+		"TGMiner":    TGMinerOptions(),
+		"SubPrune":   SubPruneOptions(),
+		"SupPrune":   SupPruneOptions(),
+		"PruneGI":    PruneGIOptions(),
+		"PruneVF2":   PruneVF2Options(),
+		"LinearScan": LinearScanOptions(),
+		"Exhaustive": ExhaustiveOptions(),
+	}
+}
+
+// TestAllConfigsAgree validates Theorem 2 empirically: every algorithm
+// variant must return exactly the same best score and the same set of
+// maximum-score patterns.
+func TestAllConfigsAgree(t *testing.T) {
+	for seed := int64(10); seed < 18; seed++ {
+		pos, neg := testSets(seed, 6, 6)
+		var refScore float64
+		var refKeys []string
+		var refTies int
+		first := true
+		for name, opts := range allConfigs() {
+			opts.MaxEdges = 4
+			res, err := Mine(pos, neg, opts)
+			if err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+			keys := bestKeys(res)
+			if first {
+				refScore, refKeys, refTies = res.BestScore, keys, res.TieCount
+				first = false
+				continue
+			}
+			if res.BestScore != refScore {
+				t.Errorf("seed %d: %s best score %v != ref %v", seed, name, res.BestScore, refScore)
+			}
+			if res.TieCount != refTies {
+				t.Errorf("seed %d: %s tie count %d != ref %d", seed, name, res.TieCount, refTies)
+			}
+			if len(keys) != len(refKeys) {
+				t.Errorf("seed %d: %s found %d best patterns, ref %d", seed, name, len(keys), len(refKeys))
+				continue
+			}
+			for i := range keys {
+				if keys[i] != refKeys[i] {
+					t.Errorf("seed %d: %s best pattern set differs from ref", seed, name)
+					break
+				}
+			}
+		}
+	}
+}
+
+// TestBestFrequenciesIndependentlyVerified recomputes each best pattern's
+// frequencies by running VF2 subgraph tests from scratch.
+func TestBestFrequenciesIndependentlyVerified(t *testing.T) {
+	pos, neg := testSets(42, 6, 6)
+	opts := TGMinerOptions()
+	opts.MaxEdges = 3
+	res, err := Mine(pos, neg, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	freq := func(p *tgraph.Pattern, set []*tgraph.Graph) float64 {
+		n := 0
+		for _, g := range set {
+			if _, ok := vf2.Subsumes(p, tgraph.PatternFromGraph(g)); ok {
+				n++
+			}
+		}
+		return float64(n) / float64(len(set))
+	}
+	for i, sp := range res.Best {
+		if i >= 10 {
+			break
+		}
+		if got := freq(sp.Pattern, pos); got != sp.PosFreq {
+			t.Errorf("pattern %d: recomputed pos freq %v != reported %v", i, got, sp.PosFreq)
+		}
+		if got := freq(sp.Pattern, neg); got != sp.NegFreq {
+			t.Errorf("pattern %d: recomputed neg freq %v != reported %v", i, got, sp.NegFreq)
+		}
+	}
+}
+
+func TestPruningReducesWork(t *testing.T) {
+	pos, neg := testSets(77, 8, 8)
+	optsFull := TGMinerOptions()
+	optsFull.MaxEdges = 4
+	full, err := Mine(pos, neg, optsFull)
+	if err != nil {
+		t.Fatal(err)
+	}
+	optsNone := ExhaustiveOptions()
+	optsNone.MaxEdges = 4
+	none, err := Mine(pos, neg, optsNone)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.Stats.PatternsExplored > none.Stats.PatternsExplored {
+		t.Errorf("pruned search explored more patterns (%d) than exhaustive (%d)",
+			full.Stats.PatternsExplored, none.Stats.PatternsExplored)
+	}
+	if full.Stats.SubgraphPrunes == 0 && full.Stats.SupergraphPrunes == 0 && full.Stats.UpperBoundPrunes == 0 {
+		t.Log("warning: no pruning triggered on this input (allowed, but unusual)")
+	}
+}
+
+func TestStatsTriggerRates(t *testing.T) {
+	var s Stats
+	if s.SubgraphTriggerRate() != 0 || s.SupergraphTriggerRate() != 0 {
+		t.Errorf("zero stats must have zero trigger rates")
+	}
+	s.PatternsExplored = 100
+	s.SubgraphPrunes = 25
+	s.SupergraphPrunes = 5
+	if s.SubgraphTriggerRate() != 0.25 {
+		t.Errorf("SubgraphTriggerRate = %v", s.SubgraphTriggerRate())
+	}
+	if s.SupergraphTriggerRate() != 0.05 {
+		t.Errorf("SupergraphTriggerRate = %v", s.SupergraphTriggerRate())
+	}
+	if s.String() == "" {
+		t.Errorf("Stats.String empty")
+	}
+}
+
+func TestMaxResultsCapsButCounts(t *testing.T) {
+	pos, neg := testSets(5, 5, 5)
+	opts := TGMinerOptions()
+	opts.MaxEdges = 4
+	opts.MaxResults = 1
+	res, err := Mine(pos, neg, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Best) > 1 {
+		t.Errorf("Best len = %d, want <= 1", len(res.Best))
+	}
+	if res.TieCount < len(res.Best) {
+		t.Errorf("TieCount %d < len(Best) %d", res.TieCount, len(res.Best))
+	}
+}
+
+func TestDeterministicAcrossRuns(t *testing.T) {
+	pos, neg := testSets(6, 6, 6)
+	opts := TGMinerOptions()
+	opts.MaxEdges = 4
+	r1, err := Mine(pos, neg, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Mine(pos, neg, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.BestScore != r2.BestScore || r1.TieCount != r2.TieCount {
+		t.Errorf("non-deterministic results: %v/%d vs %v/%d", r1.BestScore, r1.TieCount, r2.BestScore, r2.TieCount)
+	}
+	k1, k2 := bestKeys(r1), bestKeys(r2)
+	for i := range k1 {
+		if k1[i] != k2[i] {
+			t.Fatalf("non-deterministic best set")
+		}
+	}
+	if r1.Stats.PatternsExplored != r2.Stats.PatternsExplored {
+		t.Errorf("non-deterministic exploration: %d vs %d", r1.Stats.PatternsExplored, r2.Stats.PatternsExplored)
+	}
+}

@@ -1,0 +1,139 @@
+package miner
+
+import (
+	"sort"
+	"time"
+
+	"tgminer/internal/grow"
+	"tgminer/internal/tgraph"
+)
+
+// TopKResult is the outcome of MineTopK.
+type TopKResult struct {
+	// Patterns holds the K highest-scoring distinct patterns, best first
+	// (ties broken by fewer edges, then canonical key).
+	Patterns []ScoredPattern
+	// Threshold is the score of the K-th retained pattern (the final
+	// pruning bound).
+	Threshold float64
+	Stats     Stats
+	Elapsed   time.Duration
+}
+
+// MineTopK returns the K highest-scoring T-connected temporal patterns
+// rather than only the tied maximum. This extends the paper's Problem 1 for
+// library users who want a ranked shortlist; the search uses the same
+// consecutive-growth enumeration with upper-bound pruning against the
+// current K-th best score.
+//
+// Subgraph/supergraph pruning are intentionally not applied: Lemma 4 and
+// Proposition 2 only guarantee that the *maximum*-score patterns survive
+// branch cuts, so a top-K search with them enabled could lose lower-ranked
+// results. Only the (exact) upper-bound condition is used.
+func MineTopK(pos, neg []*tgraph.Graph, k int, opts Options) (*TopKResult, error) {
+	if len(pos) == 0 {
+		return nil, ErrNoPositiveGraphs
+	}
+	if k <= 0 {
+		k = 10
+	}
+	opts = opts.normalize()
+	start := time.Now()
+	s := &topkSearch{
+		pos:  pos,
+		neg:  neg,
+		opts: opts,
+		k:    k,
+	}
+	seeds := grow.Seeds(pos, neg)
+	sort.SliceStable(seeds, func(i, j int) bool {
+		pi, pj := seeds[i].Pos.SupportCount(), seeds[j].Pos.SupportCount()
+		if pi != pj {
+			return pi > pj
+		}
+		return seeds[i].Neg.SupportCount() < seeds[j].Neg.SupportCount()
+	})
+	for _, seed := range seeds {
+		s.dfs(seed.Pattern, seed.Pos, seed.Neg)
+	}
+	s.sortHeap()
+	return &TopKResult{
+		Patterns:  s.heap,
+		Threshold: s.threshold(),
+		Stats:     s.stats,
+		Elapsed:   time.Since(start),
+	}, nil
+}
+
+type topkSearch struct {
+	pos, neg []*tgraph.Graph
+	opts     Options
+	k        int
+	heap     []ScoredPattern // kept sorted descending by score (k is small)
+	stats    Stats
+}
+
+func (s *topkSearch) threshold() float64 {
+	if len(s.heap) < s.k {
+		return inf()
+	}
+	return s.heap[len(s.heap)-1].Score
+}
+
+// insert adds a candidate, keeping the best k by (score, fewer edges, key).
+func (s *topkSearch) insert(sp ScoredPattern) {
+	pos := sort.Search(len(s.heap), func(i int) bool {
+		return lessScored(sp, s.heap[i])
+	})
+	s.heap = append(s.heap, ScoredPattern{})
+	copy(s.heap[pos+1:], s.heap[pos:])
+	s.heap[pos] = sp
+	if len(s.heap) > s.k {
+		s.heap = s.heap[:s.k]
+	}
+}
+
+// lessScored orders a before b when a scores higher (ties: fewer edges,
+// then canonical key).
+func lessScored(a, b ScoredPattern) bool {
+	if a.Score != b.Score {
+		return a.Score > b.Score
+	}
+	ae, be := a.Pattern.NumEdges(), b.Pattern.NumEdges()
+	if ae != be {
+		return ae < be
+	}
+	return a.Pattern.Key() < b.Pattern.Key()
+}
+
+func (s *topkSearch) sortHeap() {
+	sort.SliceStable(s.heap, func(i, j int) bool { return lessScored(s.heap[i], s.heap[j]) })
+}
+
+func (s *topkSearch) dfs(p *tgraph.Pattern, posE, negE grow.List) {
+	s.stats.PatternsExplored++
+	if n := p.NumEdges(); n > s.stats.MaxEdgesSeen {
+		s.stats.MaxEdgesSeen = n
+	}
+	x := posE.Frequency(len(s.pos))
+	y := negE.Frequency(len(s.neg))
+	sc := s.opts.Score.Score(x, y)
+	if len(s.heap) < s.k || sc > s.threshold() {
+		s.insert(ScoredPattern{Pattern: p, Score: sc, PosFreq: x, NegFreq: y})
+	}
+	if p.NumEdges() >= s.opts.MaxEdges {
+		return
+	}
+	// Exact pruning: no descendant can beat UB(x); prune when even the
+	// K-th slot cannot be improved.
+	if len(s.heap) >= s.k && s.opts.Score.UpperBound(x) < s.threshold() {
+		s.stats.UpperBoundPrunes++
+		return
+	}
+	for _, ext := range grow.Extensions(p, s.pos, posE) {
+		child := ext.Apply(p)
+		childPos := grow.Extend(ext, s.pos, posE)
+		childNeg := grow.Extend(ext, s.neg, negE)
+		s.dfs(child, childPos, childNeg)
+	}
+}

@@ -1,0 +1,94 @@
+package miner
+
+import (
+	"testing"
+
+	"tgminer/internal/tgraph"
+)
+
+func TestMineTopKOrderingAndExactness(t *testing.T) {
+	pos, neg := testSets(51, 6, 6)
+	opts := Options{MaxEdges: 3}
+	res, err := MineTopK(pos, neg, 8, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Patterns) == 0 {
+		t.Fatal("no patterns")
+	}
+	if len(res.Patterns) > 8 {
+		t.Fatalf("returned %d patterns, want <= 8", len(res.Patterns))
+	}
+	// Descending score order.
+	for i := 1; i < len(res.Patterns); i++ {
+		if res.Patterns[i].Score > res.Patterns[i-1].Score {
+			t.Errorf("not sorted: %v then %v", res.Patterns[i-1].Score, res.Patterns[i].Score)
+		}
+	}
+	// The best entry must agree with the max-score search.
+	ref, err := Mine(pos, neg, Options{MaxEdges: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Patterns[0].Score != ref.BestScore {
+		t.Errorf("top-1 score %v != exhaustive best %v", res.Patterns[0].Score, ref.BestScore)
+	}
+	// The top-K set must match a fully exhaustive enumeration's top-K.
+	exhaustive := enumerateAllScores(t, pos, neg, 3)
+	for i, sp := range res.Patterns {
+		if i >= len(exhaustive) {
+			break
+		}
+		if sp.Score != exhaustive[i] {
+			t.Errorf("rank %d: score %v, brute force says %v", i, sp.Score, exhaustive[i])
+		}
+	}
+}
+
+// enumerateAllScores runs the search with an effectively unbounded K so no
+// pruning threshold forms, yielding the true descending score list.
+func enumerateAllScores(t *testing.T, pos, neg []*tgraph.Graph, maxEdges int) []float64 {
+	t.Helper()
+	res, err := MineTopK(pos, neg, 1<<20, Options{MaxEdges: maxEdges})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make([]float64, len(res.Patterns))
+	for i, sp := range res.Patterns {
+		out[i] = sp.Score
+	}
+	return out
+}
+
+func TestMineTopKDistinctPatterns(t *testing.T) {
+	pos, neg := testSets(52, 5, 5)
+	res, err := MineTopK(pos, neg, 20, Options{MaxEdges: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[string]bool{}
+	for _, sp := range res.Patterns {
+		k := sp.Pattern.Key()
+		if seen[k] {
+			t.Errorf("duplicate pattern in top-K")
+		}
+		seen[k] = true
+	}
+}
+
+func TestMineTopKEmptyPositive(t *testing.T) {
+	if _, err := MineTopK(nil, nil, 5, Options{}); err == nil {
+		t.Errorf("expected error on empty positive set")
+	}
+}
+
+func TestMineTopKDefaultK(t *testing.T) {
+	pos, neg := testSets(53, 4, 4)
+	res, err := MineTopK(pos, neg, 0, Options{MaxEdges: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Patterns) > 10 {
+		t.Errorf("default K: %d patterns, want <= 10", len(res.Patterns))
+	}
+}

@@ -1,0 +1,85 @@
+// Package nodeset implements the NodeSet baseline of the TGMiner paper
+// (Section 6.1): behavior queries are the top-k discriminative node labels,
+// where a label's discriminativeness is measured with the same score
+// function F(x, y) used for graph patterns, and a match is a set of k nodes
+// with exactly that label multiset within the behavior's observed lifetime
+// window.
+package nodeset
+
+import (
+	"errors"
+
+	"tgminer/internal/rank"
+	"tgminer/internal/score"
+	"tgminer/internal/tgraph"
+)
+
+// Options configures label mining.
+type Options struct {
+	// Score is the discriminative score function (default score.LogRatio).
+	Score score.Func
+	// K is the number of labels in the query (default 6, the paper's
+	// default query size).
+	K int
+	// Interest supplies the blacklist; nil disables blacklisting.
+	Interest *rank.Interest
+}
+
+// Query is a NodeSet behavior query: a label multiset.
+type Query struct {
+	Labels []tgraph.Label
+	Scores []float64
+}
+
+// ErrNoPositiveGraphs is returned when the positive set is empty.
+var ErrNoPositiveGraphs = errors.New("nodeset: positive graph set is empty")
+
+// Mine selects the top-k discriminative labels for the positive set versus
+// the negative set.
+func Mine(pos, neg []*tgraph.Graph, opts Options) (*Query, error) {
+	if len(pos) == 0 {
+		return nil, ErrNoPositiveGraphs
+	}
+	if opts.Score == nil {
+		opts.Score = score.LogRatio{}
+	}
+	if opts.K <= 0 {
+		opts.K = 6
+	}
+	posCount := map[tgraph.Label]int{}
+	for _, g := range pos {
+		for l := range g.EndpointLabels() {
+			posCount[l]++
+		}
+	}
+	negCount := map[tgraph.Label]int{}
+	for _, g := range neg {
+		for l := range g.EndpointLabels() {
+			negCount[l]++
+		}
+	}
+	labels := make([]tgraph.Label, 0, len(posCount))
+	scores := make([]float64, 0, len(posCount))
+	byLabel := map[tgraph.Label]float64{}
+	for l, c := range posCount {
+		x := float64(c) / float64(len(pos))
+		var y float64
+		if len(neg) > 0 {
+			y = float64(negCount[l]) / float64(len(neg))
+		}
+		s := opts.Score.Score(x, y)
+		labels = append(labels, l)
+		scores = append(scores, s)
+		byLabel[l] = s
+	}
+	in := opts.Interest
+	if in == nil {
+		in = rank.NewInterest(nil, tgraph.NewDict(), []string{})
+	}
+	top := in.TopKLabels(labels, scores, opts.K)
+	q := &Query{Labels: top}
+	for _, l := range top {
+		q.Scores = append(q.Scores, byLabel[l])
+	}
+	return q, nil
+}

@@ -1,0 +1,86 @@
+package nodeset
+
+import (
+	"testing"
+
+	"tgminer/internal/rank"
+	"tgminer/internal/tgraph"
+)
+
+func buildGraph(t *testing.T, dict *tgraph.Dict, labelNames []string) *tgraph.Graph {
+	t.Helper()
+	var b tgraph.Builder
+	for _, n := range labelNames {
+		b.AddNode(dict.Intern(n))
+	}
+	for i := 0; i+1 < len(labelNames); i++ {
+		if err := b.AddEdge(tgraph.NodeID(i), tgraph.NodeID(i+1), int64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	g, err := b.Finalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestMineSelectsDiscriminativeLabels(t *testing.T) {
+	dict := tgraph.NewDict()
+	var pos, neg []*tgraph.Graph
+	for i := 0; i < 4; i++ {
+		pos = append(pos, buildGraph(t, dict, []string{"proc:ssh", "file:key", "common"}))
+		neg = append(neg, buildGraph(t, dict, []string{"common", "file:other"}))
+	}
+	q, err := Mine(pos, neg, Options{K: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Labels) != 2 {
+		t.Fatalf("labels = %v, want 2", q.Labels)
+	}
+	want := map[tgraph.Label]bool{dict.Lookup("proc:ssh"): true, dict.Lookup("file:key"): true}
+	for _, l := range q.Labels {
+		if !want[l] {
+			t.Errorf("unexpected label %s in query", dict.Name(l))
+		}
+	}
+	if len(q.Scores) != 2 {
+		t.Errorf("scores = %v", q.Scores)
+	}
+}
+
+func TestMineRespectsBlacklist(t *testing.T) {
+	dict := tgraph.NewDict()
+	var pos []*tgraph.Graph
+	for i := 0; i < 3; i++ {
+		pos = append(pos, buildGraph(t, dict, []string{"file:/tmp/x", "proc:a"}))
+	}
+	in := rank.NewInterest(pos, dict, nil)
+	q, err := Mine(pos, nil, Options{K: 1, Interest: in})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Labels) != 1 || q.Labels[0] != dict.Lookup("proc:a") {
+		t.Errorf("blacklisted label selected: %v", q.Labels)
+	}
+}
+
+func TestMineEmptyPositive(t *testing.T) {
+	if _, err := Mine(nil, nil, Options{}); err == nil {
+		t.Errorf("expected error")
+	}
+}
+
+func TestMineDefaultK(t *testing.T) {
+	dict := tgraph.NewDict()
+	labels := []string{"a", "b", "c", "d", "e", "f", "g", "h"}
+	pos := []*tgraph.Graph{buildGraph(t, dict, labels)}
+	q, err := Mine(pos, nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Labels) != 6 {
+		t.Errorf("default K: got %d labels, want 6", len(q.Labels))
+	}
+}

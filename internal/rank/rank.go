@@ -1,0 +1,144 @@
+// Package rank implements the domain-knowledge pattern ranking of
+// Appendix M of the TGMiner paper: when multiple discriminative patterns tie
+// at the maximum score, they are ordered by interest, where a node label's
+// interest is the reciprocal of its frequency in the training data
+// (interest(l) = 1/freq(l)), blacklisted labels (temp files, caches, proc
+// counters) contribute zero, and a pattern's interest is the sum over its
+// nodes. The top-k patterns become behavior queries.
+package rank
+
+import (
+	"sort"
+	"strings"
+
+	"tgminer/internal/tgraph"
+)
+
+// Interest scores labels by rarity over a training corpus.
+type Interest struct {
+	freq      map[tgraph.Label]int
+	blacklist map[tgraph.Label]bool
+	total     int
+}
+
+// DefaultBlacklistSubstrings mirror the paper's examples: labels carrying
+// little security information are zeroed.
+var DefaultBlacklistSubstrings = []string{
+	"TmpFile", "CacheFile", "/proc/stat", "/proc/meminfo", "/tmp/", "/dev/null",
+}
+
+// NewInterest counts label frequencies (number of graphs containing each
+// label) over the training graphs and compiles the blacklist from dict
+// names containing any of the given substrings. A nil substring list uses
+// DefaultBlacklistSubstrings.
+func NewInterest(graphs []*tgraph.Graph, dict *tgraph.Dict, blacklistSubstrings []string) *Interest {
+	if blacklistSubstrings == nil {
+		blacklistSubstrings = DefaultBlacklistSubstrings
+	}
+	in := &Interest{
+		freq:      make(map[tgraph.Label]int),
+		blacklist: make(map[tgraph.Label]bool),
+		total:     len(graphs),
+	}
+	for _, g := range graphs {
+		for l := range g.EndpointLabels() {
+			in.freq[l]++
+		}
+	}
+	for i, name := range dict.Names() {
+		for _, sub := range blacklistSubstrings {
+			if strings.Contains(name, sub) {
+				in.blacklist[tgraph.Label(i)] = true
+				break
+			}
+		}
+	}
+	return in
+}
+
+// LabelScore returns interest(l) = 1/freq(l), or 0 for blacklisted or
+// unseen labels.
+func (in *Interest) LabelScore(l tgraph.Label) float64 {
+	if in.blacklist[l] {
+		return 0
+	}
+	f := in.freq[l]
+	if f == 0 {
+		return 0
+	}
+	return 1 / float64(f)
+}
+
+// PatternScore sums LabelScore over the pattern's nodes.
+func (in *Interest) PatternScore(p *tgraph.Pattern) float64 {
+	var s float64
+	for _, l := range p.Labels() {
+		s += in.LabelScore(l)
+	}
+	return s
+}
+
+// Blacklisted reports whether l is blacklisted.
+func (in *Interest) Blacklisted(l tgraph.Label) bool { return in.blacklist[l] }
+
+// TopK stably orders the patterns by descending interest (ties broken by
+// fewer nodes, then canonical key for determinism) and returns the first k.
+func (in *Interest) TopK(patterns []*tgraph.Pattern, k int) []*tgraph.Pattern {
+	type scored struct {
+		p   *tgraph.Pattern
+		s   float64
+		key string
+	}
+	ss := make([]scored, len(patterns))
+	for i, p := range patterns {
+		ss[i] = scored{p: p, s: in.PatternScore(p), key: p.Key()}
+	}
+	sort.SliceStable(ss, func(i, j int) bool {
+		if ss[i].s != ss[j].s {
+			return ss[i].s > ss[j].s
+		}
+		if ss[i].p.NumNodes() != ss[j].p.NumNodes() {
+			return ss[i].p.NumNodes() < ss[j].p.NumNodes()
+		}
+		return ss[i].key < ss[j].key
+	})
+	if k > len(ss) {
+		k = len(ss)
+	}
+	out := make([]*tgraph.Pattern, k)
+	for i := 0; i < k; i++ {
+		out[i] = ss[i].p
+	}
+	return out
+}
+
+// TopKLabels returns the k most discriminative labels by the given scoring
+// function (used by the NodeSet baseline), skipping blacklisted labels,
+// deterministically ordered.
+func (in *Interest) TopKLabels(labels []tgraph.Label, scores []float64, k int) []tgraph.Label {
+	type ls struct {
+		l tgraph.Label
+		s float64
+	}
+	var all []ls
+	for i, l := range labels {
+		if in.blacklist[l] {
+			continue
+		}
+		all = append(all, ls{l: l, s: scores[i]})
+	}
+	sort.SliceStable(all, func(i, j int) bool {
+		if all[i].s != all[j].s {
+			return all[i].s > all[j].s
+		}
+		return all[i].l < all[j].l
+	})
+	if k > len(all) {
+		k = len(all)
+	}
+	out := make([]tgraph.Label, k)
+	for i := 0; i < k; i++ {
+		out[i] = all[i].l
+	}
+	return out
+}

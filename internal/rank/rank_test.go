@@ -1,0 +1,99 @@
+package rank
+
+import (
+	"testing"
+
+	"tgminer/internal/tgraph"
+)
+
+func buildGraph(t *testing.T, dict *tgraph.Dict, labelNames []string, edges [][2]int) *tgraph.Graph {
+	t.Helper()
+	var b tgraph.Builder
+	for _, n := range labelNames {
+		b.AddNode(dict.Intern(n))
+	}
+	for i, e := range edges {
+		if err := b.AddEdge(tgraph.NodeID(e[0]), tgraph.NodeID(e[1]), int64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	g, err := b.Finalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestLabelScoreReciprocalFrequency(t *testing.T) {
+	dict := tgraph.NewDict()
+	g1 := buildGraph(t, dict, []string{"proc:a", "file:x"}, [][2]int{{0, 1}})
+	g2 := buildGraph(t, dict, []string{"proc:a", "file:y"}, [][2]int{{0, 1}})
+	in := NewInterest([]*tgraph.Graph{g1, g2}, dict, nil)
+	a := dict.Lookup("proc:a")
+	x := dict.Lookup("file:x")
+	if got := in.LabelScore(a); got != 0.5 {
+		t.Errorf("LabelScore(proc:a) = %v, want 0.5 (in 2 graphs)", got)
+	}
+	if got := in.LabelScore(x); got != 1.0 {
+		t.Errorf("LabelScore(file:x) = %v, want 1.0 (in 1 graph)", got)
+	}
+	if got := in.LabelScore(tgraph.Label(999)); got != 0 {
+		t.Errorf("LabelScore(unseen) = %v, want 0", got)
+	}
+}
+
+func TestBlacklist(t *testing.T) {
+	dict := tgraph.NewDict()
+	g := buildGraph(t, dict, []string{"file:/tmp/scratch", "proc:a"}, [][2]int{{0, 1}})
+	in := NewInterest([]*tgraph.Graph{g}, dict, nil)
+	tmp := dict.Lookup("file:/tmp/scratch")
+	if !in.Blacklisted(tmp) {
+		t.Errorf("tmp file not blacklisted")
+	}
+	if got := in.LabelScore(tmp); got != 0 {
+		t.Errorf("blacklisted score = %v, want 0", got)
+	}
+	// Custom blacklist.
+	in2 := NewInterest([]*tgraph.Graph{g}, dict, []string{"proc:"})
+	if !in2.Blacklisted(dict.Lookup("proc:a")) {
+		t.Errorf("custom blacklist ignored")
+	}
+}
+
+func TestPatternScoreAndTopK(t *testing.T) {
+	dict := tgraph.NewDict()
+	g1 := buildGraph(t, dict, []string{"common", "rare1"}, [][2]int{{0, 1}})
+	g2 := buildGraph(t, dict, []string{"common", "rare2"}, [][2]int{{0, 1}})
+	in := NewInterest([]*tgraph.Graph{g1, g2}, dict, []string{})
+
+	common, rare1 := dict.Lookup("common"), dict.Lookup("rare1")
+	pRare, _ := tgraph.NewPattern([]tgraph.Label{common, rare1}, []tgraph.PEdge{{Src: 0, Dst: 1}})
+	pCommon, _ := tgraph.NewPattern([]tgraph.Label{common, common}, []tgraph.PEdge{{Src: 0, Dst: 1}})
+	if in.PatternScore(pRare) <= in.PatternScore(pCommon) {
+		t.Errorf("rare-label pattern should outrank common-label pattern")
+	}
+	top := in.TopK([]*tgraph.Pattern{pCommon, pRare}, 1)
+	if len(top) != 1 || !top[0].Equal(pRare) {
+		t.Errorf("TopK did not select the rare pattern")
+	}
+	all := in.TopK([]*tgraph.Pattern{pCommon, pRare}, 10)
+	if len(all) != 2 {
+		t.Errorf("TopK(10) = %d patterns, want 2", len(all))
+	}
+}
+
+func TestTopKLabels(t *testing.T) {
+	dict := tgraph.NewDict()
+	g := buildGraph(t, dict, []string{"a", "b", "file:/tmp/x"}, [][2]int{{0, 1}, {1, 2}})
+	in := NewInterest([]*tgraph.Graph{g}, dict, nil)
+	labels := []tgraph.Label{dict.Lookup("a"), dict.Lookup("b"), dict.Lookup("file:/tmp/x")}
+	scores := []float64{1.0, 3.0, 99.0}
+	top := in.TopKLabels(labels, scores, 2)
+	if len(top) != 2 {
+		t.Fatalf("TopKLabels = %v", top)
+	}
+	// Blacklisted /tmp/x must be excluded despite its top score.
+	if top[0] != dict.Lookup("b") || top[1] != dict.Lookup("a") {
+		t.Errorf("TopKLabels order = %v", top)
+	}
+}

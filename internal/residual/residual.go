@@ -1,0 +1,110 @@
+// Package residual implements residual graph sets and their constant-time
+// equivalence test from Section 4.4 of the TGMiner paper.
+//
+// For a pattern match G' inside a data graph G, the residual graph
+// R(G, G') consists of the edges of G whose timestamps are strictly larger
+// than the largest matched timestamp. Because edges are totally ordered, a
+// residual graph of G is fully determined by the position of that largest
+// matched edge, so we represent it as (graph id, cut position) and its size
+// as |E(G)| - cut - 1.
+//
+// Lemma 6: for patterns g1 ⊆t g2, R(G, g1) = R(G, g2) iff
+// I(G, g1) = I(G, g2), where I sums residual sizes over all matches. This
+// lets the miner compare residual sets by comparing two integers.
+package residual
+
+import (
+	"sort"
+
+	"tgminer/internal/tgraph"
+)
+
+// Ref identifies one residual graph: the suffix of Graphs[GraphID]'s edge
+// list starting after position Cut.
+type Ref struct {
+	GraphID int32
+	Cut     int32 // position of the last matched edge in the host graph
+}
+
+// Size returns the number of edges in the residual graph referred to by r.
+func (r Ref) Size(graphs []*tgraph.Graph) int {
+	return graphs[r.GraphID].NumEdges() - int(r.Cut) - 1
+}
+
+// Set is a residual graph set: one Ref per pattern match, in no particular
+// order. Sets are value-like; Normalize sorts them for canonical comparison.
+type Set []Ref
+
+// Normalize sorts the set so that two equal sets compare element-wise.
+func (s Set) Normalize() {
+	sort.Slice(s, func(i, j int) bool {
+		if s[i].GraphID != s[j].GraphID {
+			return s[i].GraphID < s[j].GraphID
+		}
+		return s[i].Cut < s[j].Cut
+	})
+}
+
+// I computes the integer compression of the set: the sum of residual sizes
+// over all matches (Lemma 6).
+func (s Set) I(graphs []*tgraph.Graph) int64 {
+	var total int64
+	for _, r := range s {
+		total += int64(r.Size(graphs))
+	}
+	return total
+}
+
+// EqualLinear compares two residual graph sets by explicit linear scan over
+// their normalized forms. This is the LinearScan baseline from Section 6.1:
+// correct but pays O(n log n + n) per comparison instead of O(1).
+func EqualLinear(a, b Set, graphs []*tgraph.Graph) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	ac := append(Set(nil), a...)
+	bc := append(Set(nil), b...)
+	ac.Normalize()
+	bc.Normalize()
+	for i := range ac {
+		// Residual graphs are equivalent iff they are the same edge suffix.
+		// Two suffixes of (possibly different) graphs are compared by
+		// identity of the suffix: same graph and same cut, or both empty.
+		if ac[i] == bc[i] {
+			continue
+		}
+		if ac[i].Size(graphs) == 0 && bc[i].Size(graphs) == 0 {
+			continue
+		}
+		return false
+	}
+	return true
+}
+
+// LabelsIntersectSuffix reports whether any label in ls occurs as an edge
+// endpoint in the residual graph referred to by r. It runs in O(|ls|) using
+// the host graph's last-occurrence index: label l occurs after cut position
+// c iff LastOccurrence(l) > c.
+func LabelsIntersectSuffix(r Ref, ls []tgraph.Label, graphs []*tgraph.Graph) bool {
+	g := graphs[r.GraphID]
+	for _, l := range ls {
+		if g.LastOccurrence(l) > r.Cut {
+			return true
+		}
+	}
+	return false
+}
+
+// SuffixLabelSet materializes the residual node label set of a single
+// residual graph. Used by tests and diagnostics; the miner uses
+// LabelsIntersectSuffix instead.
+func SuffixLabelSet(r Ref, graphs []*tgraph.Graph) map[tgraph.Label]bool {
+	g := graphs[r.GraphID]
+	out := make(map[tgraph.Label]bool)
+	for pos := int(r.Cut) + 1; pos < g.NumEdges(); pos++ {
+		e := g.EdgeAt(pos)
+		out[g.LabelOf(e.Src)] = true
+		out[g.LabelOf(e.Dst)] = true
+	}
+	return out
+}

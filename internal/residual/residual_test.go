@@ -1,0 +1,132 @@
+package residual
+
+import (
+	"testing"
+
+	"tgminer/internal/tgraph"
+)
+
+func lineGraph(t *testing.T, n int) *tgraph.Graph {
+	t.Helper()
+	var b tgraph.Builder
+	for i := 0; i <= n; i++ {
+		b.AddNode(tgraph.Label(i % 3))
+	}
+	for i := 0; i < n; i++ {
+		if err := b.AddEdge(tgraph.NodeID(i), tgraph.NodeID(i+1), int64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	g, err := b.Finalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestRefSize(t *testing.T) {
+	g := lineGraph(t, 5)
+	graphs := []*tgraph.Graph{g}
+	if got := (Ref{GraphID: 0, Cut: 1}).Size(graphs); got != 3 {
+		t.Errorf("Size(cut=1) = %d, want 3", got)
+	}
+	if got := (Ref{GraphID: 0, Cut: 4}).Size(graphs); got != 0 {
+		t.Errorf("Size(cut=4) = %d, want 0", got)
+	}
+}
+
+func TestSetI(t *testing.T) {
+	graphs := []*tgraph.Graph{lineGraph(t, 5), lineGraph(t, 3)}
+	s := Set{{GraphID: 0, Cut: 0}, {GraphID: 1, Cut: 1}}
+	// Sizes: 5-0-1=4 and 3-1-1=1.
+	if got := s.I(graphs); got != 5 {
+		t.Errorf("I = %d, want 5", got)
+	}
+}
+
+func TestEqualLinear(t *testing.T) {
+	graphs := []*tgraph.Graph{lineGraph(t, 5), lineGraph(t, 5)}
+	a := Set{{GraphID: 0, Cut: 2}, {GraphID: 1, Cut: 3}}
+	b := Set{{GraphID: 1, Cut: 3}, {GraphID: 0, Cut: 2}} // permuted
+	if !EqualLinear(a, b, graphs) {
+		t.Errorf("permuted equal sets reported unequal")
+	}
+	c := Set{{GraphID: 0, Cut: 2}, {GraphID: 1, Cut: 2}}
+	if EqualLinear(a, c, graphs) {
+		t.Errorf("different cuts reported equal")
+	}
+	d := Set{{GraphID: 0, Cut: 2}}
+	if EqualLinear(a, d, graphs) {
+		t.Errorf("different sizes reported equal")
+	}
+}
+
+func TestEqualLinearEmptySuffixes(t *testing.T) {
+	// Two refs pointing at exhausted suffixes of different graphs are both
+	// the empty residual graph and must compare equal.
+	graphs := []*tgraph.Graph{lineGraph(t, 3), lineGraph(t, 5)}
+	a := Set{{GraphID: 0, Cut: 2}} // size 0
+	b := Set{{GraphID: 1, Cut: 4}} // size 0
+	if !EqualLinear(a, b, graphs) {
+		t.Errorf("empty residuals reported unequal")
+	}
+}
+
+func TestLemma6Agreement(t *testing.T) {
+	// For the sets the miner actually compares (one pattern's residual set
+	// vs a subpattern's over the same graphs with the subgraph relation),
+	// the I-compression agrees with the linear scan. We exercise the
+	// equivalence direction: equal sets => equal I; and I differing =>
+	// sets differ.
+	graphs := []*tgraph.Graph{lineGraph(t, 6), lineGraph(t, 6)}
+	a := Set{{GraphID: 0, Cut: 2}, {GraphID: 1, Cut: 4}}
+	b := Set{{GraphID: 0, Cut: 2}, {GraphID: 1, Cut: 4}}
+	if a.I(graphs) != b.I(graphs) || !EqualLinear(a, b, graphs) {
+		t.Errorf("identical sets disagree")
+	}
+	c := Set{{GraphID: 0, Cut: 3}, {GraphID: 1, Cut: 4}}
+	if a.I(graphs) == c.I(graphs) {
+		t.Errorf("I failed to separate different cuts in the same graph")
+	}
+	if EqualLinear(a, c, graphs) {
+		t.Errorf("EqualLinear failed to separate different cuts")
+	}
+}
+
+func TestLabelsIntersectSuffix(t *testing.T) {
+	// Line graph labels cycle 0,1,2. Node i has label i%3.
+	g := lineGraph(t, 5) // nodes 0..5, edges (i,i+1) at time i
+	graphs := []*tgraph.Graph{g}
+	// Suffix after cut=3 holds edges 4: nodes 4,5 -> labels 1,2.
+	r := Ref{GraphID: 0, Cut: 3}
+	if !LabelsIntersectSuffix(r, []tgraph.Label{2}, graphs) {
+		t.Errorf("label 2 should appear in suffix")
+	}
+	if LabelsIntersectSuffix(r, []tgraph.Label{0}, graphs) {
+		t.Errorf("label 0 should not appear in suffix after cut 3")
+	}
+	if LabelsIntersectSuffix(r, nil, graphs) {
+		t.Errorf("empty label set intersects")
+	}
+	// Cross-check against the materialized label set.
+	want := SuffixLabelSet(r, graphs)
+	for l := tgraph.Label(0); l < 3; l++ {
+		got := LabelsIntersectSuffix(r, []tgraph.Label{l}, graphs)
+		if got != want[l] {
+			t.Errorf("label %d: fast=%v slow=%v", l, got, want[l])
+		}
+	}
+}
+
+func TestSuffixLabelSetFullAndEmpty(t *testing.T) {
+	g := lineGraph(t, 4)
+	graphs := []*tgraph.Graph{g}
+	all := SuffixLabelSet(Ref{GraphID: 0, Cut: -1}, graphs)
+	if len(all) != 3 {
+		t.Errorf("full suffix labels = %v, want 3 labels", all)
+	}
+	none := SuffixLabelSet(Ref{GraphID: 0, Cut: 3}, graphs)
+	if len(none) != 0 {
+		t.Errorf("empty suffix labels = %v", none)
+	}
+}

@@ -1,0 +1,142 @@
+package score
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func allFuncs() []Func {
+	return []Func{LogRatio{}, GTest{}, InfoGain{}}
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range []string{"log-ratio", "g-test", "info-gain", ""} {
+		f, err := ByName(name)
+		if err != nil {
+			t.Errorf("ByName(%q): %v", name, err)
+		}
+		if f == nil {
+			t.Errorf("ByName(%q) = nil", name)
+		}
+	}
+	if _, err := ByName("chi2"); err == nil {
+		t.Errorf("ByName(chi2) succeeded")
+	}
+}
+
+func TestZeroPositiveFrequencyIsWorst(t *testing.T) {
+	for _, f := range allFuncs() {
+		if got := f.Score(0, 0); !math.IsInf(got, -1) {
+			t.Errorf("%s.Score(0,0) = %v, want -Inf", f.Name(), got)
+		}
+	}
+}
+
+func TestAntiMonotoneInY(t *testing.T) {
+	// When x is fixed, smaller y gives a strictly larger score.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		x := 0.05 + 0.95*rng.Float64()
+		y1 := rng.Float64()
+		y2 := rng.Float64()
+		if y1 > y2 {
+			y1, y2 = y2, y1
+		}
+		if y1 == y2 {
+			return true
+		}
+		for _, fn := range allFuncs() {
+			if !(fn.Score(x, y1) > fn.Score(x, y2)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMonotoneInXOnDiscriminativeRegion(t *testing.T) {
+	// When y is fixed, larger x gives a larger score, on the x >= y region
+	// (LogRatio satisfies this globally).
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		y := rng.Float64() * 0.5
+		x1 := y + (1-y)*rng.Float64()
+		x2 := y + (1-y)*rng.Float64()
+		if x1 > x2 {
+			x1, x2 = x2, x1
+		}
+		if x1 == x2 {
+			return true
+		}
+		for _, fn := range allFuncs() {
+			if fn.Score(x1, y) > fn.Score(x2, y) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLogRatioMonotoneInXEverywhere(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		y := rng.Float64()
+		x1 := rng.Float64()
+		x2 := rng.Float64()
+		if x1 > x2 {
+			x1, x2 = x2, x1
+		}
+		return LogRatio{}.Score(x1, y) <= LogRatio{}.Score(x2, y)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestUpperBoundDominates(t *testing.T) {
+	// UpperBound(x) must be >= Score(x', y') for any x' <= x and y' >= 0:
+	// this is what makes the Section 4.1 pruning sound.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		x := rng.Float64()
+		xSub := x * rng.Float64() // x' <= x
+		y := rng.Float64()
+		for _, fn := range allFuncs() {
+			if fn.Score(xSub, y) > fn.UpperBound(x)+1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLogRatioKnownValues(t *testing.T) {
+	s := LogRatio{}
+	if got := s.Score(1, 0); math.Abs(got-math.Log(1/Epsilon)) > 1e-9 {
+		t.Errorf("Score(1,0) = %v", got)
+	}
+	if got := s.Score(0.5, 0.5); got >= 0.01 || got < -0.01 {
+		t.Errorf("Score(0.5,0.5) = %v, want ~0", got)
+	}
+}
+
+func TestNamesDistinct(t *testing.T) {
+	seen := map[string]bool{}
+	for _, f := range allFuncs() {
+		if seen[f.Name()] {
+			t.Errorf("duplicate name %q", f.Name())
+		}
+		seen[f.Name()] = true
+	}
+}

@@ -1,0 +1,71 @@
+package search
+
+import "sort"
+
+// Interval is a ground-truth behavior occurrence's inclusive time range.
+type Interval struct {
+	Start int64
+	End   int64
+}
+
+// Metrics are the paper's Section 6.2 accuracy measures for one behavior
+// query against one test graph.
+type Metrics struct {
+	// Identified is the number of identified instances (matches).
+	Identified int
+	// Correct is the number of matches whose interval is fully contained in
+	// a ground-truth interval of the behavior.
+	Correct int
+	// Discovered is the number of ground-truth instances containing at
+	// least one correct match.
+	Discovered int
+	// Instances is the number of ground-truth instances.
+	Instances int
+}
+
+// Precision is Correct/Identified (1 if no matches were identified and no
+// instances exist; 0 if matches exist for a behavior with no instances).
+func (m Metrics) Precision() float64 {
+	if m.Identified == 0 {
+		return 1
+	}
+	return float64(m.Correct) / float64(m.Identified)
+}
+
+// Recall is Discovered/Instances (1 when there are no instances).
+func (m Metrics) Recall() float64 {
+	if m.Instances == 0 {
+		return 1
+	}
+	return float64(m.Discovered) / float64(m.Instances)
+}
+
+// Evaluate scores matches against the behavior's ground-truth intervals.
+// Both slices may be in any order.
+func Evaluate(matches []Match, truth []Interval) Metrics {
+	m := Metrics{Identified: len(matches), Instances: len(truth)}
+	if len(truth) == 0 {
+		return m
+	}
+	sorted := append([]Interval(nil), truth...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Start < sorted[j].Start })
+	hit := make([]bool, len(sorted))
+	for _, match := range matches {
+		// Find the candidate truth interval: the last with Start <= match.Start.
+		i := sort.Search(len(sorted), func(i int) bool { return sorted[i].Start > match.Start })
+		if i == 0 {
+			continue
+		}
+		t := sorted[i-1]
+		if match.Start >= t.Start && match.End <= t.End {
+			m.Correct++
+			hit[i-1] = true
+		}
+	}
+	for _, h := range hit {
+		if h {
+			m.Discovered++
+		}
+	}
+	return m
+}

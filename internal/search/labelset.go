@@ -1,0 +1,100 @@
+package search
+
+import (
+	"sort"
+
+	"tgminer/internal/tgraph"
+)
+
+// FindLabelSet implements the NodeSet baseline's matcher: find minimal time
+// windows (span ≤ opts.Window) containing distinct nodes whose labels cover
+// the query multiset. Each minimal satisfying window yields one match.
+//
+// Per the paper, a NodeSet match is a set of k nodes whose label multiset
+// equals the query's, spanning no longer than the longest observed behavior
+// lifetime. Matching minimal windows (rather than every k-subset) keeps the
+// match count comparable to the pattern-query semantics.
+func (e *Engine) FindLabelSet(labels []tgraph.Label, opts Options) Result {
+	opts = opts.normalize()
+	if len(labels) == 0 {
+		return Result{}
+	}
+	need := map[tgraph.Label]int{}
+	for _, l := range labels {
+		need[l]++
+	}
+
+	// Label events: each node's occurrences on the edge stream, restricted
+	// to queried labels. A node may appear many times; it may only be
+	// counted once per window, tracked via per-node first occurrence within
+	// the sliding range.
+	type ev struct {
+		time  int64
+		node  tgraph.NodeID
+		label tgraph.Label
+	}
+	var evs []ev
+	for pos, ed := range e.g.Edges() {
+		_ = pos
+		for _, v := range []tgraph.NodeID{ed.Src, ed.Dst} {
+			l := e.g.LabelOf(v)
+			if _, ok := need[l]; ok {
+				evs = append(evs, ev{time: ed.Time, node: v, label: l})
+			}
+		}
+	}
+	sort.SliceStable(evs, func(i, j int) bool { return evs[i].time < evs[j].time })
+
+	res := &resultSet{limit: opts.Limit}
+	// Sliding window over events: count distinct nodes per label.
+	nodeCount := map[tgraph.NodeID]int{} // occurrences of node in window
+	labelHave := map[tgraph.Label]int{}  // distinct nodes per label in window
+	satisfied := 0
+	left := 0
+	push := func(x ev) {
+		if nodeCount[x.node] == 0 {
+			labelHave[x.label]++
+			if labelHave[x.label] == need[x.label] {
+				satisfied++
+			}
+		}
+		nodeCount[x.node]++
+	}
+	pop := func(x ev) {
+		nodeCount[x.node]--
+		if nodeCount[x.node] == 0 {
+			delete(nodeCount, x.node)
+			if labelHave[x.label] == need[x.label] {
+				satisfied--
+			}
+			labelHave[x.label]--
+		}
+	}
+	for right := 0; right < len(evs); right++ {
+		push(evs[right])
+		if opts.Window > 0 {
+			for evs[right].time-evs[left].time+1 > opts.Window {
+				pop(evs[left])
+				left++
+			}
+		}
+		if satisfied == len(need) {
+			// Shrink to minimal window.
+			for left < right {
+				trial := evs[left]
+				pop(trial)
+				if satisfied == len(need) {
+					left++
+					continue
+				}
+				push(trial)
+				break
+			}
+			res.add(Match{Start: evs[left].time, End: evs[right].time})
+			if res.full() {
+				break
+			}
+		}
+	}
+	return res.finish()
+}

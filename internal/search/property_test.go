@@ -1,0 +1,187 @@
+package search
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"tgminer/internal/tgraph"
+)
+
+// bruteTemporalIntervals enumerates every increasing edge-position subset of
+// the host matching the pattern (label-consistent, injective, order
+// preserved) and returns the distinct spanned intervals — an independent
+// oracle for FindTemporal.
+func bruteTemporalIntervals(p *tgraph.Pattern, g *tgraph.Graph, window int64) map[Match]bool {
+	out := map[Match]bool{}
+	n1, n2 := p.NumEdges(), g.NumEdges()
+	if n1 == 0 || n1 > n2 {
+		return out
+	}
+	idx := make([]int, n1)
+	var rec func(k, from int)
+	rec = func(k, from int) {
+		if k == n1 {
+			if m, ok := checkAssignment(p, g, idx, window); ok {
+				out[m] = true
+			}
+			return
+		}
+		for pos := from; pos <= n2-(n1-k); pos++ {
+			idx[k] = pos
+			rec(k+1, pos+1)
+		}
+	}
+	rec(0, 0)
+	return out
+}
+
+func checkAssignment(p *tgraph.Pattern, g *tgraph.Graph, idx []int, window int64) (Match, bool) {
+	fwd := map[tgraph.NodeID]tgraph.NodeID{}
+	rev := map[tgraph.NodeID]tgraph.NodeID{}
+	bind := func(a, b tgraph.NodeID) bool {
+		if p.LabelOf(a) != g.LabelOf(b) {
+			return false
+		}
+		fa, okA := fwd[a]
+		rb, okB := rev[b]
+		if !okA && !okB {
+			fwd[a] = b
+			rev[b] = a
+			return true
+		}
+		return okA && okB && fa == b && rb == a
+	}
+	for i, pos := range idx {
+		pe := p.EdgeAt(i)
+		ge := g.EdgeAt(pos)
+		if !bind(pe.Src, ge.Src) || !bind(pe.Dst, ge.Dst) {
+			return Match{}, false
+		}
+	}
+	start := g.EdgeAt(idx[0]).Time
+	end := g.EdgeAt(idx[len(idx)-1]).Time
+	if window > 0 && end-start+1 > window {
+		return Match{}, false
+	}
+	return Match{Start: start, End: end}, true
+}
+
+func randomHost(rng *rand.Rand, nodes, edges, labels int) *tgraph.Graph {
+	var b tgraph.Builder
+	for i := 0; i < nodes; i++ {
+		b.AddNode(tgraph.Label(rng.Intn(labels)))
+	}
+	t := int64(0)
+	for i := 0; i < edges; i++ {
+		t += int64(1 + rng.Intn(3))
+		if err := b.AddEdge(tgraph.NodeID(rng.Intn(nodes)), tgraph.NodeID(rng.Intn(nodes)), t); err != nil {
+			panic(err)
+		}
+	}
+	g, err := b.Finalize()
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+func randomQuery(rng *rand.Rand, maxEdges, labels int) *tgraph.Pattern {
+	p := tgraph.SingleEdgePattern(tgraph.Label(rng.Intn(labels)), tgraph.Label(rng.Intn(labels)), false)
+	m := 1 + rng.Intn(maxEdges)
+	for p.NumEdges() < m {
+		switch rng.Intn(3) {
+		case 0:
+			p = p.GrowForward(tgraph.NodeID(rng.Intn(p.NumNodes())), tgraph.Label(rng.Intn(labels)))
+		case 1:
+			p = p.GrowBackward(tgraph.Label(rng.Intn(labels)), tgraph.NodeID(rng.Intn(p.NumNodes())))
+		default:
+			p = p.GrowInward(tgraph.NodeID(rng.Intn(p.NumNodes())), tgraph.NodeID(rng.Intn(p.NumNodes())))
+		}
+	}
+	return p
+}
+
+func TestFindTemporalMatchesBruteForceQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := randomHost(rng, 4+rng.Intn(3), 6+rng.Intn(4), 3)
+		p := randomQuery(rng, 3, 3)
+		var window int64
+		if rng.Intn(2) == 0 {
+			window = int64(3 + rng.Intn(12))
+		}
+		eng := NewEngine(g)
+		got := eng.FindTemporal(p, Options{Window: window})
+		want := bruteTemporalIntervals(p, g, window)
+		if len(got.Matches) != len(want) {
+			t.Logf("seed=%d: got %d intervals, want %d (window=%d)\n p=%v\n g=%v",
+				seed, len(got.Matches), len(want), window, p, g)
+			return false
+		}
+		for _, m := range got.Matches {
+			if !want[m] {
+				t.Logf("seed=%d: unexpected interval %v", seed, m)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 250}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFindLabelSetMatchesContainLabels(t *testing.T) {
+	// Property: every reported label-set window genuinely contains distinct
+	// nodes covering the queried multiset.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := randomHost(rng, 5+rng.Intn(4), 8+rng.Intn(6), 3)
+		query := []tgraph.Label{tgraph.Label(rng.Intn(3)), tgraph.Label(rng.Intn(3))}
+		window := int64(4 + rng.Intn(10))
+		eng := NewEngine(g)
+		res := eng.FindLabelSet(query, Options{Window: window})
+		for _, m := range res.Matches {
+			if m.End-m.Start+1 > window {
+				t.Logf("seed=%d: window exceeded: %v", seed, m)
+				return false
+			}
+			if !windowCovers(g, m, query) {
+				t.Logf("seed=%d: window %v does not cover %v", seed, m, query)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// windowCovers verifies a label multiset is coverable by distinct nodes
+// appearing within the window.
+func windowCovers(g *tgraph.Graph, m Match, query []tgraph.Label) bool {
+	need := map[tgraph.Label]int{}
+	for _, l := range query {
+		need[l]++
+	}
+	nodes := map[tgraph.NodeID]bool{}
+	for _, e := range g.Edges() {
+		if e.Time < m.Start || e.Time > m.End {
+			continue
+		}
+		nodes[e.Src] = true
+		nodes[e.Dst] = true
+	}
+	have := map[tgraph.Label]int{}
+	for v := range nodes {
+		have[g.LabelOf(v)]++
+	}
+	for l, n := range need {
+		if have[l] < n {
+			return false
+		}
+	}
+	return true
+}

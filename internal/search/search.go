@@ -1,0 +1,480 @@
+// Package search evaluates behavior queries against a large temporal graph,
+// the query-processing substrate the TGMiner paper delegates to existing
+// subgraph-matching techniques ([38], Section 6.1). Three query families are
+// supported, matching the paper's three compared systems:
+//
+//   - temporal graph pattern queries (TGMiner): label- and order-preserving
+//     embeddings found by indexed backtracking over the edge stream;
+//   - non-temporal graph pattern queries (Ntemp): order-free embeddings of
+//     collapsed patterns;
+//   - label-set queries (NodeSet): minimal time windows containing a label
+//     multiset.
+//
+// All three are bounded by a time window (the longest observed behavior
+// duration, per the paper), and report matches as time intervals that the
+// evaluation scores against ground truth with the paper's Section 6.2
+// precision/recall semantics.
+package search
+
+import (
+	"sort"
+
+	"tgminer/internal/gspan"
+	"tgminer/internal/tgraph"
+)
+
+// Match is one identified instance: the time interval its matched edges
+// span.
+type Match struct {
+	Start int64
+	End   int64
+}
+
+// Engine holds the indexes for one host graph. Build once with NewEngine,
+// then run any number of queries. Engines are safe for concurrent queries.
+type Engine struct {
+	g      *tgraph.Graph
+	byPair map[[2]tgraph.Label][]int32
+	out    [][]int32 // positions with node as source, sorted
+	in     [][]int32 // positions with node as destination, sorted
+}
+
+// NewEngine indexes the host graph.
+func NewEngine(g *tgraph.Graph) *Engine {
+	e := &Engine{
+		g:      g,
+		byPair: make(map[[2]tgraph.Label][]int32),
+		out:    make([][]int32, g.NumNodes()),
+		in:     make([][]int32, g.NumNodes()),
+	}
+	for pos, ed := range g.Edges() {
+		p := int32(pos)
+		k := [2]tgraph.Label{g.LabelOf(ed.Src), g.LabelOf(ed.Dst)}
+		e.byPair[k] = append(e.byPair[k], p)
+		e.out[ed.Src] = append(e.out[ed.Src], p)
+		e.in[ed.Dst] = append(e.in[ed.Dst], p)
+	}
+	return e
+}
+
+// Graph returns the indexed host graph.
+func (e *Engine) Graph() *tgraph.Graph { return e.g }
+
+// Options bounds a query run.
+type Options struct {
+	// Window is the maximum time span of a match (0 = unbounded; the paper
+	// uses the longest observed behavior duration).
+	Window int64
+	// Limit caps the number of distinct match intervals returned
+	// (default 100000). Truncation is reported via Result.Truncated.
+	Limit int
+}
+
+func (o Options) normalize() Options {
+	if o.Limit <= 0 {
+		o.Limit = 100000
+	}
+	return o
+}
+
+// Result is a query outcome: deduplicated match intervals in start order.
+type Result struct {
+	Matches   []Match
+	Truncated bool
+}
+
+// FindTemporal reports the distinct intervals where the temporal pattern
+// embeds with edge order preserved.
+func (e *Engine) FindTemporal(p *tgraph.Pattern, opts Options) Result {
+	opts = opts.normalize()
+	if p.NumEdges() == 0 {
+		return Result{}
+	}
+	res := &resultSet{limit: opts.Limit}
+	st := &tState{e: e, p: p, opts: opts, res: res}
+	st.mapping = make([]tgraph.NodeID, p.NumNodes())
+	for i := range st.mapping {
+		st.mapping[i] = -1
+	}
+	st.used = make(map[tgraph.NodeID]bool, p.NumNodes())
+	first := p.EdgeAt(0)
+	key := [2]tgraph.Label{p.LabelOf(first.Src), p.LabelOf(first.Dst)}
+	for _, pos := range e.byPair[key] {
+		if res.full() {
+			break
+		}
+		ge := e.g.EdgeAt(int(pos))
+		if (first.Src == first.Dst) != (ge.Src == ge.Dst) {
+			continue
+		}
+		st.bindEdge(first, ge, func() {
+			st.startTime = ge.Time
+			st.match(1, pos)
+		})
+	}
+	return res.finish()
+}
+
+type tState struct {
+	e         *Engine
+	p         *tgraph.Pattern
+	opts      Options
+	res       *resultSet
+	mapping   []tgraph.NodeID
+	used      map[tgraph.NodeID]bool
+	startTime int64
+}
+
+// bindEdge binds the endpoints of pattern edge pe to graph edge ge (which
+// must already be label-compatible), runs fn, and unbinds.
+func (s *tState) bindEdge(pe tgraph.PEdge, ge tgraph.Edge, fn func()) {
+	var boundSrc, boundDst bool
+	if s.mapping[pe.Src] == -1 {
+		if s.used[ge.Src] {
+			return
+		}
+		s.mapping[pe.Src] = ge.Src
+		s.used[ge.Src] = true
+		boundSrc = true
+	} else if s.mapping[pe.Src] != ge.Src {
+		return
+	}
+	if pe.Src != pe.Dst {
+		if s.mapping[pe.Dst] == -1 {
+			if s.used[ge.Dst] {
+				if boundSrc {
+					s.mapping[pe.Src] = -1
+					delete(s.used, ge.Src)
+				}
+				return
+			}
+			s.mapping[pe.Dst] = ge.Dst
+			s.used[ge.Dst] = true
+			boundDst = true
+		} else if s.mapping[pe.Dst] != ge.Dst {
+			if boundSrc {
+				s.mapping[pe.Src] = -1
+				delete(s.used, ge.Src)
+			}
+			return
+		}
+	}
+	fn()
+	if boundSrc {
+		s.mapping[pe.Src] = -1
+		delete(s.used, ge.Src)
+	}
+	if boundDst {
+		s.mapping[pe.Dst] = -1
+		delete(s.used, ge.Dst)
+	}
+}
+
+func (s *tState) match(k int, lastPos int32) {
+	if s.res.full() {
+		return
+	}
+	if k == s.p.NumEdges() {
+		s.res.add(Match{Start: s.startTime, End: s.e.g.EdgeAt(int(lastPos)).Time})
+		return
+	}
+	pe := s.p.EdgeAt(k)
+	ms, md := s.mapping[pe.Src], s.mapping[pe.Dst]
+	deadline := int64(-1)
+	if s.opts.Window > 0 {
+		deadline = s.startTime + s.opts.Window - 1
+	}
+	try := func(pos int32) {
+		ge := s.e.g.EdgeAt(int(pos))
+		if deadline >= 0 && ge.Time > deadline {
+			return
+		}
+		if (pe.Src == pe.Dst) != (ge.Src == ge.Dst) {
+			return
+		}
+		if s.e.g.LabelOf(ge.Src) != s.p.LabelOf(pe.Src) || s.e.g.LabelOf(ge.Dst) != s.p.LabelOf(pe.Dst) {
+			return
+		}
+		s.bindEdge(pe, ge, func() { s.match(k+1, pos) })
+	}
+	switch {
+	case ms != -1:
+		iterAfter(s.e.out[ms], lastPos, func(pos int32) bool {
+			if deadline >= 0 && s.e.g.EdgeAt(int(pos)).Time > deadline {
+				return false
+			}
+			if md != -1 && s.e.g.EdgeAt(int(pos)).Dst != md {
+				return true
+			}
+			try(pos)
+			return !s.res.full()
+		})
+	case md != -1:
+		iterAfter(s.e.in[md], lastPos, func(pos int32) bool {
+			if deadline >= 0 && s.e.g.EdgeAt(int(pos)).Time > deadline {
+				return false
+			}
+			try(pos)
+			return !s.res.full()
+		})
+	default:
+		// Unreachable for T-connected patterns beyond the first edge, but
+		// handle defensively via the pair index.
+		key := [2]tgraph.Label{s.p.LabelOf(pe.Src), s.p.LabelOf(pe.Dst)}
+		iterAfter(s.e.byPair[key], lastPos, func(pos int32) bool {
+			try(pos)
+			return !s.res.full()
+		})
+	}
+}
+
+// iterAfter calls fn on each position strictly greater than after, in
+// order, until fn returns false.
+func iterAfter(list []int32, after int32, fn func(int32) bool) {
+	i := sort.Search(len(list), func(i int) bool { return list[i] > after })
+	for ; i < len(list); i++ {
+		if !fn(list[i]) {
+			return
+		}
+	}
+}
+
+// FindNonTemporal reports the distinct intervals where the collapsed
+// (non-temporal) pattern embeds regardless of edge order, bounded by the
+// window.
+func (e *Engine) FindNonTemporal(p *gspan.Pattern, opts Options) Result {
+	opts = opts.normalize()
+	if p.NumEdges() == 0 {
+		return Result{}
+	}
+	order := connectedEdgeOrder(p)
+	res := &resultSet{limit: opts.Limit}
+	st := &ntState{e: e, p: p, opts: opts, res: res, order: order}
+	st.mapping = make([]tgraph.NodeID, p.NumNodes())
+	for i := range st.mapping {
+		st.mapping[i] = -1
+	}
+	st.used = make(map[tgraph.NodeID]bool, p.NumNodes())
+	st.posUsed = make(map[int32]bool, p.NumEdges())
+	st.match(0)
+	return res.finish()
+}
+
+type ntState struct {
+	e          *Engine
+	p          *gspan.Pattern
+	opts       Options
+	res        *resultSet
+	order      []gspan.Edge
+	mapping    []tgraph.NodeID
+	used       map[tgraph.NodeID]bool
+	posUsed    map[int32]bool
+	minT, maxT int64
+	depth      int
+}
+
+func (s *ntState) match(k int) {
+	if s.res.full() {
+		return
+	}
+	if k == len(s.order) {
+		s.res.add(Match{Start: s.minT, End: s.maxT})
+		return
+	}
+	pe := s.order[k]
+	ms, md := s.mapping[pe.Src], s.mapping[pe.Dst]
+	try := func(pos int32) bool {
+		if s.posUsed[pos] {
+			return true
+		}
+		ge := s.e.g.EdgeAt(int(pos))
+		if (pe.Src == pe.Dst) != (ge.Src == ge.Dst) {
+			return true
+		}
+		if s.e.g.LabelOf(ge.Src) != s.p.Labels[pe.Src] || s.e.g.LabelOf(ge.Dst) != s.p.Labels[pe.Dst] {
+			return true
+		}
+		// Window feasibility.
+		nMin, nMax := s.minT, s.maxT
+		if k == 0 {
+			nMin, nMax = ge.Time, ge.Time
+		} else {
+			if ge.Time < nMin {
+				nMin = ge.Time
+			}
+			if ge.Time > nMax {
+				nMax = ge.Time
+			}
+			if s.opts.Window > 0 && nMax-nMin+1 > s.opts.Window {
+				return true
+			}
+		}
+		oMin, oMax := s.minT, s.maxT
+		s.minT, s.maxT = nMin, nMax
+		s.posUsed[pos] = true
+		s.bindPair(pe, ge, func() { s.match(k + 1) })
+		delete(s.posUsed, pos)
+		s.minT, s.maxT = oMin, oMax
+		return !s.res.full()
+	}
+	switch {
+	case ms != -1:
+		for _, pos := range s.e.out[ms] {
+			if md != -1 && s.e.g.EdgeAt(int(pos)).Dst != md {
+				continue
+			}
+			if !try(pos) {
+				break
+			}
+		}
+	case md != -1:
+		for _, pos := range s.e.in[md] {
+			if !try(pos) {
+				break
+			}
+		}
+	default:
+		key := [2]tgraph.Label{s.p.Labels[pe.Src], s.p.Labels[pe.Dst]}
+		for _, pos := range s.e.byPair[key] {
+			if !try(pos) {
+				break
+			}
+		}
+	}
+}
+
+func (s *ntState) bindPair(pe gspan.Edge, ge tgraph.Edge, fn func()) {
+	var boundSrc, boundDst bool
+	if s.mapping[pe.Src] == -1 {
+		if s.used[ge.Src] {
+			return
+		}
+		s.mapping[pe.Src] = ge.Src
+		s.used[ge.Src] = true
+		boundSrc = true
+	} else if s.mapping[pe.Src] != ge.Src {
+		return
+	}
+	if pe.Src != pe.Dst {
+		if s.mapping[pe.Dst] == -1 {
+			if s.used[ge.Dst] {
+				if boundSrc {
+					s.mapping[pe.Src] = -1
+					delete(s.used, ge.Src)
+				}
+				return
+			}
+			s.mapping[pe.Dst] = ge.Dst
+			s.used[ge.Dst] = true
+			boundDst = true
+		} else if s.mapping[pe.Dst] != ge.Dst {
+			if boundSrc {
+				s.mapping[pe.Src] = -1
+				delete(s.used, ge.Src)
+			}
+			return
+		}
+	}
+	fn()
+	if boundSrc {
+		s.mapping[pe.Src] = -1
+		delete(s.used, ge.Src)
+	}
+	if boundDst {
+		s.mapping[pe.Dst] = -1
+		delete(s.used, ge.Dst)
+	}
+}
+
+// connectedEdgeOrder orders pattern edges so each edge (after the first)
+// shares a node with an earlier edge; required for index-driven matching.
+func connectedEdgeOrder(p *gspan.Pattern) []gspan.Edge {
+	edges := append([]gspan.Edge(nil), p.E...)
+	if len(edges) <= 1 {
+		return edges
+	}
+	ordered := make([]gspan.Edge, 1, len(edges))
+	ordered[0] = edges[0]
+	rest := append([]gspan.Edge(nil), edges[1:]...)
+	seen := map[tgraph.NodeID]bool{edges[0].Src: true, edges[0].Dst: true}
+	for len(rest) > 0 {
+		found := -1
+		for i, e := range rest {
+			if seen[e.Src] || seen[e.Dst] {
+				found = i
+				break
+			}
+		}
+		if found == -1 {
+			// Disconnected pattern: fall back to remaining order (the
+			// index-free default branch handles it).
+			ordered = append(ordered, rest...)
+			break
+		}
+		e := rest[found]
+		seen[e.Src] = true
+		seen[e.Dst] = true
+		ordered = append(ordered, e)
+		rest = append(rest[:found], rest[found+1:]...)
+	}
+	return ordered
+}
+
+// resultSet deduplicates match intervals with a cap.
+type resultSet struct {
+	limit     int
+	seen      map[Match]bool
+	matches   []Match
+	truncated bool
+}
+
+func (r *resultSet) add(m Match) {
+	if r.seen == nil {
+		r.seen = make(map[Match]bool)
+	}
+	if r.seen[m] {
+		return
+	}
+	if len(r.matches) >= r.limit {
+		r.truncated = true
+		return
+	}
+	r.seen[m] = true
+	r.matches = append(r.matches, m)
+}
+
+func (r *resultSet) full() bool {
+	if len(r.matches) >= r.limit {
+		// The search stops as soon as the cap is reached, so further matches
+		// may exist; report the result as truncated.
+		r.truncated = true
+		return true
+	}
+	return r.truncated
+}
+
+func (r *resultSet) finish() Result {
+	sort.Slice(r.matches, func(i, j int) bool {
+		if r.matches[i].Start != r.matches[j].Start {
+			return r.matches[i].Start < r.matches[j].Start
+		}
+		return r.matches[i].End < r.matches[j].End
+	})
+	return Result{Matches: r.matches, Truncated: r.truncated}
+}
+
+// Union merges match sets, deduplicating intervals — the paper evaluates the
+// union of its top-5 queries per behavior.
+func Union(results ...Result) Result {
+	rs := &resultSet{limit: 1 << 30}
+	trunc := false
+	for _, r := range results {
+		trunc = trunc || r.Truncated
+		for _, m := range r.Matches {
+			rs.add(m)
+		}
+	}
+	out := rs.finish()
+	out.Truncated = trunc
+	return out
+}

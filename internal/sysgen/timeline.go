@@ -1,0 +1,185 @@
+package sysgen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"tgminer/internal/tgraph"
+)
+
+// TimelineConfig controls test-data generation: a single long temporal graph
+// with behavior instances embedded at known intervals into background
+// activity (Appendix L's ordinary-desktop collection).
+type TimelineConfig struct {
+	// Instances is the number of embedded behavior instances (paper: 10,000).
+	Instances int
+	// Scale multiplies instance and background sizes, as in Config.
+	Scale float64
+	// Seed drives all randomness.
+	Seed int64
+	// Behaviors restricts which behaviors are embedded (default: all 12).
+	Behaviors []string
+	// Corruption is the probability an embedded instance diverges from its
+	// footprint (default 0.08); corrupted instances are the main source of
+	// query false negatives, as in the paper's ~91% recall.
+	Corruption float64
+	// GapEdges is the expected number of background edges between
+	// consecutive instances (default: scaled background size / 4).
+	GapEdges int
+	// Decoys toggles background decoy injection (default true through
+	// DecoyProb below).
+	DecoyProb float64
+}
+
+func (c TimelineConfig) normalize() TimelineConfig {
+	if c.Instances <= 0 {
+		c.Instances = 10000
+	}
+	if c.Scale <= 0 {
+		c.Scale = 1.0
+	}
+	if len(c.Behaviors) == 0 {
+		for _, s := range Specs() {
+			c.Behaviors = append(c.Behaviors, s.Name)
+		}
+	}
+	if c.Corruption == 0 {
+		c.Corruption = 0.08
+	}
+	if c.GapEdges <= 0 {
+		c.GapEdges = scaled(Background().Edges, c.Scale, 8) / 4
+	}
+	if c.DecoyProb == 0 {
+		c.DecoyProb = 0.10
+	}
+	return c
+}
+
+// TruthInstance is one embedded behavior occurrence with its ground-truth
+// interval (inclusive tick range).
+type TruthInstance struct {
+	Behavior  string
+	Start     int64
+	End       int64
+	Corrupted bool
+}
+
+// Timeline is the generated test data: one large temporal graph, the
+// ground-truth instance intervals, and the longest observed instance
+// duration (the time window the paper's NodeSet baseline uses).
+type Timeline struct {
+	Graph  *tgraph.Graph
+	Truth  []TruthInstance
+	Window int64
+	Config TimelineConfig
+}
+
+// GenerateTimeline builds the test timeline. Labels are interned into dict
+// so test data is comparable with training data generated with the same
+// dict.
+func GenerateTimeline(cfg TimelineConfig, dict *tgraph.Dict) *Timeline {
+	cfg = cfg.normalize()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	genCfg := Config{Scale: cfg.Scale, Seed: cfg.Seed}.normalize()
+
+	var b tgraph.Builder
+	tick := int64(0)
+	tl := &Timeline{Config: cfg}
+
+	// appendGraph copies a locally generated graph into the big builder,
+	// remapping nodes and re-timestamping edges onto the global tick stream.
+	appendGraph := func(g *tgraph.Graph) (start, end int64) {
+		remap := make([]tgraph.NodeID, g.NumNodes())
+		for v := 0; v < g.NumNodes(); v++ {
+			remap[v] = b.AddNode(g.LabelOf(tgraph.NodeID(v)))
+		}
+		start = tick
+		for _, e := range g.Edges() {
+			if err := b.AddEdge(remap[e.Src], remap[e.Dst], tick); err != nil {
+				panic(err)
+			}
+			tick++
+		}
+		if tick == start {
+			return start, start
+		}
+		return start, tick - 1
+	}
+
+	appendBackgroundBurst := func(edges int) {
+		if edges <= 0 {
+			return
+		}
+		sub := Config{Scale: cfg.Scale, Seed: cfg.Seed,
+			ShuffledDecoyProb: cfg.DecoyProb, ScatterDecoyProb: cfg.DecoyProb}.normalize()
+		g := backgroundBurst(rng, dict, sub, edges)
+		appendGraph(g)
+	}
+
+	// Behaviors are embedded round-robin over a per-cycle shuffle so every
+	// behavior receives ~Instances/len(Behaviors) occurrences even in small
+	// timelines (the paper's 10,000-instance collection is balanced too).
+	order := append([]string(nil), cfg.Behaviors...)
+	for i := 0; i < cfg.Instances; i++ {
+		if i%len(order) == 0 {
+			rng.Shuffle(len(order), func(a, b int) { order[a], order[b] = order[b], order[a] })
+		}
+		appendBackgroundBurst(cfg.GapEdges/2 + rng.Intn(cfg.GapEdges+1))
+		name := order[i%len(order)]
+		spec, ok := SpecByName(name)
+		if !ok {
+			panic(fmt.Sprintf("sysgen: unknown behavior %q", name))
+		}
+		corrupted := rng.Float64() < cfg.Corruption
+		inst := Instance(rng, dict, spec, genCfg, corrupted)
+		start, end := appendGraph(inst)
+		tl.Truth = append(tl.Truth, TruthInstance{Behavior: name, Start: start, End: end, Corrupted: corrupted})
+		if d := end - start + 1; d > tl.Window {
+			tl.Window = d
+		}
+	}
+	appendBackgroundBurst(cfg.GapEdges)
+
+	g, err := b.Finalize()
+	if err != nil {
+		panic(err)
+	}
+	tl.Graph = g
+	return tl
+}
+
+// backgroundBurst generates a background fragment with approximately the
+// requested edge count.
+func backgroundBurst(rng *rand.Rand, dict *tgraph.Dict, cfg Config, edges int) *tgraph.Graph {
+	bg := Background()
+	labelPool := scaled(bg.Labels, cfg.Scale, 40)
+	var noise []event
+	specs := Specs()
+	if rng.Float64() < cfg.ShuffledDecoyProb {
+		spec := specs[rng.Intn(len(specs))]
+		block := append([]Step(nil), spec.Footprint...)
+		rng.Shuffle(len(block), func(i, j int) { block[i], block[j] = block[j], block[i] })
+		for _, s := range block {
+			noise = append(noise, event{src: s.Src, dst: s.Dst})
+		}
+	}
+	pick := func() string {
+		r := rng.Float64()
+		switch {
+		case r < 0.70:
+			return fmt.Sprintf("file:bg-%d", rng.Intn(labelPool))
+		case r < 0.88:
+			return CommonLabels[rng.Intn(len(CommonLabels))]
+		default:
+			return fmt.Sprintf("proc:bg-%d", rng.Intn(1+labelPool/8))
+		}
+	}
+	for len(noise) < edges {
+		src, dst := pick(), pick()
+		if src == dst {
+			continue
+		}
+		noise = append(noise, event{src: src, dst: dst})
+	}
+	return assemble(rng, dict, nil, noise, 0)
+}

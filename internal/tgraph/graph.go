@@ -1,0 +1,241 @@
+package tgraph
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// NodeID identifies a node within one Graph or Pattern. IDs are dense,
+// starting at 0.
+type NodeID int32
+
+// Edge is a directed edge (Src, Dst, Time) of a temporal graph. Timestamps
+// are non-negative integers; within a finalized Graph they are strictly
+// increasing in edge-slice order (total edge order).
+type Edge struct {
+	Src  NodeID
+	Dst  NodeID
+	Time int64
+}
+
+// Graph is a finalized temporal graph: node labels plus edges sorted by
+// strictly increasing timestamp. Graphs are immutable after Finalize; the
+// mining and search layers build read-only indexes on top of them.
+type Graph struct {
+	labels []Label
+	edges  []Edge
+
+	// lastOcc[l] is the largest edge position at which a node labeled l is an
+	// endpoint, or -1. Built on Finalize; used for residual label-set tests.
+	lastOcc map[Label]int32
+
+	// incident[v] lists the positions of edges having v as an endpoint, in
+	// increasing position order. Built on Finalize; used by pattern growth.
+	incident [][]int32
+}
+
+// ErrNotTotallyOrdered is reported by Finalize when two edges share a
+// timestamp. Use Sequentialize to impose an artificial total order first
+// (Section 5 of the paper).
+var ErrNotTotallyOrdered = errors.New("tgraph: edges are not totally ordered (duplicate timestamps)")
+
+// Builder incrementally assembles a temporal graph. The zero value is ready
+// to use.
+type Builder struct {
+	labels []Label
+	edges  []Edge
+}
+
+// AddNode appends a node with the given label and returns its NodeID.
+func (b *Builder) AddNode(l Label) NodeID {
+	b.labels = append(b.labels, l)
+	return NodeID(len(b.labels) - 1)
+}
+
+// AddEdge appends a directed edge. Endpoints must already exist.
+func (b *Builder) AddEdge(src, dst NodeID, t int64) error {
+	n := NodeID(len(b.labels))
+	if src < 0 || src >= n || dst < 0 || dst >= n {
+		return fmt.Errorf("tgraph: edge (%d,%d,%d) references unknown node (graph has %d nodes)", src, dst, t, n)
+	}
+	if t < 0 {
+		return fmt.Errorf("tgraph: edge (%d,%d,%d) has negative timestamp", src, dst, t)
+	}
+	b.edges = append(b.edges, Edge{Src: src, Dst: dst, Time: t})
+	return nil
+}
+
+// NumNodes reports the number of nodes added so far.
+func (b *Builder) NumNodes() int { return len(b.labels) }
+
+// NumEdges reports the number of edges added so far.
+func (b *Builder) NumEdges() int { return len(b.edges) }
+
+// Finalize sorts the edges by timestamp, validates the total order, and
+// returns the immutable Graph. The builder must not be reused afterwards.
+func (b *Builder) Finalize() (*Graph, error) {
+	edges := b.edges
+	sort.SliceStable(edges, func(i, j int) bool { return edges[i].Time < edges[j].Time })
+	for i := 1; i < len(edges); i++ {
+		if edges[i].Time == edges[i-1].Time {
+			return nil, fmt.Errorf("%w: timestamp %d", ErrNotTotallyOrdered, edges[i].Time)
+		}
+	}
+	g := &Graph{labels: b.labels, edges: edges}
+	g.buildIndexes()
+	return g, nil
+}
+
+// Sequentialize imposes an artificial strict total order on edges that share
+// timestamps, implementing the data-collector policy discussed in Section 5
+// of the paper. Ties are broken deterministically by (Src, Dst, insertion
+// order), and the resulting timestamps are renumbered 0..|E|-1. It returns
+// the finalized graph.
+func (b *Builder) Sequentialize() (*Graph, error) {
+	type keyed struct {
+		e   Edge
+		idx int
+	}
+	ks := make([]keyed, len(b.edges))
+	for i, e := range b.edges {
+		ks[i] = keyed{e: e, idx: i}
+	}
+	sort.SliceStable(ks, func(i, j int) bool {
+		a, bb := ks[i], ks[j]
+		if a.e.Time != bb.e.Time {
+			return a.e.Time < bb.e.Time
+		}
+		if a.e.Src != bb.e.Src {
+			return a.e.Src < bb.e.Src
+		}
+		if a.e.Dst != bb.e.Dst {
+			return a.e.Dst < bb.e.Dst
+		}
+		return a.idx < bb.idx
+	})
+	edges := make([]Edge, len(ks))
+	for i, k := range ks {
+		edges[i] = Edge{Src: k.e.Src, Dst: k.e.Dst, Time: int64(i)}
+	}
+	g := &Graph{labels: b.labels, edges: edges}
+	g.buildIndexes()
+	return g, nil
+}
+
+func (g *Graph) buildIndexes() {
+	g.lastOcc = make(map[Label]int32)
+	g.incident = make([][]int32, len(g.labels))
+	for pos, e := range g.edges {
+		p := int32(pos)
+		g.lastOcc[g.labels[e.Src]] = p
+		g.lastOcc[g.labels[e.Dst]] = p
+		g.incident[e.Src] = append(g.incident[e.Src], p)
+		if e.Dst != e.Src {
+			g.incident[e.Dst] = append(g.incident[e.Dst], p)
+		}
+	}
+}
+
+// NumNodes reports |V|.
+func (g *Graph) NumNodes() int { return len(g.labels) }
+
+// NumEdges reports |E|.
+func (g *Graph) NumEdges() int { return len(g.edges) }
+
+// LabelOf returns the label of node v.
+func (g *Graph) LabelOf(v NodeID) Label { return g.labels[v] }
+
+// Labels returns the node label slice indexed by NodeID. The returned slice
+// must not be modified.
+func (g *Graph) Labels() []Label { return g.labels }
+
+// EdgeAt returns the edge at position pos in total-order position.
+func (g *Graph) EdgeAt(pos int) Edge { return g.edges[pos] }
+
+// Edges returns the edges in increasing timestamp order. The returned slice
+// must not be modified.
+func (g *Graph) Edges() []Edge { return g.edges }
+
+// Incident returns the positions of edges incident to v (as source or
+// destination) in increasing position order. The returned slice must not be
+// modified.
+func (g *Graph) Incident(v NodeID) []int32 { return g.incident[v] }
+
+// LastOccurrence returns the largest edge position at which a node labeled l
+// appears as an endpoint, or -1 if l does not occur. Residual-graph label
+// tests use this: label l occurs in the residual graph after position pos
+// iff LastOccurrence(l) > pos.
+func (g *Graph) LastOccurrence(l Label) int32 {
+	if p, ok := g.lastOcc[l]; ok {
+		return p
+	}
+	return -1
+}
+
+// HasLabel reports whether any node with label l is an edge endpoint.
+func (g *Graph) HasLabel(l Label) bool {
+	_, ok := g.lastOcc[l]
+	return ok
+}
+
+// EndpointLabels returns the set of labels that occur on edge endpoints.
+func (g *Graph) EndpointLabels() map[Label]bool {
+	out := make(map[Label]bool, len(g.lastOcc))
+	for l := range g.lastOcc {
+		out[l] = true
+	}
+	return out
+}
+
+// IsTConnected reports whether the graph is T-connected: for every prefix of
+// the edge sequence (in timestamp order), the graph formed by that prefix is
+// connected when edge direction is ignored.
+func (g *Graph) IsTConnected() bool {
+	return isTConnected(len(g.labels), func(i int) (NodeID, NodeID) {
+		e := g.edges[i]
+		return e.Src, e.Dst
+	}, len(g.edges))
+}
+
+// isTConnected runs the incremental prefix-connectivity check shared by
+// Graph and Pattern. edgeAt yields the endpoints of the i-th edge in
+// timestamp order.
+func isTConnected(numNodes int, edgeAt func(int) (NodeID, NodeID), numEdges int) bool {
+	if numEdges == 0 {
+		return numNodes <= 1
+	}
+	seen := make([]bool, numNodes)
+	s, d := edgeAt(0)
+	seen[s] = true
+	seen[d] = true
+	for i := 1; i < numEdges; i++ {
+		s, d = edgeAt(i)
+		su, du := seen[s], seen[d]
+		if !su && !du {
+			return false
+		}
+		seen[s] = true
+		seen[d] = true
+	}
+	return true
+}
+
+// String renders the graph in a compact debugging form.
+func (g *Graph) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Graph{V=%d E=%d;", len(g.labels), len(g.edges))
+	for i, e := range g.edges {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		fmt.Fprintf(&sb, " %d:%d->%d@%d", g.labels[e.Src], e.Src, e.Dst, e.Time)
+		if i >= 24 {
+			sb.WriteString(" ...")
+			break
+		}
+	}
+	sb.WriteByte('}')
+	return sb.String()
+}

@@ -1,0 +1,308 @@
+package tgraph
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func mustGraph(t *testing.T, labels []Label, edges []Edge) *Graph {
+	t.Helper()
+	var b Builder
+	for _, l := range labels {
+		b.AddNode(l)
+	}
+	for _, e := range edges {
+		if err := b.AddEdge(e.Src, e.Dst, e.Time); err != nil {
+			t.Fatalf("AddEdge(%v): %v", e, err)
+		}
+	}
+	g, err := b.Finalize()
+	if err != nil {
+		t.Fatalf("Finalize: %v", err)
+	}
+	return g
+}
+
+func TestDictInternLookup(t *testing.T) {
+	d := NewDict()
+	a := d.Intern("sshd")
+	b := d.Intern("bash")
+	if a == b {
+		t.Fatalf("distinct names got same label %d", a)
+	}
+	if got := d.Intern("sshd"); got != a {
+		t.Errorf("Intern(sshd) second call = %d, want %d", got, a)
+	}
+	if got := d.Lookup("bash"); got != b {
+		t.Errorf("Lookup(bash) = %d, want %d", got, b)
+	}
+	if got := d.Lookup("nope"); got != NoLabel {
+		t.Errorf("Lookup(nope) = %d, want NoLabel", got)
+	}
+	if d.Name(a) != "sshd" || d.Name(b) != "bash" {
+		t.Errorf("Name round trip failed: %q %q", d.Name(a), d.Name(b))
+	}
+	if d.Len() != 2 {
+		t.Errorf("Len = %d, want 2", d.Len())
+	}
+}
+
+func TestDictNamePanicsOutOfRange(t *testing.T) {
+	d := NewDict()
+	defer func() {
+		if recover() == nil {
+			t.Errorf("Name(99) did not panic")
+		}
+	}()
+	d.Name(99)
+}
+
+func TestBuilderFinalizeSortsEdges(t *testing.T) {
+	g := mustGraph(t, []Label{0, 1, 2}, []Edge{
+		{Src: 1, Dst: 2, Time: 30},
+		{Src: 0, Dst: 1, Time: 10},
+		{Src: 0, Dst: 2, Time: 20},
+	})
+	want := []int64{10, 20, 30}
+	for i, e := range g.Edges() {
+		if e.Time != want[i] {
+			t.Errorf("edge %d time = %d, want %d", i, e.Time, want[i])
+		}
+	}
+}
+
+func TestBuilderRejectsUnknownNode(t *testing.T) {
+	var b Builder
+	b.AddNode(0)
+	if err := b.AddEdge(0, 5, 1); err == nil {
+		t.Errorf("AddEdge to unknown node succeeded")
+	}
+	if err := b.AddEdge(-1, 0, 1); err == nil {
+		t.Errorf("AddEdge from negative node succeeded")
+	}
+}
+
+func TestBuilderRejectsNegativeTimestamp(t *testing.T) {
+	var b Builder
+	b.AddNode(0)
+	b.AddNode(1)
+	if err := b.AddEdge(0, 1, -5); err == nil {
+		t.Errorf("AddEdge with negative timestamp succeeded")
+	}
+}
+
+func TestFinalizeRejectsDuplicateTimestamps(t *testing.T) {
+	var b Builder
+	b.AddNode(0)
+	b.AddNode(1)
+	if err := b.AddEdge(0, 1, 7); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.AddEdge(1, 0, 7); err != nil {
+		t.Fatal(err)
+	}
+	_, err := b.Finalize()
+	if !errors.Is(err, ErrNotTotallyOrdered) {
+		t.Errorf("Finalize error = %v, want ErrNotTotallyOrdered", err)
+	}
+}
+
+func TestSequentializeBreaksTies(t *testing.T) {
+	var b Builder
+	b.AddNode(0)
+	b.AddNode(1)
+	b.AddNode(2)
+	for _, e := range []Edge{{0, 1, 7}, {1, 2, 7}, {0, 2, 3}} {
+		if err := b.AddEdge(e.Src, e.Dst, e.Time); err != nil {
+			t.Fatal(err)
+		}
+	}
+	g, err := b.Sequentialize()
+	if err != nil {
+		t.Fatalf("Sequentialize: %v", err)
+	}
+	if g.NumEdges() != 3 {
+		t.Fatalf("NumEdges = %d, want 3", g.NumEdges())
+	}
+	// Edge (0,2,3) sorts first; ties (0,1,7) < (1,2,7) by Src.
+	wantOrder := []Edge{{0, 2, 0}, {0, 1, 1}, {1, 2, 2}}
+	for i, want := range wantOrder {
+		if g.EdgeAt(i) != want {
+			t.Errorf("edge %d = %v, want %v", i, g.EdgeAt(i), want)
+		}
+	}
+}
+
+func TestSequentializeDeterministic(t *testing.T) {
+	build := func() *Graph {
+		var b Builder
+		for i := 0; i < 5; i++ {
+			b.AddNode(Label(i % 2))
+		}
+		for i := 0; i < 10; i++ {
+			if err := b.AddEdge(NodeID(i%5), NodeID((i+1)%5), int64(i%3)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		g, err := b.Sequentialize()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return g
+	}
+	g1, g2 := build(), build()
+	for i := range g1.Edges() {
+		if g1.EdgeAt(i) != g2.EdgeAt(i) {
+			t.Fatalf("non-deterministic sequentialize at edge %d: %v vs %v", i, g1.EdgeAt(i), g2.EdgeAt(i))
+		}
+	}
+}
+
+func TestLastOccurrence(t *testing.T) {
+	g := mustGraph(t, []Label{10, 20, 10}, []Edge{
+		{Src: 0, Dst: 1, Time: 1}, // labels 10,20 at pos 0
+		{Src: 1, Dst: 2, Time: 2}, // labels 20,10 at pos 1
+	})
+	if got := g.LastOccurrence(10); got != 1 {
+		t.Errorf("LastOccurrence(10) = %d, want 1", got)
+	}
+	if got := g.LastOccurrence(20); got != 1 {
+		t.Errorf("LastOccurrence(20) = %d, want 1", got)
+	}
+	if got := g.LastOccurrence(99); got != -1 {
+		t.Errorf("LastOccurrence(99) = %d, want -1", got)
+	}
+	if g.HasLabel(99) {
+		t.Errorf("HasLabel(99) = true")
+	}
+	if !g.HasLabel(20) {
+		t.Errorf("HasLabel(20) = false")
+	}
+}
+
+func TestIncidentIndex(t *testing.T) {
+	g := mustGraph(t, []Label{0, 0, 0}, []Edge{
+		{Src: 0, Dst: 1, Time: 1},
+		{Src: 1, Dst: 2, Time: 2},
+		{Src: 0, Dst: 2, Time: 3},
+		{Src: 1, Dst: 1, Time: 4}, // self loop appears once
+	})
+	if got := g.Incident(0); len(got) != 2 || got[0] != 0 || got[1] != 2 {
+		t.Errorf("Incident(0) = %v, want [0 2]", got)
+	}
+	if got := g.Incident(1); len(got) != 3 || got[0] != 0 || got[1] != 1 || got[2] != 3 {
+		t.Errorf("Incident(1) = %v, want [0 1 3]", got)
+	}
+}
+
+func TestIsTConnected(t *testing.T) {
+	// Figure 3 style: G1 connected in every prefix.
+	conn := mustGraph(t, []Label{0, 1, 2}, []Edge{
+		{Src: 0, Dst: 1, Time: 1},
+		{Src: 1, Dst: 2, Time: 2},
+		{Src: 0, Dst: 2, Time: 3},
+	})
+	if !conn.IsTConnected() {
+		t.Errorf("connected graph reported non-T-connected")
+	}
+	// Edge 2 is disconnected from edge 1's component when it arrives.
+	disc := mustGraph(t, []Label{0, 1, 2, 3}, []Edge{
+		{Src: 0, Dst: 1, Time: 1},
+		{Src: 2, Dst: 3, Time: 2},
+		{Src: 1, Dst: 2, Time: 3},
+	})
+	if disc.IsTConnected() {
+		t.Errorf("disconnected prefix reported T-connected")
+	}
+	empty := mustGraph(t, []Label{0}, nil)
+	if !empty.IsTConnected() {
+		t.Errorf("single-node empty graph should be T-connected")
+	}
+	twoIso := mustGraph(t, []Label{0, 1}, nil)
+	if twoIso.IsTConnected() {
+		t.Errorf("two isolated nodes should not be T-connected")
+	}
+}
+
+// randomTConnectedPattern builds a random pattern via consecutive growth, so
+// it is T-connected by construction.
+func randomTConnectedPattern(rng *rand.Rand, maxEdges int, labelRange int) *Pattern {
+	p := SingleEdgePattern(Label(rng.Intn(labelRange)), Label(rng.Intn(labelRange)), false)
+	m := 1 + rng.Intn(maxEdges)
+	for p.NumEdges() < m {
+		switch rng.Intn(3) {
+		case 0:
+			p = p.GrowForward(NodeID(rng.Intn(p.NumNodes())), Label(rng.Intn(labelRange)))
+		case 1:
+			p = p.GrowBackward(Label(rng.Intn(labelRange)), NodeID(rng.Intn(p.NumNodes())))
+		default:
+			p = p.GrowInward(NodeID(rng.Intn(p.NumNodes())), NodeID(rng.Intn(p.NumNodes())))
+		}
+	}
+	return p
+}
+
+func TestConsecutiveGrowthAlwaysTConnected(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 200; i++ {
+		p := randomTConnectedPattern(rng, 12, 4)
+		if !p.IsTConnected() {
+			t.Fatalf("consecutive growth produced non-T-connected pattern: %v", p)
+		}
+	}
+}
+
+func TestTConnectedQuick(t *testing.T) {
+	// Property: a pattern whose prefix connectivity holds per the incremental
+	// check agrees with an explicit union-find recomputation per prefix.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := randomTConnectedPattern(rng, 10, 3)
+		g := p.AsGraph()
+		return g.IsTConnected() == bruteTConnected(g)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func bruteTConnected(g *Graph) bool {
+	edges := g.Edges()
+	if len(edges) == 0 {
+		return g.NumNodes() <= 1
+	}
+	for prefix := 1; prefix <= len(edges); prefix++ {
+		// Union-find over nodes touched by the prefix.
+		parent := map[NodeID]NodeID{}
+		var find func(NodeID) NodeID
+		find = func(x NodeID) NodeID {
+			if parent[x] == x {
+				return x
+			}
+			r := find(parent[x])
+			parent[x] = r
+			return r
+		}
+		touch := func(x NodeID) {
+			if _, ok := parent[x]; !ok {
+				parent[x] = x
+			}
+		}
+		for i := 0; i < prefix; i++ {
+			touch(edges[i].Src)
+			touch(edges[i].Dst)
+			a, b := find(edges[i].Src), find(edges[i].Dst)
+			parent[a] = b
+		}
+		roots := map[NodeID]bool{}
+		for v := range parent {
+			roots[find(v)] = true
+		}
+		if len(roots) != 1 {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,145 @@
+// Package vf2 implements a modified VF2 subgraph-isomorphism algorithm for
+// temporal subgraph tests, the PruneVF2 baseline of the TGMiner paper
+// (Section 6.1, baseline 4; Cordella et al. [5] adapted to totally ordered
+// edges).
+//
+// The classic VF2 maps nodes one at a time with feasibility rules; for
+// temporal graphs the natural modification matches pattern edges in
+// timestamp order, extending the node mapping as new endpoints appear. This
+// preserves VF2's state-space search structure (consistency checks on each
+// extension, no sequence encoding, no memoization) and is the intended
+// slower comparison point for the sequence-test algorithm in
+// internal/seqcode.
+package vf2
+
+import (
+	"tgminer/internal/tgraph"
+)
+
+// Tester performs temporal subgraph tests via the modified VF2 search. The
+// zero value is ready to use.
+type Tester struct {
+	// Tests counts Test invocations.
+	Tests int64
+	// States counts search states expanded (edge-candidate bindings tried).
+	States int64
+}
+
+// Name identifies the tester in benchmark output.
+func (t *Tester) Name() string { return "vf2" }
+
+// Test reports whether g1 ⊆t g2 and, if so, returns the node mapping from g1
+// nodes to g2 nodes (-1 for g1 nodes not incident to any edge).
+func (t *Tester) Test(g1, g2 *tgraph.Pattern) ([]tgraph.NodeID, bool) {
+	t.Tests++
+	return subsumes(g1, g2, &t.States)
+}
+
+// Subsumes reports whether g1 ⊆t g2, discarding search statistics.
+func Subsumes(g1, g2 *tgraph.Pattern) ([]tgraph.NodeID, bool) {
+	var n int64
+	return subsumes(g1, g2, &n)
+}
+
+func subsumes(g1, g2 *tgraph.Pattern, states *int64) ([]tgraph.NodeID, bool) {
+	if g1.NumEdges() > g2.NumEdges() || g1.NumNodes() > g2.NumNodes() {
+		return nil, false
+	}
+	s := &state{g1: g1, g2: g2, states: states}
+	s.mapping = make([]tgraph.NodeID, g1.NumNodes())
+	for i := range s.mapping {
+		s.mapping[i] = -1
+	}
+	s.used = make([]bool, g2.NumNodes())
+	if s.match(0, 0) {
+		return s.mapping, true
+	}
+	return nil, false
+}
+
+type state struct {
+	g1, g2  *tgraph.Pattern
+	mapping []tgraph.NodeID
+	used    []bool
+	states  *int64
+}
+
+// match tries to embed g1 edges [i:] into g2 edges at positions >= from.
+func (s *state) match(i, from int) bool {
+	e1 := s.g1.Edges()
+	if i == len(e1) {
+		return true
+	}
+	e2 := s.g2.Edges()
+	pe := e1[i]
+	// Enough edges must remain in g2 to host the rest of g1.
+	limit := len(e2) - (len(e1) - i)
+	for p := from; p <= limit; p++ {
+		ge := e2[p]
+		su, sv, ok := s.feasible(pe, ge)
+		if !ok {
+			continue
+		}
+		*s.states++
+		if su {
+			s.mapping[pe.Src] = ge.Src
+			s.used[ge.Src] = true
+		}
+		if sv {
+			s.mapping[pe.Dst] = ge.Dst
+			s.used[ge.Dst] = true
+		}
+		if s.match(i+1, p+1) {
+			return true
+		}
+		if su {
+			s.mapping[pe.Src] = -1
+			s.used[ge.Src] = false
+		}
+		if sv {
+			s.mapping[pe.Dst] = -1
+			s.used[ge.Dst] = false
+		}
+	}
+	return false
+}
+
+// feasible checks VF2-style consistency of binding pattern edge pe to graph
+// edge ge, returning whether the source and/or destination binding is new.
+func (s *state) feasible(pe, ge tgraph.PEdge) (newSrc, newDst, ok bool) {
+	ms, md := s.mapping[pe.Src], s.mapping[pe.Dst]
+	switch {
+	case ms != -1 && ms != ge.Src:
+		return false, false, false
+	case ms == -1:
+		if s.used[ge.Src] || s.g1.LabelOf(pe.Src) != s.g2.LabelOf(ge.Src) {
+			return false, false, false
+		}
+		newSrc = true
+	}
+	// Self-loop in the pattern must map to a self-loop in the graph.
+	if pe.Src == pe.Dst {
+		if ge.Src != ge.Dst {
+			return false, false, false
+		}
+		return newSrc, false, true
+	}
+	if ge.Src == ge.Dst {
+		// Distinct pattern endpoints cannot share a graph node.
+		return false, false, false
+	}
+	switch {
+	case md != -1 && md != ge.Dst:
+		return false, false, false
+	case md == -1:
+		if s.g1.LabelOf(pe.Dst) != s.g2.LabelOf(ge.Dst) {
+			return false, false, false
+		}
+		// ge.Dst may have just been claimed by a new source binding.
+		if s.used[ge.Dst] || (newSrc && ge.Src == ge.Dst) {
+			return false, false, false
+		}
+		newDst = true
+	}
+	return newSrc, newDst, true
+}

@@ -1,0 +1,107 @@
+package vf2
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"tgminer/internal/seqcode"
+	"tgminer/internal/tgraph"
+)
+
+func randomPattern(rng *rand.Rand, maxEdges, labelRange int) *tgraph.Pattern {
+	p := tgraph.SingleEdgePattern(tgraph.Label(rng.Intn(labelRange)), tgraph.Label(rng.Intn(labelRange)), rng.Intn(8) == 0)
+	m := 1 + rng.Intn(maxEdges)
+	for p.NumEdges() < m {
+		switch rng.Intn(3) {
+		case 0:
+			p = p.GrowForward(tgraph.NodeID(rng.Intn(p.NumNodes())), tgraph.Label(rng.Intn(labelRange)))
+		case 1:
+			p = p.GrowBackward(tgraph.Label(rng.Intn(labelRange)), tgraph.NodeID(rng.Intn(p.NumNodes())))
+		default:
+			p = p.GrowInward(tgraph.NodeID(rng.Intn(p.NumNodes())), tgraph.NodeID(rng.Intn(p.NumNodes())))
+		}
+	}
+	return p
+}
+
+func TestVF2AgreesWithSeqcodeQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g1 := randomPattern(rng, 4, 2)
+		g2 := randomPattern(rng, 8, 2)
+		_, gotVF2 := Subsumes(g1, g2)
+		_, gotSeq := seqcode.Subsumes(g1, g2)
+		if gotVF2 != gotSeq {
+			t.Logf("seed=%d disagreement: vf2=%v seq=%v\n g1=%v\n g2=%v", seed, gotVF2, gotSeq, g1, g2)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestVF2SelfLoop(t *testing.T) {
+	loop := tgraph.SingleEdgePattern(0, 0, true)
+	host, err := tgraph.NewPattern([]tgraph.Label{1, 0}, []tgraph.PEdge{{Src: 0, Dst: 1}, {Src: 1, Dst: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, ok := Subsumes(loop, host)
+	if !ok {
+		t.Fatalf("self loop not found")
+	}
+	if m[0] != 1 {
+		t.Errorf("mapping = %v, want node 1", m)
+	}
+	plain := tgraph.SingleEdgePattern(0, 0, false)
+	if _, ok := Subsumes(plain, host); ok {
+		t.Errorf("two-node A->A pattern matched self-loop-only host")
+	}
+}
+
+func TestVF2MappingValid(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 200; i++ {
+		g1 := randomPattern(rng, 4, 3)
+		g2 := g1
+		for j := 0; j < rng.Intn(4); j++ {
+			g2 = g2.GrowForward(tgraph.NodeID(rng.Intn(g2.NumNodes())), tgraph.Label(rng.Intn(3)))
+		}
+		m, ok := Subsumes(g1, g2)
+		if !ok {
+			t.Fatalf("self-embed failed: %v in %v", g1, g2)
+		}
+		// Injectivity and label preservation.
+		seen := map[tgraph.NodeID]bool{}
+		for v1, v2 := range m {
+			if v2 == -1 {
+				continue
+			}
+			if g1.LabelOf(tgraph.NodeID(v1)) != g2.LabelOf(v2) {
+				t.Fatalf("label mismatch in mapping %v", m)
+			}
+			if seen[v2] {
+				t.Fatalf("non-injective mapping %v", m)
+			}
+			seen[v2] = true
+		}
+	}
+}
+
+func TestVF2TesterCounts(t *testing.T) {
+	var tt Tester
+	g := tgraph.SingleEdgePattern(0, 1, false)
+	h, _ := tgraph.NewPattern([]tgraph.Label{0, 1, 1}, []tgraph.PEdge{{Src: 0, Dst: 1}, {Src: 0, Dst: 2}})
+	if _, ok := tt.Test(g, h); !ok {
+		t.Fatalf("embed failed")
+	}
+	if tt.Tests != 1 || tt.States == 0 {
+		t.Errorf("stats not recorded: tests=%d states=%d", tt.Tests, tt.States)
+	}
+	if tt.Name() != "vf2" {
+		t.Errorf("Name = %q", tt.Name())
+	}
+}

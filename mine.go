@@ -1,0 +1,237 @@
+package tgminer
+
+import (
+	"fmt"
+
+	"tgminer/internal/core"
+	"tgminer/internal/gspan"
+	"tgminer/internal/miner"
+	"tgminer/internal/nodeset"
+	"tgminer/internal/rank"
+	"tgminer/internal/score"
+)
+
+// Algorithm selects a mining algorithm variant (Section 6.1 of the paper).
+type Algorithm string
+
+// Mining algorithm variants. TGMiner is the full algorithm; the others are
+// the paper's efficiency baselines, exposed for ablation studies.
+const (
+	AlgoTGMiner    Algorithm = "tgminer"
+	AlgoSubPrune   Algorithm = "subprune"
+	AlgoSupPrune   Algorithm = "supprune"
+	AlgoPruneGI    Algorithm = "prunegi"
+	AlgoPruneVF2   Algorithm = "prunevf2"
+	AlgoLinearScan Algorithm = "linearscan"
+	AlgoExhaustive Algorithm = "exhaustive"
+)
+
+func (a Algorithm) options() (miner.Options, error) {
+	switch a {
+	case AlgoTGMiner, "":
+		return miner.TGMinerOptions(), nil
+	case AlgoSubPrune:
+		return miner.SubPruneOptions(), nil
+	case AlgoSupPrune:
+		return miner.SupPruneOptions(), nil
+	case AlgoPruneGI:
+		return miner.PruneGIOptions(), nil
+	case AlgoPruneVF2:
+		return miner.PruneVF2Options(), nil
+	case AlgoLinearScan:
+		return miner.LinearScanOptions(), nil
+	case AlgoExhaustive:
+		return miner.ExhaustiveOptions(), nil
+	default:
+		return miner.Options{}, fmt.Errorf("tgminer: unknown algorithm %q", a)
+	}
+}
+
+// MineOptions configures Mine.
+type MineOptions struct {
+	// Algorithm selects the variant (default AlgoTGMiner).
+	Algorithm Algorithm
+	// ScoreFunc names the discriminative score function: "log-ratio"
+	// (default), "g-test", or "info-gain".
+	ScoreFunc string
+	// MaxEdges bounds pattern size (default 6).
+	MaxEdges int
+	// MaxResults caps retained tied best patterns (default 512).
+	MaxResults int
+}
+
+// MinedPattern is a discovered pattern with its statistics.
+type MinedPattern struct {
+	Pattern *Pattern
+	Score   float64
+	PosFreq float64
+	NegFreq float64
+}
+
+// MineStats are search counters (see the paper's Table 3).
+type MineStats = miner.Stats
+
+// MineResult is the outcome of Mine.
+type MineResult struct {
+	// Best holds the maximum-score patterns (ties), up to MaxResults.
+	Best []MinedPattern
+	// BestScore is F*.
+	BestScore float64
+	// TieCount is the exact number of maximum-score patterns found.
+	TieCount int
+	// Stats are the search counters.
+	Stats MineStats
+}
+
+// Mine finds the most discriminative T-connected temporal patterns
+// distinguishing pos from neg.
+func Mine(pos, neg []*Graph, opts MineOptions) (*MineResult, error) {
+	mo, err := opts.Algorithm.options()
+	if err != nil {
+		return nil, err
+	}
+	if opts.ScoreFunc != "" {
+		f, err := score.ByName(opts.ScoreFunc)
+		if err != nil {
+			return nil, err
+		}
+		mo.Score = f
+	}
+	if opts.MaxEdges > 0 {
+		mo.MaxEdges = opts.MaxEdges
+	}
+	if opts.MaxResults > 0 {
+		mo.MaxResults = opts.MaxResults
+	}
+	res, err := miner.Mine(pos, neg, mo)
+	if err != nil {
+		return nil, err
+	}
+	out := &MineResult{BestScore: res.BestScore, TieCount: res.TieCount, Stats: res.Stats}
+	for _, sp := range res.Best {
+		out.Best = append(out.Best, MinedPattern{
+			Pattern: sp.Pattern, Score: sp.Score, PosFreq: sp.PosFreq, NegFreq: sp.NegFreq,
+		})
+	}
+	return out, nil
+}
+
+// TopKResult is the outcome of MineTopK.
+type TopKResult struct {
+	// Patterns are the K highest-scoring distinct patterns, best first.
+	Patterns []MinedPattern
+	// Threshold is the K-th best score (the final pruning bound).
+	Threshold float64
+	Stats     MineStats
+}
+
+// MineTopK returns the K highest-scoring T-connected temporal patterns, a
+// ranked shortlist rather than the paper's tied-maximum set. Exact: only
+// upper-bound pruning is applied (the subgraph/supergraph prunings preserve
+// just the maximum, so they are disabled here; see internal/miner).
+func MineTopK(pos, neg []*Graph, k int, opts MineOptions) (*TopKResult, error) {
+	mo, err := opts.Algorithm.options()
+	if err != nil {
+		return nil, err
+	}
+	if opts.ScoreFunc != "" {
+		f, err := score.ByName(opts.ScoreFunc)
+		if err != nil {
+			return nil, err
+		}
+		mo.Score = f
+	}
+	if opts.MaxEdges > 0 {
+		mo.MaxEdges = opts.MaxEdges
+	}
+	res, err := miner.MineTopK(pos, neg, k, mo)
+	if err != nil {
+		return nil, err
+	}
+	out := &TopKResult{Threshold: res.Threshold, Stats: res.Stats}
+	for _, sp := range res.Patterns {
+		out.Patterns = append(out.Patterns, MinedPattern{
+			Pattern: sp.Pattern, Score: sp.Score, PosFreq: sp.PosFreq, NegFreq: sp.NegFreq,
+		})
+	}
+	return out, nil
+}
+
+// Interest is the Appendix M domain-knowledge ranking function.
+type Interest = rank.Interest
+
+// NewInterest builds the ranking function over training graphs. Labels
+// whose names contain any blacklist substring score zero; nil uses the
+// paper's default blacklist.
+func NewInterest(graphs []*Graph, dict *Dict, blacklistSubstrings []string) *Interest {
+	return rank.NewInterest(graphs, dict, blacklistSubstrings)
+}
+
+// QueryOptions configures DiscoverQueries.
+type QueryOptions struct {
+	// QuerySize is the number of edges per query (default 6).
+	QuerySize int
+	// TopK is the number of queries returned (default 5).
+	TopK int
+	// Algorithm selects the mining variant (default AlgoTGMiner).
+	Algorithm Algorithm
+	// Interest ranks tied patterns; optional.
+	Interest *Interest
+}
+
+// BehaviorQueries is the result of query discovery.
+type BehaviorQueries struct {
+	// Queries are the top-k behavior queries, best first.
+	Queries []*Pattern
+	// BestScore is the maximum discriminative score.
+	BestScore float64
+	// Stats are the mining counters.
+	Stats MineStats
+}
+
+// DiscoverQueries runs the full pipeline of the paper's Figure 2: mine,
+// rank ties by interest, return the top-k behavior queries.
+func DiscoverQueries(pos, neg []*Graph, opts QueryOptions) (*BehaviorQueries, error) {
+	mo, err := opts.Algorithm.options()
+	if err != nil {
+		return nil, err
+	}
+	bq, err := core.DiscoverQueries(pos, neg, core.QueryConfig{
+		QuerySize: opts.QuerySize,
+		TopK:      opts.TopK,
+		Miner:     &mo,
+		Interest:  opts.Interest,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &BehaviorQueries{Queries: bq.Queries, BestScore: bq.BestScore, Stats: bq.Mining.Stats}, nil
+}
+
+// NonTemporalPattern is a collapsed (order-free) graph pattern, the query
+// type of the paper's Ntemp baseline.
+type NonTemporalPattern = gspan.Pattern
+
+// DiscoverNonTemporalQueries runs the Ntemp baseline pipeline.
+func DiscoverNonTemporalQueries(pos, neg []*Graph, opts QueryOptions) ([]*NonTemporalPattern, error) {
+	nq, err := core.DiscoverNonTemporalQueries(pos, neg, core.QueryConfig{
+		QuerySize: opts.QuerySize,
+		TopK:      opts.TopK,
+		Interest:  opts.Interest,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return nq.Queries, nil
+}
+
+// LabelSetQuery is a NodeSet baseline query: a label multiset.
+type LabelSetQuery = nodeset.Query
+
+// DiscoverLabelSetQuery runs the NodeSet baseline pipeline.
+func DiscoverLabelSetQuery(pos, neg []*Graph, opts QueryOptions) (*LabelSetQuery, error) {
+	return core.DiscoverNodeSetQuery(pos, neg, core.QueryConfig{
+		QuerySize: opts.QuerySize,
+		TopK:      opts.TopK,
+	}, opts.Interest)
+}

@@ -1,0 +1,80 @@
+package tgminer
+
+import (
+	"tgminer/internal/search"
+)
+
+// Match is one identified behavior instance: the time interval spanned by a
+// query match.
+type Match = search.Match
+
+// Interval is a ground-truth occurrence interval.
+type Interval = search.Interval
+
+// Metrics are precision/recall statistics per the paper's Section 6.2.
+type Metrics = search.Metrics
+
+// SearchOptions bounds a query run.
+type SearchOptions struct {
+	// Window is the maximum time span of a match (the paper uses the
+	// longest observed behavior duration; 0 = unbounded).
+	Window int64
+	// Limit caps distinct matches returned (default 100000).
+	Limit int
+}
+
+// SearchResult is a query outcome.
+type SearchResult struct {
+	Matches   []Match
+	Truncated bool
+}
+
+// Engine indexes one large temporal graph for behavior-query evaluation.
+type Engine struct {
+	e *search.Engine
+}
+
+// NewEngine indexes the host graph.
+func NewEngine(g *Graph) *Engine {
+	return &Engine{e: search.NewEngine(g)}
+}
+
+func (o SearchOptions) internal() search.Options {
+	return search.Options{Window: o.Window, Limit: o.Limit}
+}
+
+// FindTemporal evaluates a temporal behavior query (order-preserving).
+func (eng *Engine) FindTemporal(p *Pattern, opts SearchOptions) SearchResult {
+	r := eng.e.FindTemporal(p, opts.internal())
+	return SearchResult{Matches: r.Matches, Truncated: r.Truncated}
+}
+
+// FindNonTemporal evaluates an Ntemp query (order-free).
+func (eng *Engine) FindNonTemporal(p *NonTemporalPattern, opts SearchOptions) SearchResult {
+	r := eng.e.FindNonTemporal(p, opts.internal())
+	return SearchResult{Matches: r.Matches, Truncated: r.Truncated}
+}
+
+// FindLabelSet evaluates a NodeSet query (label multiset within window).
+func (eng *Engine) FindLabelSet(q *LabelSetQuery, opts SearchOptions) SearchResult {
+	r := eng.e.FindLabelSet(q.Labels, opts.internal())
+	return SearchResult{Matches: r.Matches, Truncated: r.Truncated}
+}
+
+// UnionMatches merges match sets, deduplicating intervals (the paper
+// evaluates the union of its top-5 queries).
+func UnionMatches(results ...SearchResult) SearchResult {
+	rs := make([]search.Result, len(results))
+	for i, r := range results {
+		rs[i] = search.Result{Matches: r.Matches, Truncated: r.Truncated}
+	}
+	u := search.Union(rs...)
+	return SearchResult{Matches: u.Matches, Truncated: u.Truncated}
+}
+
+// Evaluate scores matches against ground-truth intervals: a match is
+// correct when fully contained in a truth interval; an instance is
+// discovered when it contains a correct match.
+func Evaluate(matches []Match, truth []Interval) Metrics {
+	return search.Evaluate(matches, truth)
+}

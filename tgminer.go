@@ -1,0 +1,124 @@
+// Package tgminer is a Go implementation of TGMiner (Zong et al.,
+// "Behavior Query Discovery in System-Generated Temporal Graphs",
+// VLDB 2015): discriminative temporal graph pattern mining for building
+// behavior queries over system monitoring data.
+//
+// # Overview
+//
+// System monitoring data (e.g. syscall logs) form temporal graphs: nodes
+// are system entities (processes, files, sockets) and directed edges are
+// their timestamped interactions. Given a positive set of temporal graphs
+// (instances of a target behavior such as "sshd-login") and a negative set
+// (background activity), Mine finds the T-connected temporal graph patterns
+// with the maximum discriminative score; DiscoverQueries ranks the tied
+// winners with domain knowledge and returns the top-k as behavior queries;
+// Engine evaluates those queries against large test graphs.
+//
+// # Quick start
+//
+//	pos, neg := ... // []*tgminer.Graph
+//	res, err := tgminer.Mine(pos, neg, tgminer.MineOptions{MaxEdges: 6})
+//	queries, err := tgminer.DiscoverQueries(pos, neg, tgminer.QueryOptions{Dict: dict})
+//	eng := tgminer.NewEngine(testGraph)
+//	matches := eng.FindTemporal(queries.Queries[0], tgminer.SearchOptions{Window: w})
+//
+// See examples/ for full runnable pipelines, and internal/experiments for
+// the code regenerating every table and figure of the paper.
+package tgminer
+
+import (
+	"fmt"
+
+	"tgminer/internal/tgraph"
+)
+
+// Label is an interned node label identifier.
+type Label = tgraph.Label
+
+// NodeID identifies a node within one graph or pattern.
+type NodeID = tgraph.NodeID
+
+// Edge is a directed timestamped edge of a temporal graph.
+type Edge = tgraph.Edge
+
+// PEdge is a pattern edge; its timestamp is its position in the pattern's
+// edge sequence.
+type PEdge = tgraph.PEdge
+
+// Graph is an immutable temporal graph with totally ordered edges.
+type Graph = tgraph.Graph
+
+// Pattern is a temporal graph pattern (timestamps aligned to 1..|E|).
+type Pattern = tgraph.Pattern
+
+// Dict interns label strings shared across a dataset.
+type Dict = tgraph.Dict
+
+// NewDict returns an empty label dictionary.
+func NewDict() *Dict { return tgraph.NewDict() }
+
+// GraphBuilder assembles temporal graphs from string-labeled nodes.
+type GraphBuilder struct {
+	b     tgraph.Builder
+	dict  *Dict
+	nodes map[string]NodeID
+}
+
+// NewGraphBuilder returns a builder interning labels into dict (a fresh
+// Dict if nil).
+func NewGraphBuilder(dict *Dict) *GraphBuilder {
+	if dict == nil {
+		dict = NewDict()
+	}
+	return &GraphBuilder{dict: dict, nodes: make(map[string]NodeID)}
+}
+
+// Dict returns the builder's label dictionary.
+func (gb *GraphBuilder) Dict() *Dict { return gb.dict }
+
+// Node returns the node for the given entity name, creating it on first
+// use. The entity name doubles as its label.
+func (gb *GraphBuilder) Node(name string) NodeID {
+	if v, ok := gb.nodes[name]; ok {
+		return v
+	}
+	v := gb.b.AddNode(gb.dict.Intern(name))
+	gb.nodes[name] = v
+	return v
+}
+
+// NodeWithLabel adds a node whose entity identity is name but whose label
+// is label (several entities may share a label).
+func (gb *GraphBuilder) NodeWithLabel(name, label string) NodeID {
+	if v, ok := gb.nodes[name]; ok {
+		return v
+	}
+	v := gb.b.AddNode(gb.dict.Intern(label))
+	gb.nodes[name] = v
+	return v
+}
+
+// AddEvent records a directed interaction src -> dst at time t, creating
+// nodes as needed.
+func (gb *GraphBuilder) AddEvent(src, dst string, t int64) error {
+	return gb.b.AddEdge(gb.Node(src), gb.Node(dst), t)
+}
+
+// Finalize validates the total edge order and returns the graph.
+func (gb *GraphBuilder) Finalize() (*Graph, error) {
+	return gb.b.Finalize()
+}
+
+// Sequentialize imposes an artificial total order on concurrent events
+// (Section 5 of the paper) and returns the graph.
+func (gb *GraphBuilder) Sequentialize() (*Graph, error) {
+	return gb.b.Sequentialize()
+}
+
+// FormatPattern renders a pattern with human-readable labels.
+func FormatPattern(p *Pattern, dict *Dict) string {
+	if p == nil || dict == nil {
+		return fmt.Sprintf("%v", p)
+	}
+	return p.Format(dict)
+}

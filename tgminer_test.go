@@ -1,0 +1,252 @@
+package tgminer
+
+import (
+	"bytes"
+	"testing"
+)
+
+// buildBehaviorGraphs creates tiny positive/negative sets through the
+// public API.
+func buildBehaviorGraphs(t *testing.T, dict *Dict) (pos, neg []*Graph) {
+	t.Helper()
+	for i := 0; i < 4; i++ {
+		gb := NewGraphBuilder(dict)
+		if err := gb.AddEvent("proc:shell", "proc:ssh", 1); err != nil {
+			t.Fatal(err)
+		}
+		if err := gb.AddEvent("proc:ssh", "file:key", 2); err != nil {
+			t.Fatal(err)
+		}
+		if err := gb.AddEvent("proc:ssh", "sock:22", 3); err != nil {
+			t.Fatal(err)
+		}
+		if err := gb.AddEvent("proc:ssh", "file:noise", int64(4+i)); err != nil {
+			t.Fatal(err)
+		}
+		g, err := gb.Finalize()
+		if err != nil {
+			t.Fatal(err)
+		}
+		pos = append(pos, g)
+	}
+	for i := 0; i < 4; i++ {
+		gb := NewGraphBuilder(dict)
+		// Same vocabulary, reversed order: key read happens after socket.
+		if err := gb.AddEvent("proc:shell", "proc:ssh", 1); err != nil {
+			t.Fatal(err)
+		}
+		if err := gb.AddEvent("proc:ssh", "sock:22", 2); err != nil {
+			t.Fatal(err)
+		}
+		if err := gb.AddEvent("proc:ssh", "file:key", 3); err != nil {
+			t.Fatal(err)
+		}
+		g, err := gb.Finalize()
+		if err != nil {
+			t.Fatal(err)
+		}
+		neg = append(neg, g)
+	}
+	return pos, neg
+}
+
+func TestPublicMine(t *testing.T) {
+	dict := NewDict()
+	pos, neg := buildBehaviorGraphs(t, dict)
+	res, err := Mine(pos, neg, MineOptions{MaxEdges: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Best) == 0 || res.TieCount == 0 {
+		t.Fatal("no patterns found")
+	}
+	for _, mp := range res.Best {
+		if mp.PosFreq != 1 || mp.NegFreq != 0 {
+			t.Errorf("best pattern frequencies %v/%v, want 1/0", mp.PosFreq, mp.NegFreq)
+		}
+	}
+	if res.Stats.PatternsExplored == 0 {
+		t.Errorf("stats not collected")
+	}
+}
+
+func TestPublicMineAlgorithms(t *testing.T) {
+	dict := NewDict()
+	pos, neg := buildBehaviorGraphs(t, dict)
+	var ref float64
+	for i, algo := range []Algorithm{AlgoTGMiner, AlgoSubPrune, AlgoSupPrune, AlgoPruneGI,
+		AlgoPruneVF2, AlgoLinearScan, AlgoExhaustive} {
+		res, err := Mine(pos, neg, MineOptions{Algorithm: algo, MaxEdges: 3})
+		if err != nil {
+			t.Fatalf("%s: %v", algo, err)
+		}
+		if i == 0 {
+			ref = res.BestScore
+		} else if res.BestScore != ref {
+			t.Errorf("%s best score %v != %v", algo, res.BestScore, ref)
+		}
+	}
+	if _, err := Mine(pos, neg, MineOptions{Algorithm: "nope"}); err == nil {
+		t.Errorf("unknown algorithm accepted")
+	}
+	if _, err := Mine(pos, neg, MineOptions{ScoreFunc: "nope"}); err == nil {
+		t.Errorf("unknown score accepted")
+	}
+}
+
+func TestPublicMineTopK(t *testing.T) {
+	dict := NewDict()
+	pos, neg := buildBehaviorGraphs(t, dict)
+	res, err := MineTopK(pos, neg, 5, MineOptions{MaxEdges: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Patterns) == 0 || len(res.Patterns) > 5 {
+		t.Fatalf("patterns = %d, want 1..5", len(res.Patterns))
+	}
+	// Best of top-K agrees with Mine.
+	ref, err := Mine(pos, neg, MineOptions{MaxEdges: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Patterns[0].Score != ref.BestScore {
+		t.Errorf("top-1 score %v != best score %v", res.Patterns[0].Score, ref.BestScore)
+	}
+	if _, err := MineTopK(nil, neg, 5, MineOptions{}); err == nil {
+		t.Errorf("empty positive set accepted")
+	}
+}
+
+func TestPublicDiscoverAndSearch(t *testing.T) {
+	dict := NewDict()
+	pos, neg := buildBehaviorGraphs(t, dict)
+	in := NewInterest(append(append([]*Graph{}, pos...), neg...), dict, nil)
+	bq, err := DiscoverQueries(pos, neg, QueryOptions{QuerySize: 3, TopK: 2, Interest: in})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bq.Queries) == 0 {
+		t.Fatal("no queries")
+	}
+	// Search the first positive graph for the first query: must match.
+	eng := NewEngine(pos[0])
+	res := eng.FindTemporal(bq.Queries[0], SearchOptions{})
+	if len(res.Matches) == 0 {
+		t.Errorf("query does not match its own training graph")
+	}
+	// And must not match the reversed-order negatives.
+	engN := NewEngine(neg[0])
+	resN := engN.FindTemporal(bq.Queries[0], SearchOptions{})
+	if len(resN.Matches) != 0 {
+		t.Errorf("query matches negative graph: %v", resN.Matches)
+	}
+}
+
+func TestPublicBaselineQueries(t *testing.T) {
+	dict := NewDict()
+	pos, neg := buildBehaviorGraphs(t, dict)
+	nq, err := DiscoverNonTemporalQueries(pos, neg, QueryOptions{QuerySize: 2, TopK: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(nq) == 0 {
+		t.Fatal("no ntemp queries")
+	}
+	lq, err := DiscoverLabelSetQuery(pos, neg, QueryOptions{QuerySize: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lq.Labels) != 3 {
+		t.Errorf("label query size = %d", len(lq.Labels))
+	}
+	eng := NewEngine(pos[0])
+	if r := eng.FindNonTemporal(nq[0], SearchOptions{}); len(r.Matches) == 0 {
+		t.Errorf("ntemp query missed its training graph")
+	}
+}
+
+func TestPublicCorpusRoundTrip(t *testing.T) {
+	dict := NewDict()
+	pos, _ := buildBehaviorGraphs(t, dict)
+	c := &Corpus{Dict: dict}
+	for i, g := range pos {
+		c.Add("g"+string(rune('a'+i)), g)
+	}
+	var buf bytes.Buffer
+	if err := WriteCorpus(&buf, c); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCorpus(&buf, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Graphs) != len(pos) {
+		t.Errorf("round trip lost graphs: %d vs %d", len(back.Graphs), len(pos))
+	}
+}
+
+func TestPublicSynthetic(t *testing.T) {
+	ds := GenerateSynthetic(SyntheticConfig{
+		Scale: 0.2, GraphsPerBehavior: 2, BackgroundGraphs: 2, Seed: 5,
+		Behaviors: []string{"bzip2-decompress"},
+	})
+	if len(ds.Behaviors) != 1 || len(ds.Background) != 2 {
+		t.Fatalf("synthetic generation wrong shape")
+	}
+	tl := GenerateTestTimeline(TimelineConfig{
+		Instances: 4, Scale: 0.2, Seed: 6, Behaviors: []string{"bzip2-decompress"},
+	}, ds.Dict)
+	truth := TruthIntervalsOf(tl, "bzip2-decompress")
+	if len(truth) != 4 {
+		t.Errorf("truth intervals = %d, want 4", len(truth))
+	}
+	if len(Behaviors()) != 12 {
+		t.Errorf("Behaviors() = %d, want 12", len(Behaviors()))
+	}
+}
+
+func TestPublicEvaluate(t *testing.T) {
+	m := Evaluate([]Match{{Start: 1, End: 2}}, []Interval{{Start: 0, End: 5}})
+	if m.Precision() != 1 || m.Recall() != 1 {
+		t.Errorf("metrics: %v/%v", m.Precision(), m.Recall())
+	}
+	u := UnionMatches(
+		SearchResult{Matches: []Match{{Start: 1, End: 2}}},
+		SearchResult{Matches: []Match{{Start: 1, End: 2}, {Start: 3, End: 4}}},
+	)
+	if len(u.Matches) != 2 {
+		t.Errorf("union = %v", u.Matches)
+	}
+}
+
+func TestGraphBuilderLabelsAndSequentialize(t *testing.T) {
+	gb := NewGraphBuilder(nil)
+	gb.NodeWithLabel("pid-101", "proc:worker")
+	gb.NodeWithLabel("pid-102", "proc:worker")
+	if err := gb.AddEvent("pid-101", "pid-102", 7); err != nil {
+		t.Fatal(err)
+	}
+	// Concurrent event: same timestamp; Finalize must fail, Sequentialize
+	// must succeed.
+	if err := gb.AddEvent("pid-102", "pid-101", 7); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := gb.Finalize(); err == nil {
+		t.Errorf("Finalize accepted duplicate timestamps")
+	}
+	gb2 := NewGraphBuilder(nil)
+	gb2.NodeWithLabel("pid-101", "proc:worker")
+	gb2.NodeWithLabel("pid-102", "proc:worker")
+	_ = gb2.AddEvent("pid-101", "pid-102", 7)
+	_ = gb2.AddEvent("pid-102", "pid-101", 7)
+	g, err := gb2.Sequentialize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumEdges() != 2 {
+		t.Errorf("sequentialized edges = %d", g.NumEdges())
+	}
+	if FormatPattern(nil, nil) == "" {
+		t.Errorf("FormatPattern(nil) empty")
+	}
+}
