@@ -9,6 +9,7 @@
 package tgminer
 
 import (
+	"fmt"
 	"sync"
 	"testing"
 
@@ -123,8 +124,11 @@ func benchmarkMiningAlgo(b *testing.B, algo Algorithm, behavior string) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
+		// Parallelism pinned to 1: Figure 13 compares algorithms on the
+		// paper's single-threaded search; BenchmarkMineParallel sweeps
+		// worker counts explicitly.
 		res, err := Mine(pos, env.Data.Background, MineOptions{
-			Algorithm: algo, MaxEdges: benchScale().MaxPatternEdges,
+			Algorithm: algo, MaxEdges: benchScale().MaxPatternEdges, Parallelism: 1,
 		})
 		if err != nil {
 			b.Fatal(err)
@@ -165,6 +169,35 @@ func BenchmarkFigure13MiningLargeTGMiner(b *testing.B) {
 }
 func BenchmarkFigure13MiningLargePruneVF2(b *testing.B) {
 	benchmarkMiningAlgo(b, AlgoPruneVF2, "sshd-login")
+}
+
+// BenchmarkMineParallel sweeps Options.Parallelism over the bench-scale
+// workload. Results are identical at every worker count (asserted by
+// internal/miner's equivalence tests); the sweep measures wall clock only.
+// On a single-core host the worker pool adds scheduling overhead but no
+// speedup — record BENCH trajectories on multi-core hardware.
+func BenchmarkMineParallel(b *testing.B) {
+	env := benchEnv(b)
+	pos := env.Data.ByName("sshd-login")
+	if pos == nil {
+		b.Fatal("behavior sshd-login missing")
+	}
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				res, err := Mine(pos, env.Data.Background, MineOptions{
+					MaxEdges: benchScale().MaxPatternEdges, Parallelism: workers,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.TieCount == 0 {
+					b.Fatal("no patterns")
+				}
+			}
+		})
+	}
 }
 
 func BenchmarkFigure14MaxPatternSize(b *testing.B) {

@@ -14,6 +14,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
 	"time"
 
@@ -23,6 +24,7 @@ import (
 var names = []string{
 	"table1", "table2", "table3",
 	"figure10", "figure11", "figure12", "figure13", "figure14", "figure15", "figure16",
+	"parallel",
 }
 
 func main() {
@@ -30,6 +32,7 @@ func main() {
 	full := flag.Bool("full", false, "paper-scale run (hours) instead of quick scale")
 	list := flag.Bool("list", false, "list experiment names and exit")
 	includeSlow := flag.Bool("include-slow", false, "run SupPrune on medium/large classes in figure13")
+	workerSweep := flag.String("workers", "", "comma-separated worker counts for the parallel experiment (default 1,2,4,8)")
 	flag.Parse()
 
 	if *list {
@@ -100,4 +103,26 @@ func main() {
 	run("figure16", func() (interface{ Render() string }, error) {
 		return experiments.Figure16(env, nil)
 	})
+	run("parallel", func() (interface{ Render() string }, error) {
+		return experiments.ParallelScaling(env, parseWorkers(*workerSweep))
+	})
+}
+
+// parseWorkers turns "1,2,4" into worker counts; empty means the default
+// sweep. Invalid input is fatal rather than skipped so a recorded sweep
+// never silently differs from the one requested.
+func parseWorkers(s string) []int {
+	if s == "" {
+		return nil
+	}
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		w, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || w <= 0 {
+			fmt.Fprintf(os.Stderr, "experiments: invalid -workers entry %q (want positive integers, e.g. 1,2,4)\n", part)
+			os.Exit(2)
+		}
+		out = append(out, w)
+	}
+	return out
 }

@@ -1,0 +1,3 @@
+module tgminer
+
+go 1.22

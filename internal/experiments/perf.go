@@ -45,9 +45,16 @@ func behaviorsInClass(env *Env, class string) []string {
 }
 
 // mineBehavior runs one mining configuration on one behavior and returns
-// the elapsed wall time and stats.
+// the elapsed wall time and stats. Unless the caller explicitly sets
+// Parallelism, the run is pinned to one worker: the paper exhibits time and
+// count a single-threaded search, and letting GOMAXPROCS leak in would mix
+// core-count scaling into numbers meant to reproduce it (ParallelScaling is
+// the exhibit that sweeps workers on purpose).
 func mineBehavior(env *Env, behavior string, opts miner.Options, maxEdges int) (time.Duration, miner.Stats, error) {
 	opts.MaxEdges = maxEdges
+	if opts.Parallelism == 0 {
+		opts.Parallelism = 1
+	}
 	pos := env.Data.ByName(behavior)
 	start := time.Now()
 	res, err := miner.Mine(pos, env.Data.Background, opts)
@@ -207,6 +214,9 @@ func Table3(env *Env) (*Table3Result, error) {
 	for _, class := range SizeClasses {
 		var patterns, sub, sup int64
 		for _, name := range behaviorsInClass(env, class) {
+			// Trigger probabilities are stats counters, which depend on
+			// worker interleaving; mineBehavior pins one worker so the
+			// measured rates reproduce the single-threaded search.
 			_, stats, err := mineBehavior(env, name, miner.TGMinerOptions(), env.Scale.MaxPatternEdges)
 			if err != nil {
 				return nil, fmt.Errorf("table3 %s: %w", name, err)
@@ -269,6 +279,7 @@ func Figure15(env *Env, fractions []float64) (*Figure15Result, error) {
 				neg := takeFraction(env.Data.Background, frac)
 				opts := miner.TGMinerOptions()
 				opts.MaxEdges = env.Scale.MaxPatternEdges
+				opts.Parallelism = 1 // paper exhibit: single-threaded timing
 				start := time.Now()
 				if _, err := miner.Mine(pos, neg, opts); err != nil {
 					return nil, fmt.Errorf("figure15 %s frac %.2f: %w", name, frac, err)
@@ -318,6 +329,7 @@ func Figure16(env *Env, factors []int) (*Figure16Result, error) {
 				neg := replicate(env.Data.Background, k)
 				opts := miner.TGMinerOptions()
 				opts.MaxEdges = env.Scale.MaxPatternEdges
+				opts.Parallelism = 1 // paper exhibit: single-threaded timing
 				start := time.Now()
 				if _, err := miner.Mine(pos, neg, opts); err != nil {
 					return nil, fmt.Errorf("figure16 %s SYN-%d: %w", name, k, err)
@@ -328,6 +340,72 @@ func Figure16(env *Env, factors []int) (*Figure16Result, error) {
 		}
 	}
 	return out, nil
+}
+
+// ParallelResult measures Mine's seed-level parallel scaling. Not a paper
+// exhibit — the paper's implementation was single-threaded — but the
+// methodology point for BENCH_*.json trajectories: same workload, sweeping
+// Options.Parallelism.
+type ParallelResult struct {
+	Workers []int
+	// Seconds[class] is parallel to Workers: total mining time over the
+	// class's behaviors at that worker count.
+	Seconds map[string][]float64
+	Scale   Scale
+}
+
+// ParallelScaling times the full TGMiner configuration per size class at
+// each worker count (default 1, 2, 4, 8). Results are identical at every
+// level; only the wall clock moves.
+func ParallelScaling(env *Env, workers []int) (*ParallelResult, error) {
+	if len(workers) == 0 {
+		workers = []int{1, 2, 4, 8}
+	}
+	out := &ParallelResult{Workers: workers, Seconds: map[string][]float64{}, Scale: env.Scale}
+	for _, class := range SizeClasses {
+		behaviors := behaviorsInClass(env, class)
+		for _, w := range workers {
+			var total time.Duration
+			for _, name := range behaviors {
+				opts := miner.TGMinerOptions()
+				opts.Parallelism = w
+				d, _, err := mineBehavior(env, name, opts, env.Scale.MaxPatternEdges)
+				if err != nil {
+					return nil, fmt.Errorf("parallel %s x%d: %w", name, w, err)
+				}
+				total += d
+			}
+			out.Seconds[class] = append(out.Seconds[class], total.Seconds())
+		}
+	}
+	return out, nil
+}
+
+// Render prints the worker sweep with speedup vs one worker.
+func (r *ParallelResult) Render() string {
+	t := &Table{
+		Title:   "Parallel scaling: TGMiner mining time by worker count",
+		Headers: []string{"Workers", "Small", "Medium", "Large", "Speedup(small)"},
+	}
+	for i, w := range r.Workers {
+		rel := "-"
+		if base := secAtF(r.Seconds["small"], 0); base > 0 {
+			if cur := secAtF(r.Seconds["small"], i); cur > 0 {
+				rel = ratio(base, cur)
+			}
+		}
+		t.AddRow(intStr(w),
+			secAt(r.Seconds["small"], i), secAt(r.Seconds["medium"], i), secAt(r.Seconds["large"], i), rel)
+	}
+	t.AddNote("results are identical at every worker count; speedup tracks available cores")
+	return t.String()
+}
+
+func secAtF(xs []float64, i int) float64 {
+	if i >= len(xs) {
+		return 0
+	}
+	return xs[i]
 }
 
 func replicate(graphs []*tgraph.Graph, k int) []*tgraph.Graph {

@@ -28,6 +28,10 @@ type Tester struct {
 // Name identifies the tester in benchmark output.
 func (t *Tester) Name() string { return "gindex" }
 
+// CloneTester returns a fresh Tester for a parallel mining worker (the
+// miner's optional per-worker instantiation hook).
+func (t *Tester) CloneTester() any { return &Tester{} }
+
 type labelPair struct {
 	src, dst tgraph.Label
 }

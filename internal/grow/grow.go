@@ -12,6 +12,7 @@ package grow
 
 import (
 	"sort"
+	"sync"
 
 	"tgminer/internal/residual"
 	"tgminer/internal/tgraph"
@@ -180,14 +181,60 @@ func collectSeeds(g *tgraph.Graph, gid int32, emit func(k seedKey, e Embedding))
 	}
 }
 
+// nodeArenaChunk is the number of NodeIDs handed out per arena chunk. Large
+// enough to amortize one chunk allocation over many embeddings, small enough
+// that a few straggler embeddings pinning a chunk is cheap.
+const nodeArenaChunk = 512
+
+// nodeArena is a chunked bump allocator for embedding node slices. Allocated
+// regions are handed out exactly once and never recycled, so slices stay
+// valid (and data-race free) after the arena returns to the pool; only the
+// unused tail of the current chunk is reused by later calls.
+type nodeArena struct {
+	buf []tgraph.NodeID
+}
+
+// alloc returns a zeroed-capacity slice of exactly n NodeIDs.
+func (a *nodeArena) alloc(n int) []tgraph.NodeID {
+	if len(a.buf)+n > cap(a.buf) {
+		size := nodeArenaChunk
+		if n > size {
+			size = n
+		}
+		a.buf = make([]tgraph.NodeID, 0, size)
+	}
+	s := a.buf[len(a.buf) : len(a.buf)+n : len(a.buf)+n]
+	a.buf = a.buf[:len(a.buf)+n]
+	return s
+}
+
+var nodeArenaPool = sync.Pool{New: func() any { return new(nodeArena) }}
+
+// extScratch is the reusable per-call workspace of Extensions: the
+// deduplication set and the reverse node-mapping buffer, both of which
+// otherwise dominate the function's allocation profile.
+type extScratch struct {
+	seen   map[Ext]struct{}
+	revBuf []int32 // graph node -> pattern node + 1 (0 = unmapped)
+}
+
+var extScratchPool = sync.Pool{
+	New: func() any { return &extScratch{seen: make(map[Ext]struct{})} },
+}
+
 // Extensions enumerates the distinct consecutive-growth extensions of the
 // pattern that are witnessed by at least one embedding in l over graphs,
 // returned in deterministic order. Only extensions witnessed in the positive
 // set can raise a pattern's positive frequency above zero, so the miner
 // calls this on the positive list only.
+//
+// Extensions is safe for concurrent use: per-call scratch state comes from
+// an internal pool and the returned slice is freshly allocated.
 func Extensions(p *tgraph.Pattern, graphs []*tgraph.Graph, l List) []Ext {
-	seen := make(map[Ext]bool)
-	var revBuf []int32 // graph node -> pattern node + 1 (0 = unmapped), reused
+	scratch := extScratchPool.Get().(*extScratch)
+	seen := scratch.seen
+	clear(seen)
+	revBuf := scratch.revBuf
 	for _, emb := range l {
 		g := graphs[emb.GraphID]
 		if cap(revBuf) < g.NumNodes() {
@@ -224,7 +271,7 @@ func Extensions(p *tgraph.Pattern, graphs []*tgraph.Graph, l List) []Ext {
 				default:
 					continue // unreachable: pos came from a mapped node's incident list
 				}
-				seen[x] = true
+				seen[x] = struct{}{}
 			}
 		}
 	}
@@ -232,6 +279,8 @@ func Extensions(p *tgraph.Pattern, graphs []*tgraph.Graph, l List) []Ext {
 	for x := range seen {
 		out = append(out, x)
 	}
+	scratch.revBuf = revBuf
+	extScratchPool.Put(scratch)
 	sort.Slice(out, func(i, j int) bool { return out[i].Less(out[j]) })
 	return out
 }
@@ -240,8 +289,12 @@ func Extensions(p *tgraph.Pattern, graphs []*tgraph.Graph, l List) []Ext {
 // applying ext to the parent whose embeddings over graphs are l. Embeddings
 // that cannot host the new edge are dropped; embeddings with several
 // candidate edges fan out into several child embeddings (one per match).
+//
+// Child node slices are carved out of a pooled chunk arena rather than
+// allocated individually; Extend is safe for concurrent use.
 func Extend(ext Ext, graphs []*tgraph.Graph, l List) List {
-	var out List
+	out := make(List, 0, len(l))
+	arena := nodeArenaPool.Get().(*nodeArena)
 	for _, emb := range l {
 		g := graphs[emb.GraphID]
 		switch ext.Kind {
@@ -254,7 +307,7 @@ func Extend(ext Ext, graphs []*tgraph.Graph, l List) List {
 				if g.LabelOf(e.Dst) != ext.NewLabel || containsNode(emb.Nodes, e.Dst) {
 					return
 				}
-				nodes := make([]tgraph.NodeID, len(emb.Nodes)+1)
+				nodes := arena.alloc(len(emb.Nodes) + 1)
 				copy(nodes, emb.Nodes)
 				nodes[len(emb.Nodes)] = e.Dst
 				out = append(out, Embedding{GraphID: emb.GraphID, LastPos: pos, Nodes: nodes})
@@ -268,7 +321,7 @@ func Extend(ext Ext, graphs []*tgraph.Graph, l List) List {
 				if g.LabelOf(e.Src) != ext.NewLabel || containsNode(emb.Nodes, e.Src) {
 					return
 				}
-				nodes := make([]tgraph.NodeID, len(emb.Nodes)+1)
+				nodes := arena.alloc(len(emb.Nodes) + 1)
 				copy(nodes, emb.Nodes)
 				nodes[len(emb.Nodes)] = e.Src
 				out = append(out, Embedding{GraphID: emb.GraphID, LastPos: pos, Nodes: nodes})
@@ -284,6 +337,7 @@ func Extend(ext Ext, graphs []*tgraph.Graph, l List) List {
 			})
 		}
 	}
+	nodeArenaPool.Put(arena)
 	return out
 }
 

@@ -15,12 +15,21 @@
 // integer compression of Lemma 6 or by explicit linear scan (the LinearScan
 // baseline), and temporal subgraph tests delegated to a pluggable
 // SubgraphTester (sequence tests, modified VF2, or graph-index join).
+//
+// Mining parallelizes at the seed level (Options.Parallelism): seed
+// exploration order only affects speed, never the searched-or-pruned set of
+// maximum-score patterns, so a worker pool sharing F* and the pruning
+// registry returns exactly the sequential result at any worker count.
 package miner
 
 import (
 	"errors"
 	"fmt"
+	"math"
+	"runtime"
 	"sort"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"tgminer/internal/gindex"
@@ -35,6 +44,15 @@ import (
 // SubgraphTester decides temporal subgraph containment between patterns.
 // Implementations: seqcode.Tester (TGMiner default), vf2.Tester (PruneVF2),
 // gindex.Tester (PruneGI).
+//
+// Testers are not assumed safe for concurrent use. For parallel mining
+// (Options.Parallelism > 1), implementations should additionally provide
+//
+//	CloneTester() any
+//
+// returning a fresh instance (the repo's testers all do); each worker then
+// tests on its own clone. Implementations without it are serialized behind
+// one mutex, which caps the parallel speedup of test-heavy configurations.
 type SubgraphTester interface {
 	// Name identifies the tester in stats output.
 	Name() string
@@ -68,6 +86,13 @@ type Options struct {
 	// pruning lookups; exceeding it only forgoes pruning opportunities
 	// (default 1<<20).
 	MaxRegistry int
+	// Parallelism is the number of workers mining seeds concurrently
+	// (default runtime.GOMAXPROCS(0); 1 forces the classic sequential
+	// search). Seed exploration order only affects speed, never the result
+	// set, so parallel runs return the same BestScore, TieCount, and best
+	// patterns as sequential runs; only Stats counters (which depend on how
+	// often pruning fires) may differ between runs.
+	Parallelism int
 }
 
 // TGMinerOptions is the full TGMiner configuration: both prunings, sequence
@@ -125,6 +150,9 @@ func (o Options) normalize() Options {
 	}
 	if o.MaxRegistry <= 0 {
 		o.MaxRegistry = 1 << 20
+	}
+	if o.Parallelism <= 0 {
+		o.Parallelism = runtime.GOMAXPROCS(0)
 	}
 	return o
 }
@@ -186,19 +214,20 @@ type Result struct {
 var ErrNoPositiveGraphs = errors.New("miner: positive graph set is empty")
 
 // Mine runs the discriminative pattern search over pos and neg.
+//
+// When opts.Parallelism > 1, seeds are fanned out to a worker pool sharing
+// one F* (published through atomic float bits for lock-free pruning reads)
+// and one sharded pruning registry. Because seed exploration order only
+// affects speed — pruning with a stale, lower F* merely prunes less — every
+// interleaving returns the same BestScore, TieCount, and best-pattern set;
+// Best is canonicalized (sorted by pattern key) so parallel and sequential
+// runs are byte-for-byte comparable.
 func Mine(pos, neg []*tgraph.Graph, opts Options) (*Result, error) {
 	if len(pos) == 0 {
 		return nil, ErrNoPositiveGraphs
 	}
 	opts = opts.normalize()
 	start := time.Now()
-	s := &search{
-		pos:   pos,
-		neg:   neg,
-		opts:  opts,
-		fstar: inf(),
-		reg:   newRegistry(opts.ResidualLinear),
-	}
 	seeds := grow.Seeds(pos, neg)
 	// Explore high-positive-support, low-negative-support seeds first. F*
 	// reaches its ceiling as soon as a maximally frequent, zero-negative
@@ -215,28 +244,223 @@ func Mine(pos, neg []*tgraph.Graph, opts Options) (*Result, error) {
 		}
 		return seeds[i].Neg.SupportCount() < seeds[j].Neg.SupportCount()
 	})
-	for _, seed := range seeds {
-		s.dfs(seed.Pattern, seed.Pos, seed.Neg)
+
+	workers := opts.Parallelism
+	if workers > len(seeds) && len(seeds) > 0 {
+		workers = len(seeds)
 	}
+	if workers < 1 {
+		workers = 1
+	}
+	sh := newShared(opts.MaxResults)
+	reg := newRegistry(opts.ResidualLinear, opts.MaxRegistry)
+	testers := testersFor(opts.Tester, workers)
+
+	searches := make([]*search, workers)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wopts := opts
+		wopts.Tester = testers[w]
+		s := &search{pos: pos, neg: neg, opts: wopts, sh: sh, reg: reg}
+		searches[w] = s
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(seeds) {
+					return
+				}
+				s.dfs(seeds[i].Pattern, seeds[i].Pos, seeds[i].Neg)
+			}
+		}()
+	}
+	wg.Wait()
+
+	var stats Stats
+	for _, s := range searches {
+		stats.merge(s.stats)
+	}
+	stats.RegistrySize = reg.size()
 	res := &Result{
-		Best:      s.best,
-		BestScore: s.fstar,
-		TieCount:  s.tieCount,
-		Stats:     s.stats,
+		Best:      sh.canonicalBest(),
+		BestScore: sh.fstar,
+		TieCount:  sh.tieCount,
+		Stats:     stats,
 		Elapsed:   time.Since(start),
 	}
-	res.Stats.RegistrySize = int64(len(s.reg.entries))
 	return res, nil
 }
 
 func inf() float64 { return -1e308 }
 
+// merge accumulates counters from a per-worker Stats.
+func (s *Stats) merge(o Stats) {
+	s.PatternsExplored += o.PatternsExplored
+	s.UpperBoundPrunes += o.UpperBoundPrunes
+	s.SubgraphTests += o.SubgraphTests
+	s.ResidualEqTests += o.ResidualEqTests
+	s.SubgraphPrunes += o.SubgraphPrunes
+	s.SupergraphPrunes += o.SupergraphPrunes
+	if o.MaxEdgesSeen > s.MaxEdgesSeen {
+		s.MaxEdgesSeen = o.MaxEdgesSeen
+	}
+}
+
+// testerCloner is the optional per-worker instantiation hook documented on
+// SubgraphTester. The return type is any (not SubgraphTester) so tester
+// packages can implement it without importing this package.
+type testerCloner interface {
+	CloneTester() any
+}
+
+// testersFor returns one temporal-subgraph tester per worker. Testers carry
+// per-instance state (at minimum stats counters), so sharing one instance
+// across workers would race; cloneable testers get one clone per worker
+// (worker 0 keeps the caller's instance so single-worker runs accumulate
+// its stats exactly as before). Implementations without CloneTester fall
+// back to a single mutex-guarded wrapper.
+func testersFor(t SubgraphTester, workers int) []SubgraphTester {
+	out := make([]SubgraphTester, workers)
+	out[0] = t
+	if workers == 1 {
+		return out
+	}
+	c, ok := t.(testerCloner)
+	for w := 1; w < workers; w++ {
+		var clone SubgraphTester
+		if ok {
+			clone, _ = c.CloneTester().(SubgraphTester)
+		}
+		if clone == nil {
+			lt := &lockedTester{t: t}
+			for i := range out {
+				out[i] = lt
+			}
+			return out
+		}
+		out[w] = clone
+	}
+	return out
+}
+
+// lockedTester serializes access to a tester of unknown (and therefore
+// presumed non-concurrency-safe) implementation.
+type lockedTester struct {
+	mu sync.Mutex
+	t  SubgraphTester
+}
+
+func (l *lockedTester) Name() string { return l.t.Name() }
+
+func (l *lockedTester) Test(g1, g2 *tgraph.Pattern) ([]tgraph.NodeID, bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.t.Test(g1, g2)
+}
+
+// shared is the cross-worker mining state: F* and the tied best set. F* is
+// additionally published as atomic float bits so the hot pruning paths can
+// read it without taking the mutex; it is monotonically non-decreasing, so a
+// stale read can only under-prune, never cut a surviving branch.
+type shared struct {
+	fstarBits atomic.Uint64
+
+	mu         sync.Mutex
+	fstar      float64 // authoritative, guarded by mu
+	best       []ScoredPattern
+	bestKeys   []string // canonical keys parallel to best
+	maxKeyI    int      // index of the largest key once best is full; -1 = unknown
+	tieCount   int
+	maxResults int
+}
+
+func newShared(maxResults int) *shared {
+	sh := &shared{fstar: inf(), maxResults: maxResults}
+	sh.fstarBits.Store(math.Float64bits(sh.fstar))
+	return sh
+}
+
+// load returns a recent lower bound on F* without locking.
+func (sh *shared) load() float64 {
+	return math.Float64frombits(sh.fstarBits.Load())
+}
+
+// record updates F* and the tied best set. When the tie set overflows
+// maxResults, the patterns with the smallest canonical keys are retained —
+// a deterministic rule, so the retained subset is identical across worker
+// counts and interleavings.
+func (sh *shared) record(p *tgraph.Pattern, sc, x, y float64) {
+	if sc < sh.load() {
+		return // stale reads only under-filter; re-checked under the lock
+	}
+	// Canonicalize outside the lock: Key() allocates and walks the pattern,
+	// and every surviving call needs it, so keep workers from serializing on
+	// it. A racing F* raise can waste at most this one computation.
+	key := p.Key()
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	switch {
+	case sc > sh.fstar:
+		sh.fstar = sc
+		sh.fstarBits.Store(math.Float64bits(sc))
+		sh.best = append(sh.best[:0], ScoredPattern{Pattern: p, Score: sc, PosFreq: x, NegFreq: y})
+		sh.bestKeys = append(sh.bestKeys[:0], key)
+		sh.maxKeyI = -1
+		sh.tieCount = 1
+	case sc == sh.fstar:
+		sh.tieCount++
+		if len(sh.best) < sh.maxResults {
+			sh.best = append(sh.best, ScoredPattern{Pattern: p, Score: sc, PosFreq: x, NegFreq: y})
+			sh.bestKeys = append(sh.bestKeys, key)
+			sh.maxKeyI = -1
+			return
+		}
+		// At cap: the common reject path must stay O(1), so the index of
+		// the largest retained key is cached and rescanned only after a
+		// replacement invalidates it.
+		if sh.maxKeyI < 0 {
+			sh.maxKeyI = 0
+			for i := 1; i < len(sh.bestKeys); i++ {
+				if sh.bestKeys[i] > sh.bestKeys[sh.maxKeyI] {
+					sh.maxKeyI = i
+				}
+			}
+		}
+		if key < sh.bestKeys[sh.maxKeyI] {
+			sh.best[sh.maxKeyI] = ScoredPattern{Pattern: p, Score: sc, PosFreq: x, NegFreq: y}
+			sh.bestKeys[sh.maxKeyI] = key
+			sh.maxKeyI = -1
+		}
+	}
+}
+
+// canonicalBest returns the best set sorted by canonical pattern key, the
+// deterministic order shared by sequential and parallel runs.
+func (sh *shared) canonicalBest() []ScoredPattern {
+	sort.Sort(&byKey{sp: sh.best, keys: sh.bestKeys})
+	return sh.best
+}
+
+// byKey sorts the best set and its key cache in lockstep.
+type byKey struct {
+	sp   []ScoredPattern
+	keys []string
+}
+
+func (b *byKey) Len() int           { return len(b.sp) }
+func (b *byKey) Less(i, j int) bool { return b.keys[i] < b.keys[j] }
+func (b *byKey) Swap(i, j int) {
+	b.sp[i], b.sp[j] = b.sp[j], b.sp[i]
+	b.keys[i], b.keys[j] = b.keys[j], b.keys[i]
+}
+
+// search is the per-worker DFS context.
 type search struct {
 	pos, neg []*tgraph.Graph
 	opts     Options
-	fstar    float64
-	best     []ScoredPattern
-	tieCount int
+	sh       *shared
 	reg      *registry
 	stats    Stats
 }
@@ -251,7 +475,7 @@ func (s *search) dfs(p *tgraph.Pattern, posE, negE grow.List) float64 {
 	x := posE.Frequency(len(s.pos))
 	y := negE.Frequency(len(s.neg))
 	sc := s.opts.Score.Score(x, y)
-	s.record(p, sc, x, y)
+	s.sh.record(p, sc, x, y)
 	branchBest := sc
 
 	resPos := posE.ResidualSet()
@@ -276,7 +500,7 @@ func (s *search) dfs(p *tgraph.Pattern, posE, negE grow.List) float64 {
 	switch {
 	case p.NumEdges() >= s.opts.MaxEdges:
 		prune = true
-	case s.opts.Score.UpperBound(x) < s.fstar:
+	case s.opts.Score.UpperBound(x) < s.sh.load():
 		s.stats.UpperBoundPrunes++
 		prune = true
 	default:
@@ -307,29 +531,14 @@ func (s *search) dfs(p *tgraph.Pattern, posE, negE grow.List) float64 {
 	return branchBest
 }
 
-// record updates F* and the tied best set.
-func (s *search) record(p *tgraph.Pattern, sc, x, y float64) {
-	switch {
-	case sc > s.fstar:
-		s.fstar = sc
-		s.best = s.best[:0]
-		s.best = append(s.best, ScoredPattern{Pattern: p, Score: sc, PosFreq: x, NegFreq: y})
-		s.tieCount = 1
-	case sc == s.fstar:
-		s.tieCount++
-		if len(s.best) < s.opts.MaxResults {
-			s.best = append(s.best, ScoredPattern{Pattern: p, Score: sc, PosFreq: x, NegFreq: y})
-		}
-	}
-}
-
 // subgraphPrune implements Lemma 4: prune p when some earlier-discovered
 // pattern g1 with a fully explored, sub-F* branch (a) is a temporal
 // supergraph of p, (b) has the same positive residual graph set, and (c)
 // has no extra node whose label appears in p's positive residual label set.
 func (s *search) subgraphPrune(p *tgraph.Pattern, resPos residual.Set, iPos int64) bool {
+	fstar := s.sh.load()
 	for _, cand := range s.reg.candidates(iPos) {
-		if cand.branchBest >= s.fstar {
+		if cand.branchBest >= fstar {
 			continue
 		}
 		if cand.edges < p.NumEdges() || cand.nodes < p.NumNodes() {
@@ -364,8 +573,9 @@ func (s *search) subgraphPrune(p *tgraph.Pattern, resPos residual.Set, iPos int6
 // of p with identical positive and negative residual sets and the same node
 // count. negSet lazily supplies p's negative residual set.
 func (s *search) supergraphPrune(p *tgraph.Pattern, resPos residual.Set, iPos int64, negSet func() (residual.Set, int64)) bool {
+	fstar := s.sh.load()
 	for _, cand := range s.reg.candidates(iPos) {
-		if cand.branchBest >= s.fstar {
+		if cand.branchBest >= fstar {
 			continue
 		}
 		if cand.edges > p.NumEdges() || cand.nodes != p.NumNodes() {
@@ -426,7 +636,7 @@ func (s *search) register(p *tgraph.Pattern, resPos residual.Set, iPos int64, ne
 	if !s.opts.SubgraphPruning && !s.opts.SupergraphPruning {
 		return
 	}
-	if len(s.reg.entries) >= s.opts.MaxRegistry {
+	if s.reg.full() {
 		return
 	}
 	e := &entry{
@@ -461,36 +671,90 @@ type entry struct {
 	resNeg     residual.Set // only in linear mode
 }
 
-// registry indexes completed branches. In integer mode entries are bucketed
-// by I(Gp, g), so candidate discovery touches only residual-set-equal
-// patterns; in linear mode every candidate is compared by scanning, which is
-// the cost the LinearScan baseline demonstrates.
-type registry struct {
-	linear  bool
-	entries []*entry
-	byIPos  map[int64][]*entry
+// regShardCount is the number of registry shards; a power of two so the
+// multiply-shift in shardOf reduces by taking the top log2(regShardCount)
+// bits. 64 shards keep write contention negligible even at high worker
+// counts while costing only ~64 mutexes of memory.
+const regShardCount = 64
+
+// regShard is one lock-striped slice of the registry. Reads vastly outnumber
+// writes (every explored pattern probes candidates, only completed branches
+// register), hence the RWMutex.
+type regShard struct {
+	mu     sync.RWMutex
+	byIPos map[int64][]*entry
+	all    []*entry // linear mode only (shard 0)
 }
 
-func newRegistry(linear bool) *registry {
-	r := &registry{linear: linear}
+// registry indexes completed branches, sharded by a hash of I(Gp, ·) so
+// concurrent workers rarely contend. In integer mode entries are bucketed by
+// I(Gp, g), so candidate discovery touches only residual-set-equal patterns;
+// in linear mode every candidate is compared by scanning (all entries live
+// in shard 0), which is the cost the LinearScan baseline demonstrates.
+//
+// Entries are immutable once added and bucket slices only ever grow, so
+// candidates can return a slice-header snapshot taken under RLock and let
+// callers iterate lock-free: appends never mutate the snapshotted prefix.
+type registry struct {
+	linear bool
+	max    int
+	count  atomic.Int64
+	shards [regShardCount]regShard
+}
+
+func newRegistry(linear bool, max int) *registry {
+	r := &registry{linear: linear, max: max}
 	if !linear {
-		r.byIPos = make(map[int64][]*entry)
+		for i := range r.shards {
+			r.shards[i].byIPos = make(map[int64][]*entry)
+		}
 	}
 	return r
 }
 
+// shardOf maps an iPos to its shard by Fibonacci hashing; iPos values are
+// small correlated integers, so multiplicative mixing beats masking.
+func shardOf(iPos int64) int {
+	return int((uint64(iPos) * 0x9E3779B97F4A7C15) >> (64 - 6)) // log2(regShardCount) = 6
+}
+
+// full reports whether the MaxRegistry cap is reached. Checked lock-free;
+// under races a handful of entries past the cap may slip in, which only
+// keeps a few extra pruning opportunities.
+func (r *registry) full() bool {
+	return r.count.Load() >= int64(r.max)
+}
+
+func (r *registry) size() int64 { return r.count.Load() }
+
 func (r *registry) add(e *entry) {
-	r.entries = append(r.entries, e)
-	if !r.linear {
-		r.byIPos[e.iPos] = append(r.byIPos[e.iPos], e)
+	r.count.Add(1)
+	if r.linear {
+		sh := &r.shards[0]
+		sh.mu.Lock()
+		sh.all = append(sh.all, e)
+		sh.mu.Unlock()
+		return
 	}
+	sh := &r.shards[shardOf(e.iPos)]
+	sh.mu.Lock()
+	sh.byIPos[e.iPos] = append(sh.byIPos[e.iPos], e)
+	sh.mu.Unlock()
 }
 
 func (r *registry) candidates(iPos int64) []*entry {
 	if r.linear {
-		return r.entries
+		sh := &r.shards[0]
+		sh.mu.RLock()
+		s := sh.all
+		sh.mu.RUnlock()
+		return s
 	}
-	return r.byIPos[iPos]
+	sh := &r.shards[shardOf(iPos)]
+	sh.mu.RLock()
+	s := sh.byIPos[iPos]
+	sh.mu.RUnlock()
+	return s
 }
 
 // String renders stats compactly for logs.

@@ -1,0 +1,186 @@
+package miner
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"tgminer/internal/sysgen"
+)
+
+// TestParallelSequentialEquivalence is the determinism property test for the
+// worker-pool miner: for every algorithm variant and several sysgen
+// workloads, Parallelism 1 and 4 must return identical BestScore, TieCount,
+// and canonicalized best-pattern sets. Seed exploration order (and therefore
+// worker interleaving) only affects speed, never the result set.
+func TestParallelSequentialEquivalence(t *testing.T) {
+	workloads := []struct {
+		seed      int64
+		behaviors []string
+	}{
+		{seed: 3, behaviors: []string{"gzip-decompress"}},
+		{seed: 11, behaviors: []string{"ftp-download"}},
+		{seed: 29, behaviors: []string{"bzip2-decompress"}},
+	}
+	for _, wl := range workloads {
+		ds := sysgen.Generate(sysgen.Config{
+			Scale: 0.25, GraphsPerBehavior: 6, BackgroundGraphs: 10, Seed: wl.seed,
+			Behaviors: wl.behaviors,
+		})
+		pos := ds.Behaviors[0].Graphs
+		for name, opts := range allConfigs() {
+			opts.MaxEdges = 4
+			t.Run(fmt.Sprintf("seed%d/%s", wl.seed, name), func(t *testing.T) {
+				seq := opts
+				seq.Parallelism = 1
+				par := opts
+				par.Parallelism = 4
+				sres, err := Mine(pos, ds.Background, seq)
+				if err != nil {
+					t.Fatal(err)
+				}
+				pres, err := Mine(pos, ds.Background, par)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if pres.BestScore != sres.BestScore {
+					t.Errorf("BestScore parallel %v != sequential %v", pres.BestScore, sres.BestScore)
+				}
+				if pres.TieCount != sres.TieCount {
+					t.Errorf("TieCount parallel %d != sequential %d", pres.TieCount, sres.TieCount)
+				}
+				skeys, pkeys := bestKeys(sres), bestKeys(pres)
+				if len(skeys) != len(pkeys) {
+					t.Fatalf("best set size parallel %d != sequential %d", len(pkeys), len(skeys))
+				}
+				for i := range skeys {
+					if skeys[i] != pkeys[i] {
+						t.Fatalf("best-pattern set diverges at %d", i)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestParallelBestCapDeterminism pins the overflow rule of the tied best
+// set: when TieCount exceeds MaxResults, the retained subset must still be
+// identical across parallelism levels (the smallest canonical keys win).
+func TestParallelBestCapDeterminism(t *testing.T) {
+	ds := sysgen.Generate(sysgen.Config{
+		Scale: 0.25, GraphsPerBehavior: 6, BackgroundGraphs: 8, Seed: 41,
+		Behaviors: []string{"wget-download"},
+	})
+	opts := ExhaustiveOptions() // no pruning: maximizes the tie population
+	opts.MaxEdges = 3
+	opts.MaxResults = 2
+	seq, par := opts, opts
+	seq.Parallelism = 1
+	par.Parallelism = 4
+	sres, err := Mine(ds.Behaviors[0].Graphs, ds.Background, seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pres, err := Mine(ds.Behaviors[0].Graphs, ds.Background, par)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sres.Best) > 2 || len(pres.Best) > 2 {
+		t.Fatalf("MaxResults cap violated: %d / %d", len(sres.Best), len(pres.Best))
+	}
+	skeys, pkeys := bestKeys(sres), bestKeys(pres)
+	if len(skeys) != len(pkeys) {
+		t.Fatalf("capped best set size parallel %d != sequential %d", len(pkeys), len(skeys))
+	}
+	for i := range skeys {
+		if skeys[i] != pkeys[i] {
+			t.Fatalf("capped best set diverges at %d: %q vs %q", i, skeys[i], pkeys[i])
+		}
+	}
+}
+
+// TestParallelMiningRaceStress hammers the shared miner state (sharded
+// registry, atomic F*, best-set mutex) with a high worker count over a
+// pruning-heavy workload. Run with -race; the suite's CI invocation does.
+func TestParallelMiningRaceStress(t *testing.T) {
+	ds := sysgen.Generate(sysgen.Config{
+		Scale: 0.25, GraphsPerBehavior: 8, BackgroundGraphs: 12, Seed: 5,
+		Behaviors: []string{"bzip2-decompress"},
+	})
+	opts := TGMinerOptions()
+	opts.MaxEdges = 5
+	opts.Parallelism = 8
+	res, err := Mine(ds.Behaviors[0].Graphs, ds.Background, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TieCount == 0 {
+		t.Fatal("stress run found no patterns")
+	}
+}
+
+// TestRegistryConcurrentAddCandidates stress-tests the sharded registry in
+// isolation: concurrent writers bucketing entries by correlated iPos values
+// while readers iterate slice-header snapshots. Meaningful under -race.
+func TestRegistryConcurrentAddCandidates(t *testing.T) {
+	reg := newRegistry(false, 1<<16)
+	const writers, readers, perWriter = 4, 4, 2000
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				iPos := int64((i % 37) + w) // correlated small keys, shared buckets
+				reg.add(&entry{iPos: iPos, branchBest: float64(i)})
+			}
+		}(w)
+	}
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				for _, e := range reg.candidates(int64(i % 41)) {
+					if e.branchBest < 0 {
+						t.Error("corrupt entry")
+						return
+					}
+				}
+			}
+		}(r)
+	}
+	wg.Wait()
+	if reg.size() != writers*perWriter {
+		t.Fatalf("registry size %d, want %d", reg.size(), writers*perWriter)
+	}
+	// Every entry must be findable in its bucket afterwards.
+	total := 0
+	for i := int64(0); i < 64; i++ {
+		total += len(reg.candidates(i))
+	}
+	if total != writers*perWriter {
+		t.Fatalf("bucketed entries %d, want %d", total, writers*perWriter)
+	}
+}
+
+// TestRegistryLinearModeConcurrent covers the LinearScan baseline's single
+// append-only shard under concurrency.
+func TestRegistryLinearModeConcurrent(t *testing.T) {
+	reg := newRegistry(true, 1<<16)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				reg.add(&entry{iPos: int64(i)})
+				_ = reg.candidates(0) // linear mode ignores the key
+			}
+		}()
+	}
+	wg.Wait()
+	if got := len(reg.candidates(99)); got != 4000 {
+		t.Fatalf("linear candidates = %d, want 4000", got)
+	}
+}

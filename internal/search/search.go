@@ -18,6 +18,7 @@ package search
 
 import (
 	"sort"
+	"sync"
 
 	"tgminer/internal/gspan"
 	"tgminer/internal/tgraph"
@@ -30,31 +31,199 @@ type Match struct {
 	End   int64
 }
 
-// Engine holds the indexes for one host graph. Build once with NewEngine,
-// then run any number of queries. Engines are safe for concurrent queries.
+// maxDensePairCells bounds the dense label-pair table at 16M cells (64MB of
+// offsets); hosts with larger label alphabets fall back to a sorted sparse
+// pair index with O(log pairs) lookup, which only runs once per query edge.
+const maxDensePairCells = 1 << 24
+
+// Engine holds the indexes for one host graph in flat CSR form: edge
+// positions grouped by source node (out), destination node (in), and
+// endpoint label pair (pair), each as one offsets slice into one positions
+// slice. Build once with NewEngine, then run any number of queries. Engines
+// are safe for concurrent queries; per-query scratch state is pooled.
 type Engine struct {
-	g      *tgraph.Graph
-	byPair map[[2]tgraph.Label][]int32
-	out    [][]int32 // positions with node as source, sorted
-	in     [][]int32 // positions with node as destination, sorted
+	g *tgraph.Graph
+
+	outOff []int32 // node v's out positions: outPos[outOff[v]:outOff[v+1]]
+	outPos []int32
+	inOff  []int32 // node v's in positions: inPos[inOff[v]:inOff[v+1]]
+	inPos  []int32
+
+	// lblLocal remaps corpus-wide label IDs to a dense per-graph range so
+	// the pair table is sized by distinct labels in this host, not by the
+	// largest global label ID (a small graph carrying one high Dict ID must
+	// not allocate a huge empty table). -1 marks labels absent here.
+	lblLocal []int32
+	numLocal int
+	pairPos  []int32 // positions grouped by label pair, position order
+	pairOff  []int32 // dense: local pair (s,d) at pairOff[s*numLocal+d : +1]
+	pairKeys []int64 // sparse fallback: sorted local pair keys
+	pairSpan [][2]int32
+
+	used sync.Pool // *usedSet per-query scratch
 }
 
 // NewEngine indexes the host graph.
 func NewEngine(g *tgraph.Graph) *Engine {
-	e := &Engine{
-		g:      g,
-		byPair: make(map[[2]tgraph.Label][]int32),
-		out:    make([][]int32, g.NumNodes()),
-		in:     make([][]int32, g.NumNodes()),
+	e := &Engine{g: g}
+	n := g.NumNodes()
+	edges := g.Edges()
+
+	// Out/in adjacency as CSR: count, prefix-sum, fill. Edge positions are
+	// visited in increasing order, so each bucket ends up sorted.
+	e.outOff = make([]int32, n+1)
+	e.inOff = make([]int32, n+1)
+	for _, ed := range edges {
+		e.outOff[ed.Src+1]++
+		e.inOff[ed.Dst+1]++
 	}
-	for pos, ed := range g.Edges() {
-		p := int32(pos)
-		k := [2]tgraph.Label{g.LabelOf(ed.Src), g.LabelOf(ed.Dst)}
-		e.byPair[k] = append(e.byPair[k], p)
-		e.out[ed.Src] = append(e.out[ed.Src], p)
-		e.in[ed.Dst] = append(e.in[ed.Dst], p)
+	for v := 0; v < n; v++ {
+		e.outOff[v+1] += e.outOff[v]
+		e.inOff[v+1] += e.inOff[v]
 	}
+	e.outPos = make([]int32, len(edges))
+	e.inPos = make([]int32, len(edges))
+	outNext := append([]int32(nil), e.outOff[:n]...)
+	inNext := append([]int32(nil), e.inOff[:n]...)
+	for pos, ed := range edges {
+		e.outPos[outNext[ed.Src]] = int32(pos)
+		outNext[ed.Src]++
+		e.inPos[inNext[ed.Dst]] = int32(pos)
+		inNext[ed.Dst]++
+	}
+
+	maxLabel := tgraph.Label(-1)
+	for _, l := range g.Labels() {
+		if l > maxLabel {
+			maxLabel = l
+		}
+	}
+	e.lblLocal = make([]int32, int(maxLabel)+1)
+	for i := range e.lblLocal {
+		e.lblLocal[i] = -1
+	}
+	for _, l := range g.Labels() {
+		if l >= 0 && e.lblLocal[l] == -1 {
+			e.lblLocal[l] = int32(e.numLocal)
+			e.numLocal++
+		}
+	}
+	e.pairPos = make([]int32, len(edges))
+	if cells := int64(e.numLocal) * int64(e.numLocal); cells <= maxDensePairCells {
+		e.buildDensePairs(edges, int(cells))
+	} else {
+		e.buildSparsePairs(edges)
+	}
+	e.used.New = func() any { return new(usedSet) }
 	return e
+}
+
+func (e *Engine) buildDensePairs(edges []tgraph.Edge, cells int) {
+	e.pairOff = make([]int32, cells+1)
+	for _, ed := range edges {
+		e.pairOff[e.pairCell(ed)+1]++
+	}
+	for c := 0; c < cells; c++ {
+		e.pairOff[c+1] += e.pairOff[c]
+	}
+	next := append([]int32(nil), e.pairOff[:cells]...)
+	for pos, ed := range edges {
+		c := e.pairCell(ed)
+		e.pairPos[next[c]] = int32(pos)
+		next[c]++
+	}
+}
+
+func (e *Engine) buildSparsePairs(edges []tgraph.Edge) {
+	keyed := make([]int64, len(edges))
+	order := make([]int32, len(edges))
+	for pos, ed := range edges {
+		keyed[pos] = int64(e.pairCell(ed))
+		order[pos] = int32(pos)
+	}
+	sort.SliceStable(order, func(i, j int) bool { return keyed[order[i]] < keyed[order[j]] })
+	for i, pos := range order {
+		e.pairPos[i] = pos
+	}
+	for i := 0; i < len(order); {
+		k := keyed[order[i]]
+		j := i
+		for j < len(order) && keyed[order[j]] == k {
+			j++
+		}
+		e.pairKeys = append(e.pairKeys, k)
+		e.pairSpan = append(e.pairSpan, [2]int32{int32(i), int32(j)})
+		i = j
+	}
+}
+
+// pairCell maps a host edge's endpoint labels to its local pair cell. Host
+// nodes always have valid local IDs.
+func (e *Engine) pairCell(ed tgraph.Edge) int {
+	s := e.lblLocal[e.g.LabelOf(ed.Src)]
+	d := e.lblLocal[e.g.LabelOf(ed.Dst)]
+	return int(s)*e.numLocal + int(d)
+}
+
+// pairPositions returns the edge positions whose endpoint labels are
+// (src, dst), in increasing position order. Query labels absent from the
+// host graph return nil.
+func (e *Engine) pairPositions(src, dst tgraph.Label) []int32 {
+	if src < 0 || dst < 0 || int(src) >= len(e.lblLocal) || int(dst) >= len(e.lblLocal) {
+		return nil
+	}
+	ls, ld := e.lblLocal[src], e.lblLocal[dst]
+	if ls < 0 || ld < 0 {
+		return nil
+	}
+	c := int(ls)*e.numLocal + int(ld)
+	if e.pairOff != nil {
+		return e.pairPos[e.pairOff[c]:e.pairOff[c+1]]
+	}
+	k := int64(c)
+	i := sort.Search(len(e.pairKeys), func(i int) bool { return e.pairKeys[i] >= k })
+	if i == len(e.pairKeys) || e.pairKeys[i] != k {
+		return nil
+	}
+	return e.pairPos[e.pairSpan[i][0]:e.pairSpan[i][1]]
+}
+
+// outAt returns the positions of edges with node v as source.
+func (e *Engine) outAt(v tgraph.NodeID) []int32 { return e.outPos[e.outOff[v]:e.outOff[v+1]] }
+
+// inAt returns the positions of edges with node v as destination.
+func (e *Engine) inAt(v tgraph.NodeID) []int32 { return e.inPos[e.inOff[v]:e.inOff[v+1]] }
+
+// usedSet is an epoch-stamped node set: reset is O(1) (bump the epoch), and
+// membership is one indexed load, replacing the per-query map[NodeID]bool
+// the matcher loops used to probe.
+type usedSet struct {
+	stamp []uint32
+	cur   uint32
+}
+
+// reset prepares the set for a host graph of n nodes and empties it.
+func (u *usedSet) reset(n int) {
+	if len(u.stamp) < n {
+		u.stamp = make([]uint32, n)
+		u.cur = 0
+	}
+	u.cur++
+	if u.cur == 0 { // epoch wrapped: clear stamps and restart
+		clear(u.stamp)
+		u.cur = 1
+	}
+}
+
+func (u *usedSet) has(v tgraph.NodeID) bool { return u.stamp[v] == u.cur }
+func (u *usedSet) add(v tgraph.NodeID)      { u.stamp[v] = u.cur }
+func (u *usedSet) remove(v tgraph.NodeID)   { u.stamp[v] = 0 }
+
+// getUsed leases a usedSet sized for the host graph from the engine pool.
+func (e *Engine) getUsed() *usedSet {
+	u := e.used.Get().(*usedSet)
+	u.reset(e.g.NumNodes())
+	return u
 }
 
 // Graph returns the indexed host graph.
@@ -96,10 +265,10 @@ func (e *Engine) FindTemporal(p *tgraph.Pattern, opts Options) Result {
 	for i := range st.mapping {
 		st.mapping[i] = -1
 	}
-	st.used = make(map[tgraph.NodeID]bool, p.NumNodes())
+	st.used = e.getUsed()
+	defer e.used.Put(st.used)
 	first := p.EdgeAt(0)
-	key := [2]tgraph.Label{p.LabelOf(first.Src), p.LabelOf(first.Dst)}
-	for _, pos := range e.byPair[key] {
+	for _, pos := range e.pairPositions(p.LabelOf(first.Src), p.LabelOf(first.Dst)) {
 		if res.full() {
 			break
 		}
@@ -121,7 +290,7 @@ type tState struct {
 	opts      Options
 	res       *resultSet
 	mapping   []tgraph.NodeID
-	used      map[tgraph.NodeID]bool
+	used      *usedSet
 	startTime int64
 }
 
@@ -130,31 +299,31 @@ type tState struct {
 func (s *tState) bindEdge(pe tgraph.PEdge, ge tgraph.Edge, fn func()) {
 	var boundSrc, boundDst bool
 	if s.mapping[pe.Src] == -1 {
-		if s.used[ge.Src] {
+		if s.used.has(ge.Src) {
 			return
 		}
 		s.mapping[pe.Src] = ge.Src
-		s.used[ge.Src] = true
+		s.used.add(ge.Src)
 		boundSrc = true
 	} else if s.mapping[pe.Src] != ge.Src {
 		return
 	}
 	if pe.Src != pe.Dst {
 		if s.mapping[pe.Dst] == -1 {
-			if s.used[ge.Dst] {
+			if s.used.has(ge.Dst) {
 				if boundSrc {
 					s.mapping[pe.Src] = -1
-					delete(s.used, ge.Src)
+					s.used.remove(ge.Src)
 				}
 				return
 			}
 			s.mapping[pe.Dst] = ge.Dst
-			s.used[ge.Dst] = true
+			s.used.add(ge.Dst)
 			boundDst = true
 		} else if s.mapping[pe.Dst] != ge.Dst {
 			if boundSrc {
 				s.mapping[pe.Src] = -1
-				delete(s.used, ge.Src)
+				s.used.remove(ge.Src)
 			}
 			return
 		}
@@ -162,11 +331,11 @@ func (s *tState) bindEdge(pe tgraph.PEdge, ge tgraph.Edge, fn func()) {
 	fn()
 	if boundSrc {
 		s.mapping[pe.Src] = -1
-		delete(s.used, ge.Src)
+		s.used.remove(ge.Src)
 	}
 	if boundDst {
 		s.mapping[pe.Dst] = -1
-		delete(s.used, ge.Dst)
+		s.used.remove(ge.Dst)
 	}
 }
 
@@ -199,7 +368,7 @@ func (s *tState) match(k int, lastPos int32) {
 	}
 	switch {
 	case ms != -1:
-		iterAfter(s.e.out[ms], lastPos, func(pos int32) bool {
+		iterAfter(s.e.outAt(ms), lastPos, func(pos int32) bool {
 			if deadline >= 0 && s.e.g.EdgeAt(int(pos)).Time > deadline {
 				return false
 			}
@@ -210,7 +379,7 @@ func (s *tState) match(k int, lastPos int32) {
 			return !s.res.full()
 		})
 	case md != -1:
-		iterAfter(s.e.in[md], lastPos, func(pos int32) bool {
+		iterAfter(s.e.inAt(md), lastPos, func(pos int32) bool {
 			if deadline >= 0 && s.e.g.EdgeAt(int(pos)).Time > deadline {
 				return false
 			}
@@ -220,8 +389,7 @@ func (s *tState) match(k int, lastPos int32) {
 	default:
 		// Unreachable for T-connected patterns beyond the first edge, but
 		// handle defensively via the pair index.
-		key := [2]tgraph.Label{s.p.LabelOf(pe.Src), s.p.LabelOf(pe.Dst)}
-		iterAfter(s.e.byPair[key], lastPos, func(pos int32) bool {
+		iterAfter(s.e.pairPositions(s.p.LabelOf(pe.Src), s.p.LabelOf(pe.Dst)), lastPos, func(pos int32) bool {
 			try(pos)
 			return !s.res.full()
 		})
@@ -254,23 +422,34 @@ func (e *Engine) FindNonTemporal(p *gspan.Pattern, opts Options) Result {
 	for i := range st.mapping {
 		st.mapping[i] = -1
 	}
-	st.used = make(map[tgraph.NodeID]bool, p.NumNodes())
-	st.posUsed = make(map[int32]bool, p.NumEdges())
+	st.used = e.getUsed()
+	defer e.used.Put(st.used)
+	st.posUsed = make([]int32, 0, p.NumEdges())
 	st.match(0)
 	return res.finish()
 }
 
 type ntState struct {
-	e          *Engine
-	p          *gspan.Pattern
-	opts       Options
-	res        *resultSet
-	order      []gspan.Edge
-	mapping    []tgraph.NodeID
-	used       map[tgraph.NodeID]bool
-	posUsed    map[int32]bool
+	e       *Engine
+	p       *gspan.Pattern
+	opts    Options
+	res     *resultSet
+	order   []gspan.Edge
+	mapping []tgraph.NodeID
+	used    *usedSet
+	// posUsed lists the host edge positions bound so far; patterns are a
+	// handful of edges, so a linear scan beats any map or bitset.
+	posUsed    []int32
 	minT, maxT int64
-	depth      int
+}
+
+func (s *ntState) posIsUsed(pos int32) bool {
+	for _, p := range s.posUsed {
+		if p == pos {
+			return true
+		}
+	}
+	return false
 }
 
 func (s *ntState) match(k int) {
@@ -284,7 +463,7 @@ func (s *ntState) match(k int) {
 	pe := s.order[k]
 	ms, md := s.mapping[pe.Src], s.mapping[pe.Dst]
 	try := func(pos int32) bool {
-		if s.posUsed[pos] {
+		if s.posIsUsed(pos) {
 			return true
 		}
 		ge := s.e.g.EdgeAt(int(pos))
@@ -311,15 +490,15 @@ func (s *ntState) match(k int) {
 		}
 		oMin, oMax := s.minT, s.maxT
 		s.minT, s.maxT = nMin, nMax
-		s.posUsed[pos] = true
+		s.posUsed = append(s.posUsed, pos)
 		s.bindPair(pe, ge, func() { s.match(k + 1) })
-		delete(s.posUsed, pos)
+		s.posUsed = s.posUsed[:len(s.posUsed)-1]
 		s.minT, s.maxT = oMin, oMax
 		return !s.res.full()
 	}
 	switch {
 	case ms != -1:
-		for _, pos := range s.e.out[ms] {
+		for _, pos := range s.e.outAt(ms) {
 			if md != -1 && s.e.g.EdgeAt(int(pos)).Dst != md {
 				continue
 			}
@@ -328,14 +507,13 @@ func (s *ntState) match(k int) {
 			}
 		}
 	case md != -1:
-		for _, pos := range s.e.in[md] {
+		for _, pos := range s.e.inAt(md) {
 			if !try(pos) {
 				break
 			}
 		}
 	default:
-		key := [2]tgraph.Label{s.p.Labels[pe.Src], s.p.Labels[pe.Dst]}
-		for _, pos := range s.e.byPair[key] {
+		for _, pos := range s.e.pairPositions(s.p.Labels[pe.Src], s.p.Labels[pe.Dst]) {
 			if !try(pos) {
 				break
 			}
@@ -346,31 +524,31 @@ func (s *ntState) match(k int) {
 func (s *ntState) bindPair(pe gspan.Edge, ge tgraph.Edge, fn func()) {
 	var boundSrc, boundDst bool
 	if s.mapping[pe.Src] == -1 {
-		if s.used[ge.Src] {
+		if s.used.has(ge.Src) {
 			return
 		}
 		s.mapping[pe.Src] = ge.Src
-		s.used[ge.Src] = true
+		s.used.add(ge.Src)
 		boundSrc = true
 	} else if s.mapping[pe.Src] != ge.Src {
 		return
 	}
 	if pe.Src != pe.Dst {
 		if s.mapping[pe.Dst] == -1 {
-			if s.used[ge.Dst] {
+			if s.used.has(ge.Dst) {
 				if boundSrc {
 					s.mapping[pe.Src] = -1
-					delete(s.used, ge.Src)
+					s.used.remove(ge.Src)
 				}
 				return
 			}
 			s.mapping[pe.Dst] = ge.Dst
-			s.used[ge.Dst] = true
+			s.used.add(ge.Dst)
 			boundDst = true
 		} else if s.mapping[pe.Dst] != ge.Dst {
 			if boundSrc {
 				s.mapping[pe.Src] = -1
-				delete(s.used, ge.Src)
+				s.used.remove(ge.Src)
 			}
 			return
 		}
@@ -378,11 +556,11 @@ func (s *ntState) bindPair(pe gspan.Edge, ge tgraph.Edge, fn func()) {
 	fn()
 	if boundSrc {
 		s.mapping[pe.Src] = -1
-		delete(s.used, ge.Src)
+		s.used.remove(ge.Src)
 	}
 	if boundDst {
 		s.mapping[pe.Dst] = -1
-		delete(s.used, ge.Dst)
+		s.used.remove(ge.Dst)
 	}
 }
 
@@ -423,23 +601,25 @@ func connectedEdgeOrder(p *gspan.Pattern) []gspan.Edge {
 // resultSet deduplicates match intervals with a cap.
 type resultSet struct {
 	limit     int
-	seen      map[Match]bool
+	seen      map[Match]struct{}
 	matches   []Match
 	truncated bool
 }
 
 func (r *resultSet) add(m Match) {
-	if r.seen == nil {
-		r.seen = make(map[Match]bool)
-	}
-	if r.seen[m] {
-		return
-	}
+	// Limit first: once the cap is reached no state may grow, so post-limit
+	// probes stop inserting map buckets into seen.
 	if len(r.matches) >= r.limit {
 		r.truncated = true
 		return
 	}
-	r.seen[m] = true
+	if r.seen == nil {
+		r.seen = make(map[Match]struct{})
+	}
+	if _, dup := r.seen[m]; dup {
+		return
+	}
+	r.seen[m] = struct{}{}
 	r.matches = append(r.matches, m)
 }
 

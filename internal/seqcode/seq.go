@@ -104,6 +104,10 @@ type Tester struct {
 // Name identifies the tester in benchmark output.
 func (t *Tester) Name() string { return "seqcode" }
 
+// CloneTester returns a fresh Tester for a parallel mining worker (the
+// miner's optional per-worker instantiation hook).
+func (t *Tester) CloneTester() any { return &Tester{} }
+
 // Test reports whether g1 ⊆t g2 and, if so, returns the node mapping from g1
 // nodes to g2 nodes (indexed by g1 NodeID; -1 for isolated g1 nodes).
 func (t *Tester) Test(g1, g2 *tgraph.Pattern) ([]tgraph.NodeID, bool) {

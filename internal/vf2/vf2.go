@@ -28,6 +28,10 @@ type Tester struct {
 // Name identifies the tester in benchmark output.
 func (t *Tester) Name() string { return "vf2" }
 
+// CloneTester returns a fresh Tester for a parallel mining worker (the
+// miner's optional per-worker instantiation hook).
+func (t *Tester) CloneTester() any { return &Tester{} }
+
 // Test reports whether g1 ⊆t g2 and, if so, returns the node mapping from g1
 // nodes to g2 nodes (-1 for g1 nodes not incident to any edge).
 func (t *Tester) Test(g1, g2 *tgraph.Pattern) ([]tgraph.NodeID, bool) {

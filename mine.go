@@ -56,8 +56,15 @@ type MineOptions struct {
 	ScoreFunc string
 	// MaxEdges bounds pattern size (default 6).
 	MaxEdges int
-	// MaxResults caps retained tied best patterns (default 512).
+	// MaxResults caps retained tied best patterns (default 512). When the
+	// tie count exceeds the cap, the patterns with the smallest canonical
+	// keys are kept, so the retained subset is deterministic.
 	MaxResults int
+	// Parallelism is the number of workers mining seeds concurrently
+	// (default runtime.GOMAXPROCS(0); 1 forces the sequential search).
+	// Parallel runs return the same BestScore, TieCount, and best-pattern
+	// set as sequential runs; only Stats counters may vary.
+	Parallelism int
 }
 
 // MinedPattern is a discovered pattern with its statistics.
@@ -102,6 +109,9 @@ func Mine(pos, neg []*Graph, opts MineOptions) (*MineResult, error) {
 	}
 	if opts.MaxResults > 0 {
 		mo.MaxResults = opts.MaxResults
+	}
+	if opts.Parallelism > 0 {
+		mo.Parallelism = opts.Parallelism
 	}
 	res, err := miner.Mine(pos, neg, mo)
 	if err != nil {
@@ -177,6 +187,9 @@ type QueryOptions struct {
 	Algorithm Algorithm
 	// Interest ranks tied patterns; optional.
 	Interest *Interest
+	// Parallelism is the number of mining workers (default
+	// runtime.GOMAXPROCS(0); results are identical at any level).
+	Parallelism int
 }
 
 // BehaviorQueries is the result of query discovery.
@@ -195,6 +208,9 @@ func DiscoverQueries(pos, neg []*Graph, opts QueryOptions) (*BehaviorQueries, er
 	mo, err := opts.Algorithm.options()
 	if err != nil {
 		return nil, err
+	}
+	if opts.Parallelism > 0 {
+		mo.Parallelism = opts.Parallelism
 	}
 	bq, err := core.DiscoverQueries(pos, neg, core.QueryConfig{
 		QuerySize: opts.QuerySize,
