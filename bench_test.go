@@ -9,6 +9,7 @@
 package tgminer
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"testing"
@@ -62,7 +63,7 @@ func BenchmarkTable2QueryAccuracy(b *testing.B) {
 	env := benchEnv(b)
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		res, err := experiments.Table2(env)
+		res, err := experiments.Table2(context.Background(), env)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -77,7 +78,7 @@ func BenchmarkTable3PruningTriggers(b *testing.B) {
 	env := benchEnv(b)
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		if _, err := experiments.Table3(env); err != nil {
+		if _, err := experiments.Table3(context.Background(), env); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -87,7 +88,7 @@ func BenchmarkFigure10Patterns(b *testing.B) {
 	env := benchEnv(b)
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		if _, err := experiments.Figure10(env, ""); err != nil {
+		if _, err := experiments.Figure10(context.Background(), env, ""); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -97,7 +98,7 @@ func BenchmarkFigure11QuerySize(b *testing.B) {
 	env := benchEnv(b)
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		if _, err := experiments.Figure11(env, []int{2, 4}); err != nil {
+		if _, err := experiments.Figure11(context.Background(), env, []int{2, 4}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -107,7 +108,7 @@ func BenchmarkFigure12TrainingAmount(b *testing.B) {
 	env := benchEnv(b)
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		if _, err := experiments.Figure12(env, []float64{0.5, 1.0}); err != nil {
+		if _, err := experiments.Figure12(context.Background(), env, []float64{0.5, 1.0}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -204,7 +205,7 @@ func BenchmarkFigure14MaxPatternSize(b *testing.B) {
 	env := benchEnv(b)
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		if _, err := experiments.Figure14(env, []int{2, 4, 6}); err != nil {
+		if _, err := experiments.Figure14(context.Background(), env, []int{2, 4, 6}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -214,7 +215,7 @@ func BenchmarkFigure15TrainingScaling(b *testing.B) {
 	env := benchEnv(b)
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		if _, err := experiments.Figure15(env, []float64{0.5, 1.0}); err != nil {
+		if _, err := experiments.Figure15(context.Background(), env, []float64{0.5, 1.0}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -224,7 +225,7 @@ func BenchmarkFigure16Synthetic(b *testing.B) {
 	env := benchEnv(b)
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		if _, err := experiments.Figure16(env, []int{2, 4}); err != nil {
+		if _, err := experiments.Figure16(context.Background(), env, []int{2, 4}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -363,6 +364,84 @@ func BenchmarkTemporalSearch(b *testing.B) {
 		if len(res.Matches) == 0 {
 			b.Fatal("no matches")
 		}
+	}
+}
+
+// buildStreamHost builds a host whose A->B, B->C chain repeats `pairs`
+// times, so the 2-edge query A->B,B->C has ~pairs^2/2 distinct matches —
+// the knob BenchmarkStreamTemporal turns to show stream memory does not
+// scale with match count.
+func buildStreamHost(b *testing.B, pairs int) (*Engine, *Pattern) {
+	b.Helper()
+	dict := NewDict()
+	gb := NewGraphBuilder(dict)
+	t := int64(0)
+	for i := 0; i < pairs; i++ {
+		if err := gb.AddEvent("a", "b", t); err != nil {
+			b.Fatal(err)
+		}
+		t++
+		if err := gb.AddEvent("b", "c", t); err != nil {
+			b.Fatal(err)
+		}
+		t++
+	}
+	g, err := gb.Finalize()
+	if err != nil {
+		b.Fatal(err)
+	}
+	pb := NewGraphBuilder(dict)
+	_ = pb.AddEvent("a", "b", 0)
+	_ = pb.AddEvent("b", "c", 1)
+	pg, err := pb.Finalize()
+	if err != nil {
+		b.Fatal(err)
+	}
+	return NewEngine(g), PatternFromGraph(pg)
+}
+
+// BenchmarkStreamTemporal measures Engine.Stream across match counts
+// spanning two orders of magnitude. The acceptance property of the v2
+// streaming API is that allocs/op stay flat as matches grow (the stream
+// holds O(matches per root) scratch, no match buffer); contrast with
+// BenchmarkFindTemporalCollect, whose result slice necessarily scales.
+func BenchmarkStreamTemporal(b *testing.B) {
+	for _, pairs := range []int{8, 32, 128} {
+		eng, p := buildStreamHost(b, pairs)
+		matches := len(eng.FindTemporal(p, SearchOptions{}).Matches)
+		b.Run(fmt.Sprintf("matches=%d", matches), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				n := 0
+				for _, err := range eng.Stream(context.Background(), p, SearchOptions{}) {
+					if err != nil {
+						b.Fatal(err)
+					}
+					n++
+				}
+				if n != matches {
+					b.Fatalf("streamed %d matches, want %d", n, matches)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFindTemporalCollect is the batch-collection counterpart of
+// BenchmarkStreamTemporal: same hosts, materialized results.
+func BenchmarkFindTemporalCollect(b *testing.B) {
+	for _, pairs := range []int{8, 32, 128} {
+		eng, p := buildStreamHost(b, pairs)
+		matches := len(eng.FindTemporal(p, SearchOptions{}).Matches)
+		b.Run(fmt.Sprintf("matches=%d", matches), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				res := eng.FindTemporal(p, SearchOptions{})
+				if len(res.Matches) != matches {
+					b.Fatalf("%d matches, want %d", len(res.Matches), matches)
+				}
+			}
+		})
 	}
 }
 

@@ -11,6 +11,8 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -18,6 +20,7 @@ import (
 	"strings"
 	"time"
 
+	"tgminer/internal/cmdutil"
 	"tgminer/internal/experiments"
 )
 
@@ -33,12 +36,18 @@ func main() {
 	list := flag.Bool("list", false, "list experiment names and exit")
 	includeSlow := flag.Bool("include-slow", false, "run SupPrune on medium/large classes in figure13")
 	workerSweep := flag.String("workers", "", "comma-separated worker counts for the parallel experiment (default 1,2,4,8)")
+	timeout := flag.Duration("timeout", 0, "overall deadline (e.g. 10m); 0 = none. Ctrl-C also cancels cooperatively")
 	flag.Parse()
 
 	if *list {
 		fmt.Println(strings.Join(names, "\n"))
 		return
 	}
+	// Ctrl-C or the deadline cancels the context-aware mining entry points
+	// at seed granularity; completed experiments stay printed. A second
+	// Ctrl-C force-kills (see cmdutil.SignalContext).
+	ctx, _, stop := cmdutil.SignalContext(*timeout)
+	defer stop()
 	scale := experiments.Quick()
 	if *full {
 		scale = experiments.Full()
@@ -59,13 +68,24 @@ func main() {
 	env := experiments.NewEnv(scale)
 	fmt.Printf("corpus ready in %s\n\n", time.Since(start).Round(time.Millisecond))
 
+	// skipped flips when cancellation actually cost us an experiment; a
+	// deadline expiring after the last experiment finished is a success.
+	skipped := false
 	run := func(name string, fn func() (interface{ Render() string }, error)) {
 		if !selected[name] {
+			return
+		}
+		if ctx.Err() != nil {
+			skipped = true
 			return
 		}
 		t0 := time.Now()
 		res, err := fn()
 		if err != nil {
+			if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+				fmt.Fprintf(os.Stderr, "%s: cancelled (%v); earlier experiments above are complete\n", name, err)
+				os.Exit(130)
+			}
 			fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
 			os.Exit(1)
 		}
@@ -77,35 +97,39 @@ func main() {
 		return experiments.Table1(env), nil
 	})
 	run("table2", func() (interface{ Render() string }, error) {
-		return experiments.Table2(env)
+		return experiments.Table2(ctx, env)
 	})
 	run("figure10", func() (interface{ Render() string }, error) {
-		return experiments.Figure10(env, "")
+		return experiments.Figure10(ctx, env, "")
 	})
 	run("figure11", func() (interface{ Render() string }, error) {
-		return experiments.Figure11(env, nil)
+		return experiments.Figure11(ctx, env, nil)
 	})
 	run("figure12", func() (interface{ Render() string }, error) {
-		return experiments.Figure12(env, nil)
+		return experiments.Figure12(ctx, env, nil)
 	})
 	run("figure13", func() (interface{ Render() string }, error) {
-		return experiments.Figure13(env, *includeSlow)
+		return experiments.Figure13(ctx, env, *includeSlow)
 	})
 	run("figure14", func() (interface{ Render() string }, error) {
-		return experiments.Figure14(env, nil)
+		return experiments.Figure14(ctx, env, nil)
 	})
 	run("table3", func() (interface{ Render() string }, error) {
-		return experiments.Table3(env)
+		return experiments.Table3(ctx, env)
 	})
 	run("figure15", func() (interface{ Render() string }, error) {
-		return experiments.Figure15(env, nil)
+		return experiments.Figure15(ctx, env, nil)
 	})
 	run("figure16", func() (interface{ Render() string }, error) {
-		return experiments.Figure16(env, nil)
+		return experiments.Figure16(ctx, env, nil)
 	})
 	run("parallel", func() (interface{ Render() string }, error) {
-		return experiments.ParallelScaling(env, parseWorkers(*workerSweep))
+		return experiments.ParallelScaling(ctx, env, parseWorkers(*workerSweep))
 	})
+	if skipped {
+		fmt.Fprintf(os.Stderr, "experiments: cancelled (%v); completed experiments above\n", context.Cause(ctx))
+		os.Exit(130)
+	}
 }
 
 // parseWorkers turns "1,2,4" into worker counts; empty means the default

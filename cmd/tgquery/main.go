@@ -15,13 +15,17 @@ package main
 
 import (
 	"bufio"
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"tgminer"
+	"tgminer/internal/cmdutil"
 )
 
 func main() {
@@ -34,6 +38,7 @@ func main() {
 	top := flag.Int("top", 5, "number of queries to evaluate (union of matches)")
 	window := flag.Int64("window", 0, "match window in ticks (default: from truth file, else unbounded)")
 	mode := flag.String("mode", "temporal", "query family: temporal, ntemp, nodeset")
+	timeout := flag.Duration("timeout", 0, "overall deadline (e.g. 30s); 0 = none. Ctrl-C also cancels; partial results are reported")
 	flag.Parse()
 
 	if *posPath == "" || *negPath == "" || *testPath == "" {
@@ -41,13 +46,24 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	if err := run(*posPath, *negPath, *testPath, *truthPath, *behavior, *mode, *size, *top, *window); err != nil {
+	// SIGINT cancels the context-aware mining/search entry points
+	// cooperatively: partial results are printed before exiting. A second
+	// SIGINT kills the process the usual way (see cmdutil.SignalContext).
+	ctx, sigCtx, stop := cmdutil.SignalContext(*timeout)
+	defer stop()
+	err := run(ctx, sigCtx, *timeout, *posPath, *negPath, *testPath, *truthPath, *behavior, *mode, *size, *top, *window)
+	switch {
+	case err == nil:
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		fmt.Fprintln(os.Stderr, "tgquery: cancelled:", err)
+		os.Exit(130)
+	default:
 		fmt.Fprintln(os.Stderr, "tgquery:", err)
 		os.Exit(1)
 	}
 }
 
-func run(posPath, negPath, testPath, truthPath, behavior, mode string, size, top int, window int64) error {
+func run(ctx, sigCtx context.Context, timeout time.Duration, posPath, negPath, testPath, truthPath, behavior, mode string, size, top int, window int64) error {
 	dict := tgminer.NewDict()
 	pos, err := tgminer.LoadCorpusFile(posPath, dict)
 	if err != nil {
@@ -84,29 +100,63 @@ func run(posPath, negPath, testPath, truthPath, behavior, mode string, size, top
 	sopts := tgminer.SearchOptions{Window: window}
 
 	var union tgminer.SearchResult
+	var interrupted error
 	switch mode {
 	case "temporal", "":
-		bq, err := tgminer.DiscoverQueries(pos.Graphs, neg.Graphs, qopts)
+		bq, err := tgminer.DiscoverQueriesContext(ctx, pos.Graphs, neg.Graphs, qopts)
 		if err != nil {
-			return err
+			if bq == nil || len(bq.Queries) == 0 {
+				return err
+			}
+			// Cancelled mid-mine: evaluate the partial query set anyway so
+			// the operator sees what the interrupted run found. The dead
+			// deadline context would kill every search immediately, so
+			// evaluation re-arms a fresh budget of the same size on the
+			// signal-only parent: a -timeout run is bounded by 2x the
+			// requested deadline overall, and Ctrl-C still cancels the
+			// evaluation phase cooperatively (after a SIGINT, sigCtx is
+			// already dead and evaluation is skipped straight away).
+			interrupted = err
+			ctx = sigCtx
+			if timeout > 0 {
+				var cancel context.CancelFunc
+				ctx, cancel = context.WithTimeout(ctx, timeout)
+				defer cancel()
+			}
+			fmt.Printf("mining interrupted (%v); continuing with partial queries\n", err)
 		}
 		fmt.Printf("discovered %d temporal queries (F* = %.4f)\n", len(bq.Queries), bq.BestScore)
 		results := make([]tgminer.SearchResult, len(bq.Queries))
 		for i, q := range bq.Queries {
-			results[i] = eng.FindTemporal(q, sopts)
+			var serr error
+			results[i], serr = eng.FindTemporalContext(ctx, q, sopts)
 			fmt.Printf("query #%d: %d matches%s\n", i+1, len(results[i].Matches),
 				truncNote(results[i].Truncated))
+			if serr != nil {
+				interrupted = serr
+				fmt.Printf("search interrupted (%v); reporting partial matches\n", serr)
+				results = results[:i+1]
+				break
+			}
 		}
 		union = tgminer.UnionMatches(results...)
 	case "ntemp":
+		// The ntemp/nodeset baselines have no context-aware entry points
+		// yet; cancellation is coarse (between pipeline stages), and a
+		// second SIGINT force-kills via the unhooked handler.
 		nq, err := tgminer.DiscoverNonTemporalQueries(pos.Graphs, neg.Graphs, qopts)
 		if err != nil {
 			return err
 		}
 		fmt.Printf("discovered %d non-temporal queries\n", len(nq))
-		results := make([]tgminer.SearchResult, len(nq))
+		results := make([]tgminer.SearchResult, 0, len(nq))
 		for i, q := range nq {
-			results[i] = eng.FindNonTemporal(q, sopts)
+			if err := ctx.Err(); err != nil {
+				interrupted = err
+				fmt.Printf("search interrupted (%v); reporting partial matches\n", err)
+				break
+			}
+			results = append(results, eng.FindNonTemporal(q, sopts))
 			fmt.Printf("query #%d: %d matches%s\n", i+1, len(results[i].Matches),
 				truncNote(results[i].Truncated))
 		}
@@ -114,6 +164,9 @@ func run(posPath, negPath, testPath, truthPath, behavior, mode string, size, top
 	case "nodeset":
 		lq, err := tgminer.DiscoverLabelSetQuery(pos.Graphs, neg.Graphs, qopts)
 		if err != nil {
+			return err
+		}
+		if err := ctx.Err(); err != nil {
 			return err
 		}
 		labels := make([]string, len(lq.Labels))
@@ -132,7 +185,7 @@ func run(posPath, negPath, testPath, truthPath, behavior, mode string, size, top
 		fmt.Printf("precision = %.1f%%  recall = %.1f%%  (correct %d / identified %d; discovered %d / instances %d)\n",
 			100*m.Precision(), 100*m.Recall(), m.Correct, m.Identified, m.Discovered, m.Instances)
 	}
-	return nil
+	return interrupted
 }
 
 func truncNote(t bool) string {

@@ -1,0 +1,113 @@
+// Monitor: the continuous-monitoring scenario of the v2 API — mine a
+// behavior query with a deadline, then watch a live, ever-growing event
+// stream for it with a LiveEngine and streamed matches.
+//
+// The deployment setting of the paper (Section 6) is exactly this shape:
+// syscall events never stop arriving, so the engine must ingest
+// incrementally, keep a sliding window of recent history, and report
+// matches as they are found rather than after a batch completes.
+//
+// Run:
+//
+//	go run ./examples/monitor
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"time"
+
+	"tgminer"
+)
+
+func main() {
+	dict := tgminer.NewDict()
+
+	// Train exactly as in examples/quickstart: key read BEFORE socket open
+	// is the behavior; the reverse order is background.
+	var pos, neg []*tgminer.Graph
+	for i := 0; i < 5; i++ {
+		gb := tgminer.NewGraphBuilder(dict)
+		check(gb.AddEvent("proc:shell", "proc:ssh", 1))
+		check(gb.AddEvent("proc:ssh", "file:~/.ssh/id_rsa", 2))
+		check(gb.AddEvent("proc:ssh", "sock:tcp:22", 3))
+		g, err := gb.Finalize()
+		check(err)
+		pos = append(pos, g)
+
+		nb := tgminer.NewGraphBuilder(dict)
+		check(nb.AddEvent("proc:shell", "proc:ssh", 1))
+		check(nb.AddEvent("proc:ssh", "sock:tcp:22", 2))
+		check(nb.AddEvent("proc:ssh", "file:~/.ssh/id_rsa", 3))
+		g, err = nb.Finalize()
+		check(err)
+		neg = append(neg, g)
+	}
+
+	// Discovery under a deadline: a production pipeline never hands the
+	// miner an unbounded time budget. On timeout the partial queries mined
+	// so far come back together with ctx.Err().
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	bq, err := tgminer.DiscoverQueriesContext(ctx, pos, neg, tgminer.QueryOptions{QuerySize: 3, TopK: 1})
+	if err != nil {
+		log.Printf("discovery interrupted (%v); using partial queries", err)
+	}
+	if bq == nil || len(bq.Queries) == 0 {
+		log.Fatal("no behavior query discovered")
+	}
+	query := bq.Queries[0]
+	fmt.Printf("watching for:\n  %s\n\n", tgminer.FormatPattern(query, dict))
+
+	// The live engine ingests the event stream incrementally. CompactEvery
+	// folds the append-only tail into CSR indexes every N events; the
+	// engine answers identically at any setting.
+	live := tgminer.NewLiveEngine(dict, tgminer.LiveOptions{CompactEvery: 64})
+
+	// Simulate an event stream: background noise with the target behavior
+	// woven in twice.
+	t := int64(0)
+	emit := func(src, dst string) {
+		t++
+		check(live.Append(src, dst, t))
+	}
+	emit("proc:cron", "proc:sh")
+	emit("proc:sh", "file:/var/log/syslog")
+	emit("proc:shell", "proc:ssh") // behavior instance 1 begins
+	emit("proc:ssh", "file:~/.ssh/id_rsa")
+	emit("proc:ssh", "sock:tcp:22")
+	emit("proc:sh", "file:/tmp/a")
+	emit("proc:shell", "proc:ssh") // behavior instance 2 begins (same entities, later times)
+	emit("proc:ssh", "file:~/.ssh/id_rsa")
+	emit("proc:ssh", "sock:tcp:22")
+
+	// Stream matches as the search finds them: memory stays flat no matter
+	// how many matches the window holds. The monitoring phase gets its own
+	// context — the mining deadline above may already have expired, and an
+	// expired context would end the stream before the first match.
+	monCtx := context.Background()
+	fmt.Println("live matches (streamed):")
+	for m, err := range live.Stream(monCtx, query, tgminer.SearchOptions{Window: 6}) {
+		if err != nil {
+			log.Printf("stream ended early: %v", err)
+			break
+		}
+		fmt.Printf("  behavior instance in ticks [%d, %d]\n", m.Start, m.End)
+	}
+
+	// Slide the retention window forward: everything before tick 6 ages
+	// out, so only the second instance can still match.
+	live.EvictBefore(6)
+	res := live.FindTemporal(query, tgminer.SearchOptions{Window: 6})
+	fmt.Printf("\nafter EvictBefore(6): %d match(es) remain\n", len(res.Matches))
+	for _, m := range res.Matches {
+		fmt.Printf("  behavior instance in ticks [%d, %d]\n", m.Start, m.End)
+	}
+}
+
+func check(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,34 @@
+// Package cmdutil holds the signal/deadline context wiring shared by the
+// CLI commands.
+package cmdutil
+
+import (
+	"context"
+	"os"
+	"os/signal"
+	"time"
+)
+
+// SignalContext returns the command's working context: cancelled by the
+// first SIGINT and, when timeout > 0, by the deadline. sigCtx is the
+// signal-only parent (no deadline) — commands use it to derive a bounded
+// follow-up phase after a deadline expiry while staying Ctrl-C-cancellable.
+// The SIGINT handler unhooks itself after the first signal, so a second
+// Ctrl-C kills the process the usual way if the cooperative path is too
+// slow. Call stop to release the signal hook and any timer.
+func SignalContext(timeout time.Duration) (ctx, sigCtx context.Context, stop func()) {
+	sigCtx, unhook := signal.NotifyContext(context.Background(), os.Interrupt)
+	go func() {
+		<-sigCtx.Done()
+		unhook()
+	}()
+	ctx = sigCtx
+	cancel := func() {}
+	if timeout > 0 {
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+	}
+	return ctx, sigCtx, func() {
+		cancel()
+		unhook()
+	}
+}

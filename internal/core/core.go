@@ -7,6 +7,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"tgminer/internal/gspan"
@@ -56,15 +57,33 @@ type BehaviorQueries struct {
 	Mining *miner.Result
 }
 
-// DiscoverQueries runs the full TGMiner pipeline for one behavior.
+// DiscoverQueries runs the full TGMiner pipeline for one behavior. It is a
+// compatibility wrapper over DiscoverQueriesContext with a background
+// context.
 func DiscoverQueries(pos, neg []*tgraph.Graph, cfg QueryConfig) (*BehaviorQueries, error) {
+	return DiscoverQueriesContext(context.Background(), pos, neg, cfg)
+}
+
+// DiscoverQueriesContext runs the full TGMiner pipeline for one behavior
+// under a context. On cancellation it returns ctx.Err() together with a
+// non-nil BehaviorQueries built from the partial mining result — possibly
+// with zero Queries if no seed completed before the cancel. The result is
+// nil only when mining itself failed (e.g. an empty positive set).
+func DiscoverQueriesContext(ctx context.Context, pos, neg []*tgraph.Graph, cfg QueryConfig) (*BehaviorQueries, error) {
 	cfg = cfg.normalize()
 	opts := *cfg.Miner
 	opts.MaxEdges = cfg.QuerySize
-	res, err := miner.Mine(pos, neg, opts)
-	if err != nil {
+	res, err := miner.MineContext(ctx, pos, neg, opts)
+	if res == nil {
+		// A real mining failure (e.g. empty positive set), as opposed to a
+		// cancellation, which yields a partial result alongside ctx.Err().
 		return nil, fmt.Errorf("core: mining failed: %w", err)
 	}
+	return buildQueries(res, cfg), err
+}
+
+// buildQueries ranks the mined tie set into the top-k behavior queries.
+func buildQueries(res *miner.Result, cfg QueryConfig) *BehaviorQueries {
 	cands := make([]*tgraph.Pattern, 0, len(res.Best))
 	// Fix the query size: prefer tied patterns with exactly QuerySize edges
 	// (the paper evaluates fixed-size queries), falling back to all ties.
@@ -84,7 +103,7 @@ func DiscoverQueries(pos, neg []*tgraph.Graph, cfg QueryConfig) (*BehaviorQuerie
 	} else {
 		top = topByKey(cands, cfg.TopK)
 	}
-	return &BehaviorQueries{Queries: top, BestScore: res.BestScore, Mining: res}, nil
+	return &BehaviorQueries{Queries: top, BestScore: res.BestScore, Mining: res}
 }
 
 func topByKey(cands []*tgraph.Pattern, k int) []*tgraph.Pattern {

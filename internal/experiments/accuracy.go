@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"tgminer/internal/core"
@@ -42,7 +43,7 @@ type Table2Result struct {
 
 // Table2 mines all three query families for every behavior and evaluates
 // them against the test timeline.
-func Table2(env *Env) (*Table2Result, error) {
+func Table2(ctx context.Context, env *Env) (*Table2Result, error) {
 	tl, engine := env.Timeline()
 	ev := &core.Evaluator{Engine: engine, Window: tl.Window, Limit: env.Scale.MatchLimit}
 	in := env.Interest()
@@ -52,7 +53,7 @@ func Table2(env *Env) (*Table2Result, error) {
 		truth := TruthIntervals(tl, name)
 		cfg := core.QueryConfig{QuerySize: env.Scale.QuerySize, TopK: env.Scale.TopK, Interest: in}
 
-		bq, err := core.DiscoverQueries(pos, env.Data.Background, cfg)
+		bq, err := core.DiscoverQueriesContext(ctx, pos, env.Data.Background, cfg)
 		if err != nil {
 			return nil, fmt.Errorf("table2 %s: %w", name, err)
 		}
@@ -135,7 +136,7 @@ type Figure10Result struct {
 
 // Figure10 formats the top discovered patterns for the given behavior
 // (default sshd-login if present).
-func Figure10(env *Env, behavior string) (*Figure10Result, error) {
+func Figure10(ctx context.Context, env *Env, behavior string) (*Figure10Result, error) {
 	if behavior == "" {
 		behavior = "sshd-login"
 	}
@@ -148,7 +149,7 @@ func Figure10(env *Env, behavior string) (*Figure10Result, error) {
 		behavior = names[0]
 		pos = env.Data.ByName(behavior)
 	}
-	bq, err := core.DiscoverQueries(pos, env.Data.Background, core.QueryConfig{
+	bq, err := core.DiscoverQueriesContext(ctx, pos, env.Data.Background, core.QueryConfig{
 		QuerySize: env.Scale.QuerySize, TopK: 3, Interest: env.Interest(),
 	})
 	if err != nil {
@@ -185,7 +186,7 @@ type Figure11Result struct {
 
 // Figure11 sweeps query size and reports average precision/recall across
 // behaviors.
-func Figure11(env *Env, sizes []int) (*Figure11Result, error) {
+func Figure11(ctx context.Context, env *Env, sizes []int) (*Figure11Result, error) {
 	if len(sizes) == 0 {
 		sizes = []int{1, 2, 3, 4, 5, 6}
 	}
@@ -198,7 +199,7 @@ func Figure11(env *Env, sizes []int) (*Figure11Result, error) {
 		n := 0
 		for _, name := range env.BehaviorNames() {
 			pos := env.Data.ByName(name)
-			bq, err := core.DiscoverQueries(pos, env.Data.Background, core.QueryConfig{
+			bq, err := core.DiscoverQueriesContext(ctx, pos, env.Data.Background, core.QueryConfig{
 				QuerySize: size, TopK: env.Scale.TopK, Interest: in,
 			})
 			if err != nil {
@@ -244,7 +245,7 @@ type Figure12Result struct {
 
 // Figure12 sweeps the fraction of training data used (first k graphs per
 // set, as the paper does) and reports average accuracy.
-func Figure12(env *Env, fractions []float64) (*Figure12Result, error) {
+func Figure12(ctx context.Context, env *Env, fractions []float64) (*Figure12Result, error) {
 	if len(fractions) == 0 {
 		fractions = []float64{0.2, 0.4, 0.6, 0.8, 1.0}
 	}
@@ -258,7 +259,7 @@ func Figure12(env *Env, fractions []float64) (*Figure12Result, error) {
 		for _, name := range env.BehaviorNames() {
 			pos := takeFraction(env.Data.ByName(name), frac)
 			neg := takeFraction(env.Data.Background, frac)
-			bq, err := core.DiscoverQueries(pos, neg, core.QueryConfig{
+			bq, err := core.DiscoverQueriesContext(ctx, pos, neg, core.QueryConfig{
 				QuerySize: env.Scale.QuerySize, TopK: env.Scale.TopK, Interest: in,
 			})
 			if err != nil {

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"strings"
 	"testing"
 )
@@ -58,7 +59,7 @@ func TestTable1(t *testing.T) {
 
 func TestTable2AndRender(t *testing.T) {
 	env := tinyEnv(t)
-	res, err := Table2(env)
+	res, err := Table2(context.Background(), env)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -82,7 +83,7 @@ func TestTable2AndRender(t *testing.T) {
 
 func TestFigure10(t *testing.T) {
 	env := tinyEnv(t)
-	res, err := Figure10(env, "sshd-login")
+	res, err := Figure10(context.Background(), env, "sshd-login")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -93,7 +94,7 @@ func TestFigure10(t *testing.T) {
 		t.Errorf("render missing behavior name")
 	}
 	// Unknown behavior falls back to the first available.
-	res2, err := Figure10(env, "")
+	res2, err := Figure10(context.Background(), env, "")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -104,7 +105,7 @@ func TestFigure10(t *testing.T) {
 
 func TestFigure11(t *testing.T) {
 	env := tinyEnv(t)
-	res, err := Figure11(env, []int{1, 3})
+	res, err := Figure11(context.Background(), env, []int{1, 3})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -122,7 +123,7 @@ func TestFigure11(t *testing.T) {
 
 func TestFigure12(t *testing.T) {
 	env := tinyEnv(t)
-	res, err := Figure12(env, []float64{0.5, 1.0})
+	res, err := Figure12(context.Background(), env, []float64{0.5, 1.0})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -136,7 +137,7 @@ func TestFigure12(t *testing.T) {
 
 func TestFigure13(t *testing.T) {
 	env := tinyEnv(t)
-	res, err := Figure13(env, false)
+	res, err := Figure13(context.Background(), env, false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -158,7 +159,7 @@ func TestFigure13(t *testing.T) {
 
 func TestFigure14(t *testing.T) {
 	env := tinyEnv(t)
-	res, err := Figure14(env, []int{2, 4})
+	res, err := Figure14(context.Background(), env, []int{2, 4})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -172,7 +173,7 @@ func TestFigure14(t *testing.T) {
 
 func TestTable3(t *testing.T) {
 	env := tinyEnv(t)
-	res, err := Table3(env)
+	res, err := Table3(context.Background(), env)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -188,7 +189,7 @@ func TestTable3(t *testing.T) {
 
 func TestFigure15(t *testing.T) {
 	env := tinyEnv(t)
-	res, err := Figure15(env, []float64{0.5, 1.0})
+	res, err := Figure15(context.Background(), env, []float64{0.5, 1.0})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -202,7 +203,7 @@ func TestFigure15(t *testing.T) {
 
 func TestFigure16(t *testing.T) {
 	env := tinyEnv(t)
-	res, err := Figure16(env, []int{2, 4})
+	res, err := Figure16(context.Background(), env, []int{2, 4})
 	if err != nil {
 		t.Fatal(err)
 	}

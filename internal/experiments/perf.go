@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -50,14 +51,14 @@ func behaviorsInClass(env *Env, class string) []string {
 // count a single-threaded search, and letting GOMAXPROCS leak in would mix
 // core-count scaling into numbers meant to reproduce it (ParallelScaling is
 // the exhibit that sweeps workers on purpose).
-func mineBehavior(env *Env, behavior string, opts miner.Options, maxEdges int) (time.Duration, miner.Stats, error) {
+func mineBehavior(ctx context.Context, env *Env, behavior string, opts miner.Options, maxEdges int) (time.Duration, miner.Stats, error) {
 	opts.MaxEdges = maxEdges
 	if opts.Parallelism == 0 {
 		opts.Parallelism = 1
 	}
 	pos := env.Data.ByName(behavior)
 	start := time.Now()
-	res, err := miner.Mine(pos, env.Data.Background, opts)
+	res, err := miner.MineContext(ctx, pos, env.Data.Background, opts)
 	if err != nil {
 		return 0, miner.Stats{}, err
 	}
@@ -79,7 +80,7 @@ type Figure13Result struct {
 // Figure13 times every algorithm on every behavior class. When includeSlow
 // is false, SupPrune is only run on the small class, mirroring the paper's
 // DNF entries for medium/large.
-func Figure13(env *Env, includeSlow bool) (*Figure13Result, error) {
+func Figure13(ctx context.Context, env *Env, includeSlow bool) (*Figure13Result, error) {
 	out := &Figure13Result{
 		Seconds: map[string]map[string]float64{},
 		Skipped: map[string]map[string]bool{},
@@ -96,7 +97,7 @@ func Figure13(env *Env, includeSlow bool) (*Figure13Result, error) {
 			}
 			var total time.Duration
 			for _, name := range behaviors {
-				d, _, err := mineBehavior(env, name, optionsFor(alg), env.Scale.MaxPatternEdges)
+				d, _, err := mineBehavior(ctx, env, name, optionsFor(alg), env.Scale.MaxPatternEdges)
 				if err != nil {
 					return nil, fmt.Errorf("figure13 %s/%s: %w", alg, name, err)
 				}
@@ -147,7 +148,7 @@ type Figure14Result struct {
 
 // Figure14 sweeps the maximum pattern size (paper: 5..45) for TGMiner on
 // each class.
-func Figure14(env *Env, sizes []int) (*Figure14Result, error) {
+func Figure14(ctx context.Context, env *Env, sizes []int) (*Figure14Result, error) {
 	if len(sizes) == 0 {
 		if env.Scale.MaxPatternEdges >= 45 {
 			sizes = []int{5, 15, 25, 35, 45}
@@ -161,7 +162,7 @@ func Figure14(env *Env, sizes []int) (*Figure14Result, error) {
 		for _, size := range sizes {
 			var total time.Duration
 			for _, name := range behaviors {
-				d, _, err := mineBehavior(env, name, miner.TGMinerOptions(), size)
+				d, _, err := mineBehavior(ctx, env, name, miner.TGMinerOptions(), size)
 				if err != nil {
 					return nil, fmt.Errorf("figure14 %s size %d: %w", name, size, err)
 				}
@@ -209,7 +210,7 @@ var PaperTable3 = map[string][2]float64{
 }
 
 // Table3 measures pruning trigger probabilities per size class.
-func Table3(env *Env) (*Table3Result, error) {
+func Table3(ctx context.Context, env *Env) (*Table3Result, error) {
 	out := &Table3Result{Rates: map[string][2]float64{}, Scale: env.Scale}
 	for _, class := range SizeClasses {
 		var patterns, sub, sup int64
@@ -217,7 +218,7 @@ func Table3(env *Env) (*Table3Result, error) {
 			// Trigger probabilities are stats counters, which depend on
 			// worker interleaving; mineBehavior pins one worker so the
 			// measured rates reproduce the single-threaded search.
-			_, stats, err := mineBehavior(env, name, miner.TGMinerOptions(), env.Scale.MaxPatternEdges)
+			_, stats, err := mineBehavior(ctx, env, name, miner.TGMinerOptions(), env.Scale.MaxPatternEdges)
 			if err != nil {
 				return nil, fmt.Errorf("table3 %s: %w", name, err)
 			}
@@ -265,7 +266,7 @@ type Figure15Result struct {
 
 // Figure15 sweeps the fraction of training data used and times TGMiner per
 // class.
-func Figure15(env *Env, fractions []float64) (*Figure15Result, error) {
+func Figure15(ctx context.Context, env *Env, fractions []float64) (*Figure15Result, error) {
 	if len(fractions) == 0 {
 		fractions = []float64{0.2, 0.4, 0.6, 0.8, 1.0}
 	}
@@ -281,7 +282,7 @@ func Figure15(env *Env, fractions []float64) (*Figure15Result, error) {
 				opts.MaxEdges = env.Scale.MaxPatternEdges
 				opts.Parallelism = 1 // paper exhibit: single-threaded timing
 				start := time.Now()
-				if _, err := miner.Mine(pos, neg, opts); err != nil {
+				if _, err := miner.MineContext(ctx, pos, neg, opts); err != nil {
 					return nil, fmt.Errorf("figure15 %s frac %.2f: %w", name, frac, err)
 				}
 				total += time.Since(start)
@@ -315,7 +316,7 @@ type Figure16Result struct {
 }
 
 // Figure16 replicates the training data k times (SYN-k) and times TGMiner.
-func Figure16(env *Env, factors []int) (*Figure16Result, error) {
+func Figure16(ctx context.Context, env *Env, factors []int) (*Figure16Result, error) {
 	if len(factors) == 0 {
 		factors = []int{2, 4, 6, 8, 10}
 	}
@@ -331,7 +332,7 @@ func Figure16(env *Env, factors []int) (*Figure16Result, error) {
 				opts.MaxEdges = env.Scale.MaxPatternEdges
 				opts.Parallelism = 1 // paper exhibit: single-threaded timing
 				start := time.Now()
-				if _, err := miner.Mine(pos, neg, opts); err != nil {
+				if _, err := miner.MineContext(ctx, pos, neg, opts); err != nil {
 					return nil, fmt.Errorf("figure16 %s SYN-%d: %w", name, k, err)
 				}
 				total += time.Since(start)
@@ -357,7 +358,7 @@ type ParallelResult struct {
 // ParallelScaling times the full TGMiner configuration per size class at
 // each worker count (default 1, 2, 4, 8). Results are identical at every
 // level; only the wall clock moves.
-func ParallelScaling(env *Env, workers []int) (*ParallelResult, error) {
+func ParallelScaling(ctx context.Context, env *Env, workers []int) (*ParallelResult, error) {
 	if len(workers) == 0 {
 		workers = []int{1, 2, 4, 8}
 	}
@@ -369,7 +370,7 @@ func ParallelScaling(env *Env, workers []int) (*ParallelResult, error) {
 			for _, name := range behaviors {
 				opts := miner.TGMinerOptions()
 				opts.Parallelism = w
-				d, _, err := mineBehavior(env, name, opts, env.Scale.MaxPatternEdges)
+				d, _, err := mineBehavior(ctx, env, name, opts, env.Scale.MaxPatternEdges)
 				if err != nil {
 					return nil, fmt.Errorf("parallel %s x%d: %w", name, w, err)
 				}

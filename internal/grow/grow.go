@@ -57,7 +57,17 @@ func (l List) Frequency(total int) float64 {
 // owning this list: one Ref per distinct (graph, cut) pair, per the paper's
 // set-union definition of R(G, g).
 func (l List) ResidualSet() residual.Set {
-	set := make(residual.Set, 0, len(l))
+	return l.ResidualSetInto(nil)
+}
+
+// ResidualSetInto is ResidualSet reusing buf's backing storage when it is
+// large enough; the miner recycles residual sets through a per-worker
+// freelist, removing the dominant per-pattern allocation of the search.
+func (l List) ResidualSetInto(buf residual.Set) residual.Set {
+	if cap(buf) < len(l) {
+		buf = make(residual.Set, 0, len(l))
+	}
+	set := buf[:0]
 	for _, e := range l {
 		set = append(set, residual.Ref{GraphID: e.GraphID, Cut: e.LastPos})
 	}

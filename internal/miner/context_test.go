@@ -1,0 +1,148 @@
+package miner
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"testing"
+	"time"
+
+	"tgminer/internal/sysgen"
+	"tgminer/internal/tgraph"
+)
+
+func cancelWorkload(seed int64) ([]*tgraph.Graph, []*tgraph.Graph) {
+	ds := sysgen.Generate(sysgen.Config{
+		Scale: 0.5, GraphsPerBehavior: 8, BackgroundGraphs: 16, Seed: seed,
+		Behaviors: []string{"sshd-login"},
+	})
+	return ds.Behaviors[0].Graphs, ds.Background
+}
+
+// TestMineContextPreCancelled: a dead context returns ctx.Err() promptly
+// with a valid (empty) partial result, and never panics.
+func TestMineContextPreCancelled(t *testing.T) {
+	pos, neg := cancelWorkload(5)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := MineContext(ctx, pos, neg, Options{MaxEdges: 4})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if res == nil {
+		t.Fatal("partial result is nil")
+	}
+	if len(res.Best) != 0 {
+		t.Fatalf("pre-cancelled mine explored seeds: %d best", len(res.Best))
+	}
+}
+
+// TestMineContextCancelMidMine cancels while workers are mining. The call
+// must return context.Canceled (bounded by one seed's branch per worker),
+// produce a sound partial result, and leak no goroutines.
+func TestMineContextCancelMidMine(t *testing.T) {
+	pos, neg := cancelWorkload(7)
+	before := runtime.NumGoroutine()
+	for _, workers := range []int{1, 4} {
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			ctx, cancel := context.WithCancel(context.Background())
+			go func() {
+				time.Sleep(2 * time.Millisecond)
+				cancel()
+			}()
+			opts := TGMinerOptions()
+			opts.MaxEdges = 6
+			opts.Parallelism = workers
+			res, err := MineContext(ctx, pos, neg, opts)
+			if err != nil && !errors.Is(err, context.Canceled) {
+				t.Fatalf("err = %v", err)
+			}
+			if res == nil {
+				t.Fatal("nil result")
+			}
+			// Whatever was mined must be internally consistent: every best
+			// pattern carries the best score.
+			for _, sp := range res.Best {
+				if sp.Score != res.BestScore {
+					t.Fatalf("partial best holds score %v != BestScore %v", sp.Score, res.BestScore)
+				}
+			}
+		})
+	}
+	// Workers must all have exited; poll briefly to let the scheduler settle.
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= before {
+			return
+		}
+		runtime.Gosched()
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("goroutines leaked: %d before, %d after", before, runtime.NumGoroutine())
+}
+
+// TestMineTopKContextCancelled mirrors the pre-cancelled check for the
+// top-K search.
+func TestMineTopKContextCancelled(t *testing.T) {
+	pos, neg := cancelWorkload(9)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := MineTopKContext(ctx, pos, neg, 5, Options{MaxEdges: 3})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if res == nil || len(res.Patterns) != 0 {
+		t.Fatalf("pre-cancelled top-K result: %+v", res)
+	}
+}
+
+// TestMineTopKParallelEquivalence is the determinism property for the
+// parallelized top-K search: every worker count returns the identical
+// ranked shortlist (patterns, scores, threshold). The shared K-th-best
+// threshold is only ever a sound lower bound, so interleaving cannot change
+// the exact minimum-K under the (score, edges, key) total order.
+func TestMineTopKParallelEquivalence(t *testing.T) {
+	for _, wl := range []struct {
+		seed      int64
+		behaviors []string
+		k         int
+	}{
+		{seed: 3, behaviors: []string{"gzip-decompress"}, k: 7},
+		{seed: 11, behaviors: []string{"ftp-download"}, k: 12},
+		{seed: 29, behaviors: []string{"bzip2-decompress"}, k: 5},
+	} {
+		ds := sysgen.Generate(sysgen.Config{
+			Scale: 0.25, GraphsPerBehavior: 6, BackgroundGraphs: 10, Seed: wl.seed,
+			Behaviors: wl.behaviors,
+		})
+		pos := ds.Behaviors[0].Graphs
+		opts := Options{MaxEdges: 4, Parallelism: 1}
+		seq, err := MineTopK(pos, ds.Background, wl.k, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, workers := range []int{2, 4, 8} {
+			opts.Parallelism = workers
+			par, err := MineTopK(pos, ds.Background, wl.k, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if par.Threshold != seq.Threshold {
+				t.Errorf("seed %d workers %d: threshold %v != %v", wl.seed, workers, par.Threshold, seq.Threshold)
+			}
+			if len(par.Patterns) != len(seq.Patterns) {
+				t.Fatalf("seed %d workers %d: %d patterns != %d", wl.seed, workers, len(par.Patterns), len(seq.Patterns))
+			}
+			for i := range seq.Patterns {
+				if par.Patterns[i].Score != seq.Patterns[i].Score ||
+					par.Patterns[i].Pattern.Key() != seq.Patterns[i].Pattern.Key() {
+					t.Fatalf("seed %d workers %d: shortlist diverges at rank %d:\n  seq %v %s\n  par %v %s",
+						wl.seed, workers, i,
+						seq.Patterns[i].Score, seq.Patterns[i].Pattern.Key(),
+						par.Patterns[i].Score, par.Patterns[i].Pattern.Key())
+				}
+			}
+		}
+	}
+}

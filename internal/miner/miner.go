@@ -23,6 +23,7 @@
 package miner
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -213,7 +214,15 @@ type Result struct {
 // ErrNoPositiveGraphs is returned when the positive set is empty.
 var ErrNoPositiveGraphs = errors.New("miner: positive graph set is empty")
 
-// Mine runs the discriminative pattern search over pos and neg.
+// Mine runs the discriminative pattern search over pos and neg. It is a
+// compatibility wrapper over MineContext with a background (non-cancellable)
+// context.
+func Mine(pos, neg []*tgraph.Graph, opts Options) (*Result, error) {
+	return MineContext(context.Background(), pos, neg, opts)
+}
+
+// MineContext runs the discriminative pattern search over pos and neg under
+// a context.
 //
 // When opts.Parallelism > 1, seeds are fanned out to a worker pool sharing
 // one F* (published through atomic float bits for lock-free pruning reads)
@@ -222,12 +231,23 @@ var ErrNoPositiveGraphs = errors.New("miner: positive graph set is empty")
 // interleaving returns the same BestScore, TieCount, and best-pattern set;
 // Best is canonicalized (sorted by pattern key) so parallel and sequential
 // runs are byte-for-byte comparable.
-func Mine(pos, neg []*tgraph.Graph, opts Options) (*Result, error) {
+//
+// Cancellation is cooperative at seed granularity: workers poll ctx between
+// seeds, so a cancel takes effect within at most one seed's branch per
+// worker and never interrupts a branch midway. On cancellation MineContext
+// returns ctx.Err() together with a non-nil partial Result covering exactly
+// the seeds fully explored before the cancel — each seed's branch is either
+// wholly mined or untouched, so the partial result is a sound lower bound
+// (BestScore <= the complete F*, Best patterns are genuine).
+func MineContext(ctx context.Context, pos, neg []*tgraph.Graph, opts Options) (*Result, error) {
 	if len(pos) == 0 {
 		return nil, ErrNoPositiveGraphs
 	}
 	opts = opts.normalize()
 	start := time.Now()
+	if err := ctx.Err(); err != nil {
+		return &Result{BestScore: inf(), Elapsed: time.Since(start)}, err
+	}
 	seeds := grow.Seeds(pos, neg)
 	// Explore high-positive-support, low-negative-support seeds first. F*
 	// reaches its ceiling as soon as a maximally frequent, zero-negative
@@ -268,6 +288,9 @@ func Mine(pos, neg []*tgraph.Graph, opts Options) (*Result, error) {
 		go func() {
 			defer wg.Done()
 			for {
+				if ctx.Err() != nil {
+					return
+				}
 				i := int(next.Add(1)) - 1
 				if i >= len(seeds) {
 					return
@@ -290,7 +313,7 @@ func Mine(pos, neg []*tgraph.Graph, opts Options) (*Result, error) {
 		Stats:     stats,
 		Elapsed:   time.Since(start),
 	}
-	return res, nil
+	return res, ctx.Err()
 }
 
 func inf() float64 { return -1e308 }
@@ -463,6 +486,28 @@ type search struct {
 	sh       *shared
 	reg      *registry
 	stats    Stats
+	// setFree recycles residual.Set backing arrays across dfs frames (LIFO,
+	// worker-local, so no synchronization). Only valid in integer-compression
+	// mode: linear mode retains the sets inside registry entries.
+	setFree []residual.Set
+}
+
+// getSet pops a recycled residual-set buffer, or nil for a fresh one.
+func (s *search) getSet() residual.Set {
+	if n := len(s.setFree); n > 0 {
+		b := s.setFree[n-1]
+		s.setFree = s.setFree[:n-1]
+		return b
+	}
+	return nil
+}
+
+// putSet returns a residual-set buffer to the freelist. Callers must not
+// retain the set afterwards.
+func (s *search) putSet(b residual.Set) {
+	if cap(b) > 0 {
+		s.setFree = append(s.setFree, b[:0])
+	}
 }
 
 // dfs explores the branch rooted at p, returning the best score seen in the
@@ -478,7 +523,7 @@ func (s *search) dfs(p *tgraph.Pattern, posE, negE grow.List) float64 {
 	s.sh.record(p, sc, x, y)
 	branchBest := sc
 
-	resPos := posE.ResidualSet()
+	resPos := posE.ResidualSetInto(s.getSet())
 	iPos := resPos.I(s.pos)
 
 	// Negative residual sets are only needed by supergraph pruning and its
@@ -489,7 +534,7 @@ func (s *search) dfs(p *tgraph.Pattern, posE, negE grow.List) float64 {
 	haveNeg := false
 	negSet := func() (residual.Set, int64) {
 		if !haveNeg {
-			resNeg = negE.ResidualSet()
+			resNeg = negE.ResidualSetInto(s.getSet())
 			iNeg = resNeg.I(s.neg)
 			haveNeg = true
 		}
@@ -528,6 +573,15 @@ func (s *search) dfs(p *tgraph.Pattern, posE, negE grow.List) float64 {
 	}
 
 	s.register(p, resPos, iPos, negSet, branchBest)
+	// In integer mode nothing past this point references the sets (registry
+	// entries keep only iPos/iNeg), so their buffers recycle into the
+	// freelist; linear mode stores them in the entry and must not.
+	if !s.opts.ResidualLinear {
+		s.putSet(resPos)
+		if haveNeg {
+			s.putSet(resNeg)
+		}
+	}
 	return branchBest
 }
 

@@ -14,7 +14,8 @@
 package residual
 
 import (
-	"sort"
+	"cmp"
+	"slices"
 
 	"tgminer/internal/tgraph"
 )
@@ -36,12 +37,15 @@ func (r Ref) Size(graphs []*tgraph.Graph) int {
 type Set []Ref
 
 // Normalize sorts the set so that two equal sets compare element-wise.
+// slices.SortFunc rather than sort.Slice: this runs once or twice per
+// explored pattern, and the interface-based sort allocates per call while
+// the generic one does not.
 func (s Set) Normalize() {
-	sort.Slice(s, func(i, j int) bool {
-		if s[i].GraphID != s[j].GraphID {
-			return s[i].GraphID < s[j].GraphID
+	slices.SortFunc(s, func(a, b Ref) int {
+		if c := cmp.Compare(a.GraphID, b.GraphID); c != 0 {
+			return c
 		}
-		return s[i].Cut < s[j].Cut
+		return cmp.Compare(a.Cut, b.Cut)
 	})
 }
 

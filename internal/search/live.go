@@ -1,0 +1,419 @@
+package search
+
+// This file implements the live (incrementally growing) temporal-graph
+// engine for continuous monitoring: the immutable CSR indexes of Engine
+// wrapped with an append-only tail plus periodic compaction, and an optional
+// sliding window via EvictBefore. Queries see base + tail as one edge
+// sequence in global position order, so a Live engine answers every query
+// exactly as a static Engine built over the equivalent edge set would
+// (differentially tested in live_test.go).
+
+import (
+	"context"
+	"fmt"
+	"iter"
+	"sort"
+	"sync"
+
+	"tgminer/internal/tgraph"
+)
+
+// LiveOptions configures a Live engine.
+type LiveOptions struct {
+	// CompactEvery is the minimum tail length before automatic compaction
+	// into the CSR base index during Append (default 4096; negative
+	// disables automatic compaction, leaving it to explicit Compact
+	// calls). Compaction additionally waits until the tail is at least
+	// half the base, so rebuild sizes grow geometrically and total
+	// ingestion work stays linear — amortized O(1) per append — instead of
+	// quadratic in the stream length.
+	CompactEvery int
+}
+
+func (o LiveOptions) normalize() LiveOptions {
+	if o.CompactEvery == 0 {
+		o.CompactEvery = 4096
+	}
+	return o
+}
+
+// pairKey indexes tail edges by endpoint labels.
+type pairKey struct{ src, dst tgraph.Label }
+
+// Live is an incrementally growing temporal-graph engine. Edges append in
+// strictly increasing timestamp order (the same total-order invariant
+// tgraph.Builder enforces); each edge takes a global position = base size +
+// tail offset. The tail keeps simple per-node and per-label-pair position
+// lists; compaction folds base + tail into a fresh CSR Engine. EvictBefore
+// implements a sliding window by advancing a floor position — queries skip
+// evicted prefixes in O(1) because position order is time order — and the
+// space is reclaimed at the next compaction.
+//
+// Live is safe for concurrent use: queries take a read lock (including for
+// the whole lifetime of a StreamTemporal iteration), Append/EvictBefore/
+// Compact take the write lock. Consume streams promptly or query a
+// Snapshot, since a long-lived stream blocks appends.
+type Live struct {
+	mu   sync.RWMutex
+	opts LiveOptions
+
+	labels []tgraph.Label // authoritative node labels (base and tail nodes)
+
+	base      *Engine // CSR indexes over the compacted prefix; nil until first compaction
+	baseEdges int32   // edges in base: global positions [0, baseEdges)
+
+	floor int32 // first live global position; earlier edges are evicted
+
+	tail     []tgraph.Edge // appended edges, global positions baseEdges+i
+	tailOut  [][]int32     // node -> tail positions with the node as source
+	tailIn   [][]int32     // node -> tail positions with the node as destination
+	tailPair map[pairKey][]int32
+
+	lastTime int64 // largest timestamp seen; -1 when empty
+
+	used sync.Pool // *usedSet per-query scratch
+}
+
+// NewLive returns an empty live engine.
+func NewLive(opts LiveOptions) *Live {
+	l := &Live{
+		opts:     opts.normalize(),
+		tailPair: make(map[pairKey][]int32),
+		lastTime: -1,
+	}
+	l.used.New = func() any { return new(usedSet) }
+	return l
+}
+
+// AddNode appends a node with the given label and returns its NodeID.
+func (l *Live) AddNode(label tgraph.Label) tgraph.NodeID {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.labels = append(l.labels, label)
+	l.tailOut = append(l.tailOut, nil)
+	l.tailIn = append(l.tailIn, nil)
+	return tgraph.NodeID(len(l.labels) - 1)
+}
+
+// Append records a directed edge src -> dst at time t. Timestamps must be
+// strictly increasing across appends (sequentialize concurrent events
+// upstream, as tgraph.Builder.Sequentialize does for batch graphs). The
+// amortized cost is O(1): the tail folds into the CSR base on the geometric
+// schedule described on LiveOptions.CompactEvery.
+func (l *Live) Append(src, dst tgraph.NodeID, t int64) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if n := tgraph.NodeID(len(l.labels)); src < 0 || src >= n || dst < 0 || dst >= n {
+		return fmt.Errorf("search: live edge (%d,%d,%d) references unknown node (have %d nodes)", src, dst, t, n)
+	}
+	if t <= l.lastTime {
+		return fmt.Errorf("search: live append out of order: t=%d not after t=%d (timestamps must be strictly increasing)", t, l.lastTime)
+	}
+	pos := l.baseEdges + int32(len(l.tail))
+	l.tail = append(l.tail, tgraph.Edge{Src: src, Dst: dst, Time: t})
+	l.tailOut[src] = append(l.tailOut[src], pos)
+	l.tailIn[dst] = append(l.tailIn[dst], pos)
+	k := pairKey{l.labels[src], l.labels[dst]}
+	l.tailPair[k] = append(l.tailPair[k], pos)
+	l.lastTime = t
+	// Geometric schedule: rebuilding the base costs O(base+tail), so only
+	// compact once the tail is worth it both absolutely (CompactEvery) and
+	// relative to the base (>= half). Rebuild sizes then grow
+	// geometrically, their sum over the whole stream is O(total edges),
+	// and appends stay amortized O(1). Tail edges are indexed just like
+	// base edges, so a large tail does not slow searches.
+	if l.opts.CompactEvery > 0 && len(l.tail) >= l.opts.CompactEvery && int32(len(l.tail))*2 >= l.baseEdges {
+		l.compactLocked()
+	}
+	return nil
+}
+
+// EvictBefore drops every edge with timestamp < t (sliding-window
+// retention). O(log E) now — it only advances the floor position — with the
+// space reclaimed at the next compaction. Nodes are retained so NodeIDs
+// stay stable.
+func (l *Live) EvictBefore(t int64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if cut := l.cutBefore(t); cut > l.floor {
+		l.floor = cut
+	}
+}
+
+// cutBefore returns the first global position whose edge time is >= t.
+func (l *Live) cutBefore(t int64) int32 {
+	if l.base != nil {
+		edges := l.base.g.Edges()
+		if i := sort.Search(len(edges), func(i int) bool { return edges[i].Time >= t }); i < len(edges) {
+			return int32(i)
+		}
+	}
+	j := sort.Search(len(l.tail), func(i int) bool { return l.tail[i].Time >= t })
+	return l.baseEdges + int32(j)
+}
+
+// Compact folds the tail (and any evicted prefix) into a fresh CSR base.
+func (l *Live) Compact() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.compactLocked()
+}
+
+func (l *Live) compactLocked() {
+	if len(l.tail) == 0 && l.floor == 0 {
+		return
+	}
+	l.base = NewEngine(l.buildGraphLocked())
+	l.baseEdges = int32(l.base.g.NumEdges())
+	l.floor = 0
+	l.tail = l.tail[:0]
+	for i := range l.tailOut {
+		l.tailOut[i] = l.tailOut[i][:0]
+	}
+	for i := range l.tailIn {
+		l.tailIn[i] = l.tailIn[i][:0]
+	}
+	for k, v := range l.tailPair {
+		l.tailPair[k] = v[:0]
+	}
+}
+
+// buildGraphLocked materializes the live edge set (all nodes, non-evicted
+// edges) as an immutable tgraph.Graph.
+func (l *Live) buildGraphLocked() *tgraph.Graph {
+	var b tgraph.Builder
+	for _, lab := range l.labels {
+		b.AddNode(lab)
+	}
+	if l.base != nil && l.floor < l.baseEdges {
+		for _, e := range l.base.g.Edges()[l.floor:] {
+			_ = b.AddEdge(e.Src, e.Dst, e.Time)
+		}
+	}
+	tailFrom := int(l.floor) - int(l.baseEdges)
+	if tailFrom < 0 {
+		tailFrom = 0
+	}
+	for _, e := range l.tail[tailFrom:] {
+		_ = b.AddEdge(e.Src, e.Dst, e.Time)
+	}
+	g, err := b.Finalize()
+	if err != nil {
+		// Unreachable: Append enforces the strict total order Finalize checks.
+		panic("search: live edge set lost total order: " + err.Error())
+	}
+	return g
+}
+
+// Snapshot materializes an immutable Engine over the current live edge set,
+// for callers that want to run many queries against one consistent state
+// without holding the live read lock.
+func (l *Live) Snapshot() *Engine {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	if l.base != nil && len(l.tail) == 0 && l.floor == 0 {
+		return l.base
+	}
+	return NewEngine(l.buildGraphLocked())
+}
+
+// NumNodes reports the number of nodes ever added.
+func (l *Live) NumNodes() int {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return len(l.labels)
+}
+
+// NumEdges reports the number of live (non-evicted) edges.
+func (l *Live) NumEdges() int {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return int(l.baseEdges) + len(l.tail) - int(l.floor)
+}
+
+// LastTime reports the largest appended timestamp (-1 when empty).
+func (l *Live) LastTime() int64 {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return l.lastTime
+}
+
+// edgeAt returns the edge at a global position.
+func (l *Live) edgeAt(pos int32) tgraph.Edge {
+	if pos < l.baseEdges {
+		return l.base.g.EdgeAt(int(pos))
+	}
+	return l.tail[pos-l.baseEdges]
+}
+
+// forEachPair iterates live positions of edges with endpoint labels
+// (src, dst) strictly after `after`, in increasing order, until fn returns
+// false. Base and tail segments chain naturally: every tail position is
+// greater than every base position.
+func (l *Live) forEachPair(src, dst tgraph.Label, after int32, fn func(int32) bool) {
+	if after < l.floor-1 {
+		after = l.floor - 1
+	}
+	if l.base != nil {
+		if !iterAfterOK(l.base.pairPositions(src, dst), after, fn) {
+			return
+		}
+	}
+	iterAfterOK(l.tailPair[pairKey{src, dst}], after, fn)
+}
+
+// forEachOut iterates live positions of edges with node v as source,
+// strictly after `after`, until fn returns false.
+func (l *Live) forEachOut(v tgraph.NodeID, after int32, fn func(int32) bool) {
+	if after < l.floor-1 {
+		after = l.floor - 1
+	}
+	if l.base != nil && int(v) < l.base.g.NumNodes() {
+		if !iterAfterOK(l.base.outAt(v), after, fn) {
+			return
+		}
+	}
+	iterAfterOK(l.tailOut[v], after, fn)
+}
+
+// forEachIn iterates live positions of edges with node v as destination,
+// strictly after `after`, until fn returns false.
+func (l *Live) forEachIn(v tgraph.NodeID, after int32, fn func(int32) bool) {
+	if after < l.floor-1 {
+		after = l.floor - 1
+	}
+	if l.base != nil && int(v) < l.base.g.NumNodes() {
+		if !iterAfterOK(l.base.inAt(v), after, fn) {
+			return
+		}
+	}
+	iterAfterOK(l.tailIn[v], after, fn)
+}
+
+// liveState is the temporal matcher over a Live engine: the same
+// backtracking search as tState (stream.go), iterating base + tail as one
+// position sequence. The two match methods are deliberate twins — kept
+// monomorphic so the static hot path pays no interface dispatch. A change
+// to either MUST be mirrored in the other;
+// TestLiveMatchesStaticDifferential enforces agreement.
+type liveState struct {
+	matchCore
+	l *Live
+}
+
+func (s *liveState) match(k int, lastPos int32) {
+	if s.stepCancelled() {
+		return
+	}
+	if k == s.p.NumEdges() {
+		s.emit(Match{Start: s.startTime, End: s.l.edgeAt(lastPos).Time})
+		return
+	}
+	pe := s.p.EdgeAt(k)
+	ms, md := s.mapping[pe.Src], s.mapping[pe.Dst]
+	deadline := int64(-1)
+	if s.opts.Window > 0 {
+		deadline = s.startTime + s.opts.Window - 1
+	}
+	try := func(pos int32) {
+		ge := s.l.edgeAt(pos)
+		if deadline >= 0 && ge.Time > deadline {
+			return
+		}
+		if (pe.Src == pe.Dst) != (ge.Src == ge.Dst) {
+			return
+		}
+		if s.l.labels[ge.Src] != s.p.LabelOf(pe.Src) || s.l.labels[ge.Dst] != s.p.LabelOf(pe.Dst) {
+			return
+		}
+		s.bindEdge(pe, ge, func() { s.match(k+1, pos) })
+	}
+	switch {
+	case ms != -1:
+		s.l.forEachOut(ms, lastPos, func(pos int32) bool {
+			if deadline >= 0 && s.l.edgeAt(pos).Time > deadline {
+				return false
+			}
+			if md != -1 && s.l.edgeAt(pos).Dst != md {
+				return true
+			}
+			try(pos)
+			return !s.done
+		})
+	case md != -1:
+		s.l.forEachIn(md, lastPos, func(pos int32) bool {
+			if deadline >= 0 && s.l.edgeAt(pos).Time > deadline {
+				return false
+			}
+			try(pos)
+			return !s.done
+		})
+	default:
+		// Unreachable for T-connected patterns beyond the first edge, but
+		// handle defensively via the pair index.
+		s.l.forEachPair(s.p.LabelOf(pe.Src), s.p.LabelOf(pe.Dst), lastPos, func(pos int32) bool {
+			try(pos)
+			return !s.done
+		})
+	}
+}
+
+// StreamTemporal yields the distinct intervals where the temporal pattern
+// embeds in the live edge set, with the same semantics as
+// Engine.StreamTemporal. The engine's read lock is held until the stream
+// ends or the consumer breaks, and the lock is not reentrant: calling
+// Append, EvictBefore, or Compact from inside the loop body deadlocks.
+// For mutate-as-you-consume patterns, stream from Snapshot() instead and
+// apply the mutations against the live engine.
+func (l *Live) StreamTemporal(ctx context.Context, p *tgraph.Pattern, opts Options) iter.Seq2[Match, error] {
+	opts = opts.normalize()
+	return func(yield func(Match, error) bool) {
+		if p.NumEdges() == 0 {
+			return
+		}
+		l.mu.RLock()
+		defer l.mu.RUnlock()
+		res := newRootDedup(opts.Limit, func(m Match) bool { return yield(m, nil) })
+		defer res.release()
+		st := &liveState{l: l}
+		st.p = p
+		st.opts = opts
+		st.res = res
+		st.ctx = ctx
+		u := l.used.Get().(*usedSet)
+		u.reset(len(l.labels))
+		st.init(p.NumNodes(), u)
+		defer l.used.Put(u)
+		first := p.EdgeAt(0)
+		l.forEachPair(p.LabelOf(first.Src), p.LabelOf(first.Dst), l.floor-1, func(pos int32) bool {
+			if st.rootCancelled() {
+				return false
+			}
+			res.nextRoot()
+			ge := l.edgeAt(pos)
+			if (first.Src == first.Dst) != (ge.Src == ge.Dst) {
+				return true
+			}
+			st.bindEdge(first, ge, func() {
+				st.startTime = ge.Time
+				st.match(1, pos)
+			})
+			return !st.done
+		})
+		finishStream(yield, res, st.ctxErr)
+	}
+}
+
+// FindTemporalContext collects StreamTemporal into a deduplicated Result in
+// (Start, End) order, returning partial matches plus ctx.Err() on
+// cancellation.
+func (l *Live) FindTemporalContext(ctx context.Context, p *tgraph.Pattern, opts Options) (Result, error) {
+	return collectStream(l.StreamTemporal(ctx, p, opts))
+}
+
+// FindTemporal is the background-context compatibility form of
+// FindTemporalContext.
+func (l *Live) FindTemporal(p *tgraph.Pattern, opts Options) Result {
+	r, _ := l.FindTemporalContext(context.Background(), p, opts)
+	return r
+}

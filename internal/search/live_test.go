@@ -1,0 +1,250 @@
+package search
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"tgminer/internal/tgraph"
+)
+
+// staticEquivalent builds the immutable engine over the live edge set: same
+// node labels, only the edges with time >= minTime.
+func staticEquivalent(t *testing.T, labels []tgraph.Label, edges []tgraph.Edge, minTime int64) *Engine {
+	t.Helper()
+	var b tgraph.Builder
+	for _, l := range labels {
+		b.AddNode(l)
+	}
+	for _, e := range edges {
+		if e.Time < minTime {
+			continue
+		}
+		if err := b.AddEdge(e.Src, e.Dst, e.Time); err != nil {
+			t.Fatal(err)
+		}
+	}
+	g, err := b.Finalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewEngine(g)
+}
+
+func sameResult(a, b Result) error {
+	if len(a.Matches) != len(b.Matches) {
+		return fmt.Errorf("match count %d != %d (%v vs %v)", len(a.Matches), len(b.Matches), a.Matches, b.Matches)
+	}
+	for i := range a.Matches {
+		if a.Matches[i] != b.Matches[i] {
+			return fmt.Errorf("match %d: %v != %v", i, a.Matches[i], b.Matches[i])
+		}
+	}
+	if a.Truncated != b.Truncated {
+		return fmt.Errorf("truncated %v != %v", a.Truncated, b.Truncated)
+	}
+	return nil
+}
+
+// TestLiveMatchesStaticDifferential is the acceptance property for the live
+// engine: after any interleaving of appends, node additions, evictions, and
+// forced compactions, every temporal query answers identically to a static
+// NewEngine built over the equivalent edge set — including across
+// compaction boundaries (CompactEvery is deliberately tiny).
+func TestLiveMatchesStaticDifferential(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		compactEvery := []int{-1, 2, 3, 7}[rng.Intn(4)]
+		live := NewLive(LiveOptions{CompactEvery: compactEvery})
+		numLabels := 3
+		var labels []tgraph.Label
+		var edges []tgraph.Edge
+		addNode := func() {
+			lab := tgraph.Label(rng.Intn(numLabels))
+			labels = append(labels, lab)
+			live.AddNode(lab)
+		}
+		for i := 0; i < 4; i++ {
+			addNode()
+		}
+		tm := int64(0)
+		minTime := int64(0)
+		for step := 0; step < 40; step++ {
+			switch {
+			case step%17 == 13:
+				addNode()
+			case step%11 == 7:
+				// Evict a random prefix of the timeline. Eviction is
+				// monotonic (an earlier cutoff than a previous one is a
+				// no-op), so the oracle tracks the high-water mark.
+				if cut := tm - int64(rng.Intn(20)); cut > minTime {
+					minTime = cut
+				}
+				live.EvictBefore(minTime)
+			case step%13 == 5:
+				live.Compact()
+			default:
+				src := tgraph.NodeID(rng.Intn(len(labels)))
+				dst := tgraph.NodeID(rng.Intn(len(labels)))
+				tm += int64(1 + rng.Intn(3))
+				if err := live.Append(src, dst, tm); err != nil {
+					t.Logf("seed=%d: append: %v", seed, err)
+					return false
+				}
+				edges = append(edges, tgraph.Edge{Src: src, Dst: dst, Time: tm})
+			}
+			if step%9 != 0 {
+				continue
+			}
+			static := staticEquivalent(t, labels, edges, minTime)
+			for q := 0; q < 3; q++ {
+				p := randomQuery(rng, 3, numLabels)
+				opts := Options{}
+				if rng.Intn(2) == 0 {
+					opts.Window = int64(2 + rng.Intn(10))
+				}
+				if rng.Intn(4) == 0 {
+					opts.Limit = 1 + rng.Intn(3)
+				}
+				got := live.FindTemporal(p, opts)
+				want := static.FindTemporal(p, opts)
+				if err := sameResult(got, want); err != nil {
+					t.Logf("seed=%d step=%d (compactEvery=%d, evictBefore=%d): %v\n p=%v",
+						seed, step, compactEvery, minTime, err, p)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLiveAppendOutOfOrder(t *testing.T) {
+	l := NewLive(LiveOptions{})
+	a := l.AddNode(0)
+	b := l.AddNode(1)
+	if err := l.Append(a, b, 5); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append(a, b, 5); err == nil {
+		t.Fatal("duplicate timestamp accepted")
+	}
+	if err := l.Append(a, b, 4); err == nil {
+		t.Fatal("backwards timestamp accepted")
+	}
+	if err := l.Append(a, b, 6); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append(a, tgraph.NodeID(99), 7); err == nil {
+		t.Fatal("unknown node accepted")
+	}
+	if n := l.NumEdges(); n != 2 {
+		t.Fatalf("NumEdges = %d, want 2", n)
+	}
+}
+
+func TestLiveEvictAndCounts(t *testing.T) {
+	l := NewLive(LiveOptions{CompactEvery: 4})
+	a := l.AddNode(0)
+	b := l.AddNode(1)
+	for i := 0; i < 10; i++ {
+		if err := l.Append(a, b, int64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n := l.NumEdges(); n != 10 {
+		t.Fatalf("NumEdges = %d, want 10", n)
+	}
+	l.EvictBefore(6)
+	if n := l.NumEdges(); n != 4 {
+		t.Fatalf("NumEdges after evict = %d, want 4", n)
+	}
+	p, err := tgraph.NewPattern([]tgraph.Label{0, 1}, []tgraph.PEdge{{Src: 0, Dst: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := l.FindTemporal(p, Options{})
+	if len(res.Matches) != 4 {
+		t.Fatalf("matches after evict = %v, want 4", res.Matches)
+	}
+	for _, m := range res.Matches {
+		if m.Start < 6 {
+			t.Fatalf("evicted edge matched: %v", m)
+		}
+	}
+	// Compaction after eviction reclaims and must not change answers.
+	l.Compact()
+	if n := l.NumEdges(); n != 4 {
+		t.Fatalf("NumEdges after compact = %d, want 4", n)
+	}
+	res2 := l.FindTemporal(p, Options{})
+	if err := sameResult(res, res2); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLiveSnapshotConsistent(t *testing.T) {
+	l := NewLive(LiveOptions{CompactEvery: 3})
+	a := l.AddNode(0)
+	b := l.AddNode(1)
+	c := l.AddNode(2)
+	for i, pair := range [][2]tgraph.NodeID{{a, b}, {b, c}, {a, b}, {b, c}, {a, c}} {
+		if err := l.Append(pair[0], pair[1], int64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	p, err := tgraph.NewPattern([]tgraph.Label{0, 1, 2}, []tgraph.PEdge{{Src: 0, Dst: 1}, {Src: 1, Dst: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := l.Snapshot()
+	if err := sameResult(l.FindTemporal(p, Options{}), snap.FindTemporal(p, Options{})); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestLiveConcurrentAppendQuery exercises appenders racing streaming
+// queriers; run under -race in CI. Results are not asserted beyond "no
+// panic, valid intervals": the interleaving is nondeterministic by design.
+func TestLiveConcurrentAppendQuery(t *testing.T) {
+	l := NewLive(LiveOptions{CompactEvery: 16})
+	a := l.AddNode(0)
+	b := l.AddNode(1)
+	p, err := tgraph.NewPattern([]tgraph.Label{0, 1}, []tgraph.PEdge{{Src: 0, Dst: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 300; i++ {
+			if err := l.Append(a, b, int64(i)); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 50; i++ {
+			for m, err := range l.StreamTemporal(context.Background(), p, Options{}) {
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if m.Start != m.End {
+					t.Errorf("single-edge match with span: %v", m)
+					return
+				}
+			}
+		}
+	}()
+	wg.Wait()
+}

@@ -17,6 +17,7 @@
 package search
 
 import (
+	"context"
 	"sort"
 	"sync"
 
@@ -253,158 +254,30 @@ type Result struct {
 }
 
 // FindTemporal reports the distinct intervals where the temporal pattern
-// embeds with edge order preserved.
+// embeds with edge order preserved. It is a compatibility wrapper that
+// collects FindTemporalContext with a background context; streaming callers
+// should range over StreamTemporal instead.
 func (e *Engine) FindTemporal(p *tgraph.Pattern, opts Options) Result {
-	opts = opts.normalize()
-	if p.NumEdges() == 0 {
-		return Result{}
-	}
-	res := &resultSet{limit: opts.Limit}
-	st := &tState{e: e, p: p, opts: opts, res: res}
-	st.mapping = make([]tgraph.NodeID, p.NumNodes())
-	for i := range st.mapping {
-		st.mapping[i] = -1
-	}
-	st.used = e.getUsed()
-	defer e.used.Put(st.used)
-	first := p.EdgeAt(0)
-	for _, pos := range e.pairPositions(p.LabelOf(first.Src), p.LabelOf(first.Dst)) {
-		if res.full() {
-			break
-		}
-		ge := e.g.EdgeAt(int(pos))
-		if (first.Src == first.Dst) != (ge.Src == ge.Dst) {
-			continue
-		}
-		st.bindEdge(first, ge, func() {
-			st.startTime = ge.Time
-			st.match(1, pos)
-		})
-	}
-	return res.finish()
-}
-
-type tState struct {
-	e         *Engine
-	p         *tgraph.Pattern
-	opts      Options
-	res       *resultSet
-	mapping   []tgraph.NodeID
-	used      *usedSet
-	startTime int64
-}
-
-// bindEdge binds the endpoints of pattern edge pe to graph edge ge (which
-// must already be label-compatible), runs fn, and unbinds.
-func (s *tState) bindEdge(pe tgraph.PEdge, ge tgraph.Edge, fn func()) {
-	var boundSrc, boundDst bool
-	if s.mapping[pe.Src] == -1 {
-		if s.used.has(ge.Src) {
-			return
-		}
-		s.mapping[pe.Src] = ge.Src
-		s.used.add(ge.Src)
-		boundSrc = true
-	} else if s.mapping[pe.Src] != ge.Src {
-		return
-	}
-	if pe.Src != pe.Dst {
-		if s.mapping[pe.Dst] == -1 {
-			if s.used.has(ge.Dst) {
-				if boundSrc {
-					s.mapping[pe.Src] = -1
-					s.used.remove(ge.Src)
-				}
-				return
-			}
-			s.mapping[pe.Dst] = ge.Dst
-			s.used.add(ge.Dst)
-			boundDst = true
-		} else if s.mapping[pe.Dst] != ge.Dst {
-			if boundSrc {
-				s.mapping[pe.Src] = -1
-				s.used.remove(ge.Src)
-			}
-			return
-		}
-	}
-	fn()
-	if boundSrc {
-		s.mapping[pe.Src] = -1
-		s.used.remove(ge.Src)
-	}
-	if boundDst {
-		s.mapping[pe.Dst] = -1
-		s.used.remove(ge.Dst)
-	}
-}
-
-func (s *tState) match(k int, lastPos int32) {
-	if s.res.full() {
-		return
-	}
-	if k == s.p.NumEdges() {
-		s.res.add(Match{Start: s.startTime, End: s.e.g.EdgeAt(int(lastPos)).Time})
-		return
-	}
-	pe := s.p.EdgeAt(k)
-	ms, md := s.mapping[pe.Src], s.mapping[pe.Dst]
-	deadline := int64(-1)
-	if s.opts.Window > 0 {
-		deadline = s.startTime + s.opts.Window - 1
-	}
-	try := func(pos int32) {
-		ge := s.e.g.EdgeAt(int(pos))
-		if deadline >= 0 && ge.Time > deadline {
-			return
-		}
-		if (pe.Src == pe.Dst) != (ge.Src == ge.Dst) {
-			return
-		}
-		if s.e.g.LabelOf(ge.Src) != s.p.LabelOf(pe.Src) || s.e.g.LabelOf(ge.Dst) != s.p.LabelOf(pe.Dst) {
-			return
-		}
-		s.bindEdge(pe, ge, func() { s.match(k+1, pos) })
-	}
-	switch {
-	case ms != -1:
-		iterAfter(s.e.outAt(ms), lastPos, func(pos int32) bool {
-			if deadline >= 0 && s.e.g.EdgeAt(int(pos)).Time > deadline {
-				return false
-			}
-			if md != -1 && s.e.g.EdgeAt(int(pos)).Dst != md {
-				return true
-			}
-			try(pos)
-			return !s.res.full()
-		})
-	case md != -1:
-		iterAfter(s.e.inAt(md), lastPos, func(pos int32) bool {
-			if deadline >= 0 && s.e.g.EdgeAt(int(pos)).Time > deadline {
-				return false
-			}
-			try(pos)
-			return !s.res.full()
-		})
-	default:
-		// Unreachable for T-connected patterns beyond the first edge, but
-		// handle defensively via the pair index.
-		iterAfter(s.e.pairPositions(s.p.LabelOf(pe.Src), s.p.LabelOf(pe.Dst)), lastPos, func(pos int32) bool {
-			try(pos)
-			return !s.res.full()
-		})
-	}
+	r, _ := e.FindTemporalContext(context.Background(), p, opts)
+	return r
 }
 
 // iterAfter calls fn on each position strictly greater than after, in
 // order, until fn returns false.
 func iterAfter(list []int32, after int32, fn func(int32) bool) {
+	iterAfterOK(list, after, fn)
+}
+
+// iterAfterOK is iterAfter reporting whether the scan ran to completion
+// (false when fn stopped it), so two-segment indexes can chain scans.
+func iterAfterOK(list []int32, after int32, fn func(int32) bool) bool {
 	i := sort.Search(len(list), func(i int) bool { return list[i] > after })
 	for ; i < len(list); i++ {
 		if !fn(list[i]) {
-			return
+			return false
 		}
 	}
+	return true
 }
 
 // FindNonTemporal reports the distinct intervals where the collapsed
@@ -634,12 +507,7 @@ func (r *resultSet) full() bool {
 }
 
 func (r *resultSet) finish() Result {
-	sort.Slice(r.matches, func(i, j int) bool {
-		if r.matches[i].Start != r.matches[j].Start {
-			return r.matches[i].Start < r.matches[j].Start
-		}
-		return r.matches[i].End < r.matches[j].End
-	})
+	sortMatches(r.matches)
 	return Result{Matches: r.matches, Truncated: r.truncated}
 }
 

@@ -1,0 +1,362 @@
+package search
+
+// This file is the temporal-query streaming core: the backtracking matcher
+// refactored from collect-into-resultSet to a yield callback, so matches
+// flow to the caller as the search finds them. FindTemporal(Context) is a
+// thin collector over StreamTemporal; a monitoring pipeline ranges over the
+// stream directly and never pays memory proportional to the match count.
+
+import (
+	"context"
+	"errors"
+	"iter"
+	"sort"
+	"sync"
+
+	"tgminer/internal/tgraph"
+)
+
+// ErrTruncated terminates a match stream whose Options.Limit was reached:
+// it is yielded as the final (zero Match, ErrTruncated) element. Further
+// matches may exist.
+var ErrTruncated = errors.New("search: match stream truncated at Options.Limit")
+
+// ctxCheckMask throttles context polls on the recursion hot path: the
+// context is consulted once every ctxCheckMask+1 search steps (plus once per
+// root candidate), bounding cancellation latency without paying a
+// synchronized Err() load per explored edge.
+const ctxCheckMask = 1023
+
+// rootDedup forwards distinct match intervals to an emit callback with a
+// cap. Matches found under one root (one binding of the pattern's first
+// edge) all share Start — the root edge's timestamp — and roots have
+// pairwise-distinct timestamps by the host's strict total edge order, so
+// deduplicating End values within a root deduplicates globally while keeping
+// only O(matches per root) state, independent of the total match count.
+type rootDedup struct {
+	emit      func(Match) bool // false stops the search (consumer break)
+	limit     int
+	count     int
+	ends      map[int64]struct{} // End values seen under the current root
+	truncated bool
+	halted    bool
+}
+
+// endsPool recycles the per-root dedup maps across queries (and across
+// static and live engines): a map keeps its grown bucket array, so after
+// warm-up a query allocates nothing for deduplication no matter how many
+// matches it yields. Maps are returned cleared.
+var endsPool = sync.Pool{New: func() any { return make(map[int64]struct{}) }}
+
+func newRootDedup(limit int, emit func(Match) bool) *rootDedup {
+	return &rootDedup{emit: emit, limit: limit, ends: endsPool.Get().(map[int64]struct{})}
+}
+
+// release returns the dedup map to the pool; the rootDedup must not be used
+// afterwards.
+func (r *rootDedup) release() {
+	clear(r.ends)
+	endsPool.Put(r.ends)
+	r.ends = nil
+}
+
+func (r *rootDedup) nextRoot() { clear(r.ends) }
+
+func (r *rootDedup) add(m Match) {
+	if r.count >= r.limit {
+		r.truncated = true
+		return
+	}
+	if _, dup := r.ends[m.End]; dup {
+		return
+	}
+	r.ends[m.End] = struct{}{}
+	r.count++
+	if !r.emit(m) {
+		r.halted = true
+	}
+}
+
+func (r *rootDedup) full() bool {
+	if r.halted {
+		return true
+	}
+	if r.count >= r.limit {
+		r.truncated = true
+		return true
+	}
+	return false
+}
+
+// binder tracks the injective pattern-node -> host-node assignment shared by
+// the static and live temporal matchers.
+type binder struct {
+	mapping []tgraph.NodeID
+	used    *usedSet
+}
+
+func (b *binder) init(patternNodes int, used *usedSet) {
+	b.mapping = make([]tgraph.NodeID, patternNodes)
+	for i := range b.mapping {
+		b.mapping[i] = -1
+	}
+	b.used = used
+}
+
+// bindEdge binds the endpoints of pattern edge pe to graph edge ge (which
+// must already be label-compatible), runs fn, and unbinds.
+func (b *binder) bindEdge(pe tgraph.PEdge, ge tgraph.Edge, fn func()) {
+	var boundSrc, boundDst bool
+	if b.mapping[pe.Src] == -1 {
+		if b.used.has(ge.Src) {
+			return
+		}
+		b.mapping[pe.Src] = ge.Src
+		b.used.add(ge.Src)
+		boundSrc = true
+	} else if b.mapping[pe.Src] != ge.Src {
+		return
+	}
+	if pe.Src != pe.Dst {
+		if b.mapping[pe.Dst] == -1 {
+			if b.used.has(ge.Dst) {
+				if boundSrc {
+					b.mapping[pe.Src] = -1
+					b.used.remove(ge.Src)
+				}
+				return
+			}
+			b.mapping[pe.Dst] = ge.Dst
+			b.used.add(ge.Dst)
+			boundDst = true
+		} else if b.mapping[pe.Dst] != ge.Dst {
+			if boundSrc {
+				b.mapping[pe.Src] = -1
+				b.used.remove(ge.Src)
+			}
+			return
+		}
+	}
+	fn()
+	if boundSrc {
+		b.mapping[pe.Src] = -1
+		b.used.remove(ge.Src)
+	}
+	if boundDst {
+		b.mapping[pe.Dst] = -1
+		b.used.remove(ge.Dst)
+	}
+}
+
+// matchCore is the host-independent temporal matcher state: pattern, output
+// sink, bindings, and cooperative-cancellation bookkeeping. The done flag
+// caches "stop searching" (limit reached, consumer break, or context
+// cancellation) so the recursion probes a plain bool instead of re-deriving
+// it.
+type matchCore struct {
+	binder
+	p         *tgraph.Pattern
+	opts      Options
+	res       *rootDedup
+	startTime int64
+	done      bool
+	ctx       context.Context
+	ctxErr    error
+	steps     int
+}
+
+func (c *matchCore) emit(m Match) {
+	c.res.add(m)
+	if c.res.full() {
+		c.done = true
+	}
+}
+
+// stepCancelled is the throttled in-recursion stop probe.
+func (c *matchCore) stepCancelled() bool {
+	if c.done {
+		return true
+	}
+	c.steps++
+	if c.steps&ctxCheckMask == 0 {
+		if err := c.ctx.Err(); err != nil {
+			c.ctxErr = err
+			c.done = true
+			return true
+		}
+	}
+	return false
+}
+
+// rootCancelled polls the context once per root candidate.
+func (c *matchCore) rootCancelled() bool {
+	if c.done {
+		return true
+	}
+	if err := c.ctx.Err(); err != nil {
+		c.ctxErr = err
+		c.done = true
+		return true
+	}
+	return false
+}
+
+// tState is the temporal matcher over a static Engine.
+//
+// tState.match and liveState.match (live.go) are deliberate twins: the
+// recursion is kept monomorphic per host so the static hot path stays free
+// of interface dispatch. A semantic change to either MUST be mirrored in
+// the other; the live==static differential property test
+// (TestLiveMatchesStaticDifferential) enforces agreement.
+type tState struct {
+	matchCore
+	e *Engine
+}
+
+func (s *tState) match(k int, lastPos int32) {
+	if s.stepCancelled() {
+		return
+	}
+	if k == s.p.NumEdges() {
+		s.emit(Match{Start: s.startTime, End: s.e.g.EdgeAt(int(lastPos)).Time})
+		return
+	}
+	pe := s.p.EdgeAt(k)
+	ms, md := s.mapping[pe.Src], s.mapping[pe.Dst]
+	deadline := int64(-1)
+	if s.opts.Window > 0 {
+		deadline = s.startTime + s.opts.Window - 1
+	}
+	try := func(pos int32) {
+		ge := s.e.g.EdgeAt(int(pos))
+		if deadline >= 0 && ge.Time > deadline {
+			return
+		}
+		if (pe.Src == pe.Dst) != (ge.Src == ge.Dst) {
+			return
+		}
+		if s.e.g.LabelOf(ge.Src) != s.p.LabelOf(pe.Src) || s.e.g.LabelOf(ge.Dst) != s.p.LabelOf(pe.Dst) {
+			return
+		}
+		s.bindEdge(pe, ge, func() { s.match(k+1, pos) })
+	}
+	switch {
+	case ms != -1:
+		iterAfter(s.e.outAt(ms), lastPos, func(pos int32) bool {
+			if deadline >= 0 && s.e.g.EdgeAt(int(pos)).Time > deadline {
+				return false
+			}
+			if md != -1 && s.e.g.EdgeAt(int(pos)).Dst != md {
+				return true
+			}
+			try(pos)
+			return !s.done
+		})
+	case md != -1:
+		iterAfter(s.e.inAt(md), lastPos, func(pos int32) bool {
+			if deadline >= 0 && s.e.g.EdgeAt(int(pos)).Time > deadline {
+				return false
+			}
+			try(pos)
+			return !s.done
+		})
+	default:
+		// Unreachable for T-connected patterns beyond the first edge, but
+		// handle defensively via the pair index.
+		iterAfter(s.e.pairPositions(s.p.LabelOf(pe.Src), s.p.LabelOf(pe.Dst)), lastPos, func(pos int32) bool {
+			try(pos)
+			return !s.done
+		})
+	}
+}
+
+// StreamTemporal yields the distinct intervals where the temporal pattern
+// embeds with edge order preserved, in discovery order (ascending Start), as
+// the backtracking search finds them. The stream holds O(matches per root)
+// scratch, independent of how many matches are yielded.
+//
+// Each element is (match, nil). Three terminations are possible: the stream
+// simply ends (search exhausted), the final element is (zero Match, ctx.Err())
+// after a cancellation, or (zero Match, ErrTruncated) when Options.Limit
+// matches were yielded. Breaking out of the range at any point releases the
+// engine's pooled scratch immediately.
+func (e *Engine) StreamTemporal(ctx context.Context, p *tgraph.Pattern, opts Options) iter.Seq2[Match, error] {
+	opts = opts.normalize()
+	return func(yield func(Match, error) bool) {
+		if p.NumEdges() == 0 {
+			return
+		}
+		res := newRootDedup(opts.Limit, func(m Match) bool { return yield(m, nil) })
+		defer res.release()
+		st := &tState{e: e}
+		st.p = p
+		st.opts = opts
+		st.res = res
+		st.ctx = ctx
+		st.init(p.NumNodes(), e.getUsed())
+		defer e.used.Put(st.used)
+		first := p.EdgeAt(0)
+		for _, pos := range e.pairPositions(p.LabelOf(first.Src), p.LabelOf(first.Dst)) {
+			if st.rootCancelled() {
+				break
+			}
+			res.nextRoot()
+			ge := e.g.EdgeAt(int(pos))
+			if (first.Src == first.Dst) != (ge.Src == ge.Dst) {
+				continue
+			}
+			st.bindEdge(first, ge, func() {
+				st.startTime = ge.Time
+				st.match(1, pos)
+			})
+		}
+		finishStream(yield, res, st.ctxErr)
+	}
+}
+
+// finishStream emits the terminal stream element, if any.
+func finishStream(yield func(Match, error) bool, res *rootDedup, ctxErr error) {
+	switch {
+	case res.halted: // consumer broke out; say nothing more
+	case ctxErr != nil:
+		yield(Match{}, ctxErr)
+	case res.truncated:
+		yield(Match{}, ErrTruncated)
+	}
+}
+
+// FindTemporalContext collects StreamTemporal into a deduplicated Result in
+// (Start, End) order. On cancellation it returns the matches found so far
+// together with ctx.Err().
+func (e *Engine) FindTemporalContext(ctx context.Context, p *tgraph.Pattern, opts Options) (Result, error) {
+	return collectStream(e.StreamTemporal(ctx, p, opts))
+}
+
+// collectStream drains a match stream into a sorted Result, translating the
+// terminal stream element into (Truncated, error).
+func collectStream(seq iter.Seq2[Match, error]) (Result, error) {
+	var res Result
+	var err error
+	for m, serr := range seq {
+		switch {
+		case serr == nil:
+			res.Matches = append(res.Matches, m)
+		case errors.Is(serr, ErrTruncated):
+			res.Truncated = true
+		default:
+			err = serr
+		}
+	}
+	sortMatches(res.Matches)
+	return res, err
+}
+
+// sortMatches orders match intervals by (Start, End).
+func sortMatches(ms []Match) {
+	sort.Slice(ms, func(i, j int) bool {
+		if ms[i].Start != ms[j].Start {
+			return ms[i].Start < ms[j].Start
+		}
+		return ms[i].End < ms[j].End
+	})
+}

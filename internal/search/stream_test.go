@@ -1,0 +1,204 @@
+package search
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"tgminer/internal/tgraph"
+)
+
+// collectAll drains a stream into (matches, truncated, err) without sorting.
+func collectAll(t *testing.T, seq func(func(Match, error) bool)) ([]Match, bool, error) {
+	t.Helper()
+	var out []Match
+	var truncated bool
+	var err error
+	for m, serr := range seq {
+		switch {
+		case serr == nil:
+			out = append(out, m)
+		case errors.Is(serr, ErrTruncated):
+			truncated = true
+		default:
+			err = serr
+		}
+	}
+	return out, truncated, err
+}
+
+// TestStreamMatchesFindTemporal is the acceptance property for the v2
+// streaming API: collecting Engine.StreamTemporal and sorting must be
+// byte-identical to FindTemporal, across random hosts, patterns, windows,
+// and limits.
+func TestStreamMatchesFindTemporal(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := randomHost(rng, 4+rng.Intn(4), 8+rng.Intn(8), 3)
+		p := randomQuery(rng, 3, 3)
+		opts := Options{}
+		if rng.Intn(2) == 0 {
+			opts.Window = int64(3 + rng.Intn(12))
+		}
+		if rng.Intn(3) == 0 {
+			opts.Limit = 1 + rng.Intn(4)
+		}
+		eng := NewEngine(g)
+		want := eng.FindTemporal(p, opts)
+		got, truncated, err := collectAll(t, eng.StreamTemporal(context.Background(), p, opts))
+		if err != nil {
+			t.Logf("seed=%d: stream error %v", seed, err)
+			return false
+		}
+		sortMatches(got)
+		if len(got) != len(want.Matches) {
+			t.Logf("seed=%d: stream %d matches, FindTemporal %d", seed, len(got), len(want.Matches))
+			return false
+		}
+		for i := range got {
+			if got[i] != want.Matches[i] {
+				t.Logf("seed=%d: match %d stream %v != find %v", seed, i, got[i], want.Matches[i])
+				return false
+			}
+		}
+		if truncated != want.Truncated {
+			t.Logf("seed=%d: truncated stream %v != find %v", seed, truncated, want.Truncated)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestStreamDiscoveryOrder asserts the documented ordering: yielded Start
+// values are non-decreasing (roots are visited in position = time order).
+func TestStreamDiscoveryOrder(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	g := randomHost(rng, 5, 14, 2)
+	p := randomQuery(rng, 2, 2)
+	var last int64 = -1 << 62
+	for m, err := range NewEngine(g).StreamTemporal(context.Background(), p, Options{}) {
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m.Start < last {
+			t.Fatalf("Start went backwards: %d after %d", m.Start, last)
+		}
+		last = m.Start
+	}
+}
+
+// TestStreamEarlyBreak breaks out of the range after the first match; the
+// engine's pooled scratch must be released so later queries on the same
+// engine still work (corruption would surface here and under -race).
+func TestStreamEarlyBreak(t *testing.T) {
+	g := hostGraph(t, []tgraph.Label{0, 1, 2},
+		[][2]tgraph.NodeID{{0, 1}, {1, 2}, {0, 1}, {1, 2}})
+	e := NewEngine(g)
+	p := pat(t, []tgraph.Label{0, 1, 2}, []tgraph.PEdge{{Src: 0, Dst: 1}, {Src: 1, Dst: 2}})
+	for i := 0; i < 10; i++ {
+		n := 0
+		for _, err := range e.StreamTemporal(context.Background(), p, Options{}) {
+			if err != nil {
+				t.Fatal(err)
+			}
+			n++
+			if n == 1 {
+				break
+			}
+		}
+		if n != 1 {
+			t.Fatalf("broke after %d matches", n)
+		}
+		// A full query after the break must still be correct.
+		if res := e.FindTemporal(p, Options{}); len(res.Matches) != 3 {
+			t.Fatalf("post-break query returned %v", res.Matches)
+		}
+	}
+}
+
+// TestStreamContextCancelled verifies a dead context surfaces as the final
+// stream element and that FindTemporalContext propagates it.
+func TestStreamContextCancelled(t *testing.T) {
+	g := hostGraph(t, []tgraph.Label{0, 1},
+		[][2]tgraph.NodeID{{0, 1}, {0, 1}, {0, 1}})
+	e := NewEngine(g)
+	p := pat(t, []tgraph.Label{0, 1}, []tgraph.PEdge{{Src: 0, Dst: 1}})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	matches, truncated, err := collectAll(t, e.StreamTemporal(ctx, p, Options{}))
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if truncated {
+		t.Fatal("cancelled stream reported truncation")
+	}
+	if len(matches) != 0 {
+		t.Fatalf("pre-cancelled context yielded %d matches", len(matches))
+	}
+	res, err := e.FindTemporalContext(ctx, p, Options{})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("FindTemporalContext err = %v", err)
+	}
+	if len(res.Matches) != 0 {
+		t.Fatalf("FindTemporalContext partial = %v", res.Matches)
+	}
+}
+
+// TestStreamCancelMidway cancels the context from inside the consumer loop;
+// the stream must terminate with ctx.Err() and FindTemporalContext must
+// return the partial prefix.
+func TestStreamCancelMidway(t *testing.T) {
+	labels := []tgraph.Label{0, 1}
+	var edges [][2]tgraph.NodeID
+	for i := 0; i < 50; i++ {
+		edges = append(edges, [2]tgraph.NodeID{0, 1})
+	}
+	g := hostGraph(t, labels, edges)
+	e := NewEngine(g)
+	p := pat(t, []tgraph.Label{0, 1}, []tgraph.PEdge{{Src: 0, Dst: 1}})
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var got []Match
+	var finalErr error
+	for m, err := range e.StreamTemporal(ctx, p, Options{}) {
+		if err != nil {
+			finalErr = err
+			continue
+		}
+		got = append(got, m)
+		if len(got) == 3 {
+			cancel()
+		}
+	}
+	if !errors.Is(finalErr, context.Canceled) {
+		t.Fatalf("final err = %v, want context.Canceled", finalErr)
+	}
+	if len(got) < 3 || len(got) >= 50 {
+		t.Fatalf("got %d matches, want partial prefix >= 3", len(got))
+	}
+}
+
+// TestStreamLimitTerminal asserts the ErrTruncated terminal element and that
+// exactly Limit matches precede it.
+func TestStreamLimitTerminal(t *testing.T) {
+	labels := []tgraph.Label{0, 1}
+	var edges [][2]tgraph.NodeID
+	for i := 0; i < 20; i++ {
+		edges = append(edges, [2]tgraph.NodeID{0, 1})
+	}
+	g := hostGraph(t, labels, edges)
+	e := NewEngine(g)
+	p := pat(t, []tgraph.Label{0, 1}, []tgraph.PEdge{{Src: 0, Dst: 1}})
+	matches, truncated, err := collectAll(t, e.StreamTemporal(context.Background(), p, Options{Limit: 5}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(matches) != 5 || !truncated {
+		t.Fatalf("got %d matches truncated=%v, want 5/true", len(matches), truncated)
+	}
+}

@@ -1,0 +1,154 @@
+package tgminer
+
+import (
+	"context"
+	"iter"
+	"sync"
+
+	"tgminer/internal/search"
+)
+
+// LiveOptions configures a LiveEngine.
+type LiveOptions struct {
+	// CompactEvery is the minimum number of appended edges before the
+	// append-only tail is folded into the engine's CSR base indexes
+	// (default 4096; negative disables automatic compaction, leaving it to
+	// explicit Compact calls). Compaction additionally waits until the
+	// tail reaches half the base size, keeping total ingestion work linear
+	// (amortized O(1) per Append).
+	CompactEvery int
+}
+
+// LiveEngine is an incrementally growing temporal-graph engine for
+// continuous monitoring: the scenario of the paper's deployment setting,
+// where the syscall graph never stops growing and the immutable NewEngine
+// would have to be rebuilt from scratch per batch.
+//
+// Events append in strictly increasing timestamp order (sequentialize
+// concurrent events upstream, as GraphBuilder.Sequentialize does for batch
+// graphs) into an append-only tail over the compacted CSR base; EvictBefore
+// implements sliding-window retention in O(log E). Queries — FindTemporal,
+// FindTemporalContext, and Stream — answer exactly as a static Engine built
+// over the equivalent edge set would, including across compaction
+// boundaries.
+//
+// A LiveEngine is safe for concurrent use. Appends take a write lock;
+// queries take a read lock for their whole lifetime, so consume streams
+// promptly (or query a Snapshot) to avoid stalling ingestion.
+//
+// One sharp edge: the label Dict itself is not synchronized. Appending a
+// never-seen entity interns its label, so building query patterns against
+// the same Dict (e.g. with a GraphBuilder) concurrently with Append races.
+// Author queries before ingestion starts, or serialize Dict access
+// externally; queries already built are safe to run at any time.
+type LiveEngine struct {
+	mu    sync.Mutex // guards nodes; the live engine has its own lock
+	live  *search.Live
+	dict  *Dict
+	nodes map[string]NodeID
+}
+
+// NewLiveEngine returns an empty live engine interning labels into dict (a
+// fresh Dict if nil). Patterns evaluated against the engine must use the
+// same Dict.
+func NewLiveEngine(dict *Dict, opts LiveOptions) *LiveEngine {
+	if dict == nil {
+		dict = NewDict()
+	}
+	return &LiveEngine{
+		live:  search.NewLive(search.LiveOptions{CompactEvery: opts.CompactEvery}),
+		dict:  dict,
+		nodes: make(map[string]NodeID),
+	}
+}
+
+// Dict returns the engine's label dictionary.
+func (le *LiveEngine) Dict() *Dict { return le.dict }
+
+// Node returns the node for the given entity name, creating it on first
+// use. The entity name doubles as its label.
+func (le *LiveEngine) Node(name string) NodeID {
+	le.mu.Lock()
+	defer le.mu.Unlock()
+	return le.nodeLocked(name, name)
+}
+
+// NodeWithLabel adds a node whose entity identity is name but whose label
+// is label (several entities may share a label).
+func (le *LiveEngine) NodeWithLabel(name, label string) NodeID {
+	le.mu.Lock()
+	defer le.mu.Unlock()
+	return le.nodeLocked(name, label)
+}
+
+func (le *LiveEngine) nodeLocked(name, label string) NodeID {
+	if v, ok := le.nodes[name]; ok {
+		return v
+	}
+	v := le.live.AddNode(le.dict.Intern(label))
+	le.nodes[name] = v
+	return v
+}
+
+// Append records a directed interaction src -> dst at time t, creating
+// nodes as needed. Timestamps must be strictly increasing across appends.
+func (le *LiveEngine) Append(src, dst string, t int64) error {
+	le.mu.Lock()
+	s := le.nodeLocked(src, src)
+	d := le.nodeLocked(dst, dst)
+	le.mu.Unlock()
+	return le.live.Append(s, d, t)
+}
+
+// EvictBefore drops every edge with timestamp < t (sliding-window
+// retention). O(log E); space is reclaimed at the next compaction. Nodes
+// are retained so identities stay stable.
+func (le *LiveEngine) EvictBefore(t int64) { le.live.EvictBefore(t) }
+
+// Compact folds the append-only tail (and any evicted prefix) into fresh
+// CSR indexes now instead of waiting for the CompactEvery threshold.
+func (le *LiveEngine) Compact() { le.live.Compact() }
+
+// NumNodes reports the number of distinct entities seen.
+func (le *LiveEngine) NumNodes() int { return le.live.NumNodes() }
+
+// NumEdges reports the number of live (non-evicted) events.
+func (le *LiveEngine) NumEdges() int { return le.live.NumEdges() }
+
+// LastTime reports the largest appended timestamp (-1 when empty).
+func (le *LiveEngine) LastTime() int64 { return le.live.LastTime() }
+
+// Snapshot materializes an immutable Engine over the current live edge set,
+// for running many queries against one consistent state without holding the
+// live read lock.
+func (le *LiveEngine) Snapshot() *Engine { return &Engine{e: le.live.Snapshot()} }
+
+// FindTemporal evaluates a temporal behavior query against the live edge
+// set (compatibility form of FindTemporalContext).
+func (le *LiveEngine) FindTemporal(p *Pattern, opts SearchOptions) SearchResult {
+	r, _ := le.FindTemporalContext(context.Background(), p, opts)
+	return r
+}
+
+// FindTemporalContext evaluates a temporal behavior query against the live
+// edge set under a context, with Engine.FindTemporalContext semantics.
+func (le *LiveEngine) FindTemporalContext(ctx context.Context, p *Pattern, opts SearchOptions) (SearchResult, error) {
+	r, err := le.live.FindTemporalContext(ctx, p, opts.internal())
+	return SearchResult{Matches: r.Matches, Truncated: r.Truncated}, err
+}
+
+// Stream evaluates a temporal behavior query against the live edge set,
+// yielding matches as they are found, with Engine.Stream semantics. The
+// engine's read lock is held until the stream ends or the consumer breaks.
+// The lock is not reentrant: calling Append, EvictBefore, or Compact from
+// inside the loop body deadlocks the goroutine and wedges the engine. For
+// evict-as-you-alert patterns, stream from Snapshot() — which holds no
+// live lock — and mutate the live engine freely:
+//
+//	for m, err := range le.Snapshot().Stream(ctx, q, opts) {
+//		if err != nil { break }
+//		alert(m); le.EvictBefore(m.End)
+//	}
+func (le *LiveEngine) Stream(ctx context.Context, p *Pattern, opts SearchOptions) iter.Seq2[Match, error] {
+	return le.live.StreamTemporal(ctx, p, opts.internal())
+}

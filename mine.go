@@ -1,6 +1,7 @@
 package tgminer
 
 import (
+	"context"
 	"fmt"
 
 	"tgminer/internal/core"
@@ -91,16 +92,45 @@ type MineResult struct {
 }
 
 // Mine finds the most discriminative T-connected temporal patterns
-// distinguishing pos from neg.
+// distinguishing pos from neg. It is a compatibility wrapper over
+// MineContext with a background (non-cancellable) context.
 func Mine(pos, neg []*Graph, opts MineOptions) (*MineResult, error) {
-	mo, err := opts.Algorithm.options()
+	return MineContext(context.Background(), pos, neg, opts)
+}
+
+// MineContext is Mine under a context: cancel it or give it a deadline and
+// the seed-level worker pool stops cooperatively (within at most one seed's
+// branch per worker). On cancellation the partial MineResult mined so far is
+// returned together with ctx.Err(); each seed's branch is either wholly
+// explored or untouched, so partial results are sound lower bounds.
+func MineContext(ctx context.Context, pos, neg []*Graph, opts MineOptions) (*MineResult, error) {
+	mo, err := opts.minerOptions()
 	if err != nil {
 		return nil, err
+	}
+	res, err := miner.MineContext(ctx, pos, neg, mo)
+	if res == nil {
+		return nil, err
+	}
+	out := &MineResult{BestScore: res.BestScore, TieCount: res.TieCount, Stats: res.Stats}
+	for _, sp := range res.Best {
+		out.Best = append(out.Best, MinedPattern{
+			Pattern: sp.Pattern, Score: sp.Score, PosFreq: sp.PosFreq, NegFreq: sp.NegFreq,
+		})
+	}
+	return out, err
+}
+
+// minerOptions lowers MineOptions onto the internal miner configuration.
+func (opts MineOptions) minerOptions() (miner.Options, error) {
+	mo, err := opts.Algorithm.options()
+	if err != nil {
+		return miner.Options{}, err
 	}
 	if opts.ScoreFunc != "" {
 		f, err := score.ByName(opts.ScoreFunc)
 		if err != nil {
-			return nil, err
+			return miner.Options{}, err
 		}
 		mo.Score = f
 	}
@@ -113,17 +143,7 @@ func Mine(pos, neg []*Graph, opts MineOptions) (*MineResult, error) {
 	if opts.Parallelism > 0 {
 		mo.Parallelism = opts.Parallelism
 	}
-	res, err := miner.Mine(pos, neg, mo)
-	if err != nil {
-		return nil, err
-	}
-	out := &MineResult{BestScore: res.BestScore, TieCount: res.TieCount, Stats: res.Stats}
-	for _, sp := range res.Best {
-		out.Best = append(out.Best, MinedPattern{
-			Pattern: sp.Pattern, Score: sp.Score, PosFreq: sp.PosFreq, NegFreq: sp.NegFreq,
-		})
-	}
-	return out, nil
+	return mo, nil
 }
 
 // TopKResult is the outcome of MineTopK.
@@ -138,24 +158,24 @@ type TopKResult struct {
 // MineTopK returns the K highest-scoring T-connected temporal patterns, a
 // ranked shortlist rather than the paper's tied-maximum set. Exact: only
 // upper-bound pruning is applied (the subgraph/supergraph prunings preserve
-// just the maximum, so they are disabled here; see internal/miner).
+// just the maximum, so they are disabled here; see internal/miner). It is a
+// compatibility wrapper over MineTopKContext with a background context.
 func MineTopK(pos, neg []*Graph, k int, opts MineOptions) (*TopKResult, error) {
-	mo, err := opts.Algorithm.options()
+	return MineTopKContext(context.Background(), pos, neg, k, opts)
+}
+
+// MineTopKContext is MineTopK under a context. Like MineContext, the search
+// parallelizes over seeds (MineOptions.Parallelism workers sharing the
+// K-th-best threshold atomically) and returns the identical shortlist at
+// every worker count; cancellation returns the partial shortlist together
+// with ctx.Err().
+func MineTopKContext(ctx context.Context, pos, neg []*Graph, k int, opts MineOptions) (*TopKResult, error) {
+	mo, err := opts.minerOptions()
 	if err != nil {
 		return nil, err
 	}
-	if opts.ScoreFunc != "" {
-		f, err := score.ByName(opts.ScoreFunc)
-		if err != nil {
-			return nil, err
-		}
-		mo.Score = f
-	}
-	if opts.MaxEdges > 0 {
-		mo.MaxEdges = opts.MaxEdges
-	}
-	res, err := miner.MineTopK(pos, neg, k, mo)
-	if err != nil {
+	res, err := miner.MineTopKContext(ctx, pos, neg, k, mo)
+	if res == nil {
 		return nil, err
 	}
 	out := &TopKResult{Threshold: res.Threshold, Stats: res.Stats}
@@ -164,7 +184,7 @@ func MineTopK(pos, neg []*Graph, k int, opts MineOptions) (*TopKResult, error) {
 			Pattern: sp.Pattern, Score: sp.Score, PosFreq: sp.PosFreq, NegFreq: sp.NegFreq,
 		})
 	}
-	return out, nil
+	return out, err
 }
 
 // Interest is the Appendix M domain-knowledge ranking function.
@@ -203,8 +223,19 @@ type BehaviorQueries struct {
 }
 
 // DiscoverQueries runs the full pipeline of the paper's Figure 2: mine,
-// rank ties by interest, return the top-k behavior queries.
+// rank ties by interest, return the top-k behavior queries. It is a
+// compatibility wrapper over DiscoverQueriesContext with a background
+// context.
 func DiscoverQueries(pos, neg []*Graph, opts QueryOptions) (*BehaviorQueries, error) {
+	return DiscoverQueriesContext(context.Background(), pos, neg, opts)
+}
+
+// DiscoverQueriesContext is DiscoverQueries under a context. A cancelled or
+// expired context stops mining at seed granularity; the queries built from
+// the partial mining result are returned together with ctx.Err(), so a
+// deadline-bounded discovery still yields usable (if possibly sub-optimal)
+// behavior queries.
+func DiscoverQueriesContext(ctx context.Context, pos, neg []*Graph, opts QueryOptions) (*BehaviorQueries, error) {
 	mo, err := opts.Algorithm.options()
 	if err != nil {
 		return nil, err
@@ -212,16 +243,16 @@ func DiscoverQueries(pos, neg []*Graph, opts QueryOptions) (*BehaviorQueries, er
 	if opts.Parallelism > 0 {
 		mo.Parallelism = opts.Parallelism
 	}
-	bq, err := core.DiscoverQueries(pos, neg, core.QueryConfig{
+	bq, err := core.DiscoverQueriesContext(ctx, pos, neg, core.QueryConfig{
 		QuerySize: opts.QuerySize,
 		TopK:      opts.TopK,
 		Miner:     &mo,
 		Interest:  opts.Interest,
 	})
-	if err != nil {
+	if bq == nil {
 		return nil, err
 	}
-	return &BehaviorQueries{Queries: bq.Queries, BestScore: bq.BestScore, Stats: bq.Mining.Stats}, nil
+	return &BehaviorQueries{Queries: bq.Queries, BestScore: bq.BestScore, Stats: bq.Mining.Stats}, err
 }
 
 // NonTemporalPattern is a collapsed (order-free) graph pattern, the query

@@ -1,8 +1,16 @@
 package tgminer
 
 import (
+	"context"
+	"iter"
+
 	"tgminer/internal/search"
 )
+
+// ErrTruncated terminates a match stream whose SearchOptions.Limit was
+// reached: the final stream element is (zero Match, ErrTruncated). Further
+// matches may exist in the host graph.
+var ErrTruncated = search.ErrTruncated
 
 // Match is one identified behavior instance: the time interval spanned by a
 // query match.
@@ -43,10 +51,36 @@ func (o SearchOptions) internal() search.Options {
 	return search.Options{Window: o.Window, Limit: o.Limit}
 }
 
-// FindTemporal evaluates a temporal behavior query (order-preserving).
+// FindTemporal evaluates a temporal behavior query (order-preserving). It
+// is a compatibility wrapper that collects FindTemporalContext with a
+// background context; callers that need cancellation, deadlines, or
+// constant-memory consumption should use FindTemporalContext or Stream.
 func (eng *Engine) FindTemporal(p *Pattern, opts SearchOptions) SearchResult {
-	r := eng.e.FindTemporal(p, opts.internal())
-	return SearchResult{Matches: r.Matches, Truncated: r.Truncated}
+	r, _ := eng.FindTemporalContext(context.Background(), p, opts)
+	return r
+}
+
+// FindTemporalContext evaluates a temporal behavior query under a context,
+// collecting the match stream into a deduplicated, (Start, End)-sorted
+// result. On cancellation the matches found so far are returned together
+// with ctx.Err().
+func (eng *Engine) FindTemporalContext(ctx context.Context, p *Pattern, opts SearchOptions) (SearchResult, error) {
+	r, err := eng.e.FindTemporalContext(ctx, p, opts.internal())
+	return SearchResult{Matches: r.Matches, Truncated: r.Truncated}, err
+}
+
+// Stream evaluates a temporal behavior query and yields each distinct match
+// interval as the backtracking search discovers it (ascending Start), with
+// scratch memory independent of the match count — the form a monitoring
+// pipeline over a continuously growing graph wants.
+//
+// Every regular element is (match, nil). The stream either ends silently
+// (search exhausted), or its final element carries a non-nil error:
+// ctx.Err() after cancellation, or ErrTruncated once SearchOptions.Limit
+// matches were yielded. Breaking out of the range loop at any point is safe
+// and releases the engine's pooled scratch immediately.
+func (eng *Engine) Stream(ctx context.Context, p *Pattern, opts SearchOptions) iter.Seq2[Match, error] {
+	return eng.e.StreamTemporal(ctx, p, opts.internal())
 }
 
 // FindNonTemporal evaluates an Ntemp query (order-free).

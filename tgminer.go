@@ -22,8 +22,33 @@
 //	eng := tgminer.NewEngine(testGraph)
 //	matches := eng.FindTemporal(queries.Queries[0], tgminer.SearchOptions{Window: w})
 //
-// See examples/ for full runnable pipelines, and internal/experiments for
-// the code regenerating every table and figure of the paper.
+// # Context, streaming, and live ingestion (v2)
+//
+// Production pipelines use the context-aware forms: MineContext,
+// MineTopKContext, DiscoverQueriesContext, and Engine.FindTemporalContext
+// accept a context.Context and stop cooperatively at seed granularity,
+// returning the partial result found so far together with ctx.Err(). The
+// non-context functions above are thin compatibility wrappers passing
+// context.Background().
+//
+// Engine.Stream yields matches as the backtracking search finds them, as an
+// iter.Seq2[Match, error] whose scratch memory does not scale with the
+// match count:
+//
+//	for m, err := range eng.Stream(ctx, q, tgminer.SearchOptions{Window: w}) {
+//		if err != nil { break } // ctx.Err() or ErrTruncated
+//		alert(m)
+//	}
+//
+// For a graph that never stops growing — the paper's monitoring deployment —
+// LiveEngine ingests events incrementally (Append), keeps a sliding window
+// (EvictBefore), periodically compacts its append-only tail into CSR
+// indexes, and answers every query identically to a static Engine over the
+// same edge set.
+//
+// See examples/ for full runnable pipelines (examples/monitor covers the
+// live scenario), and internal/experiments for the code regenerating every
+// table and figure of the paper.
 package tgminer
 
 import (
@@ -114,6 +139,12 @@ func (gb *GraphBuilder) Finalize() (*Graph, error) {
 func (gb *GraphBuilder) Sequentialize() (*Graph, error) {
 	return gb.b.Sequentialize()
 }
+
+// PatternFromGraph reinterprets a temporal graph as a behavior-query
+// pattern by aligning its edge timestamps to 1..|E|. Useful for writing
+// queries by hand (build the query shape with a GraphBuilder sharing the
+// engine's Dict, then convert) instead of mining them.
+func PatternFromGraph(g *Graph) *Pattern { return tgraph.PatternFromGraph(g) }
 
 // FormatPattern renders a pattern with human-readable labels.
 func FormatPattern(p *Pattern, dict *Dict) string {

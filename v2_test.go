@@ -1,0 +1,204 @@
+package tgminer
+
+import (
+	"context"
+	"errors"
+	"testing"
+)
+
+// chainGraph builds A->B->C ... event chains through the facade builder.
+func chainEngine(t *testing.T) (*Engine, *Pattern, *Dict) {
+	t.Helper()
+	dict := NewDict()
+	gb := NewGraphBuilder(dict)
+	events := [][2]string{
+		{"sshd", "bash"}, {"bash", "ls"}, {"sshd", "bash2"},
+		{"bash2", "ls"}, {"sshd", "bash"}, {"bash", "ls"},
+	}
+	for i, ev := range events {
+		if err := gb.AddEvent(ev[0], ev[1], int64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	g, err := gb.Finalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pb := NewGraphBuilder(dict)
+	_ = pb.AddEvent("sshd", "bash", 0)
+	_ = pb.AddEvent("bash", "ls", 1)
+	pg, err := pb.Finalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := PatternFromGraph(pg)
+	return NewEngine(g), p, dict
+}
+
+// TestEngineStreamEqualsFindTemporal is the facade-level acceptance check:
+// collecting Engine.Stream reproduces Engine.FindTemporal byte for byte.
+func TestEngineStreamEqualsFindTemporal(t *testing.T) {
+	eng, p, _ := chainEngine(t)
+	want := eng.FindTemporal(p, SearchOptions{})
+	if len(want.Matches) == 0 {
+		t.Fatal("no matches in fixture")
+	}
+	var got []Match
+	for m, err := range eng.Stream(context.Background(), p, SearchOptions{}) {
+		if err != nil {
+			t.Fatal(err)
+		}
+		got = append(got, m)
+	}
+	res, err := eng.FindTemporalContext(context.Background(), p, SearchOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want.Matches) || len(res.Matches) != len(want.Matches) {
+		t.Fatalf("stream %d, context %d, find %d matches", len(got), len(res.Matches), len(want.Matches))
+	}
+	for i := range res.Matches {
+		if res.Matches[i] != want.Matches[i] {
+			t.Fatalf("context collector diverges at %d: %v != %v", i, res.Matches[i], want.Matches[i])
+		}
+	}
+}
+
+func TestEngineStreamTruncates(t *testing.T) {
+	eng, p, _ := chainEngine(t)
+	n := 0
+	sawTrunc := false
+	for _, err := range eng.Stream(context.Background(), p, SearchOptions{Limit: 1}) {
+		if err != nil {
+			if !errors.Is(err, ErrTruncated) {
+				t.Fatal(err)
+			}
+			sawTrunc = true
+			continue
+		}
+		n++
+	}
+	if n != 1 || !sawTrunc {
+		t.Fatalf("limit 1: %d matches, truncated=%v", n, sawTrunc)
+	}
+}
+
+// TestLiveEngineMatchesStatic feeds the same event log into a LiveEngine
+// (with forced tiny compaction) and a batch GraphBuilder+NewEngine, and
+// requires identical query results.
+func TestLiveEngineMatchesStatic(t *testing.T) {
+	dict := NewDict()
+	le := NewLiveEngine(dict, LiveOptions{CompactEvery: 3})
+	gb := NewGraphBuilder(dict)
+	events := [][2]string{
+		{"sshd", "bash"}, {"bash", "ls"}, {"sshd", "bash2"}, {"bash2", "ls"},
+		{"sshd", "bash"}, {"bash", "ls"}, {"cron", "sh"}, {"sh", "ls"},
+	}
+	for i, ev := range events {
+		if err := le.Append(ev[0], ev[1], int64(i)); err != nil {
+			t.Fatal(err)
+		}
+		if err := gb.AddEvent(ev[0], ev[1], int64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	g, err := gb.Finalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	static := NewEngine(g)
+
+	pb := NewGraphBuilder(dict)
+	_ = pb.AddEvent("sshd", "bash", 0)
+	_ = pb.AddEvent("bash", "ls", 1)
+	pg, err := pb.Finalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := PatternFromGraph(pg)
+
+	want := static.FindTemporal(p, SearchOptions{})
+	got := le.FindTemporal(p, SearchOptions{})
+	if len(got.Matches) != len(want.Matches) {
+		t.Fatalf("live %v != static %v", got.Matches, want.Matches)
+	}
+	for i := range got.Matches {
+		if got.Matches[i] != want.Matches[i] {
+			t.Fatalf("live %v != static %v", got.Matches, want.Matches)
+		}
+	}
+
+	// Streaming against the live engine agrees too.
+	var streamed []Match
+	for m, err := range le.Stream(context.Background(), p, SearchOptions{}) {
+		if err != nil {
+			t.Fatal(err)
+		}
+		streamed = append(streamed, m)
+	}
+	if len(streamed) != len(want.Matches) {
+		t.Fatalf("live stream %v != static %v", streamed, want.Matches)
+	}
+
+	// Snapshot and eviction remain consistent.
+	snap := le.Snapshot()
+	if sres := snap.FindTemporal(p, SearchOptions{}); len(sres.Matches) != len(want.Matches) {
+		t.Fatalf("snapshot %v != static %v", sres.Matches, want.Matches)
+	}
+	le.EvictBefore(4)
+	after := le.FindTemporal(p, SearchOptions{})
+	for _, m := range after.Matches {
+		if m.Start < 4 {
+			t.Fatalf("evicted event matched: %v", m)
+		}
+	}
+}
+
+func TestLiveEngineRejectsOutOfOrder(t *testing.T) {
+	le := NewLiveEngine(nil, LiveOptions{})
+	if err := le.Append("a", "b", 10); err != nil {
+		t.Fatal(err)
+	}
+	if err := le.Append("a", "b", 10); err == nil {
+		t.Fatal("duplicate timestamp accepted")
+	}
+	if err := le.Append("b", "a", 9); err == nil {
+		t.Fatal("backwards timestamp accepted")
+	}
+	if le.NumEdges() != 1 || le.LastTime() != 10 {
+		t.Fatalf("engine state after rejects: edges=%d last=%d", le.NumEdges(), le.LastTime())
+	}
+}
+
+// TestMineContextFacadeCancelled checks partial-result + ctx.Err() semantics
+// through the public facade.
+func TestMineContextFacadeCancelled(t *testing.T) {
+	ds := GenerateSynthetic(SyntheticConfig{
+		Scale: 0.25, GraphsPerBehavior: 4, BackgroundGraphs: 8, Seed: 1,
+		Behaviors: []string{"gzip-decompress"},
+	})
+	pos := ds.Behaviors[0].Graphs
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := MineContext(ctx, pos, ds.Background, MineOptions{MaxEdges: 3})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v", err)
+	}
+	if res == nil {
+		t.Fatal("no partial result")
+	}
+	if _, err := MineTopKContext(ctx, pos, ds.Background, 5, MineOptions{MaxEdges: 3}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("topk err = %v", err)
+	}
+	if _, err := DiscoverQueriesContext(ctx, pos, ds.Background, QueryOptions{QuerySize: 3}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("discover err = %v", err)
+	}
+	// And an un-cancelled run through the same entry points still succeeds.
+	bq, err := DiscoverQueriesContext(context.Background(), pos, ds.Background, QueryOptions{QuerySize: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bq.Queries) == 0 {
+		t.Fatal("no queries discovered")
+	}
+}
