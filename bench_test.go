@@ -427,6 +427,65 @@ func BenchmarkStreamTemporal(b *testing.B) {
 	}
 }
 
+// BenchmarkLiveAppendUnderStreams measures LiveEngine append throughput
+// while 0, 1, or 4 goroutines continuously range StreamTemporal against the
+// same engine. This is the acceptance benchmark for lock-free live reads: a
+// lock-based engine serializes appends behind every in-flight stream, so
+// throughput collapses as consumers are added; with immutable generation
+// snapshots appends are independent of the number (and speed) of readers.
+func BenchmarkLiveAppendUnderStreams(b *testing.B) {
+	for _, streams := range []int{0, 1, 4} {
+		b.Run(fmt.Sprintf("streams=%d", streams), func(b *testing.B) {
+			dict := NewDict()
+			live := NewLiveEngine(dict, LiveOptions{})
+			t := int64(0)
+			emit := func() {
+				t++
+				if err := live.Append("a", "b", t); err != nil {
+					b.Fatal(err)
+				}
+			}
+			// Pre-fill so streams have matches to chew on.
+			for i := 0; i < 4096; i++ {
+				emit()
+			}
+			pb := NewGraphBuilder(dict)
+			_ = pb.AddEvent("a", "b", 0)
+			pg, err := pb.Finalize()
+			if err != nil {
+				b.Fatal(err)
+			}
+			query := PatternFromGraph(pg)
+			ctx, cancel := context.WithCancel(context.Background())
+			var wg sync.WaitGroup
+			for s := 0; s < streams; s++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for ctx.Err() == nil {
+						for _, err := range live.Stream(ctx, query, SearchOptions{Limit: 256}) {
+							if err != nil {
+								break
+							}
+						}
+					}
+				}()
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				emit()
+				if i%1024 == 1023 {
+					live.EvictBefore(t - 8192) // bounded sliding window
+				}
+			}
+			b.StopTimer()
+			cancel()
+			wg.Wait()
+		})
+	}
+}
+
 // BenchmarkFindTemporalCollect is the batch-collection counterpart of
 // BenchmarkStreamTemporal: same hosts, materialized results.
 func BenchmarkFindTemporalCollect(b *testing.B) {

@@ -141,9 +141,9 @@ func run(ctx, sigCtx context.Context, timeout time.Duration, posPath, negPath, t
 		}
 		union = tgminer.UnionMatches(results...)
 	case "ntemp":
-		// The ntemp/nodeset baselines have no context-aware entry points
-		// yet; cancellation is coarse (between pipeline stages), and a
-		// second SIGINT force-kills via the unhooked handler.
+		// Discovery itself is still coarse-grained, but evaluation is
+		// context-aware: a cancel mid-search returns the partial matches
+		// found so far.
 		nq, err := tgminer.DiscoverNonTemporalQueries(pos.Graphs, neg.Graphs, qopts)
 		if err != nil {
 			return err
@@ -151,14 +151,15 @@ func run(ctx, sigCtx context.Context, timeout time.Duration, posPath, negPath, t
 		fmt.Printf("discovered %d non-temporal queries\n", len(nq))
 		results := make([]tgminer.SearchResult, 0, len(nq))
 		for i, q := range nq {
-			if err := ctx.Err(); err != nil {
-				interrupted = err
-				fmt.Printf("search interrupted (%v); reporting partial matches\n", err)
+			r, serr := eng.FindNonTemporalContext(ctx, q, sopts)
+			results = append(results, r)
+			fmt.Printf("query #%d: %d matches%s\n", i+1, len(r.Matches),
+				truncNote(r.Truncated))
+			if serr != nil {
+				interrupted = serr
+				fmt.Printf("search interrupted (%v); reporting partial matches\n", serr)
 				break
 			}
-			results = append(results, eng.FindNonTemporal(q, sopts))
-			fmt.Printf("query #%d: %d matches%s\n", i+1, len(results[i].Matches),
-				truncNote(results[i].Truncated))
 		}
 		union = tgminer.UnionMatches(results...)
 	case "nodeset":
@@ -166,15 +167,17 @@ func run(ctx, sigCtx context.Context, timeout time.Duration, posPath, negPath, t
 		if err != nil {
 			return err
 		}
-		if err := ctx.Err(); err != nil {
-			return err
-		}
 		labels := make([]string, len(lq.Labels))
 		for i, l := range lq.Labels {
 			labels[i] = dict.Name(l)
 		}
 		fmt.Printf("label-set query: %v\n", labels)
-		union = eng.FindLabelSet(lq, sopts)
+		var serr error
+		union, serr = eng.FindLabelSetContext(ctx, lq, sopts)
+		if serr != nil {
+			interrupted = serr
+			fmt.Printf("search interrupted (%v); reporting partial matches\n", serr)
+		}
 	default:
 		return fmt.Errorf("unknown mode %q (want temporal, ntemp, or nodeset)", mode)
 	}

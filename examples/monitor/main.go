@@ -86,14 +86,21 @@ func main() {
 	// how many matches the window holds. The monitoring phase gets its own
 	// context — the mining deadline above may already have expired, and an
 	// expired context would end the stream before the first match.
+	//
+	// Live reads are lock-free generation snapshots, so mutating the engine
+	// from inside the consumer loop is safe: here the stream alerts and
+	// ages out everything before each alert in one pass (the eviction
+	// becomes visible to the next query; this running stream keeps seeing
+	// the consistent edge set it started with).
 	monCtx := context.Background()
-	fmt.Println("live matches (streamed):")
+	fmt.Println("live matches (streamed, evict-as-you-alert):")
 	for m, err := range live.Stream(monCtx, query, tgminer.SearchOptions{Window: 6}) {
 		if err != nil {
 			log.Printf("stream ended early: %v", err)
 			break
 		}
 		fmt.Printf("  behavior instance in ticks [%d, %d]\n", m.Start, m.End)
+		live.EvictBefore(m.Start)
 	}
 
 	// Slide the retention window forward: everything before tick 6 ages
@@ -104,6 +111,30 @@ func main() {
 	for _, m := range res.Matches {
 		fmt.Printf("  behavior instance in ticks [%d, %d]\n", m.Start, m.End)
 	}
+
+	// The baseline query families run on the live engine too (PR 3): an
+	// order-free variant of the same shape, and the label multiset of its
+	// entities — both answer exactly as a static engine over the same
+	// window would.
+	np := tgminer.NonTemporalPatternFromGraph(mustShape(dict))
+	nres := live.FindNonTemporal(np, tgminer.SearchOptions{Window: 6})
+	fmt.Printf("\nnon-temporal (order-free) query: %d match(es)\n", len(nres.Matches))
+	lq := &tgminer.LabelSetQuery{Labels: []tgminer.Label{
+		dict.Intern("proc:ssh"), dict.Intern("file:~/.ssh/id_rsa"), dict.Intern("sock:tcp:22"),
+	}}
+	lres := live.FindLabelSet(lq, tgminer.SearchOptions{Window: 6})
+	fmt.Printf("label-set (NodeSet) query: %d match(es)\n", len(lres.Matches))
+}
+
+// mustShape builds the behavior shape used for the non-temporal query.
+func mustShape(dict *tgminer.Dict) *tgminer.Graph {
+	sb := tgminer.NewGraphBuilder(dict)
+	check(sb.AddEvent("proc:shell", "proc:ssh", 1))
+	check(sb.AddEvent("proc:ssh", "file:~/.ssh/id_rsa", 2))
+	check(sb.AddEvent("proc:ssh", "sock:tcp:22", 3))
+	g, err := sb.Finalize()
+	check(err)
+	return g
 }
 
 func check(err error) {

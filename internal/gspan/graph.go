@@ -112,6 +112,24 @@ type Pattern struct {
 	E      []Edge
 }
 
+// PatternFromTemporal collapses a temporal graph into an order-free
+// pattern: timestamps are dropped and parallel edges merge. The Ntemp
+// counterpart of tgraph.PatternFromGraph, for authoring non-temporal
+// queries by hand.
+func PatternFromTemporal(g *tgraph.Graph) *Pattern {
+	seen := make(map[[2]tgraph.NodeID]bool, g.NumEdges())
+	es := make([]Edge, 0, g.NumEdges())
+	for _, e := range g.Edges() {
+		k := [2]tgraph.NodeID{e.Src, e.Dst}
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		es = append(es, Edge{Src: e.Src, Dst: e.Dst})
+	}
+	return &Pattern{Labels: append([]tgraph.Label(nil), g.Labels()...), E: es}
+}
+
 // NumNodes reports |V|.
 func (p *Pattern) NumNodes() int { return len(p.Labels) }
 

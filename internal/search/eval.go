@@ -49,17 +49,32 @@ func Evaluate(matches []Match, truth []Interval) Metrics {
 	}
 	sorted := append([]Interval(nil), truth...)
 	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Start < sorted[j].Start })
+	// maxEnd[j] is the largest End over sorted[0..j]. A truth interval
+	// containing a match lies in the prefix with Start <= match.Start, and
+	// with overlapping or nested truths it need not be the LAST interval
+	// of that prefix — any prefix member whose End also reaches match.End
+	// contains it. The running maximum bounds how far back a containing
+	// interval can still exist, so the scan below stops early.
+	maxEnd := make([]int64, len(sorted))
+	for j, t := range sorted {
+		maxEnd[j] = t.End
+		if j > 0 && maxEnd[j-1] > t.End {
+			maxEnd[j] = maxEnd[j-1]
+		}
+	}
 	hit := make([]bool, len(sorted))
 	for _, match := range matches {
-		// Find the candidate truth interval: the last with Start <= match.Start.
+		// Candidate truth intervals: every one with Start <= match.Start.
 		i := sort.Search(len(sorted), func(i int) bool { return sorted[i].Start > match.Start })
-		if i == 0 {
-			continue
+		correct := false
+		for j := i - 1; j >= 0 && maxEnd[j] >= match.End; j-- {
+			if sorted[j].End >= match.End {
+				correct = true
+				hit[j] = true
+			}
 		}
-		t := sorted[i-1]
-		if match.Start >= t.Start && match.End <= t.End {
+		if correct {
 			m.Correct++
-			hit[i-1] = true
 		}
 	}
 	for _, h := range hit {

@@ -1,12 +1,13 @@
 package search
 
 import (
+	"context"
 	"sort"
 
 	"tgminer/internal/tgraph"
 )
 
-// FindLabelSet implements the NodeSet baseline's matcher: find minimal time
+// This file implements the NodeSet baseline's matcher: find minimal time
 // windows (span ≤ opts.Window) containing distinct nodes whose labels cover
 // the query multiset. Each minimal satisfying window yields one match.
 //
@@ -14,44 +15,59 @@ import (
 // equals the query's, spanning no longer than the longest observed behavior
 // lifetime. Matching minimal windows (rather than every k-subset) keeps the
 // match count comparable to the pattern-query semantics.
-func (e *Engine) FindLabelSet(labels []tgraph.Label, opts Options) Result {
-	opts = opts.normalize()
-	if len(labels) == 0 {
-		return Result{}
-	}
-	need := map[tgraph.Label]int{}
+//
+// The event builder and sliding-window sweep are host-independent so the
+// static Engine and the live generation host (live.go) share them; only the
+// edge iteration differs per host.
+
+// lsEvent is one occurrence of a queried label on the edge stream.
+type lsEvent struct {
+	time  int64
+	node  tgraph.NodeID
+	label tgraph.Label
+}
+
+// labelNeed counts the query label multiset.
+func labelNeed(labels []tgraph.Label) map[tgraph.Label]int {
+	need := make(map[tgraph.Label]int, len(labels))
 	for _, l := range labels {
 		need[l]++
 	}
+	return need
+}
 
-	// Label events: each node's occurrences on the edge stream, restricted
-	// to queried labels. A node may appear many times; it may only be
-	// counted once per window, tracked via per-node first occurrence within
-	// the sliding range.
-	type ev struct {
-		time  int64
-		node  tgraph.NodeID
-		label tgraph.Label
-	}
-	var evs []ev
-	for pos, ed := range e.g.Edges() {
-		_ = pos
-		for _, v := range []tgraph.NodeID{ed.Src, ed.Dst} {
-			l := e.g.LabelOf(v)
-			if _, ok := need[l]; ok {
-				evs = append(evs, ev{time: ed.Time, node: v, label: l})
+// labelSetEvents builds the label events — each node's occurrences on the
+// edge stream, restricted to queried labels — from a host's edge iteration.
+// A self-loop edge has one distinct endpoint and contributes exactly one
+// event. numEdges only sizes the allocation.
+func labelSetEvents(need map[tgraph.Label]int, numEdges int, forEach func(func(tgraph.Edge) bool), labelOf func(tgraph.NodeID) tgraph.Label) []lsEvent {
+	evs := make([]lsEvent, 0, numEdges)
+	forEach(func(ed tgraph.Edge) bool {
+		if l := labelOf(ed.Src); need[l] > 0 {
+			evs = append(evs, lsEvent{time: ed.Time, node: ed.Src, label: l})
+		}
+		if ed.Dst != ed.Src {
+			if l := labelOf(ed.Dst); need[l] > 0 {
+				evs = append(evs, lsEvent{time: ed.Time, node: ed.Dst, label: l})
 			}
 		}
-	}
+		return true
+	})
 	sort.SliceStable(evs, func(i, j int) bool { return evs[i].time < evs[j].time })
+	return evs
+}
 
+// labelSetSweep runs the sliding-window scan over the label events,
+// counting distinct nodes per label and reporting each minimal satisfying
+// window. The context is polled every ctxCheckMask+1 events; on
+// cancellation the matches found so far return together with ctx.Err().
+func labelSetSweep(ctx context.Context, evs []lsEvent, need map[tgraph.Label]int, opts Options) (Result, error) {
 	res := &resultSet{limit: opts.Limit}
-	// Sliding window over events: count distinct nodes per label.
 	nodeCount := map[tgraph.NodeID]int{} // occurrences of node in window
 	labelHave := map[tgraph.Label]int{}  // distinct nodes per label in window
 	satisfied := 0
 	left := 0
-	push := func(x ev) {
+	push := func(x lsEvent) {
 		if nodeCount[x.node] == 0 {
 			labelHave[x.label]++
 			if labelHave[x.label] == need[x.label] {
@@ -60,7 +76,7 @@ func (e *Engine) FindLabelSet(labels []tgraph.Label, opts Options) Result {
 		}
 		nodeCount[x.node]++
 	}
-	pop := func(x ev) {
+	pop := func(x lsEvent) {
 		nodeCount[x.node]--
 		if nodeCount[x.node] == 0 {
 			delete(nodeCount, x.node)
@@ -71,6 +87,11 @@ func (e *Engine) FindLabelSet(labels []tgraph.Label, opts Options) Result {
 		}
 	}
 	for right := 0; right < len(evs); right++ {
+		if right&ctxCheckMask == 0 {
+			if err := ctx.Err(); err != nil {
+				return res.finish(), err
+			}
+		}
 		push(evs[right])
 		if opts.Window > 0 {
 			for evs[right].time-evs[left].time+1 > opts.Window {
@@ -96,5 +117,38 @@ func (e *Engine) FindLabelSet(labels []tgraph.Label, opts Options) Result {
 			}
 		}
 	}
-	return res.finish()
+	return res.finish(), nil
+}
+
+// FindLabelSet reports the minimal windows covering the query label
+// multiset. It is the background-context compatibility form of
+// FindLabelSetContext.
+func (e *Engine) FindLabelSet(labels []tgraph.Label, opts Options) Result {
+	r, _ := e.FindLabelSetContext(context.Background(), labels, opts)
+	return r
+}
+
+// FindLabelSetContext evaluates a NodeSet query under a context: the sweep
+// polls the context cooperatively and on cancellation returns the matches
+// found so far together with ctx.Err().
+func (e *Engine) FindLabelSetContext(ctx context.Context, labels []tgraph.Label, opts Options) (Result, error) {
+	opts = opts.normalize()
+	if len(labels) == 0 {
+		return Result{}, nil
+	}
+	// Up-front poll: with no label events the sweep never polls, and a
+	// dead context would be silently swallowed.
+	if err := ctx.Err(); err != nil {
+		return Result{}, err
+	}
+	need := labelNeed(labels)
+	forEach := func(fn func(tgraph.Edge) bool) {
+		for _, ed := range e.g.Edges() {
+			if !fn(ed) {
+				return
+			}
+		}
+	}
+	evs := labelSetEvents(need, e.g.NumEdges(), forEach, e.g.LabelOf)
+	return labelSetSweep(ctx, evs, need, opts)
 }

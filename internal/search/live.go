@@ -7,6 +7,30 @@ package search
 // sequence in global position order, so a Live engine answers every query
 // exactly as a static Engine built over the equivalent edge set would
 // (differentially tested in live_test.go).
+//
+// Concurrency is RCU-style: all mutable state lives in an immutable
+// generation value published through an atomic pointer. Writers
+// (Append/EvictBefore/Compact, serialized by a mutex among themselves) build
+// the next generation and publish it; readers load one generation and run
+// against it for their whole lifetime without taking any lock, so a
+// long-lived StreamTemporal never blocks ingestion. Three disciplines make
+// the shared storage safe:
+//
+//  1. Append-only slices. labels, tail, tailOut, and tailIn grow only via
+//     append on the writer's latest view; published generations hold
+//     len-capped headers of the same backing arrays, and the writer only
+//     ever writes indexes beyond every published length, so no reader can
+//     observe a torn element.
+//  2. Single-writer posLists. Per-node and per-label-pair tail position
+//     lists are shared across generations and appended in place; an atomic
+//     element count published after each element write gives readers a
+//     consistent prefix. Positions are globally increasing, so a reader
+//     simply stops at its generation's end position and never sees entries
+//     appended after its snapshot.
+//  3. Copy-on-compact. Compaction never truncates shared storage in place:
+//     it builds a fresh base Engine, fresh (empty) tail lists, and a fresh
+//     pair map, leaving every published generation's storage intact until
+//     the garbage collector reclaims it.
 
 import (
 	"context"
@@ -14,7 +38,9 @@ import (
 	"iter"
 	"sort"
 	"sync"
+	"sync/atomic"
 
+	"tgminer/internal/gspan"
 	"tgminer/internal/tgraph"
 )
 
@@ -40,59 +66,255 @@ func (o LiveOptions) normalize() LiveOptions {
 // pairKey indexes tail edges by endpoint labels.
 type pairKey struct{ src, dst tgraph.Label }
 
-// Live is an incrementally growing temporal-graph engine. Edges append in
-// strictly increasing timestamp order (the same total-order invariant
-// tgraph.Builder enforces); each edge takes a global position = base size +
-// tail offset. The tail keeps simple per-node and per-label-pair position
-// lists; compaction folds base + tail into a fresh CSR Engine. EvictBefore
-// implements a sliding window by advancing a floor position — queries skip
-// evicted prefixes in O(1) because position order is time order — and the
-// space is reclaimed at the next compaction.
-//
-// Live is safe for concurrent use: queries take a read lock (including for
-// the whole lifetime of a StreamTemporal iteration), Append/EvictBefore/
-// Compact take the write lock. Consume streams promptly or query a
-// Snapshot, since a long-lived stream blocks appends.
-type Live struct {
-	mu   sync.RWMutex
-	opts LiveOptions
+// posList is a single-writer multi-reader append-only list of edge
+// positions. The writer appends an element and then publishes the new
+// length with a release store; a reader acquires the length first and then
+// the backing array, so the array it loads is always at least as long as
+// the count it read and every element below that count is fully written.
+// Entries are strictly increasing global positions, which lets readers of
+// older generations stop at their snapshot's end position.
+type posList struct {
+	n   atomic.Int32            // published element count
+	arr atomic.Pointer[[]int32] // backing array (len == cap), grown by doubling
+}
 
-	labels []tgraph.Label // authoritative node labels (base and tail nodes)
+// push appends one position. Writer-exclusive (callers hold the Live
+// writer mutex).
+func (p *posList) push(pos int32) {
+	n := int(p.n.Load())
+	cur := p.arr.Load()
+	if cur == nil || n == len(*cur) {
+		newCap := 4
+		if cur != nil {
+			newCap = 2 * len(*cur)
+		}
+		grown := make([]int32, newCap)
+		if cur != nil {
+			copy(grown, *cur)
+		}
+		grown[n] = pos
+		p.arr.Store(&grown)
+	} else {
+		(*cur)[n] = pos
+	}
+	p.n.Store(int32(n + 1))
+}
 
+// view returns a consistent prefix of the list. Safe to call concurrently
+// with push; the returned slice is never written again at indexes < len.
+func (p *posList) view() []int32 {
+	n := p.n.Load()
+	if n == 0 {
+		return nil
+	}
+	arr := p.arr.Load()
+	return (*arr)[:n]
+}
+
+// generation is one immutable snapshot of the live edge set: a compacted
+// CSR base plus an indexed tail, with eviction expressed as a floor
+// position. Every query runs against exactly one generation, so it observes
+// one consistent edge set no matter how long it runs. The slices are
+// len-capped views into append-only storage shared with newer generations
+// (see the package comment disciplines); the posLists may contain positions
+// beyond this generation's end, which readers skip via the monotone
+// position order.
+type generation struct {
 	base      *Engine // CSR indexes over the compacted prefix; nil until first compaction
 	baseEdges int32   // edges in base: global positions [0, baseEdges)
 
 	floor int32 // first live global position; earlier edges are evicted
 
-	tail     []tgraph.Edge // appended edges, global positions baseEdges+i
-	tailOut  [][]int32     // node -> tail positions with the node as source
-	tailIn   [][]int32     // node -> tail positions with the node as destination
-	tailPair map[pairKey][]int32
+	labels  []tgraph.Label       // node labels; len == node count of this generation
+	tail    []tgraph.Edge        // appended edges, global positions baseEdges+i
+	tailOut []*posList           // node -> tail positions with the node as source
+	tailIn  []*posList           // node -> tail positions with the node as destination
+	pair    map[pairKey]*posList // label pair -> tail positions (copy-on-new-key)
 
 	lastTime int64 // largest timestamp seen; -1 when empty
+}
+
+// end returns one past the last global position of this generation.
+func (g *generation) end() int32 { return g.baseEdges + int32(len(g.tail)) }
+
+// numEdges reports the number of live (non-evicted) edges.
+func (g *generation) numEdges() int { return int(g.end() - g.floor) }
+
+// edgeAt returns the edge at a global position.
+func (g *generation) edgeAt(pos int32) tgraph.Edge {
+	if pos < g.baseEdges {
+		return g.base.g.EdgeAt(int(pos))
+	}
+	return g.tail[pos-g.baseEdges]
+}
+
+// iterTail iterates a tail posList's positions strictly after `after` and
+// below this generation's end, until fn returns false; reports whether the
+// scan ran to completion.
+func (g *generation) iterTail(pl *posList, after int32, fn func(int32) bool) bool {
+	if pl == nil {
+		return true
+	}
+	list := pl.view()
+	end := g.end()
+	i := sort.Search(len(list), func(i int) bool { return list[i] > after })
+	for ; i < len(list); i++ {
+		pos := list[i]
+		if pos >= end {
+			return true
+		}
+		if !fn(pos) {
+			return false
+		}
+	}
+	return true
+}
+
+// forEachPair iterates live positions of edges with endpoint labels
+// (src, dst) strictly after `after`, in increasing order, until fn returns
+// false. Base and tail segments chain naturally: every tail position is
+// greater than every base position.
+func (g *generation) forEachPair(src, dst tgraph.Label, after int32, fn func(int32) bool) {
+	if after < g.floor-1 {
+		after = g.floor - 1
+	}
+	if g.base != nil {
+		if !iterAfterOK(g.base.pairPositions(src, dst), after, fn) {
+			return
+		}
+	}
+	g.iterTail(g.pair[pairKey{src, dst}], after, fn)
+}
+
+// forEachOut iterates live positions of edges with node v as source,
+// strictly after `after`, until fn returns false.
+func (g *generation) forEachOut(v tgraph.NodeID, after int32, fn func(int32) bool) {
+	if after < g.floor-1 {
+		after = g.floor - 1
+	}
+	if g.base != nil && int(v) < g.base.g.NumNodes() {
+		if !iterAfterOK(g.base.outAt(v), after, fn) {
+			return
+		}
+	}
+	g.iterTail(g.tailOut[v], after, fn)
+}
+
+// forEachIn iterates live positions of edges with node v as destination,
+// strictly after `after`, until fn returns false.
+func (g *generation) forEachIn(v tgraph.NodeID, after int32, fn func(int32) bool) {
+	if after < g.floor-1 {
+		after = g.floor - 1
+	}
+	if g.base != nil && int(v) < g.base.g.NumNodes() {
+		if !iterAfterOK(g.base.inAt(v), after, fn) {
+			return
+		}
+	}
+	g.iterTail(g.tailIn[v], after, fn)
+}
+
+// forEachEdge iterates the live (non-evicted) edges in global position
+// order until fn returns false.
+func (g *generation) forEachEdge(fn func(tgraph.Edge) bool) {
+	if g.base != nil && g.floor < g.baseEdges {
+		for _, e := range g.base.g.Edges()[g.floor:] {
+			if !fn(e) {
+				return
+			}
+		}
+	}
+	tailFrom := int(g.floor) - int(g.baseEdges)
+	if tailFrom < 0 {
+		tailFrom = 0
+	}
+	for _, e := range g.tail[tailFrom:] {
+		if !fn(e) {
+			return
+		}
+	}
+}
+
+// buildGraph materializes the generation's edge set (all nodes, non-evicted
+// edges) as an immutable tgraph.Graph.
+func (g *generation) buildGraph() *tgraph.Graph {
+	var b tgraph.Builder
+	for _, lab := range g.labels {
+		b.AddNode(lab)
+	}
+	g.forEachEdge(func(e tgraph.Edge) bool {
+		_ = b.AddEdge(e.Src, e.Dst, e.Time)
+		return true
+	})
+	gr, err := b.Finalize()
+	if err != nil {
+		// Unreachable: Append enforces the strict total order Finalize checks.
+		panic("search: live edge set lost total order: " + err.Error())
+	}
+	return gr
+}
+
+// cutBefore returns the first global position whose edge time is >= t.
+func (g *generation) cutBefore(t int64) int32 {
+	if g.base != nil {
+		edges := g.base.g.Edges()
+		if i := sort.Search(len(edges), func(i int) bool { return edges[i].Time >= t }); i < len(edges) {
+			return int32(i)
+		}
+	}
+	j := sort.Search(len(g.tail), func(i int) bool { return g.tail[i].Time >= t })
+	return g.baseEdges + int32(j)
+}
+
+// Live is an incrementally growing temporal-graph engine. Edges append in
+// strictly increasing timestamp order (the same total-order invariant
+// tgraph.Builder enforces); each edge takes a global position = base size +
+// tail offset. The tail keeps per-node and per-label-pair position lists;
+// compaction folds base + tail into a fresh CSR Engine. EvictBefore
+// implements a sliding window by advancing a floor position — queries skip
+// evicted prefixes in O(1) because position order is time order — and the
+// space is reclaimed at the next compaction.
+//
+// Live is safe for concurrent use and reads are lock-free: every query —
+// including a StreamTemporal iterated over minutes — runs against the
+// immutable generation current when it started and never blocks
+// Append/EvictBefore/Compact, which serialize among themselves on a writer
+// mutex and publish new generations atomically.
+type Live struct {
+	mu   sync.Mutex // serializes writers; readers never take it
+	opts LiveOptions
+
+	cur atomic.Pointer[generation]
 
 	used sync.Pool // *usedSet per-query scratch
 }
 
 // NewLive returns an empty live engine.
 func NewLive(opts LiveOptions) *Live {
-	l := &Live{
-		opts:     opts.normalize(),
-		tailPair: make(map[pairKey][]int32),
+	l := &Live{opts: opts.normalize()}
+	l.cur.Store(&generation{
+		pair:     make(map[pairKey]*posList),
 		lastTime: -1,
-	}
+	})
 	l.used.New = func() any { return new(usedSet) }
 	return l
 }
+
+// gen returns the current generation; the returned value is immutable and
+// remains valid (and consistent) forever.
+func (l *Live) gen() *generation { return l.cur.Load() }
 
 // AddNode appends a node with the given label and returns its NodeID.
 func (l *Live) AddNode(label tgraph.Label) tgraph.NodeID {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	l.labels = append(l.labels, label)
-	l.tailOut = append(l.tailOut, nil)
-	l.tailIn = append(l.tailIn, nil)
-	return tgraph.NodeID(len(l.labels) - 1)
+	g := l.gen()
+	ng := *g
+	ng.labels = append(g.labels, label)
+	ng.tailOut = append(g.tailOut, &posList{})
+	ng.tailIn = append(g.tailIn, &posList{})
+	l.cur.Store(&ng)
+	return tgraph.NodeID(len(ng.labels) - 1)
 }
 
 // Append records a directed edge src -> dst at time t. Timestamps must be
@@ -103,28 +325,46 @@ func (l *Live) AddNode(label tgraph.Label) tgraph.NodeID {
 func (l *Live) Append(src, dst tgraph.NodeID, t int64) error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	if n := tgraph.NodeID(len(l.labels)); src < 0 || src >= n || dst < 0 || dst >= n {
+	g := l.gen()
+	if n := tgraph.NodeID(len(g.labels)); src < 0 || src >= n || dst < 0 || dst >= n {
 		return fmt.Errorf("search: live edge (%d,%d,%d) references unknown node (have %d nodes)", src, dst, t, n)
 	}
-	if t <= l.lastTime {
-		return fmt.Errorf("search: live append out of order: t=%d not after t=%d (timestamps must be strictly increasing)", t, l.lastTime)
+	if t <= g.lastTime {
+		return fmt.Errorf("search: live append out of order: t=%d not after t=%d (timestamps must be strictly increasing)", t, g.lastTime)
 	}
-	pos := l.baseEdges + int32(len(l.tail))
-	l.tail = append(l.tail, tgraph.Edge{Src: src, Dst: dst, Time: t})
-	l.tailOut[src] = append(l.tailOut[src], pos)
-	l.tailIn[dst] = append(l.tailIn[dst], pos)
-	k := pairKey{l.labels[src], l.labels[dst]}
-	l.tailPair[k] = append(l.tailPair[k], pos)
-	l.lastTime = t
+	pos := g.end()
+	ng := *g
+	ng.tail = append(g.tail, tgraph.Edge{Src: src, Dst: dst, Time: t})
+	// The posLists are shared with published generations: the new position
+	// is beyond every published end, so concurrent readers skip it.
+	g.tailOut[src].push(pos)
+	g.tailIn[dst].push(pos)
+	k := pairKey{g.labels[src], g.labels[dst]}
+	pl := g.pair[k]
+	if pl == nil {
+		// First edge with this label pair: copy-on-write the map so
+		// readers holding older generations never observe a map insert.
+		pl = &posList{}
+		np := make(map[pairKey]*posList, len(g.pair)+1)
+		for pk, pv := range g.pair {
+			np[pk] = pv
+		}
+		np[k] = pl
+		ng.pair = np
+	}
+	pl.push(pos)
+	ng.lastTime = t
 	// Geometric schedule: rebuilding the base costs O(base+tail), so only
 	// compact once the tail is worth it both absolutely (CompactEvery) and
 	// relative to the base (>= half). Rebuild sizes then grow
 	// geometrically, their sum over the whole stream is O(total edges),
 	// and appends stay amortized O(1). Tail edges are indexed just like
 	// base edges, so a large tail does not slow searches.
-	if l.opts.CompactEvery > 0 && len(l.tail) >= l.opts.CompactEvery && int32(len(l.tail))*2 >= l.baseEdges {
-		l.compactLocked()
+	if l.opts.CompactEvery > 0 && len(ng.tail) >= l.opts.CompactEvery && int32(len(ng.tail))*2 >= ng.baseEdges {
+		l.cur.Store(compactGen(&ng))
+		return nil
 	}
+	l.cur.Store(&ng)
 	return nil
 }
 
@@ -135,162 +375,69 @@ func (l *Live) Append(src, dst tgraph.NodeID, t int64) error {
 func (l *Live) EvictBefore(t int64) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	if cut := l.cutBefore(t); cut > l.floor {
-		l.floor = cut
+	g := l.gen()
+	if cut := g.cutBefore(t); cut > g.floor {
+		ng := *g
+		ng.floor = cut
+		l.cur.Store(&ng)
 	}
-}
-
-// cutBefore returns the first global position whose edge time is >= t.
-func (l *Live) cutBefore(t int64) int32 {
-	if l.base != nil {
-		edges := l.base.g.Edges()
-		if i := sort.Search(len(edges), func(i int) bool { return edges[i].Time >= t }); i < len(edges) {
-			return int32(i)
-		}
-	}
-	j := sort.Search(len(l.tail), func(i int) bool { return l.tail[i].Time >= t })
-	return l.baseEdges + int32(j)
 }
 
 // Compact folds the tail (and any evicted prefix) into a fresh CSR base.
 func (l *Live) Compact() {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	l.compactLocked()
-}
-
-func (l *Live) compactLocked() {
-	if len(l.tail) == 0 && l.floor == 0 {
+	g := l.gen()
+	if len(g.tail) == 0 && g.floor == 0 {
 		return
 	}
-	l.base = NewEngine(l.buildGraphLocked())
-	l.baseEdges = int32(l.base.g.NumEdges())
-	l.floor = 0
-	l.tail = l.tail[:0]
-	for i := range l.tailOut {
-		l.tailOut[i] = l.tailOut[i][:0]
-	}
-	for i := range l.tailIn {
-		l.tailIn[i] = l.tailIn[i][:0]
-	}
-	for k, v := range l.tailPair {
-		l.tailPair[k] = v[:0]
-	}
+	l.cur.Store(compactGen(g))
 }
 
-// buildGraphLocked materializes the live edge set (all nodes, non-evicted
-// edges) as an immutable tgraph.Graph.
-func (l *Live) buildGraphLocked() *tgraph.Graph {
-	var b tgraph.Builder
-	for _, lab := range l.labels {
-		b.AddNode(lab)
+// compactGen builds the post-compaction generation: a fresh CSR base over
+// the live edge set and fresh, empty tail storage. Copy-on-compact: the old
+// generation's storage is never truncated or reused, so readers holding it
+// stay consistent.
+func compactGen(g *generation) *generation {
+	base := NewEngine(g.buildGraph())
+	ng := &generation{
+		base:      base,
+		baseEdges: int32(base.g.NumEdges()),
+		labels:    g.labels,
+		tailOut:   make([]*posList, len(g.labels)),
+		tailIn:    make([]*posList, len(g.labels)),
+		pair:      make(map[pairKey]*posList),
+		lastTime:  g.lastTime,
 	}
-	if l.base != nil && l.floor < l.baseEdges {
-		for _, e := range l.base.g.Edges()[l.floor:] {
-			_ = b.AddEdge(e.Src, e.Dst, e.Time)
-		}
+	for i := range ng.tailOut {
+		ng.tailOut[i] = &posList{}
+		ng.tailIn[i] = &posList{}
 	}
-	tailFrom := int(l.floor) - int(l.baseEdges)
-	if tailFrom < 0 {
-		tailFrom = 0
-	}
-	for _, e := range l.tail[tailFrom:] {
-		_ = b.AddEdge(e.Src, e.Dst, e.Time)
-	}
-	g, err := b.Finalize()
-	if err != nil {
-		// Unreachable: Append enforces the strict total order Finalize checks.
-		panic("search: live edge set lost total order: " + err.Error())
-	}
-	return g
+	return ng
 }
 
 // Snapshot materializes an immutable Engine over the current live edge set,
-// for callers that want to run many queries against one consistent state
-// without holding the live read lock.
+// for callers that want to run many queries against one consistent state.
+// Like all reads it is lock-free; when the engine was just compacted the
+// base is returned directly with no copying.
 func (l *Live) Snapshot() *Engine {
-	l.mu.RLock()
-	defer l.mu.RUnlock()
-	if l.base != nil && len(l.tail) == 0 && l.floor == 0 {
-		return l.base
+	g := l.gen()
+	if g.base != nil && len(g.tail) == 0 && g.floor == 0 {
+		return g.base
 	}
-	return NewEngine(l.buildGraphLocked())
+	return NewEngine(g.buildGraph())
 }
 
 // NumNodes reports the number of nodes ever added.
-func (l *Live) NumNodes() int {
-	l.mu.RLock()
-	defer l.mu.RUnlock()
-	return len(l.labels)
-}
+func (l *Live) NumNodes() int { return len(l.gen().labels) }
 
 // NumEdges reports the number of live (non-evicted) edges.
-func (l *Live) NumEdges() int {
-	l.mu.RLock()
-	defer l.mu.RUnlock()
-	return int(l.baseEdges) + len(l.tail) - int(l.floor)
-}
+func (l *Live) NumEdges() int { return l.gen().numEdges() }
 
 // LastTime reports the largest appended timestamp (-1 when empty).
-func (l *Live) LastTime() int64 {
-	l.mu.RLock()
-	defer l.mu.RUnlock()
-	return l.lastTime
-}
+func (l *Live) LastTime() int64 { return l.gen().lastTime }
 
-// edgeAt returns the edge at a global position.
-func (l *Live) edgeAt(pos int32) tgraph.Edge {
-	if pos < l.baseEdges {
-		return l.base.g.EdgeAt(int(pos))
-	}
-	return l.tail[pos-l.baseEdges]
-}
-
-// forEachPair iterates live positions of edges with endpoint labels
-// (src, dst) strictly after `after`, in increasing order, until fn returns
-// false. Base and tail segments chain naturally: every tail position is
-// greater than every base position.
-func (l *Live) forEachPair(src, dst tgraph.Label, after int32, fn func(int32) bool) {
-	if after < l.floor-1 {
-		after = l.floor - 1
-	}
-	if l.base != nil {
-		if !iterAfterOK(l.base.pairPositions(src, dst), after, fn) {
-			return
-		}
-	}
-	iterAfterOK(l.tailPair[pairKey{src, dst}], after, fn)
-}
-
-// forEachOut iterates live positions of edges with node v as source,
-// strictly after `after`, until fn returns false.
-func (l *Live) forEachOut(v tgraph.NodeID, after int32, fn func(int32) bool) {
-	if after < l.floor-1 {
-		after = l.floor - 1
-	}
-	if l.base != nil && int(v) < l.base.g.NumNodes() {
-		if !iterAfterOK(l.base.outAt(v), after, fn) {
-			return
-		}
-	}
-	iterAfterOK(l.tailOut[v], after, fn)
-}
-
-// forEachIn iterates live positions of edges with node v as destination,
-// strictly after `after`, until fn returns false.
-func (l *Live) forEachIn(v tgraph.NodeID, after int32, fn func(int32) bool) {
-	if after < l.floor-1 {
-		after = l.floor - 1
-	}
-	if l.base != nil && int(v) < l.base.g.NumNodes() {
-		if !iterAfterOK(l.base.inAt(v), after, fn) {
-			return
-		}
-	}
-	iterAfterOK(l.tailIn[v], after, fn)
-}
-
-// liveState is the temporal matcher over a Live engine: the same
+// liveState is the temporal matcher over a live generation: the same
 // backtracking search as tState (stream.go), iterating base + tail as one
 // position sequence. The two match methods are deliberate twins — kept
 // monomorphic so the static hot path pays no interface dispatch. A change
@@ -298,7 +445,7 @@ func (l *Live) forEachIn(v tgraph.NodeID, after int32, fn func(int32) bool) {
 // TestLiveMatchesStaticDifferential enforces agreement.
 type liveState struct {
 	matchCore
-	l *Live
+	g *generation
 }
 
 func (s *liveState) match(k int, lastPos int32) {
@@ -306,7 +453,7 @@ func (s *liveState) match(k int, lastPos int32) {
 		return
 	}
 	if k == s.p.NumEdges() {
-		s.emit(Match{Start: s.startTime, End: s.l.edgeAt(lastPos).Time})
+		s.emit(Match{Start: s.startTime, End: s.g.edgeAt(lastPos).Time})
 		return
 	}
 	pe := s.p.EdgeAt(k)
@@ -316,33 +463,33 @@ func (s *liveState) match(k int, lastPos int32) {
 		deadline = s.startTime + s.opts.Window - 1
 	}
 	try := func(pos int32) {
-		ge := s.l.edgeAt(pos)
+		ge := s.g.edgeAt(pos)
 		if deadline >= 0 && ge.Time > deadline {
 			return
 		}
 		if (pe.Src == pe.Dst) != (ge.Src == ge.Dst) {
 			return
 		}
-		if s.l.labels[ge.Src] != s.p.LabelOf(pe.Src) || s.l.labels[ge.Dst] != s.p.LabelOf(pe.Dst) {
+		if s.g.labels[ge.Src] != s.p.LabelOf(pe.Src) || s.g.labels[ge.Dst] != s.p.LabelOf(pe.Dst) {
 			return
 		}
 		s.bindEdge(pe, ge, func() { s.match(k+1, pos) })
 	}
 	switch {
 	case ms != -1:
-		s.l.forEachOut(ms, lastPos, func(pos int32) bool {
-			if deadline >= 0 && s.l.edgeAt(pos).Time > deadline {
+		s.g.forEachOut(ms, lastPos, func(pos int32) bool {
+			if deadline >= 0 && s.g.edgeAt(pos).Time > deadline {
 				return false
 			}
-			if md != -1 && s.l.edgeAt(pos).Dst != md {
+			if md != -1 && s.g.edgeAt(pos).Dst != md {
 				return true
 			}
 			try(pos)
 			return !s.done
 		})
 	case md != -1:
-		s.l.forEachIn(md, lastPos, func(pos int32) bool {
-			if deadline >= 0 && s.l.edgeAt(pos).Time > deadline {
+		s.g.forEachIn(md, lastPos, func(pos int32) bool {
+			if deadline >= 0 && s.g.edgeAt(pos).Time > deadline {
 				return false
 			}
 			try(pos)
@@ -351,7 +498,7 @@ func (s *liveState) match(k int, lastPos int32) {
 	default:
 		// Unreachable for T-connected patterns beyond the first edge, but
 		// handle defensively via the pair index.
-		s.l.forEachPair(s.p.LabelOf(pe.Src), s.p.LabelOf(pe.Dst), lastPos, func(pos int32) bool {
+		s.g.forEachPair(s.p.LabelOf(pe.Src), s.p.LabelOf(pe.Dst), lastPos, func(pos int32) bool {
 			try(pos)
 			return !s.done
 		})
@@ -360,37 +507,36 @@ func (s *liveState) match(k int, lastPos int32) {
 
 // StreamTemporal yields the distinct intervals where the temporal pattern
 // embeds in the live edge set, with the same semantics as
-// Engine.StreamTemporal. The engine's read lock is held until the stream
-// ends or the consumer breaks, and the lock is not reentrant: calling
-// Append, EvictBefore, or Compact from inside the loop body deadlocks.
-// For mutate-as-you-consume patterns, stream from Snapshot() instead and
-// apply the mutations against the live engine.
+// Engine.StreamTemporal. The stream runs against the generation current
+// when it started: it observes one consistent edge set for its whole
+// lifetime, holds no lock, and never blocks Append/EvictBefore/Compact —
+// calling them from inside the loop body is safe (their effects become
+// visible to the next query, not the running stream).
 func (l *Live) StreamTemporal(ctx context.Context, p *tgraph.Pattern, opts Options) iter.Seq2[Match, error] {
 	opts = opts.normalize()
 	return func(yield func(Match, error) bool) {
 		if p.NumEdges() == 0 {
 			return
 		}
-		l.mu.RLock()
-		defer l.mu.RUnlock()
+		g := l.gen()
 		res := newRootDedup(opts.Limit, func(m Match) bool { return yield(m, nil) })
 		defer res.release()
-		st := &liveState{l: l}
+		st := &liveState{g: g}
 		st.p = p
 		st.opts = opts
 		st.res = res
 		st.ctx = ctx
 		u := l.used.Get().(*usedSet)
-		u.reset(len(l.labels))
+		u.reset(len(g.labels))
 		st.init(p.NumNodes(), u)
 		defer l.used.Put(u)
 		first := p.EdgeAt(0)
-		l.forEachPair(p.LabelOf(first.Src), p.LabelOf(first.Dst), l.floor-1, func(pos int32) bool {
+		g.forEachPair(p.LabelOf(first.Src), p.LabelOf(first.Dst), g.floor-1, func(pos int32) bool {
 			if st.rootCancelled() {
 				return false
 			}
 			res.nextRoot()
-			ge := l.edgeAt(pos)
+			ge := g.edgeAt(pos)
 			if (first.Src == first.Dst) != (ge.Src == ge.Dst) {
 				return true
 			}
@@ -415,5 +561,103 @@ func (l *Live) FindTemporalContext(ctx context.Context, p *tgraph.Pattern, opts 
 // FindTemporalContext.
 func (l *Live) FindTemporal(p *tgraph.Pattern, opts Options) Result {
 	r, _ := l.FindTemporalContext(context.Background(), p, opts)
+	return r
+}
+
+// ntLiveState is the non-temporal matcher over a live generation, the twin
+// of ntState (search.go) — the same deliberate monomorphic-twin pattern as
+// tState/liveState. A semantic change to either MUST be mirrored in the
+// other; TestLiveMatchesStaticDifferential enforces agreement.
+type ntLiveState struct {
+	ntCore
+	g *generation
+}
+
+func (s *ntLiveState) match(k int) {
+	if s.stepCancelled() {
+		return
+	}
+	if k == len(s.order) {
+		s.res.add(Match{Start: s.minT, End: s.maxT})
+		if s.res.full() {
+			s.done = true
+		}
+		return
+	}
+	pe := s.order[k]
+	ms, md := s.mapping[pe.Src], s.mapping[pe.Dst]
+	try := func(pos int32) bool {
+		ge := s.g.edgeAt(pos)
+		ok := s.tryEdge(k, pe, ge, pos, s.g.labels[ge.Src], s.g.labels[ge.Dst], func() { s.match(k + 1) })
+		return ok && !s.done
+	}
+	switch {
+	case ms != -1:
+		s.g.forEachOut(ms, s.g.floor-1, func(pos int32) bool {
+			if md != -1 && s.g.edgeAt(pos).Dst != md {
+				return true
+			}
+			return try(pos)
+		})
+	case md != -1:
+		s.g.forEachIn(md, s.g.floor-1, try)
+	default:
+		s.g.forEachPair(s.p.Labels[pe.Src], s.p.Labels[pe.Dst], s.g.floor-1, try)
+	}
+}
+
+// FindNonTemporalContext reports the distinct intervals where the collapsed
+// (non-temporal) pattern embeds in the live edge set regardless of edge
+// order, with Engine.FindNonTemporalContext semantics. Lock-free: the query
+// runs against the generation current at the call.
+func (l *Live) FindNonTemporalContext(ctx context.Context, p *gspan.Pattern, opts Options) (Result, error) {
+	opts = opts.normalize()
+	if p.NumEdges() == 0 {
+		return Result{}, nil
+	}
+	// Up-front poll, as in Engine.FindNonTemporalContext.
+	if err := ctx.Err(); err != nil {
+		return Result{}, err
+	}
+	g := l.gen()
+	st := &ntLiveState{g: g}
+	u := l.used.Get().(*usedSet)
+	u.reset(len(g.labels))
+	defer l.used.Put(u)
+	st.initNT(ctx, p, opts, u)
+	st.match(0)
+	return st.finish()
+}
+
+// FindNonTemporal is the background-context compatibility form of
+// FindNonTemporalContext.
+func (l *Live) FindNonTemporal(p *gspan.Pattern, opts Options) Result {
+	r, _ := l.FindNonTemporalContext(context.Background(), p, opts)
+	return r
+}
+
+// FindLabelSetContext finds minimal time windows in the live edge set
+// containing distinct nodes covering the query label multiset, with
+// Engine.FindLabelSetContext semantics. Lock-free: the sweep runs against
+// the generation current at the call.
+func (l *Live) FindLabelSetContext(ctx context.Context, labels []tgraph.Label, opts Options) (Result, error) {
+	opts = opts.normalize()
+	if len(labels) == 0 {
+		return Result{}, nil
+	}
+	// Up-front poll, as in Engine.FindLabelSetContext.
+	if err := ctx.Err(); err != nil {
+		return Result{}, err
+	}
+	g := l.gen()
+	need := labelNeed(labels)
+	evs := labelSetEvents(need, g.numEdges(), g.forEachEdge, func(v tgraph.NodeID) tgraph.Label { return g.labels[v] })
+	return labelSetSweep(ctx, evs, need, opts)
+}
+
+// FindLabelSet is the background-context compatibility form of
+// FindLabelSetContext.
+func (l *Live) FindLabelSet(labels []tgraph.Label, opts Options) Result {
+	r, _ := l.FindLabelSetContext(context.Background(), labels, opts)
 	return r
 }

@@ -7,9 +7,31 @@ import (
 	"sync"
 	"testing"
 	"testing/quick"
+	"time"
 
+	"tgminer/internal/gspan"
 	"tgminer/internal/tgraph"
 )
+
+// collapseQuery drops edge order from a temporal pattern, producing the
+// equivalent non-temporal (gspan) pattern for differential testing.
+func collapseQuery(p *tgraph.Pattern) *gspan.Pattern {
+	labels := make([]tgraph.Label, p.NumNodes())
+	for i := range labels {
+		labels[i] = p.LabelOf(tgraph.NodeID(i))
+	}
+	seen := map[gspan.Edge]bool{}
+	var es []gspan.Edge
+	for i := 0; i < p.NumEdges(); i++ {
+		pe := p.EdgeAt(i)
+		e := gspan.Edge{Src: pe.Src, Dst: pe.Dst}
+		if !seen[e] {
+			seen[e] = true
+			es = append(es, e)
+		}
+	}
+	return &gspan.Pattern{Labels: labels, E: es}
+}
 
 // staticEquivalent builds the immutable engine over the live edge set: same
 // node labels, only the edges with time >= minTime.
@@ -51,9 +73,10 @@ func sameResult(a, b Result) error {
 
 // TestLiveMatchesStaticDifferential is the acceptance property for the live
 // engine: after any interleaving of appends, node additions, evictions, and
-// forced compactions, every temporal query answers identically to a static
-// NewEngine built over the equivalent edge set — including across
-// compaction boundaries (CompactEvery is deliberately tiny).
+// forced compactions, every query of all three families — temporal,
+// non-temporal, and label-set — answers identically to a static NewEngine
+// built over the equivalent edge set, including across compaction
+// boundaries (CompactEvery is deliberately tiny).
 func TestLiveMatchesStaticDifferential(t *testing.T) {
 	f := func(seed int64) bool {
 		rng := rand.New(rand.NewSource(seed))
@@ -114,6 +137,17 @@ func TestLiveMatchesStaticDifferential(t *testing.T) {
 				if err := sameResult(got, want); err != nil {
 					t.Logf("seed=%d step=%d (compactEvery=%d, evictBefore=%d): %v\n p=%v",
 						seed, step, compactEvery, minTime, err, p)
+					return false
+				}
+				np := collapseQuery(p)
+				if err := sameResult(live.FindNonTemporal(np, opts), static.FindNonTemporal(np, opts)); err != nil {
+					t.Logf("seed=%d step=%d: non-temporal: %v\n np=%+v", seed, step, err, np)
+					return false
+				}
+				lq := []tgraph.Label{tgraph.Label(rng.Intn(numLabels)), tgraph.Label(rng.Intn(numLabels))}
+				lopts := Options{Window: int64(2 + rng.Intn(10)), Limit: opts.Limit}
+				if err := sameResult(live.FindLabelSet(lq, lopts), static.FindLabelSet(lq, lopts)); err != nil {
+					t.Logf("seed=%d step=%d: label-set: %v\n lq=%v", seed, step, err, lq)
 					return false
 				}
 			}
@@ -207,6 +241,179 @@ func TestLiveSnapshotConsistent(t *testing.T) {
 	if err := sameResult(l.FindTemporal(p, Options{}), snap.FindTemporal(p, Options{})); err != nil {
 		t.Fatal(err)
 	}
+}
+
+// TestLiveAppendDuringPausedStream is the acceptance test for lock-free
+// reads: a consumer pauses mid-iteration holding a live StreamTemporal
+// open, and Append / EvictBefore / Compact must all complete anyway
+// (impossible with the PR 2 read-lock design, where the paused consumer
+// held the engine's RLock and Append deadlocked until it resumed). It also
+// pins generation semantics: the paused stream still sees exactly the edge
+// set current at its start, no matter what the writers did meanwhile.
+func TestLiveAppendDuringPausedStream(t *testing.T) {
+	l := NewLive(LiveOptions{CompactEvery: 8})
+	a := l.AddNode(0)
+	b := l.AddNode(1)
+	const pre = 20
+	for i := 1; i <= pre; i++ {
+		if err := l.Append(a, b, int64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	p, err := tgraph.NewPattern([]tgraph.Label{0, 1}, []tgraph.PEdge{{Src: 0, Dst: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	firstMatch := make(chan struct{})
+	resume := make(chan struct{})
+	done := make(chan []Match, 1)
+	go func() {
+		var got []Match
+		first := true
+		for m, serr := range l.StreamTemporal(context.Background(), p, Options{}) {
+			if serr != nil {
+				t.Error(serr)
+				break
+			}
+			got = append(got, m)
+			if first {
+				first = false
+				close(firstMatch)
+				<-resume // paused mid-iteration, stream held open
+			}
+		}
+		done <- got
+	}()
+	<-firstMatch
+	appended := make(chan error, 1)
+	go func() { appended <- l.Append(a, b, 1000) }()
+	select {
+	case err := <-appended:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Append blocked by a paused StreamTemporal consumer")
+	}
+	// Eviction and compaction must go through as well.
+	l.EvictBefore(10)
+	l.Compact()
+	if n := l.NumEdges(); n != pre-9+1 {
+		t.Fatalf("NumEdges after concurrent evict+append = %d, want %d", n, pre-9+1)
+	}
+	close(resume)
+	got := <-done
+	// The stream's generation predates the append and the eviction: it must
+	// see exactly the 20 pre-existing matches.
+	if len(got) != pre {
+		t.Fatalf("paused stream saw %d matches, want its generation's %d", len(got), pre)
+	}
+	for i, m := range got {
+		if m.Start != int64(i+1) || m.End != int64(i+1) {
+			t.Fatalf("match %d = %v, want [%d,%d]", i, m, i+1, i+1)
+		}
+	}
+	// A query started after the mutations sees them.
+	res := l.FindTemporal(p, Options{})
+	if len(res.Matches) == 0 || res.Matches[len(res.Matches)-1].End != 1000 {
+		t.Fatalf("post-mutation query missed the new edge: %v", res.Matches)
+	}
+	for _, m := range res.Matches {
+		if m.Start < 10 {
+			t.Fatalf("post-eviction query returned evicted match %v", m)
+		}
+	}
+}
+
+// TestLiveStressPrefixConsistency is the race-mode stress test: one writer
+// appends a->b edges at consecutive timestamps (with periodic evictions and
+// compactions through tiny CompactEvery) while N readers continuously run
+// all three query families. Every stream must observe a prefix-consistent
+// edge set: with all edges on one pair at times 1,2,3,..., any consistent
+// generation yields matches at consecutive timestamps — a gap or
+// duplicate would mean a torn read.
+func TestLiveStressPrefixConsistency(t *testing.T) {
+	l := NewLive(LiveOptions{CompactEvery: 16})
+	a := l.AddNode(0)
+	b := l.AddNode(1)
+	if err := l.Append(a, b, 1); err != nil {
+		t.Fatal(err)
+	}
+	p, err := tgraph.NewPattern([]tgraph.Label{0, 1}, []tgraph.PEdge{{Src: 0, Dst: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	np := &gspan.Pattern{Labels: []tgraph.Label{0, 1}, E: []gspan.Edge{{Src: 0, Dst: 1}}}
+	const appends = 400
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() { // writer
+		defer wg.Done()
+		defer close(stop)
+		for i := 2; i <= appends; i++ {
+			if err := l.Append(a, b, int64(i)); err != nil {
+				t.Error(err)
+				return
+			}
+			if i%97 == 0 {
+				l.EvictBefore(int64(i - 50))
+			}
+			if i%131 == 0 {
+				l.Compact()
+			}
+		}
+	}()
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				switch r % 3 {
+				case 0: // temporal stream
+					last := int64(-1)
+					for m, serr := range l.StreamTemporal(context.Background(), p, Options{}) {
+						if serr != nil {
+							t.Error(serr)
+							return
+						}
+						if m.Start != m.End {
+							t.Errorf("single-edge match with span: %v", m)
+							return
+						}
+						if last >= 0 && m.Start != last+1 {
+							t.Errorf("non-contiguous stream: %d after %d (torn read)", m.Start, last)
+							return
+						}
+						last = m.Start
+					}
+				case 1: // non-temporal
+					res := l.FindNonTemporal(np, Options{})
+					for i := 1; i < len(res.Matches); i++ {
+						if res.Matches[i].Start != res.Matches[i-1].Start+1 {
+							t.Errorf("non-contiguous non-temporal result: %v then %v",
+								res.Matches[i-1], res.Matches[i])
+							return
+						}
+					}
+				default: // label-set
+					res := l.FindLabelSet([]tgraph.Label{0, 1}, Options{Window: 8})
+					for _, m := range res.Matches {
+						if m.End-m.Start+1 > 8 {
+							t.Errorf("label-set window exceeded: %v", m)
+							return
+						}
+					}
+				}
+			}
+		}(r)
+	}
+	wg.Wait()
 }
 
 // TestLiveConcurrentAppendQuery exercises appenders racing streaming

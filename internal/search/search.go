@@ -236,7 +236,10 @@ type Options struct {
 	// uses the longest observed behavior duration).
 	Window int64
 	// Limit caps the number of distinct match intervals returned
-	// (default 100000). Truncation is reported via Result.Truncated.
+	// (default 100000). Result.Truncated is exact: after the cap the
+	// search runs on until it either completes one further distinct match
+	// (Truncated=true) or exhausts (false) — use a context deadline, not
+	// Limit, as a hard work bound.
 	Limit int
 }
 
@@ -282,28 +285,39 @@ func iterAfterOK(list []int32, after int32, fn func(int32) bool) bool {
 
 // FindNonTemporal reports the distinct intervals where the collapsed
 // (non-temporal) pattern embeds regardless of edge order, bounded by the
-// window.
+// window. It is the background-context compatibility form of
+// FindNonTemporalContext.
 func (e *Engine) FindNonTemporal(p *gspan.Pattern, opts Options) Result {
-	opts = opts.normalize()
-	if p.NumEdges() == 0 {
-		return Result{}
-	}
-	order := connectedEdgeOrder(p)
-	res := &resultSet{limit: opts.Limit}
-	st := &ntState{e: e, p: p, opts: opts, res: res, order: order}
-	st.mapping = make([]tgraph.NodeID, p.NumNodes())
-	for i := range st.mapping {
-		st.mapping[i] = -1
-	}
-	st.used = e.getUsed()
-	defer e.used.Put(st.used)
-	st.posUsed = make([]int32, 0, p.NumEdges())
-	st.match(0)
-	return res.finish()
+	r, _ := e.FindNonTemporalContext(context.Background(), p, opts)
+	return r
 }
 
-type ntState struct {
-	e       *Engine
+// FindNonTemporalContext evaluates the collapsed (non-temporal) pattern
+// under a context: the search polls the context cooperatively (every
+// ctxCheckMask+1 steps) and on cancellation returns the distinct intervals
+// found so far together with ctx.Err().
+func (e *Engine) FindNonTemporalContext(ctx context.Context, p *gspan.Pattern, opts Options) (Result, error) {
+	opts = opts.normalize()
+	if p.NumEdges() == 0 {
+		return Result{}, nil
+	}
+	// Up-front poll: the in-recursion probe is throttled, so a search over
+	// a small host could otherwise finish without noticing a dead context.
+	if err := ctx.Err(); err != nil {
+		return Result{}, err
+	}
+	st := &ntState{e: e}
+	st.initNT(ctx, p, opts, e.getUsed())
+	defer e.used.Put(st.used)
+	st.match(0)
+	return st.finish()
+}
+
+// ntCore is the host-independent non-temporal matcher state shared by the
+// static (ntState) and live (ntLiveState, live.go) matchers: pattern,
+// result accumulation, bindings, window bookkeeping, and cooperative
+// cancellation — the non-temporal counterpart of matchCore.
+type ntCore struct {
 	p       *gspan.Pattern
 	opts    Options
 	res     *resultSet
@@ -314,9 +328,48 @@ type ntState struct {
 	// handful of edges, so a linear scan beats any map or bitset.
 	posUsed    []int32
 	minT, maxT int64
+	done       bool
+	ctx        context.Context
+	ctxErr     error
+	steps      int
 }
 
-func (s *ntState) posIsUsed(pos int32) bool {
+func (s *ntCore) initNT(ctx context.Context, p *gspan.Pattern, opts Options, used *usedSet) {
+	s.ctx = ctx
+	s.p = p
+	s.opts = opts
+	s.res = &resultSet{limit: opts.Limit}
+	s.order = connectedEdgeOrder(p)
+	s.mapping = make([]tgraph.NodeID, p.NumNodes())
+	for i := range s.mapping {
+		s.mapping[i] = -1
+	}
+	s.used = used
+	s.posUsed = make([]int32, 0, p.NumEdges())
+}
+
+// stepCancelled is the throttled in-recursion stop probe (see
+// matchCore.stepCancelled).
+func (s *ntCore) stepCancelled() bool {
+	if s.done {
+		return true
+	}
+	s.steps++
+	if s.steps&ctxCheckMask == 0 {
+		if err := s.ctx.Err(); err != nil {
+			s.ctxErr = err
+			s.done = true
+			return true
+		}
+	}
+	return false
+}
+
+func (s *ntCore) finish() (Result, error) {
+	return s.res.finish(), s.ctxErr
+}
+
+func (s *ntCore) posIsUsed(pos int32) bool {
 	for _, p := range s.posUsed {
 		if p == pos {
 			return true
@@ -325,49 +378,72 @@ func (s *ntState) posIsUsed(pos int32) bool {
 	return false
 }
 
+// tryEdge attempts to bind pattern edge pe (the k-th in matching order) to
+// host edge ge at position pos whose endpoints carry srcLab/dstLab: the
+// used-position, self-loop-parity, label, and window-feasibility checks,
+// then the recursion via rec. It reports whether the caller's candidate
+// scan should continue.
+func (s *ntCore) tryEdge(k int, pe gspan.Edge, ge tgraph.Edge, pos int32, srcLab, dstLab tgraph.Label, rec func()) bool {
+	if s.posIsUsed(pos) {
+		return true
+	}
+	if (pe.Src == pe.Dst) != (ge.Src == ge.Dst) {
+		return true
+	}
+	if srcLab != s.p.Labels[pe.Src] || dstLab != s.p.Labels[pe.Dst] {
+		return true
+	}
+	// Window feasibility.
+	nMin, nMax := s.minT, s.maxT
+	if k == 0 {
+		nMin, nMax = ge.Time, ge.Time
+	} else {
+		if ge.Time < nMin {
+			nMin = ge.Time
+		}
+		if ge.Time > nMax {
+			nMax = ge.Time
+		}
+		if s.opts.Window > 0 && nMax-nMin+1 > s.opts.Window {
+			return true
+		}
+	}
+	oMin, oMax := s.minT, s.maxT
+	s.minT, s.maxT = nMin, nMax
+	s.posUsed = append(s.posUsed, pos)
+	s.bindPair(pe, ge, rec)
+	s.posUsed = s.posUsed[:len(s.posUsed)-1]
+	s.minT, s.maxT = oMin, oMax
+	return !s.done
+}
+
+// ntState is the non-temporal matcher over a static Engine.
+//
+// ntState.match and ntLiveState.match (live.go) are deliberate twins, kept
+// monomorphic per host exactly like tState/liveState; a semantic change to
+// either MUST be mirrored in the other, and the live==static differential
+// property test enforces agreement.
+type ntState struct {
+	ntCore
+	e *Engine
+}
+
 func (s *ntState) match(k int) {
-	if s.res.full() {
+	if s.stepCancelled() {
 		return
 	}
 	if k == len(s.order) {
 		s.res.add(Match{Start: s.minT, End: s.maxT})
+		if s.res.full() {
+			s.done = true
+		}
 		return
 	}
 	pe := s.order[k]
 	ms, md := s.mapping[pe.Src], s.mapping[pe.Dst]
 	try := func(pos int32) bool {
-		if s.posIsUsed(pos) {
-			return true
-		}
 		ge := s.e.g.EdgeAt(int(pos))
-		if (pe.Src == pe.Dst) != (ge.Src == ge.Dst) {
-			return true
-		}
-		if s.e.g.LabelOf(ge.Src) != s.p.Labels[pe.Src] || s.e.g.LabelOf(ge.Dst) != s.p.Labels[pe.Dst] {
-			return true
-		}
-		// Window feasibility.
-		nMin, nMax := s.minT, s.maxT
-		if k == 0 {
-			nMin, nMax = ge.Time, ge.Time
-		} else {
-			if ge.Time < nMin {
-				nMin = ge.Time
-			}
-			if ge.Time > nMax {
-				nMax = ge.Time
-			}
-			if s.opts.Window > 0 && nMax-nMin+1 > s.opts.Window {
-				return true
-			}
-		}
-		oMin, oMax := s.minT, s.maxT
-		s.minT, s.maxT = nMin, nMax
-		s.posUsed = append(s.posUsed, pos)
-		s.bindPair(pe, ge, func() { s.match(k + 1) })
-		s.posUsed = s.posUsed[:len(s.posUsed)-1]
-		s.minT, s.maxT = oMin, oMax
-		return !s.res.full()
+		return s.tryEdge(k, pe, ge, pos, s.e.g.LabelOf(ge.Src), s.e.g.LabelOf(ge.Dst), func() { s.match(k + 1) })
 	}
 	switch {
 	case ms != -1:
@@ -394,7 +470,7 @@ func (s *ntState) match(k int) {
 	}
 }
 
-func (s *ntState) bindPair(pe gspan.Edge, ge tgraph.Edge, fn func()) {
+func (s *ntCore) bindPair(pe gspan.Edge, ge tgraph.Edge, fn func()) {
 	var boundSrc, boundDst bool
 	if s.mapping[pe.Src] == -1 {
 		if s.used.has(ge.Src) {
@@ -480,31 +556,32 @@ type resultSet struct {
 }
 
 func (r *resultSet) add(m Match) {
-	// Limit first: once the cap is reached no state may grow, so post-limit
-	// probes stop inserting map buckets into seen.
+	// Duplicate check first (a lookup, so no state grows post-limit): a
+	// duplicate of an already-returned interval is never evidence of
+	// truncation, so a search whose distinct matches number exactly Limit
+	// finishes with Truncated=false no matter how many duplicate
+	// candidates arrive after the cap.
+	if r.seen != nil {
+		if _, dup := r.seen[m]; dup {
+			return
+		}
+	}
 	if len(r.matches) >= r.limit {
+		// A distinct match beyond the cap: genuinely truncated.
 		r.truncated = true
 		return
 	}
 	if r.seen == nil {
 		r.seen = make(map[Match]struct{})
 	}
-	if _, dup := r.seen[m]; dup {
-		return
-	}
 	r.seen[m] = struct{}{}
 	r.matches = append(r.matches, m)
 }
 
-func (r *resultSet) full() bool {
-	if len(r.matches) >= r.limit {
-		// The search stops as soon as the cap is reached, so further matches
-		// may exist; report the result as truncated.
-		r.truncated = true
-		return true
-	}
-	return r.truncated
-}
+// full reports whether the search should stop: only once a distinct
+// over-the-cap match has proven truncation (the search runs on at the cap
+// so duplicates cannot masquerade as truncation).
+func (r *resultSet) full() bool { return r.truncated }
 
 func (r *resultSet) finish() Result {
 	sortMatches(r.matches)

@@ -181,6 +181,35 @@ func TestFindNonTemporalWindow(t *testing.T) {
 	}
 }
 
+// TestFindNonTemporalExactLimitNotTruncated pins the resultSet
+// dup-check-first fix: duplicate embeddings of the same interval arriving
+// after the limit-th distinct match must not flag truncation.
+//
+// Host a->b1@0, a->b2@1 with the order-free pattern A->B, A->B': the two
+// embeddings (b1,b2) and (b2,b1) span the same interval (0,1), so with
+// Limit=1 a duplicate arrives after the cap is full.
+func TestFindNonTemporalExactLimitNotTruncated(t *testing.T) {
+	g := hostGraph(t, []tgraph.Label{0, 1, 1}, [][2]tgraph.NodeID{{0, 1}, {0, 2}})
+	e := NewEngine(g)
+	np := &gspan.Pattern{Labels: []tgraph.Label{0, 1, 1},
+		E: []gspan.Edge{{Src: 0, Dst: 1}, {Src: 0, Dst: 2}}}
+	res := e.FindNonTemporal(np, Options{})
+	if len(res.Matches) != 1 || res.Matches[0] != (Match{0, 1}) || res.Truncated {
+		t.Fatalf("fixture: %+v, want exactly [{0 1}] untruncated", res)
+	}
+	res = e.FindNonTemporal(np, Options{Limit: 1})
+	if len(res.Matches) != 1 || res.Truncated {
+		t.Fatalf("limit==distinct count: %+v, want 1 match with Truncated=false", res)
+	}
+	// A genuinely missed distinct interval still truncates: a third B node
+	// adds the distinct intervals (0,2) and (1,2).
+	g2 := hostGraph(t, []tgraph.Label{0, 1, 1, 1}, [][2]tgraph.NodeID{{0, 1}, {0, 2}, {0, 3}})
+	res2 := NewEngine(g2).FindNonTemporal(np, Options{Limit: 1})
+	if len(res2.Matches) != 1 || !res2.Truncated {
+		t.Fatalf("distinct match beyond cap: %+v, want Truncated=true", res2)
+	}
+}
+
 func TestFindLabelSetBasic(t *testing.T) {
 	// Labels 5,6,7 co-occur in a tight range; query {5,6,7}.
 	g := hostGraph(t, []tgraph.Label{5, 6, 7, 9},
@@ -229,6 +258,39 @@ func TestFindLabelSetWindow(t *testing.T) {
 	}
 }
 
+// TestFindLabelSetSelfLoop pins the one-event-per-distinct-endpoint rule:
+// a self-loop edge has one endpoint and must contribute one label event,
+// and a single self-looping node must not satisfy a multiset needing two
+// distinct nodes of its label.
+func TestFindLabelSetSelfLoop(t *testing.T) {
+	// Node 0 (label 5) self-loops at t=0; node 1 (label 6) -> node 2
+	// (label 9) at t=1.
+	g := hostGraph(t, []tgraph.Label{5, 6, 9}, [][2]tgraph.NodeID{{0, 0}, {1, 2}})
+	e := NewEngine(g)
+	// The event builder emits exactly one event for the self-loop.
+	need := labelNeed([]tgraph.Label{5, 6})
+	forEach := func(fn func(tgraph.Edge) bool) {
+		for _, ed := range g.Edges() {
+			if !fn(ed) {
+				return
+			}
+		}
+	}
+	evs := labelSetEvents(need, g.NumEdges(), forEach, g.LabelOf)
+	if len(evs) != 2 {
+		t.Fatalf("self-loop inflated events: got %d (%+v), want 2", len(evs), evs)
+	}
+	// One self-looping node is not two distinct nodes labeled 5.
+	if res := e.FindLabelSet([]tgraph.Label{5, 5}, Options{Window: 10}); len(res.Matches) != 0 {
+		t.Errorf("self-loop satisfied two-node multiset: %v", res.Matches)
+	}
+	// But it does count once toward {5,6}.
+	res := e.FindLabelSet([]tgraph.Label{5, 6}, Options{Window: 10})
+	if len(res.Matches) != 1 || res.Matches[0] != (Match{0, 1}) {
+		t.Errorf("self-loop window = %v, want [{0 1}]", res.Matches)
+	}
+}
+
 func TestUnionDeduplicates(t *testing.T) {
 	a := Result{Matches: []Match{{0, 5}, {10, 15}}}
 	b := Result{Matches: []Match{{0, 5}, {20, 25}}, Truncated: true}
@@ -270,6 +332,40 @@ func TestEvaluateEmpty(t *testing.T) {
 	m2 := Evaluate([]Match{{0, 1}}, nil)
 	if m2.Precision() != 0 {
 		t.Errorf("false positives with no truth: precision = %v", m2.Precision())
+	}
+}
+
+// TestEvaluateNestedTruth is the regression for the single-candidate bug:
+// with overlapping or nested ground-truth intervals, a match contained in
+// an earlier, longer interval must still count as correct even when a
+// later-starting nested interval is the closest by Start.
+func TestEvaluateNestedTruth(t *testing.T) {
+	truth := []Interval{{0, 100}, {10, 20}}
+	// (30,40) is inside [0,100] but after [10,20], the last interval with
+	// Start <= 30 — the old single-candidate probe missed it entirely.
+	m := Evaluate([]Match{{30, 40}}, truth)
+	if m.Correct != 1 || m.Discovered != 1 {
+		t.Fatalf("nested truth: %+v, want Correct=1 Discovered=1", m)
+	}
+	// A match inside BOTH nested intervals discovers both instances.
+	m2 := Evaluate([]Match{{12, 18}}, truth)
+	if m2.Correct != 1 || m2.Discovered != 2 {
+		t.Fatalf("doubly-contained match: %+v, want Correct=1 Discovered=2", m2)
+	}
+	// Overlapping (not nested) intervals: containment in the earlier one.
+	m3 := Evaluate([]Match{{45, 50}}, []Interval{{0, 50}, {40, 60}})
+	if m3.Correct != 1 || m3.Discovered != 2 {
+		t.Fatalf("overlap: %+v, want Correct=1 Discovered=2", m3)
+	}
+	// Equal Starts with different Ends.
+	m4 := Evaluate([]Match{{5, 30}}, []Interval{{5, 10}, {5, 40}})
+	if m4.Correct != 1 || m4.Discovered != 1 {
+		t.Fatalf("equal starts: %+v, want Correct=1 Discovered=1", m4)
+	}
+	// A match contained in nothing stays incorrect.
+	m5 := Evaluate([]Match{{15, 25}}, []Interval{{0, 10}, {20, 30}})
+	if m5.Correct != 0 || m5.Discovered != 0 {
+		t.Fatalf("uncontained: %+v, want zero", m5)
 	}
 }
 

@@ -17,8 +17,9 @@ import (
 )
 
 // ErrTruncated terminates a match stream whose Options.Limit was reached:
-// it is yielded as the final (zero Match, ErrTruncated) element. Further
-// matches may exist.
+// it is yielded as the final (zero Match, ErrTruncated) element. It is only
+// emitted once the search has seen a further distinct match beyond the cap,
+// so a stream with exactly Limit distinct matches ends without it.
 var ErrTruncated = errors.New("search: match stream truncated at Options.Limit")
 
 // ctxCheckMask throttles context polls on the recursion hot path: the
@@ -63,11 +64,21 @@ func (r *rootDedup) release() {
 func (r *rootDedup) nextRoot() { clear(r.ends) }
 
 func (r *rootDedup) add(m Match) {
-	if r.count >= r.limit {
-		r.truncated = true
+	// Duplicate check first: a duplicate of an already-yielded interval is
+	// never evidence of truncation, so a stream whose distinct matches
+	// number exactly Limit ends clean no matter how many duplicate
+	// candidates arrive after the cap. Only a distinct match beyond the
+	// cap proves truncation and stops the search, which therefore runs on
+	// at the cap until it completes one more match or exhausts — an exact
+	// Truncated bit costs exactly the search for one further match (the
+	// first completed match in any later root is distinct, since roots
+	// have pairwise-distinct Starts). Callers using Limit as a hard work
+	// bound rather than a result cap should bound work via ctx instead.
+	if _, dup := r.ends[m.End]; dup {
 		return
 	}
-	if _, dup := r.ends[m.End]; dup {
+	if r.count >= r.limit {
+		r.truncated = true
 		return
 	}
 	r.ends[m.End] = struct{}{}
@@ -77,16 +88,7 @@ func (r *rootDedup) add(m Match) {
 	}
 }
 
-func (r *rootDedup) full() bool {
-	if r.halted {
-		return true
-	}
-	if r.count >= r.limit {
-		r.truncated = true
-		return true
-	}
-	return false
-}
+func (r *rootDedup) full() bool { return r.halted || r.truncated }
 
 // binder tracks the injective pattern-node -> host-node assignment shared by
 // the static and live temporal matchers.

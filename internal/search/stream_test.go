@@ -202,3 +202,43 @@ func TestStreamLimitTerminal(t *testing.T) {
 		t.Fatalf("got %d matches truncated=%v, want 5/true", len(matches), truncated)
 	}
 }
+
+// TestStreamExactLimitNotTruncated pins the rootDedup dup-check-first fix:
+// when exactly Limit distinct intervals exist, duplicate candidates
+// arriving after the limit-th distinct match must not flag truncation.
+//
+// Host: a->d@0, a->b1@1, a->b2@2, a->c@3. Pattern A->D, A->B, A->C has one
+// distinct interval (0,3) reached through two middle bindings (b1 and b2),
+// so with Limit=1 the duplicate (0,3) arrives after the cap is full.
+func TestStreamExactLimitNotTruncated(t *testing.T) {
+	// Labels: A=0, D=1, B=2, C=3. Nodes: a, d, b1, b2, c.
+	g := hostGraph(t, []tgraph.Label{0, 1, 2, 2, 3},
+		[][2]tgraph.NodeID{{0, 1}, {0, 2}, {0, 3}, {0, 4}})
+	e := NewEngine(g)
+	p := pat(t, []tgraph.Label{0, 1, 2, 3},
+		[]tgraph.PEdge{{Src: 0, Dst: 1}, {Src: 0, Dst: 2}, {Src: 0, Dst: 3}})
+	// Sanity: unlimited search sees exactly one distinct interval.
+	res := e.FindTemporal(p, Options{})
+	if len(res.Matches) != 1 || res.Matches[0] != (Match{0, 3}) || res.Truncated {
+		t.Fatalf("fixture: %+v, want exactly [{0 3}] untruncated", res)
+	}
+	res = e.FindTemporal(p, Options{Limit: 1})
+	if len(res.Matches) != 1 || res.Truncated {
+		t.Fatalf("limit==distinct count: %+v, want 1 match with Truncated=false", res)
+	}
+	matches, truncated, err := collectAll(t, e.StreamTemporal(context.Background(), p, Options{Limit: 1}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(matches) != 1 || truncated {
+		t.Fatalf("stream at exact limit: %d matches truncated=%v, want 1/false", len(matches), truncated)
+	}
+	// A genuinely missed distinct interval still reports truncation: a
+	// second C edge adds the distinct interval (0,4).
+	g2 := hostGraph(t, []tgraph.Label{0, 1, 2, 2, 3},
+		[][2]tgraph.NodeID{{0, 1}, {0, 2}, {0, 3}, {0, 4}, {0, 4}})
+	res2 := NewEngine(g2).FindTemporal(p, Options{Limit: 1})
+	if len(res2.Matches) != 1 || !res2.Truncated {
+		t.Fatalf("distinct match beyond cap: %+v, want Truncated=true", res2)
+	}
+}

@@ -27,14 +27,20 @@ type LiveOptions struct {
 // Events append in strictly increasing timestamp order (sequentialize
 // concurrent events upstream, as GraphBuilder.Sequentialize does for batch
 // graphs) into an append-only tail over the compacted CSR base; EvictBefore
-// implements sliding-window retention in O(log E). Queries — FindTemporal,
-// FindTemporalContext, and Stream — answer exactly as a static Engine built
-// over the equivalent edge set would, including across compaction
+// implements sliding-window retention in O(log E). All three query families
+// — temporal (FindTemporal/FindTemporalContext/Stream), non-temporal
+// (FindNonTemporal/FindNonTemporalContext), and label-set
+// (FindLabelSet/FindLabelSetContext) — answer exactly as a static Engine
+// built over the equivalent edge set would, including across compaction
 // boundaries.
 //
-// A LiveEngine is safe for concurrent use. Appends take a write lock;
-// queries take a read lock for their whole lifetime, so consume streams
-// promptly (or query a Snapshot) to avoid stalling ingestion.
+// A LiveEngine is safe for concurrent use and its reads are lock-free:
+// every mutation publishes a new immutable generation snapshot, and every
+// query runs against the generation current when it started. A long-lived
+// Stream therefore observes one consistent edge set for its whole lifetime
+// and never stalls ingestion — Append, EvictBefore, and Compact proceed
+// concurrently (and may safely be called from inside the consumer loop;
+// their effects become visible to the next query, not the running stream).
 //
 // One sharp edge: the label Dict itself is not synchronized. Appending a
 // never-seen entity interns its label, so building query patterns against
@@ -119,8 +125,9 @@ func (le *LiveEngine) NumEdges() int { return le.live.NumEdges() }
 func (le *LiveEngine) LastTime() int64 { return le.live.LastTime() }
 
 // Snapshot materializes an immutable Engine over the current live edge set,
-// for running many queries against one consistent state without holding the
-// live read lock.
+// for running many queries against one consistent state. Like all reads it
+// is lock-free; right after a compaction the engine's CSR base is shared
+// directly with no copying.
 func (le *LiveEngine) Snapshot() *Engine { return &Engine{e: le.live.Snapshot()} }
 
 // FindTemporal evaluates a temporal behavior query against the live edge
@@ -139,16 +146,47 @@ func (le *LiveEngine) FindTemporalContext(ctx context.Context, p *Pattern, opts 
 
 // Stream evaluates a temporal behavior query against the live edge set,
 // yielding matches as they are found, with Engine.Stream semantics. The
-// engine's read lock is held until the stream ends or the consumer breaks.
-// The lock is not reentrant: calling Append, EvictBefore, or Compact from
-// inside the loop body deadlocks the goroutine and wedges the engine. For
-// evict-as-you-alert patterns, stream from Snapshot() — which holds no
-// live lock — and mutate the live engine freely:
+// stream runs lock-free against the generation snapshot current when it
+// started: it sees one consistent edge set no matter how long the consumer
+// takes, appends are never blocked by a slow (or paused) consumer, and
+// mutating the engine from inside the loop body is safe — evict-as-you-alert
+// needs no Snapshot detour:
 //
-//	for m, err := range le.Snapshot().Stream(ctx, q, opts) {
+//	for m, err := range le.Stream(ctx, q, opts) {
 //		if err != nil { break }
-//		alert(m); le.EvictBefore(m.End)
+//		alert(m); le.EvictBefore(m.End) // visible to the next query
 //	}
 func (le *LiveEngine) Stream(ctx context.Context, p *Pattern, opts SearchOptions) iter.Seq2[Match, error] {
 	return le.live.StreamTemporal(ctx, p, opts.internal())
+}
+
+// FindNonTemporal evaluates an Ntemp (order-free) query against the live
+// edge set (compatibility form of FindNonTemporalContext).
+func (le *LiveEngine) FindNonTemporal(p *NonTemporalPattern, opts SearchOptions) SearchResult {
+	r, _ := le.FindNonTemporalContext(context.Background(), p, opts)
+	return r
+}
+
+// FindNonTemporalContext evaluates an Ntemp (order-free) query against the
+// live edge set under a context, with Engine.FindNonTemporalContext
+// semantics. Lock-free: the query runs against the generation snapshot
+// current at the call.
+func (le *LiveEngine) FindNonTemporalContext(ctx context.Context, p *NonTemporalPattern, opts SearchOptions) (SearchResult, error) {
+	r, err := le.live.FindNonTemporalContext(ctx, p, opts.internal())
+	return SearchResult{Matches: r.Matches, Truncated: r.Truncated}, err
+}
+
+// FindLabelSet evaluates a NodeSet query (label multiset within window)
+// against the live edge set (compatibility form of FindLabelSetContext).
+func (le *LiveEngine) FindLabelSet(q *LabelSetQuery, opts SearchOptions) SearchResult {
+	r, _ := le.FindLabelSetContext(context.Background(), q, opts)
+	return r
+}
+
+// FindLabelSetContext evaluates a NodeSet query against the live edge set
+// under a context, with Engine.FindLabelSetContext semantics. Lock-free:
+// the sweep runs against the generation snapshot current at the call.
+func (le *LiveEngine) FindLabelSetContext(ctx context.Context, q *LabelSetQuery, opts SearchOptions) (SearchResult, error) {
+	r, err := le.live.FindLabelSetContext(ctx, q.Labels, opts.internal())
+	return SearchResult{Matches: r.Matches, Truncated: r.Truncated}, err
 }

@@ -259,6 +259,15 @@ func DiscoverQueriesContext(ctx context.Context, pos, neg []*Graph, opts QueryOp
 // type of the paper's Ntemp baseline.
 type NonTemporalPattern = gspan.Pattern
 
+// NonTemporalPatternFromGraph collapses a temporal graph into an order-free
+// query pattern: timestamps are dropped and parallel edges merge. The Ntemp
+// counterpart of PatternFromGraph, for writing non-temporal queries by hand
+// (build the shape with a GraphBuilder sharing the engine's Dict, then
+// collapse) instead of mining them.
+func NonTemporalPatternFromGraph(g *Graph) *NonTemporalPattern {
+	return gspan.PatternFromTemporal(g)
+}
+
 // DiscoverNonTemporalQueries runs the Ntemp baseline pipeline.
 func DiscoverNonTemporalQueries(pos, neg []*Graph, opts QueryOptions) ([]*NonTemporalPattern, error) {
 	nq, err := core.DiscoverNonTemporalQueries(pos, neg, core.QueryConfig{

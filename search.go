@@ -27,7 +27,10 @@ type SearchOptions struct {
 	// Window is the maximum time span of a match (the paper uses the
 	// longest observed behavior duration; 0 = unbounded).
 	Window int64
-	// Limit caps distinct matches returned (default 100000).
+	// Limit caps distinct matches returned (default 100000). The
+	// Truncated flag is exact — it is set only when a further distinct
+	// match genuinely exists beyond the cap, which the search runs on to
+	// establish; use a context deadline, not Limit, as a hard work bound.
 	Limit int
 }
 
@@ -83,16 +86,34 @@ func (eng *Engine) Stream(ctx context.Context, p *Pattern, opts SearchOptions) i
 	return eng.e.StreamTemporal(ctx, p, opts.internal())
 }
 
-// FindNonTemporal evaluates an Ntemp query (order-free).
+// FindNonTemporal evaluates an Ntemp query (order-free). It is the
+// background-context compatibility form of FindNonTemporalContext.
 func (eng *Engine) FindNonTemporal(p *NonTemporalPattern, opts SearchOptions) SearchResult {
-	r := eng.e.FindNonTemporal(p, opts.internal())
-	return SearchResult{Matches: r.Matches, Truncated: r.Truncated}
+	r, _ := eng.FindNonTemporalContext(context.Background(), p, opts)
+	return r
+}
+
+// FindNonTemporalContext evaluates an Ntemp query (order-free) under a
+// context, with the same cooperative-cancellation semantics as
+// FindTemporalContext: on cancellation the matches found so far are
+// returned together with ctx.Err().
+func (eng *Engine) FindNonTemporalContext(ctx context.Context, p *NonTemporalPattern, opts SearchOptions) (SearchResult, error) {
+	r, err := eng.e.FindNonTemporalContext(ctx, p, opts.internal())
+	return SearchResult{Matches: r.Matches, Truncated: r.Truncated}, err
 }
 
 // FindLabelSet evaluates a NodeSet query (label multiset within window).
+// It is the background-context compatibility form of FindLabelSetContext.
 func (eng *Engine) FindLabelSet(q *LabelSetQuery, opts SearchOptions) SearchResult {
-	r := eng.e.FindLabelSet(q.Labels, opts.internal())
-	return SearchResult{Matches: r.Matches, Truncated: r.Truncated}
+	r, _ := eng.FindLabelSetContext(context.Background(), q, opts)
+	return r
+}
+
+// FindLabelSetContext evaluates a NodeSet query under a context, returning
+// partial matches plus ctx.Err() on cancellation.
+func (eng *Engine) FindLabelSetContext(ctx context.Context, q *LabelSetQuery, opts SearchOptions) (SearchResult, error) {
+	r, err := eng.e.FindLabelSetContext(ctx, q.Labels, opts.internal())
+	return SearchResult{Matches: r.Matches, Truncated: r.Truncated}, err
 }
 
 // UnionMatches merges match sets, deduplicating intervals (the paper

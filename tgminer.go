@@ -43,8 +43,12 @@
 // For a graph that never stops growing — the paper's monitoring deployment —
 // LiveEngine ingests events incrementally (Append), keeps a sliding window
 // (EvictBefore), periodically compacts its append-only tail into CSR
-// indexes, and answers every query identically to a static Engine over the
-// same edge set.
+// indexes, and answers every query of all three families (temporal,
+// non-temporal, label-set) identically to a static Engine over the same
+// edge set. Its reads are lock-free: each query runs against the immutable
+// generation snapshot current when it started, so long-lived streams never
+// block ingestion and the engine may be mutated from inside a consumer
+// loop.
 //
 // See examples/ for full runnable pipelines (examples/monitor covers the
 // live scenario), and internal/experiments for the code regenerating every

@@ -140,6 +140,30 @@ func TestLiveEngineMatchesStatic(t *testing.T) {
 		t.Fatalf("live stream %v != static %v", streamed, want.Matches)
 	}
 
+	// The other two query families answer identically on the live engine.
+	np := NonTemporalPatternFromGraph(pg)
+	wantN := static.FindNonTemporal(np, SearchOptions{})
+	gotN := le.FindNonTemporal(np, SearchOptions{})
+	if len(gotN.Matches) != len(wantN.Matches) {
+		t.Fatalf("live non-temporal %v != static %v", gotN.Matches, wantN.Matches)
+	}
+	for i := range gotN.Matches {
+		if gotN.Matches[i] != wantN.Matches[i] {
+			t.Fatalf("live non-temporal %v != static %v", gotN.Matches, wantN.Matches)
+		}
+	}
+	lq := &LabelSetQuery{Labels: []Label{dict.Intern("sshd"), dict.Intern("ls")}}
+	wantL := static.FindLabelSet(lq, SearchOptions{Window: 4})
+	gotL := le.FindLabelSet(lq, SearchOptions{Window: 4})
+	if len(gotL.Matches) != len(wantL.Matches) {
+		t.Fatalf("live label-set %v != static %v", gotL.Matches, wantL.Matches)
+	}
+	for i := range gotL.Matches {
+		if gotL.Matches[i] != wantL.Matches[i] {
+			t.Fatalf("live label-set %v != static %v", gotL.Matches, wantL.Matches)
+		}
+	}
+
 	// Snapshot and eviction remain consistent.
 	snap := le.Snapshot()
 	if sres := snap.FindTemporal(p, SearchOptions{}); len(sres.Matches) != len(want.Matches) {
@@ -151,6 +175,64 @@ func TestLiveEngineMatchesStatic(t *testing.T) {
 		if m.Start < 4 {
 			t.Fatalf("evicted event matched: %v", m)
 		}
+	}
+}
+
+// TestQueryFamilyContextForms checks the v2 context forms of the
+// non-temporal and label-set families on both engines: a dead context
+// surfaces as ctx.Err(), a live one answers like the compatibility form.
+func TestQueryFamilyContextForms(t *testing.T) {
+	eng, p, dict := chainEngine(t)
+	gb := NewGraphBuilder(dict)
+	_ = gb.AddEvent("sshd", "bash", 0)
+	_ = gb.AddEvent("bash", "ls", 1)
+	pg, err := gb.Finalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	np := NonTemporalPatternFromGraph(pg)
+	lq := &LabelSetQuery{Labels: []Label{dict.Intern("sshd"), dict.Intern("ls")}}
+	_ = p
+
+	if res, err := eng.FindNonTemporalContext(context.Background(), np, SearchOptions{}); err != nil || len(res.Matches) == 0 {
+		t.Fatalf("FindNonTemporalContext: %v / %v", res, err)
+	}
+	if res, err := eng.FindLabelSetContext(context.Background(), lq, SearchOptions{Window: 4}); err != nil || len(res.Matches) == 0 {
+		t.Fatalf("FindLabelSetContext: %v / %v", res, err)
+	}
+	cancelled, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := eng.FindNonTemporalContext(cancelled, np, SearchOptions{}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("non-temporal cancelled err = %v", err)
+	}
+	if _, err := eng.FindLabelSetContext(cancelled, lq, SearchOptions{Window: 4}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("label-set cancelled err = %v", err)
+	}
+	// Regression: cancellation surfaces even when the queried labels never
+	// occur (no events, so the sweep loop never polls).
+	absent := &LabelSetQuery{Labels: []Label{dict.Intern("zz-absent-label")}}
+	if _, err := eng.FindLabelSetContext(cancelled, absent, SearchOptions{Window: 4}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("label-set cancelled (no events) err = %v", err)
+	}
+
+	// Same surface on a live engine.
+	le := NewLiveEngine(dict, LiveOptions{CompactEvery: 2})
+	for i, ev := range [][2]string{{"sshd", "bash"}, {"bash", "ls"}, {"sshd", "bash"}} {
+		if err := le.Append(ev[0], ev[1], int64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if res, err := le.FindNonTemporalContext(context.Background(), np, SearchOptions{}); err != nil || len(res.Matches) == 0 {
+		t.Fatalf("live FindNonTemporalContext: %v / %v", res, err)
+	}
+	if res, err := le.FindLabelSetContext(context.Background(), lq, SearchOptions{Window: 4}); err != nil || len(res.Matches) == 0 {
+		t.Fatalf("live FindLabelSetContext: %v / %v", res, err)
+	}
+	if _, err := le.FindNonTemporalContext(cancelled, np, SearchOptions{}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("live non-temporal cancelled err = %v", err)
+	}
+	if _, err := le.FindLabelSetContext(cancelled, lq, SearchOptions{Window: 4}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("live label-set cancelled err = %v", err)
 	}
 }
 
