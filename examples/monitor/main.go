@@ -124,6 +124,14 @@ func main() {
 	}}
 	lres := live.FindLabelSet(lq, tgminer.SearchOptions{Window: 6})
 	fmt.Printf("label-set (NodeSet) query: %d match(es)\n", len(lres.Matches))
+
+	// Stats shows retention and compaction behavior for operators: how
+	// much history sits in the CSR base vs the append-only tail, how far
+	// the eviction floor has advanced, and whether compactions have been
+	// incremental merges or reclaiming rebuilds.
+	st := live.Stats()
+	fmt.Printf("\nengine stats: %d nodes, %d live edges (base %d + tail %d - evicted %d), %d compaction(s) (%d merged)\n",
+		st.Nodes, st.LiveEdges, st.BaseEdges, st.TailLen, st.Floor, st.Compactions, st.Merges)
 }
 
 // mustShape builds the behavior shape used for the non-temporal query.

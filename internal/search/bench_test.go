@@ -1,0 +1,60 @@
+package search
+
+import (
+	"fmt"
+	"testing"
+
+	"tgminer/internal/tgraph"
+)
+
+// BenchmarkLiveCompact measures the cost of one live compaction at several
+// base:tail ratios, comparing the incremental tail-merge (merge.go, the
+// default path) against the full rebuild it replaced (still the reclaiming
+// fallback). Each iteration appends one tail of fresh edges untimed and
+// then times folding it into the base, so the base grows by the tail size
+// every iteration in both modes: a merge whose per-compaction cost stays
+// flat while the base grows demonstrates O(tail + touched lists)
+// compaction, while the rebuild's cost tracks O(base+tail). Recorded in
+// BENCH_PR4.json.
+func BenchmarkLiveCompact(b *testing.B) {
+	const tailN = 1024
+	const numNodes = 64
+	for _, mult := range []int{4, 16, 64} {
+		for _, mode := range []string{"merge", "rebuild"} {
+			b.Run(fmt.Sprintf("%s/base=%dxtail", mode, mult), func(b *testing.B) {
+				l := NewLive(LiveOptions{CompactEvery: -1})
+				nodes := make([]tgraph.NodeID, numNodes)
+				for i := range nodes {
+					nodes[i] = l.AddNode(tgraph.Label(i % 8))
+				}
+				tm := int64(0)
+				appendEdges := func(n int) {
+					for i := 0; i < n; i++ {
+						tm++
+						src := nodes[int(tm)%numNodes]
+						dst := nodes[(int(tm)*7+1)%numNodes]
+						if err := l.Append(src, dst, tm); err != nil {
+							b.Fatal(err)
+						}
+					}
+				}
+				appendEdges(tailN * mult)
+				l.Compact() // establish a flat CSR base at the target ratio
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					b.StopTimer()
+					appendEdges(tailN)
+					b.StartTimer()
+					// Single-goroutine bench: drive the two compaction
+					// strategies directly, bypassing the writer mutex.
+					g := l.gen()
+					if mode == "merge" {
+						l.cur.Store(mergeGen(g))
+					} else {
+						l.cur.Store(rebuildGen(g))
+					}
+				}
+			})
+		}
+	}
+}

@@ -27,15 +27,20 @@ package search
 //     consistent prefix. Positions are globally increasing, so a reader
 //     simply stops at its generation's end position and never sees entries
 //     appended after its snapshot.
-//  3. Copy-on-compact. Compaction never truncates shared storage in place:
-//     it builds a fresh base Engine, fresh (empty) tail lists, and a fresh
-//     pair map, leaving every published generation's storage intact until
-//     the garbage collector reclaims it.
+//  3. Copy-on-compact. Compaction never truncates shared storage in place.
+//     The incremental merge path (merge.go) extends the base engine's
+//     storage only in freshly allocated arrays or in owned spare capacity
+//     strictly beyond every published length, and the rebuild path builds a
+//     fresh base Engine outright; both hand the new generation fresh
+//     (empty) tail lists and a fresh pair map, leaving every published
+//     generation's storage intact until the garbage collector reclaims it.
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"iter"
+	"math"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -44,16 +49,36 @@ import (
 	"tgminer/internal/tgraph"
 )
 
+// ErrPositionsExhausted is reported by Append when the engine has
+// accumulated 2^31-1 global edge positions — the capacity of the int32
+// position space the CSR and tail indexes share — and no eviction has
+// freed any. Evicting old edges (EvictBefore) frees position space: at
+// the bound Append reclaims it automatically with a rebasing rebuild
+// compaction, so only an engine that never evicts can hit this error.
+var ErrPositionsExhausted = errors.New("search: live engine exhausted its 2^31-1 edge positions (evict old edges with EvictBefore to free position space)")
+
 // LiveOptions configures a Live engine.
 type LiveOptions struct {
 	// CompactEvery is the minimum tail length before automatic compaction
 	// into the CSR base index during Append (default 4096; negative
 	// disables automatic compaction, leaving it to explicit Compact
-	// calls). Compaction additionally waits until the tail is at least
-	// half the base, so rebuild sizes grow geometrically and total
-	// ingestion work stays linear — amortized O(1) per append — instead of
-	// quadratic in the stream length.
+	// calls). Compaction normally merges the tail into the existing base
+	// incrementally — O(tail + touched lists), independent of the base
+	// size — so it runs as soon as the tail also reaches 1/8 of the
+	// merge's per-compaction bookkeeping (node count plus extended-pair
+	// count). When the merge is ineligible (no base yet, or the evicted
+	// prefix has grown to half the edge array and must be reclaimed),
+	// compaction falls back to a full rebuild and additionally waits
+	// until the tail is at least half the live base, so rebuild sizes
+	// grow geometrically and total ingestion work stays linear —
+	// amortized O(1) per append — instead of quadratic in the stream
+	// length.
 	CompactEvery int
+
+	// disableMerge forces every compaction down the full-rebuild path.
+	// Test-only: the merge==rebuild differential tests replay one
+	// operation sequence into engines with and without it.
+	disableMerge bool
 }
 
 func (o LiveOptions) normalize() LiveOptions {
@@ -132,6 +157,11 @@ type generation struct {
 	pair    map[pairKey]*posList // label pair -> tail positions (copy-on-new-key)
 
 	lastTime int64 // largest timestamp seen; -1 when empty
+
+	// Compaction bookkeeping, carried immutably for Stats.
+	compactions     int // total compactions since creation
+	merges          int // of which took the incremental merge path
+	lastCompactTail int // tail edges folded by the most recent compaction
 }
 
 // end returns one past the last global position of this generation.
@@ -270,10 +300,13 @@ func (g *generation) cutBefore(t int64) int32 {
 // strictly increasing timestamp order (the same total-order invariant
 // tgraph.Builder enforces); each edge takes a global position = base size +
 // tail offset. The tail keeps per-node and per-label-pair position lists;
-// compaction folds base + tail into a fresh CSR Engine. EvictBefore
-// implements a sliding window by advancing a floor position — queries skip
-// evicted prefixes in O(1) because position order is time order — and the
-// space is reclaimed at the next compaction.
+// compaction folds the tail into the CSR Engine — normally by extending
+// the existing base with the tail segment in O(tail + touched lists)
+// (merge.go), falling back to a full rebuild when there is no base yet or
+// evicted space must be reclaimed. EvictBefore implements a sliding window
+// by advancing a floor position — queries skip evicted prefixes in O(1)
+// because position order is time order — and the space is reclaimed by the
+// rebuild compaction once the evicted prefix reaches half the edge array.
 //
 // Live is safe for concurrent use and reads are lock-free: every query —
 // including a StreamTemporal iterated over minutes — runs against the
@@ -332,6 +365,23 @@ func (l *Live) Append(src, dst tgraph.NodeID, t int64) error {
 	if t <= g.lastTime {
 		return fmt.Errorf("search: live append out of order: t=%d not after t=%d (timestamps must be strictly increasing)", t, g.lastTime)
 	}
+	if int64(g.baseEdges)+int64(len(g.tail)) >= math.MaxInt32 {
+		// The next edge would take global position 2^31-1, wrapping the
+		// int32 position space and corrupting every posList. Compaction
+		// keeps cumulative positions (the merge carries the floor, a
+		// rebuild below only counts live edges), so position space only
+		// returns via a rebasing rebuild over an evicted generation:
+		// force one here if eviction has freed anything, and error
+		// otherwise — reachable only by streams that never evict (e.g.
+		// CompactEvery < 0 for 2^31 appends).
+		if g.floor > 0 {
+			g = rebuildGen(g)
+			l.cur.Store(g)
+		}
+		if int64(g.baseEdges)+int64(len(g.tail)) >= math.MaxInt32 {
+			return fmt.Errorf("%w: edge (%d,%d,%d) rejected", ErrPositionsExhausted, src, dst, t)
+		}
+	}
 	pos := g.end()
 	ng := *g
 	ng.tail = append(g.tail, tgraph.Edge{Src: src, Dst: dst, Time: t})
@@ -354,15 +404,30 @@ func (l *Live) Append(src, dst tgraph.NodeID, t int64) error {
 	}
 	pl.push(pos)
 	ng.lastTime = t
-	// Geometric schedule: rebuilding the base costs O(base+tail), so only
-	// compact once the tail is worth it both absolutely (CompactEvery) and
-	// relative to the base (>= half). Rebuild sizes then grow
-	// geometrically, their sum over the whole stream is O(total edges),
-	// and appends stay amortized O(1). Tail edges are indexed just like
-	// base edges, so a large tail does not slow searches.
-	if l.opts.CompactEvery > 0 && len(ng.tail) >= l.opts.CompactEvery && int32(len(ng.tail))*2 >= ng.baseEdges {
-		l.cur.Store(compactGen(&ng))
-		return nil
+	// Automatic compaction schedule. The incremental merge (merge.go)
+	// costs O(tail + touched lists) plus per-merge bookkeeping linear in
+	// the node count and the extended-pair map — all independent of the
+	// base — so once the tail clears CompactEvery it runs as soon as it
+	// also covers that bookkeeping (tail >= (nodes + extended pairs)/8),
+	// keeping appends amortized O(1). When the merge is ineligible — no
+	// base yet, or the evicted prefix reached half the edge array and
+	// must be reclaimed — the fallback rebuild costs O(live+tail), so it
+	// additionally waits for tail >= live base/2 (the dead prefix is
+	// free to drop and must not defer its own reclamation): rebuild
+	// sizes then grow geometrically in the live set and appends stay
+	// amortized O(1) either way. Tail edges are indexed just like base
+	// edges, so a deferred compaction does not slow searches.
+	if l.opts.CompactEvery > 0 && len(ng.tail) >= l.opts.CompactEvery {
+		switch {
+		case canMerge(&ng) && !l.opts.disableMerge:
+			if 8*len(ng.tail) >= len(ng.labels)+len(ng.base.pairExt) {
+				l.cur.Store(mergeGen(&ng))
+				return nil
+			}
+		case int64(len(ng.tail))*2 >= int64(ng.baseEdges)-int64(ng.floor):
+			l.cur.Store(rebuildGen(&ng))
+			return nil
+		}
 	}
 	l.cur.Store(&ng)
 	return nil
@@ -370,8 +435,9 @@ func (l *Live) Append(src, dst tgraph.NodeID, t int64) error {
 
 // EvictBefore drops every edge with timestamp < t (sliding-window
 // retention). O(log E) now — it only advances the floor position — with the
-// space reclaimed at the next compaction. Nodes are retained so NodeIDs
-// stay stable.
+// space reclaimed once the evicted prefix reaches half the edge array and
+// a compaction takes the rebuild path. Nodes are retained so NodeIDs stay
+// stable.
 func (l *Live) EvictBefore(t int64) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
@@ -383,49 +449,89 @@ func (l *Live) EvictBefore(t int64) {
 	}
 }
 
-// Compact folds the tail (and any evicted prefix) into a fresh CSR base.
+// Compact folds the tail (and any nodes added since the last compaction)
+// into the CSR base now instead of waiting for the CompactEvery threshold.
+// Normally this is the incremental merge — the existing base is extended
+// with the tail segment in O(tail + touched lists) — with the evicted
+// prefix carried along; once the evicted prefix reaches half the edge
+// array (or before the first compaction) it is a full rebuild instead,
+// which reclaims the evicted space and rebases the floor to zero.
 func (l *Live) Compact() {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	g := l.gen()
-	if len(g.tail) == 0 && g.floor == 0 {
-		return
-	}
-	l.cur.Store(compactGen(g))
+	l.cur.Store(compactGen(l.opts, g))
 }
 
-// compactGen builds the post-compaction generation: a fresh CSR base over
-// the live edge set and fresh, empty tail storage. Copy-on-compact: the old
-// generation's storage is never truncated or reused, so readers holding it
-// stay consistent.
-func compactGen(g *generation) *generation {
-	base := NewEngine(g.buildGraph())
-	ng := &generation{
-		base:      base,
-		baseEdges: int32(base.g.NumEdges()),
-		labels:    g.labels,
-		tailOut:   make([]*posList, len(g.labels)),
-		tailIn:    make([]*posList, len(g.labels)),
-		pair:      make(map[pairKey]*posList),
-		lastTime:  g.lastTime,
+// compactGen picks the compaction strategy for a generation: the
+// incremental merge when eligible, the reclaiming rebuild otherwise, or
+// the generation unchanged when compaction would be a no-op. Caller holds
+// the writer mutex.
+func compactGen(opts LiveOptions, g *generation) *generation {
+	merge := canMerge(g) && !opts.disableMerge
+	if len(g.tail) == 0 {
+		newNodes := g.base == nil && len(g.labels) > 0
+		if g.base != nil && len(g.labels) > g.base.g.NumNodes() {
+			newNodes = true
+		}
+		// An empty tail leaves nothing to fold: act only if there are
+		// nodes to fold in, or an evicted prefix a rebuild would reclaim.
+		if !newNodes && (g.floor == 0 || merge) {
+			return g
+		}
 	}
-	for i := range ng.tailOut {
-		ng.tailOut[i] = &posList{}
-		ng.tailIn[i] = &posList{}
+	if merge {
+		return mergeGen(g)
 	}
-	return ng
+	return rebuildGen(g)
 }
 
 // Snapshot materializes an immutable Engine over the current live edge set,
 // for callers that want to run many queries against one consistent state.
-// Like all reads it is lock-free; when the engine was just compacted the
-// base is returned directly with no copying.
+// Like all reads it is lock-free; when the engine was just compacted — no
+// tail edges, no evicted prefix, and no nodes added since — the base is
+// returned directly with no copying.
 func (l *Live) Snapshot() *Engine {
 	g := l.gen()
-	if g.base != nil && len(g.tail) == 0 && g.floor == 0 {
+	if g.base != nil && len(g.tail) == 0 && g.floor == 0 && len(g.labels) == g.base.g.NumNodes() {
 		return g.base
 	}
 	return NewEngine(g.buildGraph())
+}
+
+// LiveStats describes a Live engine's retention and compaction state at
+// one instant (one generation): how much of the edge set sits in the
+// compacted CSR base versus the append-only tail, how far eviction has
+// advanced, and what the compactor has been doing. All counts are edges
+// unless stated otherwise.
+type LiveStats struct {
+	Nodes     int   // nodes ever added (evicted edges keep their nodes)
+	BaseEdges int   // edges held by the CSR base, including any evicted prefix
+	TailLen   int   // edges in the append-only tail awaiting compaction
+	Floor     int   // global position of the first live edge; earlier ones are evicted but not yet reclaimed
+	LiveEdges int   // non-evicted edges (BaseEdges + TailLen - Floor)
+	LastTime  int64 // largest appended timestamp; -1 when empty
+
+	Compactions     int // compactions since creation
+	Merges          int // of which took the incremental merge path (the rest were reclaiming rebuilds)
+	LastCompactTail int // tail edges folded by the most recent compaction
+}
+
+// Stats reports the current generation's retention and compaction state.
+// Lock-free and O(1); the fields are mutually consistent (one generation).
+func (l *Live) Stats() LiveStats {
+	g := l.gen()
+	return LiveStats{
+		Nodes:           len(g.labels),
+		BaseEdges:       int(g.baseEdges),
+		TailLen:         len(g.tail),
+		Floor:           int(g.floor),
+		LiveEdges:       g.numEdges(),
+		LastTime:        g.lastTime,
+		Compactions:     g.compactions,
+		Merges:          g.merges,
+		LastCompactTail: g.lastCompactTail,
+	}
 }
 
 // NumNodes reports the number of nodes ever added.

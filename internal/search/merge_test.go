@@ -1,0 +1,468 @@
+package search
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"tgminer/internal/tgraph"
+)
+
+// liveOp is one mutation in a replayable live-engine script, so the same
+// sequence can drive a merge-compacting engine, a rebuild-only engine, and
+// a static oracle.
+type liveOp struct {
+	kind  byte // 'n' AddNode, 'e' Append, 'v' EvictBefore, 'c' Compact
+	label tgraph.Label
+	src   tgraph.NodeID
+	dst   tgraph.NodeID
+	t     int64
+}
+
+// replayOp applies one op to a live engine.
+func replayOp(t *testing.T, l *Live, op liveOp) {
+	t.Helper()
+	switch op.kind {
+	case 'n':
+		l.AddNode(op.label)
+	case 'e':
+		if err := l.Append(op.src, op.dst, op.t); err != nil {
+			t.Fatalf("append %+v: %v", op, err)
+		}
+	case 'v':
+		l.EvictBefore(op.t)
+	case 'c':
+		l.Compact()
+	}
+}
+
+// checkAllFamilies compares a live engine against the static oracle over
+// the same edge set, across all three query families.
+func checkAllFamilies(t *testing.T, rng *rand.Rand, live *Live, static *Engine, numLabels int) error {
+	t.Helper()
+	for q := 0; q < 3; q++ {
+		p := randomQuery(rng, 3, numLabels)
+		opts := Options{}
+		if rng.Intn(2) == 0 {
+			opts.Window = int64(2 + rng.Intn(10))
+		}
+		if rng.Intn(4) == 0 {
+			opts.Limit = 1 + rng.Intn(3)
+		}
+		if err := sameResult(live.FindTemporal(p, opts), static.FindTemporal(p, opts)); err != nil {
+			return err
+		}
+		np := collapseQuery(p)
+		if err := sameResult(live.FindNonTemporal(np, opts), static.FindNonTemporal(np, opts)); err != nil {
+			return err
+		}
+		lq := []tgraph.Label{tgraph.Label(rng.Intn(numLabels)), tgraph.Label(rng.Intn(numLabels))}
+		lopts := Options{Window: int64(2 + rng.Intn(10)), Limit: opts.Limit}
+		if err := sameResult(live.FindLabelSet(lq, lopts), static.FindLabelSet(lq, lopts)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// TestLiveMergeMatchesRebuild is the tentpole's acceptance property: one
+// operation sequence — appends, node additions, evictions, explicit and
+// automatic compactions — replayed into a merge-compacting engine, a
+// rebuild-only engine (disableMerge), and the static oracle must yield
+// identical answers for every query of all three families at every
+// checkpoint. This proves the incremental tail-merge equivalent to the
+// rebuild it replaces, across eviction and AddNode interleavings.
+func TestLiveMergeMatchesRebuild(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		compactEvery := []int{2, 3, 5, 8}[rng.Intn(4)]
+		merging := NewLive(LiveOptions{CompactEvery: compactEvery})
+		rebuilding := NewLive(LiveOptions{CompactEvery: compactEvery, disableMerge: true})
+		numLabels := 3
+		var labels []tgraph.Label
+		var edges []tgraph.Edge
+		var ops []liveOp
+		apply := func(op liveOp) {
+			ops = append(ops, op)
+			replayOp(t, merging, op)
+			replayOp(t, rebuilding, op)
+		}
+		for i := 0; i < 4; i++ {
+			lab := tgraph.Label(rng.Intn(numLabels))
+			labels = append(labels, lab)
+			apply(liveOp{kind: 'n', label: lab})
+		}
+		tm := int64(0)
+		minTime := int64(0)
+		for step := 0; step < 48; step++ {
+			switch {
+			case step%19 == 11:
+				lab := tgraph.Label(rng.Intn(numLabels))
+				labels = append(labels, lab)
+				apply(liveOp{kind: 'n', label: lab})
+			case step%11 == 7:
+				cut := tm - int64(rng.Intn(12))
+				if rng.Intn(8) == 0 {
+					cut = tm + 1 // adversarial: evict everything
+				}
+				if cut > minTime {
+					minTime = cut
+				}
+				apply(liveOp{kind: 'v', t: minTime})
+			case step%13 == 5:
+				apply(liveOp{kind: 'c'})
+				if rng.Intn(2) == 0 {
+					apply(liveOp{kind: 'c'}) // adversarial: compact twice
+				}
+			default:
+				src := tgraph.NodeID(rng.Intn(len(labels)))
+				dst := tgraph.NodeID(rng.Intn(len(labels)))
+				tm += int64(1 + rng.Intn(3))
+				apply(liveOp{kind: 'e', src: src, dst: dst, t: tm})
+				edges = append(edges, tgraph.Edge{Src: src, Dst: dst, Time: tm})
+			}
+			if step%7 != 0 {
+				continue
+			}
+			if merging.NumNodes() != rebuilding.NumNodes() || merging.NumEdges() != rebuilding.NumEdges() {
+				t.Logf("seed=%d step=%d: merged %d/%d nodes/edges, rebuilt %d/%d",
+					seed, step, merging.NumNodes(), merging.NumEdges(), rebuilding.NumNodes(), rebuilding.NumEdges())
+				return false
+			}
+			static := staticEquivalent(t, labels, edges, minTime)
+			if err := checkAllFamilies(t, rand.New(rand.NewSource(seed^int64(step))), merging, static, numLabels); err != nil {
+				t.Logf("seed=%d step=%d (compactEvery=%d): merged vs static: %v\n ops=%v", seed, step, compactEvery, err, ops)
+				return false
+			}
+			if err := checkAllFamilies(t, rand.New(rand.NewSource(seed^int64(step))), rebuilding, static, numLabels); err != nil {
+				t.Logf("seed=%d step=%d (compactEvery=%d): rebuilt vs static: %v", seed, step, compactEvery, err)
+				return false
+			}
+		}
+		if s := rebuilding.Stats(); s.Merges != 0 {
+			t.Logf("seed=%d: disableMerge engine took %d merges", seed, s.Merges)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestLiveAdversarialInterleavings pins deterministic mutation sequences
+// around compaction boundaries that the random tests only hit by luck:
+// evict-everything-then-compact, compact-twice, AddNode straddling a
+// compaction, and eviction cutting into the tail. Each checkpoint compares
+// all three query families against the static oracle.
+func TestLiveAdversarialInterleavings(t *testing.T) {
+	type script struct {
+		name string
+		ops  []liveOp
+	}
+	// Nodes: 0:A 1:B 2:A; later additions noted per script.
+	base := []liveOp{{kind: 'n', label: 0}, {kind: 'n', label: 1}, {kind: 'n', label: 0}}
+	scripts := []script{
+		{"evict-everything-then-compact", append(append([]liveOp{}, base...),
+			liveOp{kind: 'e', src: 0, dst: 1, t: 1},
+			liveOp{kind: 'e', src: 1, dst: 2, t: 2},
+			liveOp{kind: 'c'},
+			liveOp{kind: 'e', src: 0, dst: 2, t: 3},
+			liveOp{kind: 'v', t: 4}, // everything gone, floor == end
+			liveOp{kind: 'c'},       // reclaiming rebuild of an empty live set
+			liveOp{kind: 'e', src: 2, dst: 1, t: 5},
+			liveOp{kind: 'e', src: 1, dst: 0, t: 6},
+			liveOp{kind: 'c'},
+		)},
+		{"compact-twice", append(append([]liveOp{}, base...),
+			liveOp{kind: 'e', src: 0, dst: 1, t: 1},
+			liveOp{kind: 'e', src: 1, dst: 2, t: 2},
+			liveOp{kind: 'c'},
+			liveOp{kind: 'c'}, // idempotent: nothing to fold
+			liveOp{kind: 'e', src: 0, dst: 1, t: 3},
+			liveOp{kind: 'c'},
+			liveOp{kind: 'c'},
+		)},
+		{"addnode-straddles-compactions", append(append([]liveOp{}, base...),
+			liveOp{kind: 'e', src: 0, dst: 1, t: 1},
+			liveOp{kind: 'c'},
+			liveOp{kind: 'n', label: 1}, // node 3
+			liveOp{kind: 'c'},           // folds the node, no edges
+			liveOp{kind: 'e', src: 3, dst: 0, t: 2},
+			liveOp{kind: 'n', label: 0}, // node 4
+			liveOp{kind: 'e', src: 2, dst: 4, t: 3},
+			liveOp{kind: 'c'},
+			liveOp{kind: 'e', src: 4, dst: 3, t: 4},
+		)},
+		{"evict-into-tail-then-compact", append(append([]liveOp{}, base...),
+			liveOp{kind: 'e', src: 0, dst: 1, t: 1},
+			liveOp{kind: 'e', src: 1, dst: 2, t: 2},
+			liveOp{kind: 'c'},
+			liveOp{kind: 'e', src: 0, dst: 2, t: 3},
+			liveOp{kind: 'e', src: 2, dst: 1, t: 4},
+			liveOp{kind: 'v', t: 4}, // floor lands inside the tail
+			liveOp{kind: 'c'},
+			liveOp{kind: 'e', src: 1, dst: 1, t: 5}, // self-loop for FindLabelSet parity
+			liveOp{kind: 'v', t: 5},
+			liveOp{kind: 'c'},
+			liveOp{kind: 'c'},
+		)},
+	}
+	for _, sc := range scripts {
+		t.Run(sc.name, func(t *testing.T) {
+			for _, disableMerge := range []bool{false, true} {
+				l := NewLive(LiveOptions{CompactEvery: -1, disableMerge: disableMerge})
+				var labels []tgraph.Label
+				var edges []tgraph.Edge
+				minTime := int64(0)
+				for i, op := range sc.ops {
+					replayOp(t, l, op)
+					switch op.kind {
+					case 'n':
+						labels = append(labels, op.label)
+					case 'e':
+						edges = append(edges, tgraph.Edge{Src: op.src, Dst: op.dst, Time: op.t})
+					case 'v':
+						if op.t > minTime {
+							minTime = op.t
+						}
+					}
+					static := staticEquivalent(t, labels, edges, minTime)
+					if l.NumNodes() != static.g.NumNodes() || l.NumEdges() != static.g.NumEdges() {
+						t.Fatalf("op %d (disableMerge=%v): live %d nodes/%d edges, static %d/%d",
+							i, disableMerge, l.NumNodes(), l.NumEdges(), static.g.NumNodes(), static.g.NumEdges())
+					}
+					rng := rand.New(rand.NewSource(int64(i) + 1))
+					if err := checkAllFamilies(t, rng, l, static, 2); err != nil {
+						t.Fatalf("op %d (disableMerge=%v): %v", i, disableMerge, err)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestLiveMergePathTaken pins that steady-state compaction actually takes
+// the merge path (no NewEngine(buildGraph()) rebuild) and that eviction
+// past half the edge array falls back to the reclaiming rebuild.
+func TestLiveMergePathTaken(t *testing.T) {
+	l := NewLive(LiveOptions{CompactEvery: 8})
+	a := l.AddNode(0)
+	b := l.AddNode(1)
+	tm := int64(0)
+	for i := 0; i < 64; i++ {
+		tm++
+		if err := l.Append(a, b, tm); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s := l.Stats()
+	if s.Compactions < 2 {
+		t.Fatalf("expected repeated auto-compactions, got %+v", s)
+	}
+	// First compaction has no base to extend (rebuild); every later one
+	// must merge.
+	if s.Merges != s.Compactions-1 {
+		t.Fatalf("expected all but the first compaction to merge, got %+v", s)
+	}
+	if s.TailLen != 0 || s.Floor != 0 || s.BaseEdges != 64 || s.LiveEdges != 64 {
+		t.Fatalf("unexpected post-merge stats %+v", s)
+	}
+	if s.LastCompactTail != 8 {
+		t.Fatalf("LastCompactTail = %d, want 8", s.LastCompactTail)
+	}
+
+	// Evict well past half the edge array: the next compaction must
+	// rebuild, reclaiming the dead prefix and rebasing the floor to zero.
+	mergesBefore := s.Merges
+	l.EvictBefore(tm - 3)
+	l.Compact()
+	s = l.Stats()
+	if s.Merges != mergesBefore {
+		t.Fatalf("reclaiming compaction took the merge path: %+v", s)
+	}
+	if s.Floor != 0 || s.BaseEdges != 4 || s.LiveEdges != 4 {
+		t.Fatalf("rebuild did not reclaim the evicted prefix: %+v", s)
+	}
+
+	// A small eviction, by contrast, is carried through the merge.
+	for i := 0; i < 3; i++ {
+		tm++
+		if err := l.Append(a, b, tm); err != nil {
+			t.Fatal(err)
+		}
+	}
+	l.EvictBefore(tm - 5) // 1 of 7 live edges dead: far below half
+	l.Compact()
+	s = l.Stats()
+	if s.Merges != mergesBefore+1 {
+		t.Fatalf("small-floor compaction did not merge: %+v", s)
+	}
+	if s.Floor != 1 || s.BaseEdges != 7 || s.LiveEdges != 6 || s.TailLen != 0 {
+		t.Fatalf("merge did not carry the floor: %+v", s)
+	}
+	p, err := tgraph.NewPattern([]tgraph.Label{0, 1}, []tgraph.PEdge{{Src: 0, Dst: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := l.FindTemporal(p, Options{})
+	if len(res.Matches) != 6 {
+		t.Fatalf("post-merge query returned %v, want 6 matches", res.Matches)
+	}
+	for _, m := range res.Matches {
+		if m.Start < tm-5 {
+			t.Fatalf("merged engine returned evicted match %v", m)
+		}
+	}
+}
+
+// TestLiveSnapshotSeesAddedNodes is the regression test for the Snapshot
+// fast path returning the stale compacted base when AddNode ran after the
+// last compaction with an empty tail: the snapshot silently dropped the
+// new nodes.
+func TestLiveSnapshotSeesAddedNodes(t *testing.T) {
+	l := NewLive(LiveOptions{CompactEvery: -1})
+	a := l.AddNode(0)
+	b := l.AddNode(1)
+	if err := l.Append(a, b, 1); err != nil {
+		t.Fatal(err)
+	}
+	l.Compact()
+	l.AddNode(2) // tail stays empty: the buggy fast path triggered here
+	snap := l.Snapshot()
+	if got, want := snap.g.NumNodes(), 3; got != want {
+		t.Fatalf("Snapshot dropped nodes added after compaction: %d nodes, want %d", got, want)
+	}
+	if got := snap.g.LabelOf(2); got != 2 {
+		t.Fatalf("snapshot node 2 has label %d, want 2", got)
+	}
+	// A label-set query touching the new node's label must answer from the
+	// full node set (empty here — the node has no edges yet — but against
+	// the stale snapshot the label would not exist at all).
+	if res := snap.FindLabelSet([]tgraph.Label{2}, Options{Window: 4}); len(res.Matches) != 0 {
+		t.Fatalf("unexpected matches %v", res.Matches)
+	}
+	// Once the node gains an edge, snapshot queries must see it.
+	c := tgraph.NodeID(2)
+	if err := l.Append(b, c, 2); err != nil {
+		t.Fatal(err)
+	}
+	snap = l.Snapshot()
+	res := snap.FindLabelSet([]tgraph.Label{1, 2}, Options{Window: 4})
+	if len(res.Matches) != 1 {
+		t.Fatalf("snapshot query missed the new node's edge: %v", res.Matches)
+	}
+	// And the fast path itself stays correct: after a compaction folds the
+	// node in, Snapshot may share the base directly but must include it.
+	l.Compact()
+	snap = l.Snapshot()
+	if got := snap.g.NumNodes(); got != 3 {
+		t.Fatalf("post-compaction snapshot has %d nodes, want 3", got)
+	}
+}
+
+// TestLiveAppendPositionsExhausted exercises the int32 global-position
+// overflow guard via a synthetically advanced baseEdges: without the
+// guard, the 2^31-th edge position wraps negative and corrupts every
+// posList.
+func TestLiveAppendPositionsExhausted(t *testing.T) {
+	l := NewLive(LiveOptions{CompactEvery: -1})
+	a := l.AddNode(0)
+	b := l.AddNode(1)
+	if err := l.Append(a, b, 1); err != nil {
+		t.Fatal(err)
+	}
+	// Pretend the base already holds all but one of the int32 positions
+	// (actually accumulating 2^31 edges needs ~32 GiB; the guard must not).
+	g := l.gen()
+	ng := *g
+	ng.baseEdges = math.MaxInt32 - int32(len(ng.tail)) - 1
+	l.cur.Store(&ng)
+	if err := l.Append(a, b, 2); err != nil {
+		t.Fatalf("append at position 2^31-2 must still fit: %v", err)
+	}
+	err := l.Append(a, b, 3)
+	if !errors.Is(err, ErrPositionsExhausted) {
+		t.Fatalf("append past the position space returned %v, want ErrPositionsExhausted", err)
+	}
+	if n := len(l.gen().tail); n != 2 {
+		t.Fatalf("failed append mutated the tail: %d entries, want 2", n)
+	}
+	if lt := l.LastTime(); lt != 2 {
+		t.Fatalf("failed append advanced lastTime to %d", lt)
+	}
+}
+
+// TestLiveAppendReclaimsPositionsAfterEvict pins the recovery path at the
+// position bound: when eviction has freed positions, Append forces a
+// rebasing rebuild instead of erroring, so a sliding-window stream never
+// observes ErrPositionsExhausted.
+func TestLiveAppendReclaimsPositionsAfterEvict(t *testing.T) {
+	l := NewLive(LiveOptions{CompactEvery: -1})
+	a := l.AddNode(0)
+	b := l.AddNode(1)
+	for i := 1; i <= 4; i++ {
+		if err := l.Append(a, b, int64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	l.Compact()      // base of 4 edges, positions 0..3
+	l.EvictBefore(3) // floor 2: two positions reclaimable
+	if err := l.Append(a, b, 5); err != nil {
+		t.Fatal(err)
+	}
+	// Pretend the base sits at the edge of the position space (the floor
+	// stays a real, in-bounds position so the rebuild path is exercised
+	// for real).
+	g := l.gen()
+	ng := *g
+	ng.baseEdges = math.MaxInt32 - 1
+	l.cur.Store(&ng)
+	if err := l.Append(a, b, 6); err != nil {
+		t.Fatalf("append at the bound with evicted positions available: %v", err)
+	}
+	s := l.Stats()
+	if s.Floor != 0 || s.BaseEdges != 3 || s.TailLen != 1 || s.LiveEdges != 4 {
+		t.Fatalf("reclaiming rebuild did not rebase: %+v", s)
+	}
+	p, err := tgraph.NewPattern([]tgraph.Label{0, 1}, []tgraph.PEdge{{Src: 0, Dst: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := l.FindTemporal(p, Options{})
+	if len(res.Matches) != 4 || res.Matches[0].Start != 3 || res.Matches[3].End != 6 {
+		t.Fatalf("post-reclaim query returned %v, want times 3..6", res.Matches)
+	}
+}
+
+// TestLiveAutoRebuildReclaimsAfterMassEviction pins the auto-compaction
+// reclaim schedule: once the evicted prefix dominates, the rebuild trigger
+// compares the tail to the LIVE base (the dead prefix is free to drop), so
+// a burst-then-quiet stream releases the burst's memory after one
+// CompactEvery of further appends instead of retaining it until the tail
+// grows to half the dead-inflated base.
+func TestLiveAutoRebuildReclaimsAfterMassEviction(t *testing.T) {
+	l := NewLive(LiveOptions{CompactEvery: 4})
+	a := l.AddNode(0)
+	b := l.AddNode(1)
+	tm := int64(0)
+	for i := 0; i < 64; i++ { // the burst, fully compacted into the base
+		tm++
+		if err := l.Append(a, b, tm); err != nil {
+			t.Fatal(err)
+		}
+	}
+	l.EvictBefore(tm - 3) // window slides: 4 live edges, 60 dead
+	for i := 0; i < 4; i++ {
+		tm++
+		if err := l.Append(a, b, tm); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s := l.Stats()
+	if s.Floor != 0 || s.BaseEdges != 8 || s.TailLen != 0 || s.LiveEdges != 8 {
+		t.Fatalf("auto-compaction retained the dead prefix: %+v", s)
+	}
+}

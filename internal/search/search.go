@@ -61,7 +61,30 @@ type Engine struct {
 	pairKeys []int64 // sparse fallback: sorted local pair keys
 	pairSpan [][2]int32
 
+	// Merged-mode representation (engines built by mergeEngine, merge.go,
+	// on the live compaction hot path). When outList is non-nil the engine
+	// stores adjacency as per-node position slices instead of flat CSR:
+	// untouched nodes share their list with the previous engine (for flat
+	// ancestors, a zero-copy view into outPos/inPos), touched nodes carry
+	// an owned, appendable copy. The pair index is the flat ancestor's
+	// table plus a copy-on-write extension map holding every label pair
+	// that has gained positions since the last full rebuild.
+	outList  [][]int32
+	inList   [][]int32
+	outOwned []bool // outList[v] backing is owned by this merge chain
+	inOwned  []bool
+	flat     *Engine // last fully rebuilt (flat CSR) ancestor; nil when flat
+	pairExt  map[pairKey]pairSeg
+
 	used sync.Pool // *usedSet per-query scratch
+}
+
+// pairSeg is a merged engine's position list for one label pair: the flat
+// ancestor's positions plus every extension since, with an ownership bit
+// deciding whether the next merge may append in place.
+type pairSeg struct {
+	pos   []int32
+	owned bool
 }
 
 // NewEngine indexes the host graph.
@@ -170,6 +193,12 @@ func (e *Engine) pairCell(ed tgraph.Edge) int {
 // (src, dst), in increasing position order. Query labels absent from the
 // host graph return nil.
 func (e *Engine) pairPositions(src, dst tgraph.Label) []int32 {
+	if e.flat != nil { // merged mode: extension map first, flat ancestor else
+		if s, ok := e.pairExt[pairKey{src, dst}]; ok {
+			return s.pos
+		}
+		return e.flat.pairPositions(src, dst)
+	}
 	if src < 0 || dst < 0 || int(src) >= len(e.lblLocal) || int(dst) >= len(e.lblLocal) {
 		return nil
 	}
@@ -190,10 +219,20 @@ func (e *Engine) pairPositions(src, dst tgraph.Label) []int32 {
 }
 
 // outAt returns the positions of edges with node v as source.
-func (e *Engine) outAt(v tgraph.NodeID) []int32 { return e.outPos[e.outOff[v]:e.outOff[v+1]] }
+func (e *Engine) outAt(v tgraph.NodeID) []int32 {
+	if e.outList != nil {
+		return e.outList[v]
+	}
+	return e.outPos[e.outOff[v]:e.outOff[v+1]]
+}
 
 // inAt returns the positions of edges with node v as destination.
-func (e *Engine) inAt(v tgraph.NodeID) []int32 { return e.inPos[e.inOff[v]:e.inOff[v+1]] }
+func (e *Engine) inAt(v tgraph.NodeID) []int32 {
+	if e.inList != nil {
+		return e.inList[v]
+	}
+	return e.inPos[e.inOff[v]:e.inOff[v+1]]
+}
 
 // usedSet is an epoch-stamped node set: reset is O(1) (bump the epoch), and
 // membership is one indexed load, replacing the per-query map[NodeID]bool

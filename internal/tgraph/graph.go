@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // NodeID identifies a node within one Graph or Pattern. IDs are dense,
@@ -27,13 +28,32 @@ type Graph struct {
 	labels []Label
 	edges  []Edge
 
+	// idxOnce lazily builds the mining indexes (lastOcc, incident) on first
+	// use: graphs produced by ExtendSorted on the live compaction hot path
+	// are usually only searched, never mined, and must not pay an O(E)
+	// index build per compaction.
+	idxOnce sync.Once
+
 	// lastOcc[l] is the largest edge position at which a node labeled l is an
-	// endpoint, or -1. Built on Finalize; used for residual label-set tests.
+	// endpoint, or -1. Built lazily; used for residual label-set tests.
 	lastOcc map[Label]int32
 
 	// incident[v] lists the positions of edges having v as an endpoint, in
-	// increasing position order. Built on Finalize; used by pattern growth.
+	// increasing position order. Built lazily; used by pattern growth.
 	incident [][]int32
+
+	// lin is non-nil on graphs created by ExtendSorted: all graphs of one
+	// extension chain share it, and it records the chain's tip sizes so only
+	// the newest graph appends into the shared spare capacity of the labels
+	// and edges arrays (older graphs fall back to copying).
+	lin *lineage
+}
+
+// lineage tracks the tip of an ExtendSorted chain. Readers never touch it;
+// it is read and written only under the caller's writer serialization (see
+// ExtendSorted).
+type lineage struct {
+	nodes, edges int // sizes of the newest graph in the chain
 }
 
 // ErrNotTotallyOrdered is reported by Finalize when two edges share a
@@ -83,9 +103,7 @@ func (b *Builder) Finalize() (*Graph, error) {
 			return nil, fmt.Errorf("%w: timestamp %d", ErrNotTotallyOrdered, edges[i].Time)
 		}
 	}
-	g := &Graph{labels: b.labels, edges: edges}
-	g.buildIndexes()
-	return g, nil
+	return &Graph{labels: b.labels, edges: edges}, nil
 }
 
 // Sequentialize imposes an artificial strict total order on edges that share
@@ -119,10 +137,71 @@ func (b *Builder) Sequentialize() (*Graph, error) {
 	for i, k := range ks {
 		edges[i] = Edge{Src: k.e.Src, Dst: k.e.Dst, Time: int64(i)}
 	}
-	g := &Graph{labels: b.labels, edges: edges}
-	g.buildIndexes()
-	return g, nil
+	return &Graph{labels: b.labels, edges: edges}, nil
 }
+
+// ExtendSorted returns a graph extending g with newLabels appended to the
+// node set and suffix appended to the edge sequence. The suffix must
+// continue g's strict total order (every suffix timestamp greater than its
+// predecessor and than g's last edge); endpoints may reference the new
+// nodes. g itself is unchanged and remains valid.
+//
+// This is the O(len(suffix)) path live compaction merges on: when g is the
+// newest graph of its extension chain, the labels and edges arrays are
+// extended in place within their (amortized, geometrically grown) spare
+// capacity, so no O(base) copy or re-sort happens. Older chain members —
+// and graphs built by Finalize/Sequentialize, whose backing arrays may be
+// shared with a Builder — are copied instead.
+//
+// Concurrency contract: calls extending one chain must be serialized by the
+// caller (the live engine's writer mutex does this). Concurrent readers of
+// any graph in the chain are safe: they only ever see indexes below their
+// own length, and in-place appends write strictly beyond every previously
+// returned length.
+func (g *Graph) ExtendSorted(newLabels []Label, suffix []Edge) (*Graph, error) {
+	n := len(g.labels) + len(newLabels)
+	last := int64(-1)
+	if len(g.edges) > 0 {
+		last = g.edges[len(g.edges)-1].Time
+	}
+	for _, e := range suffix {
+		if e.Src < 0 || int(e.Src) >= n || e.Dst < 0 || int(e.Dst) >= n {
+			return nil, fmt.Errorf("tgraph: extend edge (%d,%d,%d) references unknown node (graph has %d nodes)", e.Src, e.Dst, e.Time, n)
+		}
+		if e.Time <= last {
+			return nil, fmt.Errorf("%w: extend timestamp %d not after %d", ErrNotTotallyOrdered, e.Time, last)
+		}
+		last = e.Time
+	}
+	ng := &Graph{}
+	if g.lin != nil && g.lin.nodes == len(g.labels) && g.lin.edges == len(g.edges) {
+		// g is the chain tip: append in place (reallocating only when the
+		// shared spare capacity runs out, so the copy cost amortizes to
+		// O(1) per appended element over the chain's lifetime).
+		ng.lin = g.lin
+		ng.labels = append(g.labels, newLabels...)
+		ng.edges = append(g.edges, suffix...)
+	} else {
+		// Not extendable in place: copy with geometric headroom and start a
+		// fresh chain owning its backing arrays.
+		ng.lin = &lineage{}
+		ng.labels = append(growCopy(g.labels, n), newLabels...)
+		ng.edges = append(growCopy(g.edges, len(g.edges)+len(suffix)), suffix...)
+	}
+	ng.lin.nodes, ng.lin.edges = len(ng.labels), len(ng.edges)
+	return ng, nil
+}
+
+// growCopy copies src into a fresh slice with capacity for need elements
+// plus geometric headroom for future extensions.
+func growCopy[T any](src []T, need int) []T {
+	out := make([]T, 0, need+need/2+4)
+	return append(out, src...)
+}
+
+// ensureIndexes builds the mining indexes on first use. Safe for concurrent
+// callers.
+func (g *Graph) ensureIndexes() { g.idxOnce.Do(g.buildIndexes) }
 
 func (g *Graph) buildIndexes() {
 	g.lastOcc = make(map[Label]int32)
@@ -161,13 +240,17 @@ func (g *Graph) Edges() []Edge { return g.edges }
 // Incident returns the positions of edges incident to v (as source or
 // destination) in increasing position order. The returned slice must not be
 // modified.
-func (g *Graph) Incident(v NodeID) []int32 { return g.incident[v] }
+func (g *Graph) Incident(v NodeID) []int32 {
+	g.ensureIndexes()
+	return g.incident[v]
+}
 
 // LastOccurrence returns the largest edge position at which a node labeled l
 // appears as an endpoint, or -1 if l does not occur. Residual-graph label
 // tests use this: label l occurs in the residual graph after position pos
 // iff LastOccurrence(l) > pos.
 func (g *Graph) LastOccurrence(l Label) int32 {
+	g.ensureIndexes()
 	if p, ok := g.lastOcc[l]; ok {
 		return p
 	}
@@ -176,12 +259,14 @@ func (g *Graph) LastOccurrence(l Label) int32 {
 
 // HasLabel reports whether any node with label l is an edge endpoint.
 func (g *Graph) HasLabel(l Label) bool {
+	g.ensureIndexes()
 	_, ok := g.lastOcc[l]
 	return ok
 }
 
 // EndpointLabels returns the set of labels that occur on edge endpoints.
 func (g *Graph) EndpointLabels() map[Label]bool {
+	g.ensureIndexes()
 	out := make(map[Label]bool, len(g.lastOcc))
 	for l := range g.lastOcc {
 		out[l] = true

@@ -306,3 +306,121 @@ func bruteTConnected(g *Graph) bool {
 	}
 	return true
 }
+
+// buildTestGraph finalizes a graph from labels and edges.
+func buildTestGraph(t *testing.T, labels []Label, edges []Edge) *Graph {
+	t.Helper()
+	var b Builder
+	for _, l := range labels {
+		b.AddNode(l)
+	}
+	for _, e := range edges {
+		if err := b.AddEdge(e.Src, e.Dst, e.Time); err != nil {
+			t.Fatal(err)
+		}
+	}
+	g, err := b.Finalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// sameGraphContent asserts two graphs expose identical labels, edges, and
+// mining indexes.
+func sameGraphContent(t *testing.T, got, want *Graph) {
+	t.Helper()
+	if got.NumNodes() != want.NumNodes() || got.NumEdges() != want.NumEdges() {
+		t.Fatalf("graph shape %d/%d nodes/edges, want %d/%d",
+			got.NumNodes(), got.NumEdges(), want.NumNodes(), want.NumEdges())
+	}
+	for v := 0; v < want.NumNodes(); v++ {
+		if got.LabelOf(NodeID(v)) != want.LabelOf(NodeID(v)) {
+			t.Fatalf("node %d label %d, want %d", v, got.LabelOf(NodeID(v)), want.LabelOf(NodeID(v)))
+		}
+		gi, wi := got.Incident(NodeID(v)), want.Incident(NodeID(v))
+		if len(gi) != len(wi) {
+			t.Fatalf("node %d incident %v, want %v", v, gi, wi)
+		}
+		for i := range gi {
+			if gi[i] != wi[i] {
+				t.Fatalf("node %d incident %v, want %v", v, gi, wi)
+			}
+		}
+	}
+	for pos := 0; pos < want.NumEdges(); pos++ {
+		if got.EdgeAt(pos) != want.EdgeAt(pos) {
+			t.Fatalf("edge %d = %v, want %v", pos, got.EdgeAt(pos), want.EdgeAt(pos))
+		}
+	}
+	for l, ok := range want.EndpointLabels() {
+		if got.HasLabel(l) != ok || got.LastOccurrence(l) != want.LastOccurrence(l) {
+			t.Fatalf("label %d occurrence %d, want %d", l, got.LastOccurrence(l), want.LastOccurrence(l))
+		}
+	}
+}
+
+func TestExtendSorted(t *testing.T) {
+	labels := []Label{0, 1, 2}
+	edges := []Edge{{0, 1, 1}, {1, 2, 3}, {0, 2, 5}}
+	g := buildTestGraph(t, labels, edges)
+
+	// Extend with new nodes and a sorted suffix referencing them.
+	ext, err := g.ExtendSorted([]Label{1}, []Edge{{2, 3, 7}, {3, 0, 9}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := buildTestGraph(t, []Label{0, 1, 2, 1},
+		append(append([]Edge{}, edges...), Edge{2, 3, 7}, Edge{3, 0, 9}))
+	sameGraphContent(t, ext, want)
+
+	// The base graph is unchanged.
+	sameGraphContent(t, g, buildTestGraph(t, labels, edges))
+
+	// Extending the chain tip again appends in place (amortized); the
+	// earlier member of the chain stays valid and unchanged.
+	ext2, err := ext.ExtendSorted(nil, []Edge{{1, 3, 11}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameGraphContent(t, ext2, buildTestGraph(t, []Label{0, 1, 2, 1},
+		append(append([]Edge{}, edges...), Edge{2, 3, 7}, Edge{3, 0, 9}, Edge{1, 3, 11})))
+	sameGraphContent(t, ext, want)
+
+	// Extending a non-tip member falls back to copying and must not
+	// disturb the newer chain members.
+	fork, err := ext.ExtendSorted([]Label{0}, []Edge{{4, 2, 20}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameGraphContent(t, fork, buildTestGraph(t, []Label{0, 1, 2, 1, 0},
+		append(append([]Edge{}, edges...), Edge{2, 3, 7}, Edge{3, 0, 9}, Edge{4, 2, 20})))
+	sameGraphContent(t, ext2, buildTestGraph(t, []Label{0, 1, 2, 1},
+		append(append([]Edge{}, edges...), Edge{2, 3, 7}, Edge{3, 0, 9}, Edge{1, 3, 11})))
+
+	// Empty extensions are valid and cheap.
+	same, err := ext2.ExtendSorted(nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameGraphContent(t, same, ext2)
+}
+
+func TestExtendSortedErrors(t *testing.T) {
+	g := buildTestGraph(t, []Label{0, 1}, []Edge{{0, 1, 5}})
+	if _, err := g.ExtendSorted(nil, []Edge{{0, 1, 5}}); !errors.Is(err, ErrNotTotallyOrdered) {
+		t.Fatalf("duplicate timestamp accepted: %v", err)
+	}
+	if _, err := g.ExtendSorted(nil, []Edge{{0, 1, 4}}); !errors.Is(err, ErrNotTotallyOrdered) {
+		t.Fatalf("backwards timestamp accepted: %v", err)
+	}
+	if _, err := g.ExtendSorted(nil, []Edge{{0, 1, 6}, {1, 0, 6}}); !errors.Is(err, ErrNotTotallyOrdered) {
+		t.Fatalf("duplicate suffix timestamp accepted: %v", err)
+	}
+	if _, err := g.ExtendSorted(nil, []Edge{{0, 2, 6}}); err == nil {
+		t.Fatal("unknown node accepted")
+	}
+	if _, err := g.ExtendSorted([]Label{3}, []Edge{{0, 2, 6}}); err != nil {
+		t.Fatalf("edge to newly added node rejected: %v", err)
+	}
+}

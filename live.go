@@ -107,13 +107,34 @@ func (le *LiveEngine) Append(src, dst string, t int64) error {
 }
 
 // EvictBefore drops every edge with timestamp < t (sliding-window
-// retention). O(log E); space is reclaimed at the next compaction. Nodes
-// are retained so identities stay stable.
+// retention). O(log E) — it advances a floor position queries skip in
+// O(log E); the space itself is reclaimed once the evicted prefix reaches
+// half the edge array and a compaction rebuilds (see Stats to observe
+// retention). Nodes are retained so identities stay stable.
 func (le *LiveEngine) EvictBefore(t int64) { le.live.EvictBefore(t) }
 
-// Compact folds the append-only tail (and any evicted prefix) into fresh
-// CSR indexes now instead of waiting for the CompactEvery threshold.
+// Compact folds the append-only tail into the CSR indexes now instead of
+// waiting for the CompactEvery threshold. Compaction is normally an
+// incremental merge — the existing CSR base is extended with the
+// (already indexed, already position-sorted) tail segment in O(tail +
+// touched lists), not rebuilt — and falls back to a full rebuild that
+// reclaims the evicted prefix once that prefix reaches half the edge
+// array. Stats reports which path compactions took.
 func (le *LiveEngine) Compact() { le.live.Compact() }
+
+// LiveStats describes a LiveEngine's retention and compaction state at one
+// instant: how much of the edge set sits in the compacted CSR base versus
+// the append-only tail, how far sliding-window eviction has advanced
+// (Floor counts evicted-but-not-yet-reclaimed edges), and how many
+// compactions ran — Merges of them incremental tail-merges, the rest
+// reclaiming rebuilds. Operators use it to watch retention and compaction
+// behavior; all counts are edges unless stated otherwise.
+type LiveStats = search.LiveStats
+
+// Stats reports the engine's current retention and compaction state.
+// Lock-free and O(1); the fields are mutually consistent (they describe
+// one generation snapshot).
+func (le *LiveEngine) Stats() LiveStats { return le.live.Stats() }
 
 // NumNodes reports the number of distinct entities seen.
 func (le *LiveEngine) NumNodes() int { return le.live.NumNodes() }

@@ -284,3 +284,46 @@ func TestMineContextFacadeCancelled(t *testing.T) {
 		t.Fatal("no queries discovered")
 	}
 }
+
+// TestLiveEngineStats exercises the operator-facing retention and
+// compaction statistics through the facade: base/tail split, eviction
+// floor, and the merge-vs-rebuild compaction counters.
+func TestLiveEngineStats(t *testing.T) {
+	le := NewLiveEngine(nil, LiveOptions{CompactEvery: 4})
+	s := le.Stats()
+	if s.Nodes != 0 || s.LiveEdges != 0 || s.LastTime != -1 || s.Compactions != 0 {
+		t.Fatalf("fresh engine stats %+v", s)
+	}
+	for i := 0; i < 12; i++ {
+		if err := le.Append("a", "b", int64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s = le.Stats()
+	if s.Nodes != 2 || s.LiveEdges != 12 || s.LastTime != 11 {
+		t.Fatalf("post-append stats %+v", s)
+	}
+	if s.BaseEdges+s.TailLen != 12 || s.Floor != 0 {
+		t.Fatalf("base/tail split inconsistent: %+v", s)
+	}
+	// CompactEvery=4 over 12 appends: one initial rebuild, then merges.
+	if s.Compactions != 3 || s.Merges != 2 || s.LastCompactTail != 4 {
+		t.Fatalf("compaction counters %+v", s)
+	}
+	// Eviction advances the floor without reclaiming...
+	le.EvictBefore(6)
+	s = le.Stats()
+	if s.LiveEdges != 6 || s.Floor != 6 || s.BaseEdges != 12 {
+		t.Fatalf("post-evict stats %+v", s)
+	}
+	// ...until a compaction sees the dead prefix at half the edge array
+	// and rebuilds, rebasing the floor to zero.
+	le.Compact()
+	s = le.Stats()
+	if s.LiveEdges != 6 || s.Floor != 0 || s.BaseEdges != 6 || s.TailLen != 0 {
+		t.Fatalf("post-reclaim stats %+v", s)
+	}
+	if s.Compactions != 4 || s.Merges != 2 {
+		t.Fatalf("reclaiming compaction counters %+v", s)
+	}
+}
