@@ -27,7 +27,7 @@ import (
 var names = []string{
 	"table1", "table2", "table3",
 	"figure10", "figure11", "figure12", "figure13", "figure14", "figure15", "figure16",
-	"parallel",
+	"parallel", "sharded",
 }
 
 func main() {
@@ -36,6 +36,7 @@ func main() {
 	list := flag.Bool("list", false, "list experiment names and exit")
 	includeSlow := flag.Bool("include-slow", false, "run SupPrune on medium/large classes in figure13")
 	workerSweep := flag.String("workers", "", "comma-separated worker counts for the parallel experiment (default 1,2,4,8)")
+	shardSweep := flag.String("shards", "", "comma-separated shard counts for the sharded ingest experiment (default 1,2,4,8)")
 	timeout := flag.Duration("timeout", 0, "overall deadline (e.g. 10m); 0 = none. Ctrl-C also cancels cooperatively")
 	flag.Parse()
 
@@ -126,6 +127,13 @@ func main() {
 	run("parallel", func() (interface{ Render() string }, error) {
 		return experiments.ParallelScaling(ctx, env, parseWorkers(*workerSweep))
 	})
+	run("sharded", func() (interface{ Render() string }, error) {
+		events := 50000
+		if *full {
+			events = 500000
+		}
+		return experiments.ShardedIngest(ctx, parseCounts("shards", *shardSweep), events)
+	})
 	if skipped {
 		fmt.Fprintf(os.Stderr, "experiments: cancelled (%v); completed experiments above\n", context.Cause(ctx))
 		os.Exit(130)
@@ -133,9 +141,13 @@ func main() {
 }
 
 // parseWorkers turns "1,2,4" into worker counts; empty means the default
+// sweep.
+func parseWorkers(s string) []int { return parseCounts("workers", s) }
+
+// parseCounts turns "1,2,4" into positive counts; empty means the default
 // sweep. Invalid input is fatal rather than skipped so a recorded sweep
 // never silently differs from the one requested.
-func parseWorkers(s string) []int {
+func parseCounts(flagName, s string) []int {
 	if s == "" {
 		return nil
 	}
@@ -143,7 +155,7 @@ func parseWorkers(s string) []int {
 	for _, part := range strings.Split(s, ",") {
 		w, err := strconv.Atoi(strings.TrimSpace(part))
 		if err != nil || w <= 0 {
-			fmt.Fprintf(os.Stderr, "experiments: invalid -workers entry %q (want positive integers, e.g. 1,2,4)\n", part)
+			fmt.Fprintf(os.Stderr, "experiments: invalid -%s entry %q (want positive integers, e.g. 1,2,4)\n", flagName, part)
 			os.Exit(2)
 		}
 		out = append(out, w)

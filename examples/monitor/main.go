@@ -128,10 +128,21 @@ func main() {
 	// Stats shows retention and compaction behavior for operators: how
 	// much history sits in the CSR base vs the append-only tail, how far
 	// the eviction floor has advanced, and whether compactions have been
-	// incremental merges or reclaiming rebuilds.
+	// incremental merges or reclaiming rebuilds — aggregated across the
+	// engine's ingest shards (LiveOptions.Shards, default GOMAXPROCS:
+	// events partition by source entity so concurrent producers append in
+	// parallel; queries answer identically at any shard count). The new
+	// memory accounting shows what the engine retains and whether a slow
+	// reader is pinning old storage (OldestReaderLag counts edges appended
+	// since the oldest running query pinned its snapshot).
 	st := live.Stats()
 	fmt.Printf("\nengine stats: %d nodes, %d live edges (base %d + tail %d - evicted %d), %d compaction(s) (%d merged)\n",
 		st.Nodes, st.LiveEdges, st.BaseEdges, st.TailLen, st.Floor, st.Compactions, st.Merges)
+	fmt.Printf("  %d shard(s), ~%d KiB retained, %d active reader(s), oldest reader %d edge(s) behind\n",
+		live.Shards(), st.RetainedBytes/1024, st.ActiveReaders, st.OldestReaderLag)
+	for i, ss := range live.ShardStats() {
+		fmt.Printf("  shard %d: %d live edge(s), %d compaction(s)\n", i, ss.LiveEdges, ss.Compactions)
+	}
 }
 
 // mustShape builds the behavior shape used for the non-temporal query.

@@ -1,6 +1,8 @@
 package grow
 
 import (
+	"fmt"
+	"sync"
 	"testing"
 
 	"tgminer/internal/sysgen"
@@ -85,5 +87,32 @@ func BenchmarkSeeds(b *testing.B) {
 		if out := Seeds(graphs, nil); len(out) == 0 {
 			b.Fatal("no seeds")
 		}
+	}
+}
+
+// BenchmarkNodeArenaChunk sweeps the embedding-arena chunk size over the
+// Extend workload (the arena's only consumer). The winning size and the
+// measured curve are committed on the nodeArenaChunk constant in grow.go;
+// re-run the sweep when the embedding shape changes materially.
+func BenchmarkNodeArenaChunk(b *testing.B) {
+	graphs, _, l, x := benchWorkload(b)
+	for _, chunk := range []int{128, 256, 512, 1024, 2048} {
+		b.Run(fmt.Sprintf("chunk=%d", chunk), func(b *testing.B) {
+			old := nodeArenaChunkSize
+			nodeArenaChunkSize = chunk
+			// Flush arenas sized under the previous setting.
+			nodeArenaPool = sync.Pool{New: func() any { return new(nodeArena) }}
+			defer func() {
+				nodeArenaChunkSize = old
+				nodeArenaPool = sync.Pool{New: func() any { return new(nodeArena) }}
+			}()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if out := Extend(x, graphs, l); len(out) == 0 {
+					b.Fatal("no child embeddings")
+				}
+			}
+		})
 	}
 }

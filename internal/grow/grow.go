@@ -193,8 +193,20 @@ func collectSeeds(g *tgraph.Graph, gid int32, emit func(k seedKey, e Embedding))
 
 // nodeArenaChunk is the number of NodeIDs handed out per arena chunk. Large
 // enough to amortize one chunk allocation over many embeddings, small enough
-// that a few straggler embeddings pinning a chunk is cheap.
+// that a few straggler embeddings pinning a chunk is cheap. Swept by
+// BenchmarkNodeArenaChunk (bench_test.go) on the sshd-login Extend
+// workload, Xeon @ 2.10GHz, go1.24, benchtime=2s, 2026-07 (ns/op, B/op,
+// allocs/op): 128: 592.3/839/1; 256: 567.0/833/1; 512: 575.3/833/1;
+// 1024: 566.7/833/1; 2048: 554.7/832/1. Flat within run-to-run noise from
+// 256 up — the chunk allocation is already amortized to ~1 alloc per
+// Extend call — so 512 stays: 2048's ~3% edge is inside the noise band
+// and quadruples the memory a straggler embedding pins.
 const nodeArenaChunk = 512
+
+// nodeArenaChunkSize is the chunk size alloc actually uses; a var only so
+// BenchmarkNodeArenaChunk can sweep it single-threadedly. Never written
+// outside that benchmark.
+var nodeArenaChunkSize = nodeArenaChunk
 
 // nodeArena is a chunked bump allocator for embedding node slices. Allocated
 // regions are handed out exactly once and never recycled, so slices stay
@@ -207,7 +219,7 @@ type nodeArena struct {
 // alloc returns a zeroed-capacity slice of exactly n NodeIDs.
 func (a *nodeArena) alloc(n int) []tgraph.NodeID {
 	if len(a.buf)+n > cap(a.buf) {
-		size := nodeArenaChunk
+		size := nodeArenaChunkSize
 		if n > size {
 			size = n
 		}

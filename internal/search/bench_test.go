@@ -2,10 +2,52 @@ package search
 
 import (
 	"fmt"
+	"sync"
 	"testing"
 
 	"tgminer/internal/tgraph"
 )
+
+// BenchmarkShardedAppend measures aggregate multi-writer append throughput
+// at several shard counts: K = shards concurrent writers, each appending
+// edges whose source node hashes to its own shard (the intended
+// multi-producer deployment: one producer per entity partition), with a
+// sliding eviction window so memory stays bounded. ns/op is wall time per
+// appended edge ACROSS all writers, so on a K-core host K shards should
+// approach a K-fold improvement over shards=1 (every writer serializes on
+// the same mutex there); on a single core the sweep is flat and only
+// measures sharding overhead. Recorded in BENCH_PR5.json; the acceptance
+// target (>=4x aggregate at 8 shards) is a multi-core number.
+func BenchmarkShardedAppend(b *testing.B) {
+	for _, shards := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			l := NewSharded(LiveOptions{Shards: shards})
+			srcs, dst := shardedWriterNodes(b, l, shards)
+			b.ReportAllocs()
+			b.ResetTimer()
+			var wg sync.WaitGroup
+			for w := 0; w < shards; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					src := srcs[w]
+					// Writer w owns timestamps congruent to w mod shards:
+					// strictly increasing per shard, globally unique.
+					for i := w; i < b.N; i += shards {
+						if err := l.Append(src, dst, int64(i)+1); err != nil {
+							b.Error(err)
+							return
+						}
+						if w == 0 && i%8192 == 0 {
+							l.EvictBefore(int64(i) - 65536)
+						}
+					}
+				}(w)
+			}
+			wg.Wait()
+		})
+	}
+}
 
 // BenchmarkLiveCompact measures the cost of one live compaction at several
 // base:tail ratios, comparing the incremental tail-merge (merge.go, the
@@ -47,11 +89,11 @@ func BenchmarkLiveCompact(b *testing.B) {
 					b.StartTimer()
 					// Single-goroutine bench: drive the two compaction
 					// strategies directly, bypassing the writer mutex.
-					g := l.gen()
+					v := l.snap()
 					if mode == "merge" {
-						l.cur.Store(mergeGen(g))
+						l.cur.Store(mergeGen(v))
 					} else {
-						l.cur.Store(rebuildGen(g))
+						l.cur.Store(rebuildGen(v))
 					}
 				}
 			})

@@ -9,31 +9,41 @@ package search
 // (differentially tested in live_test.go).
 //
 // Concurrency is RCU-style: all mutable state lives in an immutable
-// generation value published through an atomic pointer. Writers
-// (Append/EvictBefore/Compact, serialized by a mutex among themselves) build
-// the next generation and publish it; readers load one generation and run
-// against it for their whole lifetime without taking any lock, so a
-// long-lived StreamTemporal never blocks ingestion. Three disciplines make
-// the shared storage safe:
+// generation value published through an atomic pointer, and the common-case
+// Append publishes nothing at all — it appends into pre-sized storage and
+// advances an atomic tail length. Writers (Append/EvictBefore/Compact,
+// serialized by a mutex among themselves) build the next state and publish
+// it; readers capture a genView — one generation plus the tail prefix
+// published at capture time — and run against it for their whole lifetime
+// without taking any lock, so a long-lived StreamTemporal never blocks
+// ingestion. Four disciplines make the shared storage safe:
 //
-//  1. Append-only slices. labels, tail, tailOut, and tailIn grow only via
-//     append on the writer's latest view; published generations hold
-//     len-capped headers of the same backing arrays, and the writer only
-//     ever writes indexes beyond every published length, so no reader can
-//     observe a torn element.
+//  1. Append-only slices. labels, tailArr, tailOut, and tailIn grow only on
+//     the writer's latest state; published views hold len-capped headers of
+//     the same backing arrays, and the writer only ever writes indexes
+//     beyond every published length, so no reader can observe a torn
+//     element.
 //  2. Single-writer posLists. Per-node and per-label-pair tail position
 //     lists are shared across generations and appended in place; an atomic
 //     element count published after each element write gives readers a
 //     consistent prefix. Positions are globally increasing, so a reader
-//     simply stops at its generation's end position and never sees entries
+//     simply stops at its view's end position and never sees entries
 //     appended after its snapshot.
-//  3. Copy-on-compact. Compaction never truncates shared storage in place.
+//  3. Publish-after-index tail counts. The atomic tail length that reveals
+//     a new edge is stored only after the edge and all its posList entries
+//     are written, so a view that includes an edge always finds it in every
+//     index. An append that the current generation cannot fully describe —
+//     a label pair new to the pair map, a node added after the generation
+//     was built, a grown tail array — freezes the old generation's counter
+//     and publishes a successor with a fresh one, so stale generations
+//     never reveal edges their own indexes do not cover.
+//  4. Copy-on-compact. Compaction never truncates shared storage in place.
 //     The incremental merge path (merge.go) extends the base engine's
 //     storage only in freshly allocated arrays or in owned spare capacity
 //     strictly beyond every published length, and the rebuild path builds a
 //     fresh base Engine outright; both hand the new generation fresh
-//     (empty) tail lists and a fresh pair map, leaving every published
-//     generation's storage intact until the garbage collector reclaims it.
+//     (empty) tail storage and a fresh pair map, leaving every published
+//     view's storage intact until the garbage collector reclaims it.
 
 import (
 	"context"
@@ -75,6 +85,11 @@ type LiveOptions struct {
 	// length.
 	CompactEvery int
 
+	// Shards is consumed by NewSharded (sharded.go): the number of
+	// independent Live shards behind the cross-shard query planner
+	// (0 = GOMAXPROCS, 1 = unsharded). A plain NewLive ignores it.
+	Shards int
+
 	// disableMerge forces every compaction down the full-rebuild path.
 	// Test-only: the merge==rebuild differential tests replay one
 	// operation sequence into engines with and without it.
@@ -97,7 +112,7 @@ type pairKey struct{ src, dst tgraph.Label }
 // the backing array, so the array it loads is always at least as long as
 // the count it read and every element below that count is fully written.
 // Entries are strictly increasing global positions, which lets readers of
-// older generations stop at their snapshot's end position.
+// older views stop at their snapshot's end position.
 type posList struct {
 	n   atomic.Int32            // published element count
 	arr atomic.Pointer[[]int32] // backing array (len == cap), grown by doubling
@@ -136,27 +151,43 @@ func (p *posList) view() []int32 {
 	return (*arr)[:n]
 }
 
-// generation is one immutable snapshot of the live edge set: a compacted
-// CSR base plus an indexed tail, with eviction expressed as a floor
-// position. Every query runs against exactly one generation, so it observes
-// one consistent edge set no matter how long it runs. The slices are
-// len-capped views into append-only storage shared with newer generations
-// (see the package comment disciplines); the posLists may contain positions
-// beyond this generation's end, which readers skip via the monotone
-// position order.
+// capBytes reports the bytes retained by the list's backing array.
+func (p *posList) capBytes() int {
+	if arr := p.arr.Load(); arr != nil {
+		return 4 * len(*arr)
+	}
+	return 0
+}
+
+// generation is one immutable snapshot of the live engine's structure: a
+// compacted CSR base plus indexed tail storage, with eviction expressed as
+// a floor position. The tail's published length lives outside the struct in
+// an atomic counter (tailN), so the common-case Append advances the counter
+// without republishing — a generation therefore describes which storage and
+// indexes exist, and a genView adds the instant's published tail prefix.
+// The slices are len-capped views into append-only storage shared with
+// newer generations (see the file-comment disciplines); the posLists may
+// contain positions beyond a view's end, which readers skip via the
+// monotone position order.
 type generation struct {
 	base      *Engine // CSR indexes over the compacted prefix; nil until first compaction
 	baseEdges int32   // edges in base: global positions [0, baseEdges)
 
 	floor int32 // first live global position; earlier edges are evicted
 
-	labels  []tgraph.Label       // node labels; len == node count of this generation
-	tail    []tgraph.Edge        // appended edges, global positions baseEdges+i
+	labels  []tgraph.Label // node labels; len == node count of this generation
+	tailArr []tgraph.Edge  // tail backing array (len == cap); live prefix published via tailN
+	// tailN publishes how much of tailArr is live. It advances only for
+	// edges this generation's indexes fully describe: an append that needs
+	// a new pair-map key, a new node, or a grown array freezes the counter
+	// and hands its successor generation a fresh one (discipline 3), so a
+	// reader of a stale generation never sees an edge it cannot resolve.
+	tailN   *atomic.Int32
 	tailOut []*posList           // node -> tail positions with the node as source
 	tailIn  []*posList           // node -> tail positions with the node as destination
 	pair    map[pairKey]*posList // label pair -> tail positions (copy-on-new-key)
 
-	lastTime int64 // largest timestamp seen; -1 when empty
+	lastTime int64 // largest timestamp as of this generation's publish; -1 when empty
 
 	// Compaction bookkeeping, carried immutably for Stats.
 	compactions     int // total compactions since creation
@@ -164,29 +195,63 @@ type generation struct {
 	lastCompactTail int // tail edges folded by the most recent compaction
 }
 
-// end returns one past the last global position of this generation.
-func (g *generation) end() int32 { return g.baseEdges + int32(len(g.tail)) }
+// view captures the generation's published tail prefix. The returned
+// genView is an immutable, internally consistent snapshot: every edge below
+// its end is present in every index it consults. Writers (holding the
+// mutex) get an exact view; readers get the latest published prefix.
+func (g *generation) view() genView {
+	n := g.tailN.Load()
+	return genView{g: g, tail: g.tailArr[:n:n]}
+}
+
+// freshCounter seeds a new tail counter at n, for a successor generation
+// whose indexes diverge from its predecessor's (discipline 3).
+func freshCounter(n int32) *atomic.Int32 {
+	ctr := new(atomic.Int32)
+	ctr.Store(n)
+	return ctr
+}
+
+// genView is one reader's consistent snapshot of a Live engine: a
+// generation plus the tail prefix published when the view was captured.
+// Every query runs against exactly one view, so it observes one consistent
+// edge set no matter how long it runs.
+type genView struct {
+	g    *generation
+	tail []tgraph.Edge // published prefix of g.tailArr
+}
+
+// end returns one past the last global position of this view.
+func (v genView) end() int32 { return v.g.baseEdges + int32(len(v.tail)) }
 
 // numEdges reports the number of live (non-evicted) edges.
-func (g *generation) numEdges() int { return int(g.end() - g.floor) }
+func (v genView) numEdges() int { return int(v.end() - v.g.floor) }
+
+// lastTime reports the largest timestamp in the view (-1 when empty).
+func (v genView) lastTime() int64 {
+	if len(v.tail) > 0 {
+		return v.tail[len(v.tail)-1].Time
+	}
+	return v.g.lastTime
+}
 
 // edgeAt returns the edge at a global position.
-func (g *generation) edgeAt(pos int32) tgraph.Edge {
-	if pos < g.baseEdges {
-		return g.base.g.EdgeAt(int(pos))
+func (v genView) edgeAt(pos int32) tgraph.Edge {
+	if pos < v.g.baseEdges {
+		return v.g.base.g.EdgeAt(int(pos))
 	}
-	return g.tail[pos-g.baseEdges]
+	return v.tail[pos-v.g.baseEdges]
 }
 
 // iterTail iterates a tail posList's positions strictly after `after` and
-// below this generation's end, until fn returns false; reports whether the
-// scan ran to completion.
-func (g *generation) iterTail(pl *posList, after int32, fn func(int32) bool) bool {
+// below this view's end, until fn returns false; reports whether the scan
+// ran to completion.
+func (v genView) iterTail(pl *posList, after int32, fn func(int32) bool) bool {
 	if pl == nil {
 		return true
 	}
 	list := pl.view()
-	end := g.end()
+	end := v.end()
 	i := sort.Search(len(list), func(i int) bool { return list[i] > after })
 	for ; i < len(list); i++ {
 		pos := list[i]
@@ -204,75 +269,75 @@ func (g *generation) iterTail(pl *posList, after int32, fn func(int32) bool) boo
 // (src, dst) strictly after `after`, in increasing order, until fn returns
 // false. Base and tail segments chain naturally: every tail position is
 // greater than every base position.
-func (g *generation) forEachPair(src, dst tgraph.Label, after int32, fn func(int32) bool) {
-	if after < g.floor-1 {
-		after = g.floor - 1
+func (v genView) forEachPair(src, dst tgraph.Label, after int32, fn func(int32) bool) {
+	if after < v.g.floor-1 {
+		after = v.g.floor - 1
 	}
-	if g.base != nil {
-		if !iterAfterOK(g.base.pairPositions(src, dst), after, fn) {
+	if v.g.base != nil {
+		if !iterAfterOK(v.g.base.pairPositions(src, dst), after, fn) {
 			return
 		}
 	}
-	g.iterTail(g.pair[pairKey{src, dst}], after, fn)
+	v.iterTail(v.g.pair[pairKey{src, dst}], after, fn)
 }
 
-// forEachOut iterates live positions of edges with node v as source,
+// forEachOut iterates live positions of edges with node n as source,
 // strictly after `after`, until fn returns false.
-func (g *generation) forEachOut(v tgraph.NodeID, after int32, fn func(int32) bool) {
-	if after < g.floor-1 {
-		after = g.floor - 1
+func (v genView) forEachOut(n tgraph.NodeID, after int32, fn func(int32) bool) {
+	if after < v.g.floor-1 {
+		after = v.g.floor - 1
 	}
-	if g.base != nil && int(v) < g.base.g.NumNodes() {
-		if !iterAfterOK(g.base.outAt(v), after, fn) {
+	if v.g.base != nil && int(n) < v.g.base.g.NumNodes() {
+		if !iterAfterOK(v.g.base.outAt(n), after, fn) {
 			return
 		}
 	}
-	g.iterTail(g.tailOut[v], after, fn)
+	v.iterTail(v.g.tailOut[n], after, fn)
 }
 
-// forEachIn iterates live positions of edges with node v as destination,
+// forEachIn iterates live positions of edges with node n as destination,
 // strictly after `after`, until fn returns false.
-func (g *generation) forEachIn(v tgraph.NodeID, after int32, fn func(int32) bool) {
-	if after < g.floor-1 {
-		after = g.floor - 1
+func (v genView) forEachIn(n tgraph.NodeID, after int32, fn func(int32) bool) {
+	if after < v.g.floor-1 {
+		after = v.g.floor - 1
 	}
-	if g.base != nil && int(v) < g.base.g.NumNodes() {
-		if !iterAfterOK(g.base.inAt(v), after, fn) {
+	if v.g.base != nil && int(n) < v.g.base.g.NumNodes() {
+		if !iterAfterOK(v.g.base.inAt(n), after, fn) {
 			return
 		}
 	}
-	g.iterTail(g.tailIn[v], after, fn)
+	v.iterTail(v.g.tailIn[n], after, fn)
 }
 
 // forEachEdge iterates the live (non-evicted) edges in global position
 // order until fn returns false.
-func (g *generation) forEachEdge(fn func(tgraph.Edge) bool) {
-	if g.base != nil && g.floor < g.baseEdges {
-		for _, e := range g.base.g.Edges()[g.floor:] {
+func (v genView) forEachEdge(fn func(tgraph.Edge) bool) {
+	if v.g.base != nil && v.g.floor < v.g.baseEdges {
+		for _, e := range v.g.base.g.Edges()[v.g.floor:] {
 			if !fn(e) {
 				return
 			}
 		}
 	}
-	tailFrom := int(g.floor) - int(g.baseEdges)
+	tailFrom := int(v.g.floor) - int(v.g.baseEdges)
 	if tailFrom < 0 {
 		tailFrom = 0
 	}
-	for _, e := range g.tail[tailFrom:] {
+	for _, e := range v.tail[tailFrom:] {
 		if !fn(e) {
 			return
 		}
 	}
 }
 
-// buildGraph materializes the generation's edge set (all nodes, non-evicted
+// buildGraph materializes the view's edge set (all nodes, non-evicted
 // edges) as an immutable tgraph.Graph.
-func (g *generation) buildGraph() *tgraph.Graph {
+func (v genView) buildGraph() *tgraph.Graph {
 	var b tgraph.Builder
-	for _, lab := range g.labels {
+	for _, lab := range v.g.labels {
 		b.AddNode(lab)
 	}
-	g.forEachEdge(func(e tgraph.Edge) bool {
+	v.forEachEdge(func(e tgraph.Edge) bool {
 		_ = b.AddEdge(e.Src, e.Dst, e.Time)
 		return true
 	})
@@ -285,15 +350,62 @@ func (g *generation) buildGraph() *tgraph.Graph {
 }
 
 // cutBefore returns the first global position whose edge time is >= t.
-func (g *generation) cutBefore(t int64) int32 {
-	if g.base != nil {
-		edges := g.base.g.Edges()
+func (v genView) cutBefore(t int64) int32 {
+	if v.g.base != nil {
+		edges := v.g.base.g.Edges()
 		if i := sort.Search(len(edges), func(i int) bool { return edges[i].Time >= t }); i < len(edges) {
 			return int32(i)
 		}
 	}
-	j := sort.Search(len(g.tail), func(i int) bool { return g.tail[i].Time >= t })
-	return g.baseEdges + int32(j)
+	j := sort.Search(len(v.tail), func(i int) bool { return v.tail[i].Time >= t })
+	return v.g.baseEdges + int32(j)
+}
+
+// numReaderSlots bounds the reader-accounting table. Purely observability:
+// when all slots are busy additional queries run normally and simply go
+// uncounted (ActiveReaders/OldestReaderLag then under-report).
+const numReaderSlots = 64
+
+// readerSlots tracks in-flight lock-free queries for Stats. Each running
+// query parks its snapshot's end position in a slot (stored +1 so zero
+// means free) and clears it when it finishes, so operators can see how far
+// behind the oldest still-pinned snapshot is — a paused stream consumer
+// holding old storage alive shows up as a growing OldestReaderLag.
+type readerSlots struct {
+	slot [numReaderSlots]atomic.Int64
+}
+
+// acquire parks a snapshot end and returns the slot index, or -1 when the
+// table is full (the query then goes uncounted).
+func (r *readerSlots) acquire(end int32) int {
+	for i := range r.slot {
+		if r.slot[i].CompareAndSwap(0, int64(end)+1) {
+			return i
+		}
+	}
+	return -1
+}
+
+// release frees a slot returned by acquire (no-op for -1).
+func (r *readerSlots) release(i int) {
+	if i >= 0 {
+		r.slot[i].Store(0)
+	}
+}
+
+// oldest reports the number of registered readers and the smallest parked
+// snapshot end among them.
+func (r *readerSlots) oldest() (count int, minEnd int32) {
+	minEnd = math.MaxInt32
+	for i := range r.slot {
+		if s := r.slot[i].Load(); s != 0 {
+			count++
+			if e := int32(s - 1); e < minEnd {
+				minEnd = e
+			}
+		}
+	}
+	return count, minEnd
 }
 
 // Live is an incrementally growing temporal-graph engine. Edges append in
@@ -310,14 +422,21 @@ func (g *generation) cutBefore(t int64) int32 {
 //
 // Live is safe for concurrent use and reads are lock-free: every query —
 // including a StreamTemporal iterated over minutes — runs against the
-// immutable generation current when it started and never blocks
+// immutable view current when it started and never blocks
 // Append/EvictBefore/Compact, which serialize among themselves on a writer
-// mutex and publish new generations atomically.
+// mutex. The common-case Append allocates nothing and publishes only an
+// atomic tail length; structural changes (new label pair, new node, grown
+// tail storage, eviction, compaction) publish a new generation atomically.
+//
+// For multi-writer workloads, ShardedLive (sharded.go) runs N independent
+// Live shards behind a cross-shard query planner.
 type Live struct {
 	mu   sync.Mutex // serializes writers; readers never take it
 	opts LiveOptions
 
 	cur atomic.Pointer[generation]
+
+	readers readerSlots // in-flight query accounting for Stats
 
 	used sync.Pool // *usedSet per-query scratch
 }
@@ -326,6 +445,7 @@ type Live struct {
 func NewLive(opts LiveOptions) *Live {
 	l := &Live{opts: opts.normalize()}
 	l.cur.Store(&generation{
+		tailN:    freshCounter(0),
 		pair:     make(map[pairKey]*posList),
 		lastTime: -1,
 	})
@@ -337,7 +457,13 @@ func NewLive(opts LiveOptions) *Live {
 // remains valid (and consistent) forever.
 func (l *Live) gen() *generation { return l.cur.Load() }
 
+// snap captures the current view: the freshest consistent snapshot a query
+// can run against.
+func (l *Live) snap() genView { return l.gen().view() }
+
 // AddNode appends a node with the given label and returns its NodeID.
+// The successor generation gets a fresh tail counter so views of the
+// predecessor never surface edges that reference the new node.
 func (l *Live) AddNode(label tgraph.Label) tgraph.NodeID {
 	l.mu.Lock()
 	defer l.mu.Unlock()
@@ -346,15 +472,36 @@ func (l *Live) AddNode(label tgraph.Label) tgraph.NodeID {
 	ng.labels = append(g.labels, label)
 	ng.tailOut = append(g.tailOut, &posList{})
 	ng.tailIn = append(g.tailIn, &posList{})
+	ng.lastTime = g.view().lastTime()
+	ng.tailN = freshCounter(g.tailN.Load())
 	l.cur.Store(&ng)
 	return tgraph.NodeID(len(ng.labels) - 1)
+}
+
+// minTailCap sizes the first tail backing array; growth doubles from there
+// and compaction seeds the next cycle's array at the steady-state size.
+const minTailCap = 64
+
+// newTailArr allocates a post-compaction tail backing array sized for the
+// next cycle: the tail just folded is the steady-state tail length (the
+// compaction schedule fires at roughly the same size every cycle), so the
+// next cycle fills it without a growth republish — while a one-off giant
+// tail (explicit compaction after a burst) does not permanently inflate
+// every later cycle's allocation.
+func newTailArr(folded int) []tgraph.Edge {
+	if folded < minTailCap {
+		folded = minTailCap
+	}
+	return make([]tgraph.Edge, folded)
 }
 
 // Append records a directed edge src -> dst at time t. Timestamps must be
 // strictly increasing across appends (sequentialize concurrent events
 // upstream, as tgraph.Builder.Sequentialize does for batch graphs). The
-// amortized cost is O(1): the tail folds into the CSR base on the geometric
-// schedule described on LiveOptions.CompactEvery.
+// amortized cost is O(1) and the common case allocates nothing: the edge
+// lands in pre-sized tail storage and is revealed by one atomic length
+// store; the tail folds into the CSR base on the geometric schedule
+// described on LiveOptions.CompactEvery.
 func (l *Live) Append(src, dst tgraph.NodeID, t int64) error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
@@ -362,10 +509,11 @@ func (l *Live) Append(src, dst tgraph.NodeID, t int64) error {
 	if n := tgraph.NodeID(len(g.labels)); src < 0 || src >= n || dst < 0 || dst >= n {
 		return fmt.Errorf("search: live edge (%d,%d,%d) references unknown node (have %d nodes)", src, dst, t, n)
 	}
-	if t <= g.lastTime {
-		return fmt.Errorf("search: live append out of order: t=%d not after t=%d (timestamps must be strictly increasing)", t, g.lastTime)
+	v := g.view() // writer-exact under the mutex
+	if lt := v.lastTime(); t <= lt {
+		return fmt.Errorf("search: live append out of order: t=%d not after t=%d (timestamps must be strictly increasing)", t, lt)
 	}
-	if int64(g.baseEdges)+int64(len(g.tail)) >= math.MaxInt32 {
+	if int64(g.baseEdges)+int64(len(v.tail)) >= math.MaxInt32 {
 		// The next edge would take global position 2^31-1, wrapping the
 		// int32 position space and corrupting every posList. Compaction
 		// keeps cumulative positions (the merge carries the floor, a
@@ -375,35 +523,60 @@ func (l *Live) Append(src, dst tgraph.NodeID, t int64) error {
 		// otherwise — reachable only by streams that never evict (e.g.
 		// CompactEvery < 0 for 2^31 appends).
 		if g.floor > 0 {
-			g = rebuildGen(g)
+			g = rebuildGen(v)
 			l.cur.Store(g)
+			v = g.view()
 		}
-		if int64(g.baseEdges)+int64(len(g.tail)) >= math.MaxInt32 {
+		if int64(g.baseEdges)+int64(len(v.tail)) >= math.MaxInt32 {
 			return fmt.Errorf("%w: edge (%d,%d,%d) rejected", ErrPositionsExhausted, src, dst, t)
 		}
 	}
-	pos := g.end()
-	ng := *g
-	ng.tail = append(g.tail, tgraph.Edge{Src: src, Dst: dst, Time: t})
-	// The posLists are shared with published generations: the new position
-	// is beyond every published end, so concurrent readers skip it.
-	g.tailOut[src].push(pos)
-	g.tailIn[dst].push(pos)
+	n := int32(len(v.tail))
+	pos := g.baseEdges + n
+
+	// Structural changes this generation's indexes cannot describe — a
+	// label pair new to the pair map or a full tail array — freeze its
+	// counter and publish a successor with a fresh one (discipline 3).
 	k := pairKey{g.labels[src], g.labels[dst]}
 	pl := g.pair[k]
-	if pl == nil {
-		// First edge with this label pair: copy-on-write the map so
-		// readers holding older generations never observe a map insert.
-		pl = &posList{}
-		np := make(map[pairKey]*posList, len(g.pair)+1)
-		for pk, pv := range g.pair {
-			np[pk] = pv
+	grow := int(n) == len(g.tailArr)
+	if pl == nil || grow {
+		ng := *g
+		if grow {
+			newCap := 2 * len(g.tailArr)
+			if newCap < minTailCap {
+				newCap = minTailCap
+			}
+			arr := make([]tgraph.Edge, newCap)
+			copy(arr, v.tail)
+			ng.tailArr = arr
 		}
-		np[k] = pl
-		ng.pair = np
+		if pl == nil {
+			// First edge with this label pair: copy-on-write the map so
+			// readers holding older generations never observe a map insert.
+			pl = &posList{}
+			np := make(map[pairKey]*posList, len(g.pair)+1)
+			for pk, pv := range g.pair {
+				np[pk] = pv
+			}
+			np[k] = pl
+			ng.pair = np
+		}
+		ng.tailN = freshCounter(n)
+		l.cur.Store(&ng)
+		g = &ng
 	}
+
+	// Write the edge and its index entries, then reveal it with the
+	// counter store. The posLists are shared with published views: the new
+	// position is beyond every published end, so concurrent readers skip
+	// it until the store below.
+	g.tailArr[n] = tgraph.Edge{Src: src, Dst: dst, Time: t}
+	g.tailOut[src].push(pos)
+	g.tailIn[dst].push(pos)
 	pl.push(pos)
-	ng.lastTime = t
+	g.tailN.Store(n + 1)
+
 	// Automatic compaction schedule. The incremental merge (merge.go)
 	// costs O(tail + touched lists) plus per-merge bookkeeping linear in
 	// the node count and the extended-pair map — all independent of the
@@ -417,19 +590,17 @@ func (l *Live) Append(src, dst tgraph.NodeID, t int64) error {
 	// sizes then grow geometrically in the live set and appends stay
 	// amortized O(1) either way. Tail edges are indexed just like base
 	// edges, so a deferred compaction does not slow searches.
-	if l.opts.CompactEvery > 0 && len(ng.tail) >= l.opts.CompactEvery {
+	if l.opts.CompactEvery > 0 && int(n)+1 >= l.opts.CompactEvery {
+		nv := g.view()
 		switch {
-		case canMerge(&ng) && !l.opts.disableMerge:
-			if 8*len(ng.tail) >= len(ng.labels)+len(ng.base.pairExt) {
-				l.cur.Store(mergeGen(&ng))
-				return nil
+		case canMerge(nv) && !l.opts.disableMerge:
+			if 8*len(nv.tail) >= len(g.labels)+len(g.base.pairExt) {
+				l.cur.Store(mergeGen(nv))
 			}
-		case int64(len(ng.tail))*2 >= int64(ng.baseEdges)-int64(ng.floor):
-			l.cur.Store(rebuildGen(&ng))
-			return nil
+		case int64(len(nv.tail))*2 >= int64(g.baseEdges)-int64(g.floor):
+			l.cur.Store(rebuildGen(nv))
 		}
 	}
-	l.cur.Store(&ng)
 	return nil
 }
 
@@ -442,9 +613,12 @@ func (l *Live) EvictBefore(t int64) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	g := l.gen()
-	if cut := g.cutBefore(t); cut > g.floor {
+	v := g.view()
+	if cut := v.cutBefore(t); cut > g.floor {
 		ng := *g
 		ng.floor = cut
+		ng.lastTime = v.lastTime()
+		ng.tailN = freshCounter(int32(len(v.tail)))
 		l.cur.Store(&ng)
 	}
 }
@@ -459,17 +633,18 @@ func (l *Live) EvictBefore(t int64) {
 func (l *Live) Compact() {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	g := l.gen()
-	l.cur.Store(compactGen(l.opts, g))
+	v := l.snap() // writer-exact under the mutex
+	l.cur.Store(compactGen(l.opts, v))
 }
 
-// compactGen picks the compaction strategy for a generation: the
-// incremental merge when eligible, the reclaiming rebuild otherwise, or
-// the generation unchanged when compaction would be a no-op. Caller holds
-// the writer mutex.
-func compactGen(opts LiveOptions, g *generation) *generation {
-	merge := canMerge(g) && !opts.disableMerge
-	if len(g.tail) == 0 {
+// compactGen picks the compaction strategy for a view: the incremental
+// merge when eligible, the reclaiming rebuild otherwise, or the generation
+// unchanged when compaction would be a no-op. Caller holds the writer
+// mutex.
+func compactGen(opts LiveOptions, v genView) *generation {
+	g := v.g
+	merge := canMerge(v) && !opts.disableMerge
+	if len(v.tail) == 0 {
 		newNodes := g.base == nil && len(g.labels) > 0
 		if g.base != nil && len(g.labels) > g.base.g.NumNodes() {
 			newNodes = true
@@ -481,9 +656,9 @@ func compactGen(opts LiveOptions, g *generation) *generation {
 		}
 	}
 	if merge {
-		return mergeGen(g)
+		return mergeGen(v)
 	}
-	return rebuildGen(g)
+	return rebuildGen(v)
 }
 
 // Snapshot materializes an immutable Engine over the current live edge set,
@@ -492,18 +667,19 @@ func compactGen(opts LiveOptions, g *generation) *generation {
 // tail edges, no evicted prefix, and no nodes added since — the base is
 // returned directly with no copying.
 func (l *Live) Snapshot() *Engine {
-	g := l.gen()
-	if g.base != nil && len(g.tail) == 0 && g.floor == 0 && len(g.labels) == g.base.g.NumNodes() {
+	v := l.snap()
+	g := v.g
+	if g.base != nil && len(v.tail) == 0 && g.floor == 0 && len(g.labels) == g.base.g.NumNodes() {
 		return g.base
 	}
-	return NewEngine(g.buildGraph())
+	return NewEngine(v.buildGraph())
 }
 
 // LiveStats describes a Live engine's retention and compaction state at
-// one instant (one generation): how much of the edge set sits in the
-// compacted CSR base versus the append-only tail, how far eviction has
-// advanced, and what the compactor has been doing. All counts are edges
-// unless stated otherwise.
+// one instant (one view): how much of the edge set sits in the compacted
+// CSR base versus the append-only tail, how far eviction has advanced,
+// what the compactor has been doing, and how much storage the engine (and
+// any slow readers) retain. All counts are edges unless stated otherwise.
 type LiveStats struct {
 	Nodes     int   // nodes ever added (evicted edges keep their nodes)
 	BaseEdges int   // edges held by the CSR base, including any evicted prefix
@@ -515,43 +691,130 @@ type LiveStats struct {
 	Compactions     int // compactions since creation
 	Merges          int // of which took the incremental merge path (the rest were reclaiming rebuilds)
 	LastCompactTail int // tail edges folded by the most recent compaction
+
+	// RetainedBytes approximates the bytes of storage the current
+	// generation keeps alive: base edge array and CSR indexes, node
+	// labels, tail backing array, and tail position lists. Readers
+	// pinning older generations retain their (pre-compaction) storage on
+	// top of this; watch OldestReaderLag for that.
+	RetainedBytes int
+	// ActiveReaders counts queries currently running against some view of
+	// this engine (a stream counts until its consumer finishes). Best
+	// effort: at most 64 readers are tracked, further ones go uncounted.
+	ActiveReaders int
+	// OldestReaderLag is the number of edges appended since the oldest
+	// active reader's snapshot was taken (0 when idle). A large or growing
+	// value means a slow or paused reader is pinning old generations —
+	// and, across compactions, their pre-compaction storage — alive.
+	OldestReaderLag int
 }
 
-// Stats reports the current generation's retention and compaction state.
-// Lock-free and O(1); the fields are mutually consistent (one generation).
+// Stats reports the current view's retention and compaction state. Lock
+// free; the fields are mutually consistent (one view). O(nodes) for the
+// retained-bytes walk, so call it at operator cadence, not per append.
 func (l *Live) Stats() LiveStats {
-	g := l.gen()
+	v := l.snap()
+	g := v.g
+	readers, oldestEnd := l.readers.oldest()
+	lag := 0
+	if readers > 0 {
+		if d := int(v.end() - oldestEnd); d > 0 {
+			lag = d
+		}
+	}
 	return LiveStats{
 		Nodes:           len(g.labels),
 		BaseEdges:       int(g.baseEdges),
-		TailLen:         len(g.tail),
+		TailLen:         len(v.tail),
 		Floor:           int(g.floor),
-		LiveEdges:       g.numEdges(),
-		LastTime:        g.lastTime,
+		LiveEdges:       v.numEdges(),
+		LastTime:        v.lastTime(),
 		Compactions:     g.compactions,
 		Merges:          g.merges,
 		LastCompactTail: g.lastCompactTail,
+		RetainedBytes:   v.retainedBytes(),
+		ActiveReaders:   readers,
+		OldestReaderLag: lag,
 	}
+}
+
+// retainedBytes approximates the storage the view's generation keeps
+// alive. O(nodes + pairs): it walks the tail position lists.
+func (v genView) retainedBytes() int {
+	g := v.g
+	b := engineRetainedBytes(g.base)
+	b += 4 * len(g.labels)             // labels
+	b += edgeBytes * len(g.tailArr)    // tail backing array (full capacity)
+	b += 2 * ptrBytes * len(g.tailOut) // tailOut/tailIn pointer slices
+	for _, pl := range g.tailOut {
+		b += pl.capBytes()
+	}
+	for _, pl := range g.tailIn {
+		b += pl.capBytes()
+	}
+	for _, pl := range g.pair {
+		b += pl.capBytes()
+	}
+	return b
+}
+
+const (
+	edgeBytes = 16 // tgraph.Edge: two int32 node IDs + one int64 timestamp
+	ptrBytes  = 8
+)
+
+// engineRetainedBytes approximates an Engine's storage: the host graph's
+// edge and label arrays plus the flat CSR (or merged-mode) indexes. Owned
+// merged-mode lists count here; lists shared with the flat ancestor are
+// counted once via the ancestor.
+func engineRetainedBytes(e *Engine) int {
+	if e == nil {
+		return 0
+	}
+	b := edgeBytes*e.g.NumEdges() + 4*e.g.NumNodes()
+	b += 4 * (len(e.outOff) + len(e.outPos) + len(e.inOff) + len(e.inPos))
+	b += 4*len(e.pairPos) + 4*len(e.pairOff) + 8*len(e.pairKeys) + 8*len(e.pairSpan)
+	if e.outList != nil {
+		b += 2 * (ptrBytes + 2) * len(e.outList) // list headers + owned bits
+		for i := range e.outList {
+			if e.outOwned[i] {
+				b += 4 * len(e.outList[i])
+			}
+			if e.inOwned[i] {
+				b += 4 * len(e.inList[i])
+			}
+		}
+	}
+	for _, seg := range e.pairExt {
+		if seg.owned {
+			b += 4 * len(seg.pos)
+		}
+	}
+	if e.flat != nil && e.flat != e {
+		b += engineRetainedBytes(e.flat)
+	}
+	return b
 }
 
 // NumNodes reports the number of nodes ever added.
 func (l *Live) NumNodes() int { return len(l.gen().labels) }
 
 // NumEdges reports the number of live (non-evicted) edges.
-func (l *Live) NumEdges() int { return l.gen().numEdges() }
+func (l *Live) NumEdges() int { return l.snap().numEdges() }
 
 // LastTime reports the largest appended timestamp (-1 when empty).
-func (l *Live) LastTime() int64 { return l.gen().lastTime }
+func (l *Live) LastTime() int64 { return l.snap().lastTime() }
 
-// liveState is the temporal matcher over a live generation: the same
+// liveState is the temporal matcher over a live view: the same
 // backtracking search as tState (stream.go), iterating base + tail as one
 // position sequence. The two match methods are deliberate twins — kept
 // monomorphic so the static hot path pays no interface dispatch. A change
-// to either MUST be mirrored in the other;
-// TestLiveMatchesStaticDifferential enforces agreement.
+// to either MUST be mirrored in the other (and in the cross-shard
+// shardedState, sharded.go); TestLiveMatchesStaticDifferential enforces
+// agreement.
 type liveState struct {
 	matchCore
-	g *generation
+	v genView
 }
 
 func (s *liveState) match(k int, lastPos int32) {
@@ -559,7 +822,7 @@ func (s *liveState) match(k int, lastPos int32) {
 		return
 	}
 	if k == s.p.NumEdges() {
-		s.emit(Match{Start: s.startTime, End: s.g.edgeAt(lastPos).Time})
+		s.emit(Match{Start: s.startTime, End: s.v.edgeAt(lastPos).Time})
 		return
 	}
 	pe := s.p.EdgeAt(k)
@@ -569,33 +832,33 @@ func (s *liveState) match(k int, lastPos int32) {
 		deadline = s.startTime + s.opts.Window - 1
 	}
 	try := func(pos int32) {
-		ge := s.g.edgeAt(pos)
+		ge := s.v.edgeAt(pos)
 		if deadline >= 0 && ge.Time > deadline {
 			return
 		}
 		if (pe.Src == pe.Dst) != (ge.Src == ge.Dst) {
 			return
 		}
-		if s.g.labels[ge.Src] != s.p.LabelOf(pe.Src) || s.g.labels[ge.Dst] != s.p.LabelOf(pe.Dst) {
+		if s.v.g.labels[ge.Src] != s.p.LabelOf(pe.Src) || s.v.g.labels[ge.Dst] != s.p.LabelOf(pe.Dst) {
 			return
 		}
 		s.bindEdge(pe, ge, func() { s.match(k+1, pos) })
 	}
 	switch {
 	case ms != -1:
-		s.g.forEachOut(ms, lastPos, func(pos int32) bool {
-			if deadline >= 0 && s.g.edgeAt(pos).Time > deadline {
+		s.v.forEachOut(ms, lastPos, func(pos int32) bool {
+			if deadline >= 0 && s.v.edgeAt(pos).Time > deadline {
 				return false
 			}
-			if md != -1 && s.g.edgeAt(pos).Dst != md {
+			if md != -1 && s.v.edgeAt(pos).Dst != md {
 				return true
 			}
 			try(pos)
 			return !s.done
 		})
 	case md != -1:
-		s.g.forEachIn(md, lastPos, func(pos int32) bool {
-			if deadline >= 0 && s.g.edgeAt(pos).Time > deadline {
+		s.v.forEachIn(md, lastPos, func(pos int32) bool {
+			if deadline >= 0 && s.v.edgeAt(pos).Time > deadline {
 				return false
 			}
 			try(pos)
@@ -604,7 +867,7 @@ func (s *liveState) match(k int, lastPos int32) {
 	default:
 		// Unreachable for T-connected patterns beyond the first edge, but
 		// handle defensively via the pair index.
-		s.g.forEachPair(s.p.LabelOf(pe.Src), s.p.LabelOf(pe.Dst), lastPos, func(pos int32) bool {
+		s.v.forEachPair(s.p.LabelOf(pe.Src), s.p.LabelOf(pe.Dst), lastPos, func(pos int32) bool {
 			try(pos)
 			return !s.done
 		})
@@ -613,10 +876,10 @@ func (s *liveState) match(k int, lastPos int32) {
 
 // StreamTemporal yields the distinct intervals where the temporal pattern
 // embeds in the live edge set, with the same semantics as
-// Engine.StreamTemporal. The stream runs against the generation current
-// when it started: it observes one consistent edge set for its whole
-// lifetime, holds no lock, and never blocks Append/EvictBefore/Compact —
-// calling them from inside the loop body is safe (their effects become
+// Engine.StreamTemporal. The stream runs against the view current when it
+// started: it observes one consistent edge set for its whole lifetime,
+// holds no lock, and never blocks Append/EvictBefore/Compact — calling
+// them from inside the consumer loop body is safe (their effects become
 // visible to the next query, not the running stream).
 func (l *Live) StreamTemporal(ctx context.Context, p *tgraph.Pattern, opts Options) iter.Seq2[Match, error] {
 	opts = opts.normalize()
@@ -624,25 +887,27 @@ func (l *Live) StreamTemporal(ctx context.Context, p *tgraph.Pattern, opts Optio
 		if p.NumEdges() == 0 {
 			return
 		}
-		g := l.gen()
+		v := l.snap()
+		slot := l.readers.acquire(v.end())
+		defer l.readers.release(slot)
 		res := newRootDedup(opts.Limit, func(m Match) bool { return yield(m, nil) })
 		defer res.release()
-		st := &liveState{g: g}
+		st := &liveState{v: v}
 		st.p = p
 		st.opts = opts
 		st.res = res
 		st.ctx = ctx
 		u := l.used.Get().(*usedSet)
-		u.reset(len(g.labels))
+		u.reset(len(v.g.labels))
 		st.init(p.NumNodes(), u)
 		defer l.used.Put(u)
 		first := p.EdgeAt(0)
-		g.forEachPair(p.LabelOf(first.Src), p.LabelOf(first.Dst), g.floor-1, func(pos int32) bool {
+		v.forEachPair(p.LabelOf(first.Src), p.LabelOf(first.Dst), v.g.floor-1, func(pos int32) bool {
 			if st.rootCancelled() {
 				return false
 			}
 			res.nextRoot()
-			ge := g.edgeAt(pos)
+			ge := v.edgeAt(pos)
 			if (first.Src == first.Dst) != (ge.Src == ge.Dst) {
 				return true
 			}
@@ -670,13 +935,13 @@ func (l *Live) FindTemporal(p *tgraph.Pattern, opts Options) Result {
 	return r
 }
 
-// ntLiveState is the non-temporal matcher over a live generation, the twin
-// of ntState (search.go) — the same deliberate monomorphic-twin pattern as
+// ntLiveState is the non-temporal matcher over a live view, the twin of
+// ntState (search.go) — the same deliberate monomorphic-twin pattern as
 // tState/liveState. A semantic change to either MUST be mirrored in the
 // other; TestLiveMatchesStaticDifferential enforces agreement.
 type ntLiveState struct {
 	ntCore
-	g *generation
+	v genView
 }
 
 func (s *ntLiveState) match(k int) {
@@ -693,29 +958,29 @@ func (s *ntLiveState) match(k int) {
 	pe := s.order[k]
 	ms, md := s.mapping[pe.Src], s.mapping[pe.Dst]
 	try := func(pos int32) bool {
-		ge := s.g.edgeAt(pos)
-		ok := s.tryEdge(k, pe, ge, pos, s.g.labels[ge.Src], s.g.labels[ge.Dst], func() { s.match(k + 1) })
+		ge := s.v.edgeAt(pos)
+		ok := s.tryEdge(k, pe, ge, int64(pos), s.v.g.labels[ge.Src], s.v.g.labels[ge.Dst], func() { s.match(k + 1) })
 		return ok && !s.done
 	}
 	switch {
 	case ms != -1:
-		s.g.forEachOut(ms, s.g.floor-1, func(pos int32) bool {
-			if md != -1 && s.g.edgeAt(pos).Dst != md {
+		s.v.forEachOut(ms, s.v.g.floor-1, func(pos int32) bool {
+			if md != -1 && s.v.edgeAt(pos).Dst != md {
 				return true
 			}
 			return try(pos)
 		})
 	case md != -1:
-		s.g.forEachIn(md, s.g.floor-1, try)
+		s.v.forEachIn(md, s.v.g.floor-1, try)
 	default:
-		s.g.forEachPair(s.p.Labels[pe.Src], s.p.Labels[pe.Dst], s.g.floor-1, try)
+		s.v.forEachPair(s.p.Labels[pe.Src], s.p.Labels[pe.Dst], s.v.g.floor-1, try)
 	}
 }
 
 // FindNonTemporalContext reports the distinct intervals where the collapsed
 // (non-temporal) pattern embeds in the live edge set regardless of edge
 // order, with Engine.FindNonTemporalContext semantics. Lock-free: the query
-// runs against the generation current at the call.
+// runs against the view current at the call.
 func (l *Live) FindNonTemporalContext(ctx context.Context, p *gspan.Pattern, opts Options) (Result, error) {
 	opts = opts.normalize()
 	if p.NumEdges() == 0 {
@@ -725,10 +990,12 @@ func (l *Live) FindNonTemporalContext(ctx context.Context, p *gspan.Pattern, opt
 	if err := ctx.Err(); err != nil {
 		return Result{}, err
 	}
-	g := l.gen()
-	st := &ntLiveState{g: g}
+	v := l.snap()
+	slot := l.readers.acquire(v.end())
+	defer l.readers.release(slot)
+	st := &ntLiveState{v: v}
 	u := l.used.Get().(*usedSet)
-	u.reset(len(g.labels))
+	u.reset(len(v.g.labels))
 	defer l.used.Put(u)
 	st.initNT(ctx, p, opts, u)
 	st.match(0)
@@ -745,7 +1012,7 @@ func (l *Live) FindNonTemporal(p *gspan.Pattern, opts Options) Result {
 // FindLabelSetContext finds minimal time windows in the live edge set
 // containing distinct nodes covering the query label multiset, with
 // Engine.FindLabelSetContext semantics. Lock-free: the sweep runs against
-// the generation current at the call.
+// the view current at the call.
 func (l *Live) FindLabelSetContext(ctx context.Context, labels []tgraph.Label, opts Options) (Result, error) {
 	opts = opts.normalize()
 	if len(labels) == 0 {
@@ -755,9 +1022,11 @@ func (l *Live) FindLabelSetContext(ctx context.Context, labels []tgraph.Label, o
 	if err := ctx.Err(); err != nil {
 		return Result{}, err
 	}
-	g := l.gen()
+	v := l.snap()
+	slot := l.readers.acquire(v.end())
+	defer l.readers.release(slot)
 	need := labelNeed(labels)
-	evs := labelSetEvents(need, g.numEdges(), g.forEachEdge, func(v tgraph.NodeID) tgraph.Label { return g.labels[v] })
+	evs := labelSetEvents(need, v.numEdges(), v.forEachEdge, func(n tgraph.NodeID) tgraph.Label { return v.g.labels[n] })
 	return labelSetSweep(ctx, evs, need, opts)
 }
 

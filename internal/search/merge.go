@@ -47,12 +47,12 @@ import (
 	"tgminer/internal/tgraph"
 )
 
-// canMerge reports whether a generation is eligible for incremental
+// canMerge reports whether a view is eligible for incremental
 // merge-compaction: it has a base to extend and its dead (evicted) prefix
 // is still below half of the edge array, the threshold past which
 // compaction rebuilds to reclaim the space.
-func canMerge(g *generation) bool {
-	return g.base != nil && 2*int64(g.floor) < int64(g.end())
+func canMerge(v genView) bool {
+	return v.g.base != nil && 2*int64(v.g.floor) < int64(v.end())
 }
 
 // newTailLists allocates n fresh posLists in one slab.
@@ -82,34 +82,39 @@ func extendPositions(list, ext []int32, owned bool) []int32 {
 
 // mergeGen builds the post-compaction generation by extending the base
 // engine with the tail segment. Caller must hold the writer mutex and have
-// checked canMerge. The merged generation keeps the floor (see the file
-// comment for the eviction contract) and fresh, empty tail storage.
-func mergeGen(g *generation) *generation {
-	base := mergeEngine(g)
+// checked canMerge; the view must be writer-exact. The merged generation
+// keeps the floor (see the file comment for the eviction contract) and
+// fresh, empty tail storage sized for the next cycle.
+func mergeGen(v genView) *generation {
+	g := v.g
+	base := mergeEngine(v)
 	ng := &generation{
 		base:      base,
 		baseEdges: int32(base.g.NumEdges()),
 		floor:     g.floor,
 		labels:    g.labels,
+		tailArr:   newTailArr(len(v.tail)),
+		tailN:     freshCounter(0),
 		pair:      make(map[pairKey]*posList),
-		lastTime:  g.lastTime,
+		lastTime:  v.lastTime(),
 
 		compactions:     g.compactions + 1,
 		merges:          g.merges + 1,
-		lastCompactTail: len(g.tail),
+		lastCompactTail: len(v.tail),
 	}
 	ng.tailOut, ng.tailIn = newTailLists(len(g.labels))
 	return ng
 }
 
-// mergeEngine extends a generation's base Engine with its tail: the
-// incremental constructor the compaction hot path uses instead of
-// NewEngine(buildGraph()).
-func mergeEngine(g *generation) *Engine {
+// mergeEngine extends a view's base Engine with its tail: the incremental
+// constructor the compaction hot path uses instead of
+// NewEngine(buildGraph()). The view must be writer-exact.
+func mergeEngine(v genView) *Engine {
+	g := v.g
 	base := g.base
 	bn := base.g.NumNodes()
 	n := len(g.labels)
-	graph, err := base.g.ExtendSorted(g.labels[bn:], g.tail)
+	graph, err := base.g.ExtendSorted(g.labels[bn:], v.tail)
 	if err != nil {
 		// Unreachable: Append enforces node bounds and the strict total
 		// order ExtendSorted re-validates.
@@ -128,22 +133,22 @@ func mergeEngine(g *generation) *Engine {
 	e.inList = make([][]int32, n)
 	e.outOwned = make([]bool, n)
 	e.inOwned = make([]bool, n)
-	for v := 0; v < bn; v++ {
-		e.outList[v] = base.outAt(tgraph.NodeID(v))
-		e.inList[v] = base.inAt(tgraph.NodeID(v))
+	for nd := 0; nd < bn; nd++ {
+		e.outList[nd] = base.outAt(tgraph.NodeID(nd))
+		e.inList[nd] = base.inAt(tgraph.NodeID(nd))
 	}
 	if base.outOwned != nil {
 		copy(e.outOwned, base.outOwned)
 		copy(e.inOwned, base.inOwned)
 	}
-	for v := 0; v < n; v++ {
-		if ext := g.tailOut[v].view(); len(ext) > 0 {
-			e.outList[v] = extendPositions(e.outList[v], ext, e.outOwned[v])
-			e.outOwned[v] = true
+	for nd := 0; nd < n; nd++ {
+		if ext := g.tailOut[nd].view(); len(ext) > 0 {
+			e.outList[nd] = extendPositions(e.outList[nd], ext, e.outOwned[nd])
+			e.outOwned[nd] = true
 		}
-		if ext := g.tailIn[v].view(); len(ext) > 0 {
-			e.inList[v] = extendPositions(e.inList[v], ext, e.inOwned[v])
-			e.inOwned[v] = true
+		if ext := g.tailIn[nd].view(); len(ext) > 0 {
+			e.inList[nd] = extendPositions(e.inList[nd], ext, e.inOwned[nd])
+			e.inOwned[nd] = true
 		}
 	}
 
@@ -175,19 +180,23 @@ func mergeEngine(g *generation) *Engine {
 // CSR base over the live (non-evicted) edge set with positions rebased to
 // drop the dead prefix, and fresh, empty tail storage. This is the
 // reclaiming fallback merge-compaction rests on; copy-on-compact, so
-// readers holding older generations stay consistent.
-func rebuildGen(g *generation) *generation {
-	base := NewEngine(g.buildGraph())
+// readers holding older views stay consistent. The view must be
+// writer-exact.
+func rebuildGen(v genView) *generation {
+	g := v.g
+	base := NewEngine(v.buildGraph())
 	ng := &generation{
 		base:      base,
 		baseEdges: int32(base.g.NumEdges()),
 		labels:    g.labels,
+		tailArr:   newTailArr(len(v.tail)),
+		tailN:     freshCounter(0),
 		pair:      make(map[pairKey]*posList),
-		lastTime:  g.lastTime,
+		lastTime:  v.lastTime(),
 
 		compactions:     g.compactions + 1,
 		merges:          g.merges,
-		lastCompactTail: len(g.tail),
+		lastCompactTail: len(v.tail),
 	}
 	ng.tailOut, ng.tailIn = newTailLists(len(g.labels))
 	return ng

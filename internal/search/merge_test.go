@@ -7,12 +7,13 @@ import (
 	"testing"
 	"testing/quick"
 
+	"tgminer/internal/gspan"
 	"tgminer/internal/tgraph"
 )
 
 // liveOp is one mutation in a replayable live-engine script, so the same
-// sequence can drive a merge-compacting engine, a rebuild-only engine, and
-// a static oracle.
+// sequence can drive a merge-compacting engine, a rebuild-only engine, a
+// sharded engine, and a static oracle.
 type liveOp struct {
 	kind  byte // 'n' AddNode, 'e' Append, 'v' EvictBefore, 'c' Compact
 	label tgraph.Label
@@ -21,8 +22,22 @@ type liveOp struct {
 	t     int64
 }
 
+// liveLike is the mutation-and-query surface shared by Live and
+// ShardedLive, so the differential tests replay one script into both.
+type liveLike interface {
+	AddNode(tgraph.Label) tgraph.NodeID
+	Append(src, dst tgraph.NodeID, t int64) error
+	EvictBefore(int64)
+	Compact()
+	NumNodes() int
+	NumEdges() int
+	FindTemporal(*tgraph.Pattern, Options) Result
+	FindNonTemporal(*gspan.Pattern, Options) Result
+	FindLabelSet([]tgraph.Label, Options) Result
+}
+
 // replayOp applies one op to a live engine.
-func replayOp(t *testing.T, l *Live, op liveOp) {
+func replayOp(t *testing.T, l liveLike, op liveOp) {
 	t.Helper()
 	switch op.kind {
 	case 'n':
@@ -40,7 +55,7 @@ func replayOp(t *testing.T, l *Live, op liveOp) {
 
 // checkAllFamilies compares a live engine against the static oracle over
 // the same edge set, across all three query families.
-func checkAllFamilies(t *testing.T, rng *rand.Rand, live *Live, static *Engine, numLabels int) error {
+func checkAllFamilies(t *testing.T, rng *rand.Rand, live liveLike, static *Engine, numLabels int) error {
 	t.Helper()
 	for q := 0; q < 3; q++ {
 		p := randomQuery(rng, 3, numLabels)
@@ -152,19 +167,21 @@ func TestLiveMergeMatchesRebuild(t *testing.T) {
 	}
 }
 
-// TestLiveAdversarialInterleavings pins deterministic mutation sequences
-// around compaction boundaries that the random tests only hit by luck:
+// advScript is one deterministic adversarial mutation sequence, shared by
+// the live and sharded interleaving tests.
+type advScript struct {
+	name string
+	ops  []liveOp
+}
+
+// adversarialScripts pins deterministic mutation sequences around
+// compaction boundaries that the random tests only hit by luck:
 // evict-everything-then-compact, compact-twice, AddNode straddling a
-// compaction, and eviction cutting into the tail. Each checkpoint compares
-// all three query families against the static oracle.
-func TestLiveAdversarialInterleavings(t *testing.T) {
-	type script struct {
-		name string
-		ops  []liveOp
-	}
+// compaction, and eviction cutting into the tail.
+func adversarialScripts() []advScript {
 	// Nodes: 0:A 1:B 2:A; later additions noted per script.
 	base := []liveOp{{kind: 'n', label: 0}, {kind: 'n', label: 1}, {kind: 'n', label: 0}}
-	scripts := []script{
+	return []advScript{
 		{"evict-everything-then-compact", append(append([]liveOp{}, base...),
 			liveOp{kind: 'e', src: 0, dst: 1, t: 1},
 			liveOp{kind: 'e', src: 1, dst: 2, t: 2},
@@ -210,7 +227,13 @@ func TestLiveAdversarialInterleavings(t *testing.T) {
 			liveOp{kind: 'c'},
 		)},
 	}
-	for _, sc := range scripts {
+}
+
+// TestLiveAdversarialInterleavings replays the adversarial scripts into
+// merge-compacting and rebuild-only engines, comparing all three query
+// families against the static oracle after every op.
+func TestLiveAdversarialInterleavings(t *testing.T) {
+	for _, sc := range adversarialScripts() {
 		t.Run(sc.name, func(t *testing.T) {
 			for _, disableMerge := range []bool{false, true} {
 				l := NewLive(LiveOptions{CompactEvery: -1, disableMerge: disableMerge})
@@ -378,7 +401,7 @@ func TestLiveAppendPositionsExhausted(t *testing.T) {
 	// (actually accumulating 2^31 edges needs ~32 GiB; the guard must not).
 	g := l.gen()
 	ng := *g
-	ng.baseEdges = math.MaxInt32 - int32(len(ng.tail)) - 1
+	ng.baseEdges = math.MaxInt32 - ng.tailN.Load() - 1
 	l.cur.Store(&ng)
 	if err := l.Append(a, b, 2); err != nil {
 		t.Fatalf("append at position 2^31-2 must still fit: %v", err)
@@ -387,7 +410,7 @@ func TestLiveAppendPositionsExhausted(t *testing.T) {
 	if !errors.Is(err, ErrPositionsExhausted) {
 		t.Fatalf("append past the position space returned %v, want ErrPositionsExhausted", err)
 	}
-	if n := len(l.gen().tail); n != 2 {
+	if n := int(l.gen().tailN.Load()); n != 2 {
 		t.Fatalf("failed append mutated the tail: %d entries, want 2", n)
 	}
 	if lt := l.LastTime(); lt != 2 {

@@ -364,8 +364,11 @@ type ntCore struct {
 	mapping []tgraph.NodeID
 	used    *usedSet
 	// posUsed lists the host edge positions bound so far; patterns are a
-	// handful of edges, so a linear scan beats any map or bitset.
-	posUsed    []int32
+	// handful of edges, so a linear scan beats any map or bitset. Keys are
+	// int64 so the sharded matcher can disambiguate per-shard position
+	// spaces ((shard << 32) | pos); single-host matchers pass plain
+	// positions.
+	posUsed    []int64
 	minT, maxT int64
 	done       bool
 	ctx        context.Context
@@ -384,7 +387,7 @@ func (s *ntCore) initNT(ctx context.Context, p *gspan.Pattern, opts Options, use
 		s.mapping[i] = -1
 	}
 	s.used = used
-	s.posUsed = make([]int32, 0, p.NumEdges())
+	s.posUsed = make([]int64, 0, p.NumEdges())
 }
 
 // stepCancelled is the throttled in-recursion stop probe (see
@@ -408,7 +411,7 @@ func (s *ntCore) finish() (Result, error) {
 	return s.res.finish(), s.ctxErr
 }
 
-func (s *ntCore) posIsUsed(pos int32) bool {
+func (s *ntCore) posIsUsed(pos int64) bool {
 	for _, p := range s.posUsed {
 		if p == pos {
 			return true
@@ -418,11 +421,11 @@ func (s *ntCore) posIsUsed(pos int32) bool {
 }
 
 // tryEdge attempts to bind pattern edge pe (the k-th in matching order) to
-// host edge ge at position pos whose endpoints carry srcLab/dstLab: the
+// host edge ge at position key pos whose endpoints carry srcLab/dstLab: the
 // used-position, self-loop-parity, label, and window-feasibility checks,
 // then the recursion via rec. It reports whether the caller's candidate
 // scan should continue.
-func (s *ntCore) tryEdge(k int, pe gspan.Edge, ge tgraph.Edge, pos int32, srcLab, dstLab tgraph.Label, rec func()) bool {
+func (s *ntCore) tryEdge(k int, pe gspan.Edge, ge tgraph.Edge, pos int64, srcLab, dstLab tgraph.Label, rec func()) bool {
 	if s.posIsUsed(pos) {
 		return true
 	}
@@ -482,7 +485,7 @@ func (s *ntState) match(k int) {
 	ms, md := s.mapping[pe.Src], s.mapping[pe.Dst]
 	try := func(pos int32) bool {
 		ge := s.e.g.EdgeAt(int(pos))
-		return s.tryEdge(k, pe, ge, pos, s.e.g.LabelOf(ge.Src), s.e.g.LabelOf(ge.Dst), func() { s.match(k + 1) })
+		return s.tryEdge(k, pe, ge, int64(pos), s.e.g.LabelOf(ge.Src), s.e.g.LabelOf(ge.Dst), func() { s.match(k + 1) })
 	}
 	switch {
 	case ms != -1:

@@ -1,0 +1,1043 @@
+package search
+
+// This file implements ShardedLive, the multi-writer form of the live
+// engine: N independent Live shards, each with its own writer mutex,
+// generation chain, compaction schedule, and eviction floor, behind a
+// cross-shard query planner. Edges are partitioned by their SOURCE node
+// (tgraph.NodeShard over the global NodeID), so K producers whose entities
+// hash to different shards append fully in parallel — the single-Live
+// design serializes every writer on one mutex and caps ingest at one core
+// no matter how many producers exist (BenchmarkShardedAppend).
+//
+// Identity. NodeIDs are global: AddNode registers every node on every
+// shard under the same ID, so an edge owned by shard(src) can name a
+// destination that "belongs" to any other shard and every shard resolves
+// it to the same label without remapping. Only edge ownership is sharded.
+//
+// Ordering and consistency. Within a shard, Append enforces the usual
+// strictly-increasing-timestamp total order. Across shards nothing is
+// enforced at append time — that independence is the whole point — and the
+// planner instead treats TIMESTAMPS as the global total order (position
+// order equals time order inside each shard, so the time-merged union is
+// exactly the edge sequence a single engine would hold). For queries to
+// answer exactly as a single Live — the differential property tests pin
+// ShardedLive(n) == Live == static Engine for all three families —
+// timestamps must be globally unique, the same contract the single-writer
+// engines already document ("strictly increasing across appends");
+// sequentialize concurrent clocks upstream. If the contract is violated,
+// cross-shard ties break deterministically by shard index and each answer
+// is still well-defined, just not equal to any single-engine history.
+//
+// The cut. A query pins one generation per shard atomically (one atomic
+// load each) — a "consistent-enough" cut: each shard contributes a prefix
+// of its own append history (per-shard prefix consistency), but the cut
+// carries no cross-shard barrier, so a query may observe shard A's edge at
+// t=100 while missing shard B's at t=99 that was appended concurrently.
+// Per-shard prefixes are exactly what independent producers can promise;
+// anything stronger would reintroduce the cross-shard synchronization
+// sharding exists to remove.
+//
+// The planner. Root candidates of a query live where their first edge
+// lives, so the root loop fans out across shards — one worker per shard,
+// the same one-worker-per-core shape as the PR 1 seed-level mining pool —
+// and every worker matches CONTINUATION edges against the full cross-shard
+// view: out-edges of a bound node live only on its own shard (ownership is
+// by source), while in-edges and label-pair candidates merge across all
+// shards in time order through posCursor/minCursor. Workers emit
+// key-ordered match streams that the planner merges back into the exact
+// sequential discovery order, deduplicating (temporal dedup is free:
+// cross-shard roots have distinct start times; non-temporal intervals
+// dedup in the merger) and enforcing Options.Limit globally with the same
+// exact-Truncated semantics as the single-host engines.
+
+import (
+	"context"
+	"fmt"
+	"iter"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"tgminer/internal/gspan"
+	"tgminer/internal/tgraph"
+)
+
+// ShardedLive is a Live engine sharded by source node for multi-writer
+// ingestion. Appends to different shards proceed in parallel (per-shard
+// writer mutexes); queries run lock-free against a pinned per-shard
+// generation cut and answer exactly as a single Live over the time-merged
+// union would, for all three query families. See the file comment for the
+// consistency model.
+type ShardedLive struct {
+	shards []*Live
+
+	mu sync.Mutex // serializes AddNode's cross-shard registration
+
+	// lastGlobal tracks the maximum timestamp ever offered to Append, for
+	// best-effort duplicate detection (see Append). -1 when empty.
+	lastGlobal atomic.Int64
+
+	used sync.Pool // *usedSet per-query scratch, sized for the global node table
+}
+
+// NewSharded returns an empty sharded live engine with opts.Shards shards
+// (0 = GOMAXPROCS; 1 yields a single shard, making every query a direct
+// delegate to the one Live). Each shard gets its own LiveOptions copy, so
+// compaction schedules run independently.
+func NewSharded(opts LiveOptions) *ShardedLive {
+	n := opts.Shards
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	l := &ShardedLive{shards: make([]*Live, n)}
+	l.lastGlobal.Store(-1) // timestamps are non-negative; 0 is a legal first tick
+	for i := range l.shards {
+		l.shards[i] = NewLive(opts)
+	}
+	l.used.New = func() any { return new(usedSet) }
+	return l
+}
+
+// Shards reports the number of shards.
+func (l *ShardedLive) Shards() int { return len(l.shards) }
+
+// shardOf routes a source node to its owning shard.
+func (l *ShardedLive) shardOf(src tgraph.NodeID) *Live {
+	return l.shards[tgraph.NodeShard(src, len(l.shards))]
+}
+
+// AddNode appends a node with the given label and returns its global
+// NodeID. The node registers on every shard under the same ID (the
+// cross-shard identity contract), so node creation serializes across
+// shards; edge appends do not.
+func (l *ShardedLive) AddNode(label tgraph.Label) tgraph.NodeID {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	id := l.shards[0].AddNode(label)
+	for _, sh := range l.shards[1:] {
+		if got := sh.AddNode(label); got != id {
+			// Unreachable: AddNode holds the registration mutex and every
+			// shard appends nodes in the same order.
+			panic(fmt.Sprintf("search: sharded node table diverged (%d vs %d)", got, id))
+		}
+	}
+	return id
+}
+
+// Append records a directed edge src -> dst at time t on src's shard.
+// Appends to different shards run fully in parallel; timestamps must be
+// strictly increasing per shard (enforced) and globally unique for exact
+// single-engine query equivalence (the caller's clock contract — see the
+// file comment). Cross-shard arrival order is deliberately free: writers
+// with independent clocks interleave, so t may be below another shard's
+// latest. Duplicates are rejected best-effort against the global maximum —
+// exact for a sequential caller (restoring the out-of-order error a
+// single Live would have returned for a reused tick), while racing
+// writers that offer the same timestamp concurrently may both land and
+// surface later (deterministic shard-index tie-breaks in queries, panic
+// in Snapshot). Both endpoints must already be registered via AddNode.
+func (l *ShardedLive) Append(src, dst tgraph.NodeID, t int64) error {
+	if len(l.shards) > 1 { // one shard: the Live engine's own check is exact
+		for {
+			last := l.lastGlobal.Load()
+			if t == last {
+				return fmt.Errorf("search: sharded append duplicate timestamp t=%d (timestamps must be globally unique across shards)", t)
+			}
+			if t < last || l.lastGlobal.CompareAndSwap(last, t) {
+				break
+			}
+		}
+	}
+	return l.shardOf(src).Append(src, dst, t)
+}
+
+// EvictBefore drops every edge with timestamp < t on all shards
+// (sliding-window retention).
+func (l *ShardedLive) EvictBefore(t int64) {
+	for _, sh := range l.shards {
+		sh.EvictBefore(t)
+	}
+}
+
+// Compact folds every shard's tail into its CSR base now.
+func (l *ShardedLive) Compact() {
+	for _, sh := range l.shards {
+		sh.Compact()
+	}
+}
+
+// NumNodes reports the number of nodes ever added.
+func (l *ShardedLive) NumNodes() int { return l.shards[0].NumNodes() }
+
+// NumEdges reports the number of live (non-evicted) edges across shards.
+func (l *ShardedLive) NumEdges() int {
+	n := 0
+	for _, sh := range l.shards {
+		n += sh.NumEdges()
+	}
+	return n
+}
+
+// LastTime reports the largest appended timestamp across shards (-1 when
+// empty).
+func (l *ShardedLive) LastTime() int64 {
+	last := int64(-1)
+	for _, sh := range l.shards {
+		if t := sh.LastTime(); t > last {
+			last = t
+		}
+	}
+	return last
+}
+
+// ShardStats reports each shard's retention and compaction state
+// (per-shard views, pinned independently).
+func (l *ShardedLive) ShardStats() []LiveStats {
+	out := make([]LiveStats, len(l.shards))
+	for i, sh := range l.shards {
+		out[i] = sh.Stats()
+	}
+	return out
+}
+
+// Stats aggregates the per-shard stats: edge counts, floors (total
+// evicted-but-unreclaimed edges), compaction counters, and retained bytes
+// sum across shards (the node table is replicated per shard, and
+// RetainedBytes honestly includes that); Nodes is the global node count,
+// LastTime the global maximum. ActiveReaders and OldestReaderLag take the
+// per-shard MAXIMUM, since one cross-shard query registers on every shard.
+func (l *ShardedLive) Stats() LiveStats {
+	var agg LiveStats
+	agg.LastTime = -1
+	for i, sh := range l.shards {
+		s := sh.Stats()
+		if i == 0 {
+			agg.Nodes = s.Nodes
+		}
+		agg.BaseEdges += s.BaseEdges
+		agg.TailLen += s.TailLen
+		agg.Floor += s.Floor
+		agg.LiveEdges += s.LiveEdges
+		if s.LastTime > agg.LastTime {
+			agg.LastTime = s.LastTime
+		}
+		agg.Compactions += s.Compactions
+		agg.Merges += s.Merges
+		agg.LastCompactTail += s.LastCompactTail
+		agg.RetainedBytes += s.RetainedBytes
+		if s.ActiveReaders > agg.ActiveReaders {
+			agg.ActiveReaders = s.ActiveReaders
+		}
+		if s.OldestReaderLag > agg.OldestReaderLag {
+			agg.OldestReaderLag = s.OldestReaderLag
+		}
+	}
+	return agg
+}
+
+// shardedView is a query's pinned cross-shard cut: one genView per shard
+// (each a per-shard prefix-consistent snapshot) plus the widest global node
+// label table among them. A node present in labels may be missing from an
+// individual shard's view (its AddNode had not reached that shard when the
+// view was pinned); per-shard iteration guards on the shard view's own
+// node count.
+type shardedView struct {
+	views  []genView
+	labels []tgraph.Label
+	slots  []int // per-shard reader-accounting slots
+}
+
+// pin captures one generation per shard (an atomic load each) and
+// registers the query with every shard's reader accounting.
+func (l *ShardedLive) pin() *shardedView {
+	sv := &shardedView{
+		views: make([]genView, len(l.shards)),
+		slots: make([]int, len(l.shards)),
+	}
+	for i, sh := range l.shards {
+		v := sh.snap()
+		sv.views[i] = v
+		sv.slots[i] = sh.readers.acquire(v.end())
+		if len(v.g.labels) > len(sv.labels) {
+			sv.labels = v.g.labels
+		}
+	}
+	return sv
+}
+
+// unpin releases the reader-accounting slots taken by pin.
+func (l *ShardedLive) unpin(sv *shardedView) {
+	for i, sh := range l.shards {
+		sh.readers.release(sv.slots[i])
+	}
+}
+
+// hasNode reports whether shard i's pinned view knows node n.
+func (sv *shardedView) hasNode(i int, n tgraph.NodeID) bool {
+	return int(n) < len(sv.views[i].g.labels)
+}
+
+// capPositions trims a tail posList view to positions below end.
+func capPositions(list []int32, end int32) []int32 {
+	i := sort.Search(len(list), func(i int) bool { return list[i] >= end })
+	return list[:i]
+}
+
+// outSegs returns the two position segments (base CSR, capped tail) of
+// node n's out-edges in this view. Caller guarantees n is in range.
+func (v genView) outSegs(n tgraph.NodeID) (base, tail []int32) {
+	if v.g.base != nil && int(n) < v.g.base.g.NumNodes() {
+		base = v.g.base.outAt(n)
+	}
+	if pl := v.g.tailOut[n]; pl != nil {
+		tail = capPositions(pl.view(), v.end())
+	}
+	return base, tail
+}
+
+// inSegs returns the two position segments of node n's in-edges.
+func (v genView) inSegs(n tgraph.NodeID) (base, tail []int32) {
+	if v.g.base != nil && int(n) < v.g.base.g.NumNodes() {
+		base = v.g.base.inAt(n)
+	}
+	if pl := v.g.tailIn[n]; pl != nil {
+		tail = capPositions(pl.view(), v.end())
+	}
+	return base, tail
+}
+
+// pairSegs returns the two position segments of edges with endpoint labels
+// (src, dst).
+func (v genView) pairSegs(src, dst tgraph.Label) (base, tail []int32) {
+	if v.g.base != nil {
+		base = v.g.base.pairPositions(src, dst)
+	}
+	if pl := v.g.pair[pairKey{src, dst}]; pl != nil {
+		tail = capPositions(pl.view(), v.end())
+	}
+	return base, tail
+}
+
+// posCursor pulls the live positions of one per-shard index list (out, in,
+// or label pair) in increasing position order: the base CSR segment
+// chained with the capped tail segment (every tail position exceeds every
+// base position). The head's timestamp is cached so minCursor can merge
+// cursors across shards in global time order.
+type posCursor struct {
+	v          genView
+	base, tail []int32
+	bi, ti     int
+	pos        int32
+	time       int64
+	ok         bool
+}
+
+// init points the cursor at the first position strictly greater than
+// afterPos (clamped to the view's eviction floor).
+func (c *posCursor) init(v genView, base, tail []int32, afterPos int32) {
+	c.v = v
+	c.base, c.tail = base, tail
+	if afterPos < v.g.floor-1 {
+		afterPos = v.g.floor - 1
+	}
+	c.bi = sort.Search(len(base), func(i int) bool { return base[i] > afterPos })
+	c.ti = sort.Search(len(tail), func(i int) bool { return tail[i] > afterPos })
+	c.settle()
+}
+
+// initAfterTime points the cursor at the first position whose edge time is
+// strictly greater than afterTime — the cross-shard ordering key (position
+// order equals time order within a shard).
+func (c *posCursor) initAfterTime(v genView, base, tail []int32, afterTime int64) {
+	c.init(v, base, tail, v.cutBefore(afterTime+1)-1)
+}
+
+func (c *posCursor) settle() {
+	switch {
+	case c.bi < len(c.base):
+		c.pos = c.base[c.bi]
+	case c.ti < len(c.tail):
+		c.pos = c.tail[c.ti]
+	default:
+		c.ok = false
+		return
+	}
+	c.ok = true
+	c.time = c.v.edgeAt(c.pos).Time
+}
+
+func (c *posCursor) advance() {
+	if c.bi < len(c.base) {
+		c.bi++
+	} else {
+		c.ti++
+	}
+	c.settle()
+}
+
+// minCursor returns the index of the live cursor with the smallest head
+// timestamp, or -1 when all are exhausted. Ties (a violation of the
+// global-uniqueness clock contract) break deterministically toward the
+// lowest shard index.
+func minCursor(cs []posCursor) int {
+	best := -1
+	var bt int64
+	for i := range cs {
+		if cs[i].ok && (best == -1 || cs[i].time < bt) {
+			best = i
+			bt = cs[i].time
+		}
+	}
+	return best
+}
+
+// shardPos is the cross-shard edge identity key: per-shard position spaces
+// overlap, so the non-temporal matcher's used-edge bookkeeping keys on
+// (shard, position).
+func shardPos(shard int, pos int32) int64 {
+	return int64(shard)<<32 | int64(uint32(pos))
+}
+
+// shardedState is the temporal matcher over a cross-shard cut: the same
+// backtracking search as tState (stream.go) and liveState (live.go) — the
+// third deliberate twin; a semantic change to any MUST be mirrored in the
+// others — with timestamps as the "position after" total order and
+// continuation candidates drawn from all shards. Out-edges of a bound
+// source live only on its shard; in-edge and label-pair candidates merge
+// across shards in time order.
+type shardedState struct {
+	matchCore
+	sv *shardedView
+	// cur[k] holds one cursor per shard for recursion depth k, reused
+	// across that depth's successive candidate scans.
+	cur [][]posCursor
+}
+
+func newShardedCursors(depths, shards int) [][]posCursor {
+	flat := make([]posCursor, depths*shards)
+	out := make([][]posCursor, depths)
+	for i := range out {
+		out[i] = flat[i*shards : (i+1)*shards]
+	}
+	return out
+}
+
+func (s *shardedState) match(k int, lastTime int64) {
+	if s.stepCancelled() {
+		return
+	}
+	if k == s.p.NumEdges() {
+		s.emit(Match{Start: s.startTime, End: lastTime})
+		return
+	}
+	pe := s.p.EdgeAt(k)
+	ms, md := s.mapping[pe.Src], s.mapping[pe.Dst]
+	deadline := int64(-1)
+	if s.opts.Window > 0 {
+		deadline = s.startTime + s.opts.Window - 1
+	}
+	try := func(v genView, ge tgraph.Edge, t int64) {
+		if (pe.Src == pe.Dst) != (ge.Src == ge.Dst) {
+			return
+		}
+		if s.sv.labels[ge.Src] != s.p.LabelOf(pe.Src) || s.sv.labels[ge.Dst] != s.p.LabelOf(pe.Dst) {
+			return
+		}
+		s.bindEdge(pe, ge, func() { s.match(k+1, t) })
+	}
+	switch {
+	case ms != -1:
+		// Ownership: every edge with source ms lives on ms's shard.
+		shard := tgraph.NodeShard(ms, len(s.sv.views))
+		if !s.sv.hasNode(shard, ms) {
+			return
+		}
+		v := s.sv.views[shard]
+		c := &s.cur[k][0]
+		base, tail := v.outSegs(ms)
+		c.initAfterTime(v, base, tail, lastTime)
+		for c.ok && !s.done {
+			if deadline >= 0 && c.time > deadline {
+				break
+			}
+			ge := v.edgeAt(c.pos)
+			if md == -1 || ge.Dst == md {
+				try(v, ge, c.time)
+			}
+			c.advance()
+		}
+	case md != -1:
+		cs := s.cur[k]
+		for i := range s.sv.views {
+			if s.sv.hasNode(i, md) {
+				base, tail := s.sv.views[i].inSegs(md)
+				cs[i].initAfterTime(s.sv.views[i], base, tail, lastTime)
+			} else {
+				cs[i].ok = false
+			}
+		}
+		for !s.done {
+			i := minCursor(cs)
+			if i < 0 {
+				break
+			}
+			c := &cs[i]
+			if deadline >= 0 && c.time > deadline {
+				break // merged order is global time order: nothing later fits
+			}
+			try(s.sv.views[i], s.sv.views[i].edgeAt(c.pos), c.time)
+			c.advance()
+		}
+	default:
+		// Unreachable for T-connected patterns beyond the first edge, but
+		// handle defensively via the pair indexes.
+		cs := s.cur[k]
+		for i := range s.sv.views {
+			base, tail := s.sv.views[i].pairSegs(s.p.LabelOf(pe.Src), s.p.LabelOf(pe.Dst))
+			cs[i].initAfterTime(s.sv.views[i], base, tail, lastTime)
+		}
+		for !s.done {
+			i := minCursor(cs)
+			if i < 0 {
+				break
+			}
+			c := &cs[i]
+			if deadline >= 0 && c.time > deadline {
+				break // merged order is global time order: nothing later fits
+			}
+			try(s.sv.views[i], s.sv.views[i].edgeAt(c.pos), c.time)
+			c.advance()
+		}
+	}
+}
+
+// taggedMatch is one worker-emitted match plus its merge key: the time of
+// the root (first-edge) candidate it was found under, which is the
+// sequential engine's discovery order across shards.
+type taggedMatch struct {
+	key int64
+	m   Match
+}
+
+// shardStream carries one worker's key-ordered match stream to the
+// planner's merger. truncated and err are valid only after ch closes.
+type shardStream struct {
+	ch        chan taggedMatch
+	truncated bool
+	err       error
+}
+
+// temporalWorker mines the temporal roots owned by one shard: it scans the
+// shard's pair index for first-edge candidates in time order and matches
+// continuations against the full cross-shard view, emitting each root's
+// matches tagged with the root time. Per-worker rootDedup is globally
+// sufficient: roots on different shards have distinct timestamps, and all
+// matches under one root share its start time.
+func (l *ShardedLive) temporalWorker(ctx context.Context, sv *shardedView, shard int, p *tgraph.Pattern, opts Options, out *shardStream) {
+	defer close(out.ch)
+	res := newRootDedup(opts.Limit, func(m Match) bool {
+		select {
+		case out.ch <- taggedMatch{key: m.Start, m: m}:
+			return true
+		case <-ctx.Done():
+			return false
+		}
+	})
+	defer res.release()
+	st := &shardedState{sv: sv}
+	st.p = p
+	st.opts = opts
+	st.res = res
+	st.ctx = ctx
+	st.cur = newShardedCursors(p.NumEdges()+1, len(sv.views))
+	u := l.used.Get().(*usedSet)
+	u.reset(len(sv.labels))
+	defer l.used.Put(u)
+	st.init(p.NumNodes(), u)
+	first := p.EdgeAt(0)
+	v := sv.views[shard]
+	var c posCursor
+	base, tail := v.pairSegs(p.LabelOf(first.Src), p.LabelOf(first.Dst))
+	c.init(v, base, tail, -1)
+	for c.ok {
+		if st.rootCancelled() {
+			break
+		}
+		res.nextRoot()
+		ge := v.edgeAt(c.pos)
+		if (first.Src == first.Dst) == (ge.Src == ge.Dst) {
+			st.bindEdge(first, ge, func() {
+				st.startTime = ge.Time
+				st.match(1, ge.Time)
+			})
+		}
+		if st.done {
+			break
+		}
+		c.advance()
+	}
+	out.truncated = res.truncated
+	out.err = st.ctxErr
+	if out.err == nil && ctx.Err() != nil {
+		// The worker may have stopped via the emit-select's ctx.Done arm
+		// (blocked on a full channel) before the throttled in-search probe
+		// observed the cancellation; the contract is still partial results
+		// plus ctx.Err().
+		out.err = ctx.Err()
+	}
+}
+
+// mergePlan is the planner's reduce step: a K-way merge of the workers'
+// key-ordered streams back into the exact sequential discovery order.
+// emit returns false to stop the merge (consumer break, or the caller's
+// limit logic proved truncation — counting distinct matches against
+// Options.Limit is the caller's job, since only the caller knows whether
+// merged matches can still be cross-worker duplicates). mergePlan reports
+// whether emit stopped it, the OR of the drained workers' truncated flags,
+// and the first error a drained worker reported.
+func mergePlan(outs []*shardStream, emit func(Match) bool) (stopped, truncated bool, err error) {
+	heads := make([]*taggedMatch, len(outs))
+	open := make([]bool, len(outs))
+	for i := range outs {
+		open[i] = true
+	}
+	for {
+		// Refill every missing head; record final status as streams close.
+		best := -1
+		for i := range outs {
+			if heads[i] == nil && open[i] {
+				if tm, ok := <-outs[i].ch; ok {
+					t := tm
+					heads[i] = &t
+				} else {
+					open[i] = false
+					if outs[i].truncated {
+						truncated = true
+					}
+					if outs[i].err != nil && err == nil {
+						err = outs[i].err
+					}
+				}
+			}
+			if heads[i] != nil && (best == -1 || heads[i].key < heads[best].key) {
+				best = i
+			}
+		}
+		if best == -1 {
+			return false, truncated, err
+		}
+		m := heads[best].m
+		heads[best] = nil
+		if !emit(m) {
+			return true, truncated, err
+		}
+	}
+}
+
+// StreamTemporal yields the distinct intervals where the temporal pattern
+// embeds in the cross-shard edge set, with the same semantics and yield
+// order as Live.StreamTemporal over the time-merged union: the planner
+// fans the root loop out across shards (one worker per shard) and merges
+// the workers' streams back into ascending-start order. The stream runs
+// against the per-shard generation cut pinned when it started and never
+// blocks any shard's writers.
+func (l *ShardedLive) StreamTemporal(ctx context.Context, p *tgraph.Pattern, opts Options) iter.Seq2[Match, error] {
+	if len(l.shards) == 1 {
+		return l.shards[0].StreamTemporal(ctx, p, opts)
+	}
+	opts = opts.normalize()
+	return func(yield func(Match, error) bool) {
+		if p.NumEdges() == 0 {
+			return
+		}
+		sv := l.pin()
+		defer l.unpin(sv)
+		// The derived context stops abandoned workers (consumer break,
+		// truncation proof) promptly, even mid-search with nothing to emit.
+		wctx, cancel := context.WithCancel(ctx)
+		defer cancel()
+		outs := make([]*shardStream, len(sv.views))
+		for i := range outs {
+			outs[i] = &shardStream{ch: make(chan taggedMatch, 64)}
+			go l.temporalWorker(wctx, sv, i, p, opts, outs[i])
+		}
+		// Worker streams are globally distinct already (per-worker root
+		// dedup; cross-shard roots have distinct start times), so counting
+		// emissions against the cap is exact: the Limit+1-th merged match
+		// proves truncation, mirroring rootDedup's run-on discipline.
+		emitted, halted, truncated := 0, false, false
+		_, wtrunc, err := mergePlan(outs, func(m Match) bool {
+			if emitted >= opts.Limit {
+				truncated = true
+				return false
+			}
+			emitted++
+			if !yield(m, nil) {
+				halted = true
+				return false
+			}
+			return true
+		})
+		truncated = truncated || wtrunc
+		switch {
+		case halted: // consumer broke out; say nothing more
+		case err != nil:
+			yield(Match{}, err)
+		case truncated:
+			yield(Match{}, ErrTruncated)
+		}
+	}
+}
+
+// FindTemporalContext collects StreamTemporal into a deduplicated Result
+// in (Start, End) order, returning partial matches plus ctx.Err() on
+// cancellation.
+func (l *ShardedLive) FindTemporalContext(ctx context.Context, p *tgraph.Pattern, opts Options) (Result, error) {
+	return collectStream(l.StreamTemporal(ctx, p, opts))
+}
+
+// FindTemporal is the background-context compatibility form of
+// FindTemporalContext.
+func (l *ShardedLive) FindTemporal(p *tgraph.Pattern, opts Options) Result {
+	r, _ := l.FindTemporalContext(context.Background(), p, opts)
+	return r
+}
+
+// ntSink is a worker-side resultSet twin that streams instead of
+// collecting: locally deduplicated matches flow to the merger tagged with
+// the current root's time, with the same exact-truncation discipline (run
+// on at the cap until a distinct over-limit match proves truncation).
+// Local dedup plus merger dedup compose: dropping a worker's later
+// duplicate never changes the merged first-occurrence order.
+type ntSink struct {
+	emit      func(taggedMatch) bool
+	limit     int
+	rootKey   int64
+	seen      map[Match]struct{}
+	count     int
+	truncated bool
+	halted    bool
+}
+
+func (s *ntSink) add(m Match) {
+	if _, dup := s.seen[m]; dup {
+		return
+	}
+	if s.count >= s.limit {
+		s.truncated = true
+		return
+	}
+	s.seen[m] = struct{}{}
+	s.count++
+	if !s.emit(taggedMatch{key: s.rootKey, m: m}) {
+		s.halted = true
+	}
+}
+
+func (s *ntSink) full() bool { return s.halted || s.truncated }
+
+// ntShardedState is the non-temporal matcher over a cross-shard cut, the
+// third twin of ntState (search.go) and ntLiveState (live.go) — a semantic
+// change to any MUST be mirrored in the others. Candidates at every level
+// iterate in global time order (the single-engine position order);
+// level 0 restricts to the worker's own shard and tags the sink with each
+// root candidate's time. Matches land in the worker's ntSink, not the
+// embedded ntCore resultSet.
+type ntShardedState struct {
+	ntCore
+	sv    *shardedView
+	shard int
+	sink  *ntSink
+	cur   [][]posCursor
+}
+
+func (s *ntShardedState) match(k int) {
+	if s.stepCancelled() {
+		return
+	}
+	if k == len(s.order) {
+		s.sink.add(Match{Start: s.minT, End: s.maxT})
+		if s.sink.full() {
+			s.done = true
+		}
+		return
+	}
+	pe := s.order[k]
+	ms, md := s.mapping[pe.Src], s.mapping[pe.Dst]
+	try := func(shard int, pos int32) bool {
+		v := s.sv.views[shard]
+		ge := v.edgeAt(pos)
+		ok := s.tryEdge(k, pe, ge, shardPos(shard, pos), s.sv.labels[ge.Src], s.sv.labels[ge.Dst], func() { s.match(k + 1) })
+		return ok && !s.done
+	}
+	switch {
+	case ms != -1:
+		shard := tgraph.NodeShard(ms, len(s.sv.views))
+		if !s.sv.hasNode(shard, ms) {
+			return
+		}
+		v := s.sv.views[shard]
+		c := &s.cur[k][0]
+		base, tail := v.outSegs(ms)
+		c.init(v, base, tail, -1)
+		for c.ok {
+			ge := v.edgeAt(c.pos)
+			if md == -1 || ge.Dst == md {
+				if !try(shard, c.pos) {
+					break
+				}
+			}
+			c.advance()
+		}
+	case md != -1:
+		cs := s.cur[k]
+		for i := range s.sv.views {
+			if s.sv.hasNode(i, md) {
+				base, tail := s.sv.views[i].inSegs(md)
+				cs[i].init(s.sv.views[i], base, tail, -1)
+			} else {
+				cs[i].ok = false
+			}
+		}
+		for {
+			i := minCursor(cs)
+			if i < 0 {
+				break
+			}
+			if !try(i, cs[i].pos) {
+				break
+			}
+			cs[i].advance()
+		}
+	default:
+		cs := s.cur[k]
+		rootLevel := k == 0
+		for i := range s.sv.views {
+			if rootLevel && i != s.shard {
+				cs[i].ok = false // roots are owned per worker
+				continue
+			}
+			base, tail := s.sv.views[i].pairSegs(s.p.Labels[pe.Src], s.p.Labels[pe.Dst])
+			cs[i].init(s.sv.views[i], base, tail, -1)
+		}
+		for {
+			i := minCursor(cs)
+			if i < 0 {
+				break
+			}
+			if rootLevel {
+				s.sink.rootKey = cs[i].time
+				// Per-root context poll, as matchCore.rootCancelled does.
+				if err := s.ctx.Err(); err != nil {
+					s.ctxErr = err
+					s.done = true
+					break
+				}
+			}
+			if !try(i, cs[i].pos) {
+				break
+			}
+			cs[i].advance()
+		}
+	}
+}
+
+// ntWorker mines the non-temporal roots owned by one shard, emitting its
+// locally-deduplicated matches tagged with their root time.
+func (l *ShardedLive) ntWorker(ctx context.Context, sv *shardedView, shard int, p *gspan.Pattern, opts Options, out *shardStream) {
+	defer close(out.ch)
+	sink := &ntSink{
+		limit: opts.Limit,
+		seen:  make(map[Match]struct{}),
+		emit: func(tm taggedMatch) bool {
+			select {
+			case out.ch <- tm:
+				return true
+			case <-ctx.Done():
+				return false
+			}
+		},
+	}
+	st := &ntShardedState{sv: sv, shard: shard, sink: sink}
+	st.cur = newShardedCursors(p.NumEdges()+1, len(sv.views))
+	u := l.used.Get().(*usedSet)
+	u.reset(len(sv.labels))
+	defer l.used.Put(u)
+	st.initNT(ctx, p, opts, u)
+	st.match(0)
+	out.truncated = sink.truncated
+	out.err = st.ctxErr
+	if out.err == nil && ctx.Err() != nil {
+		// As in temporalWorker: a cancellation observed only by the
+		// emit-select must still surface as ctx.Err().
+		out.err = ctx.Err()
+	}
+}
+
+// FindNonTemporalContext reports the distinct intervals where the
+// collapsed (non-temporal) pattern embeds in the cross-shard edge set,
+// with Live.FindNonTemporalContext semantics over the time-merged union:
+// per-shard root workers, merged back in root-time order with global
+// interval dedup and the exact-Truncated discipline.
+func (l *ShardedLive) FindNonTemporalContext(ctx context.Context, p *gspan.Pattern, opts Options) (Result, error) {
+	if len(l.shards) == 1 {
+		return l.shards[0].FindNonTemporalContext(ctx, p, opts)
+	}
+	opts = opts.normalize()
+	if p.NumEdges() == 0 {
+		return Result{}, nil
+	}
+	if err := ctx.Err(); err != nil {
+		return Result{}, err
+	}
+	sv := l.pin()
+	defer l.unpin(sv)
+	wctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	outs := make([]*shardStream, len(sv.views))
+	for i := range outs {
+		outs[i] = &shardStream{ch: make(chan taggedMatch, 64)}
+		go l.ntWorker(wctx, sv, i, p, opts, outs[i])
+	}
+	// The merger re-deduplicates globally — the same interval can be
+	// discovered under roots on different shards — so the cap counts
+	// distinct intervals only; resultSet carries the exact-Truncated
+	// run-on discipline (full() fires only once a distinct over-cap match
+	// arrived).
+	rs := &resultSet{limit: opts.Limit}
+	_, truncated, err := mergePlan(outs, func(m Match) bool {
+		rs.add(m)
+		return !rs.full()
+	})
+	res := rs.finish()
+	res.Truncated = res.Truncated || truncated
+	return res, err
+}
+
+// FindNonTemporal is the background-context compatibility form of
+// FindNonTemporalContext.
+func (l *ShardedLive) FindNonTemporal(p *gspan.Pattern, opts Options) Result {
+	r, _ := l.FindNonTemporalContext(context.Background(), p, opts)
+	return r
+}
+
+// FindLabelSetContext finds minimal time windows in the cross-shard edge
+// set covering the query label multiset, with Live.FindLabelSetContext
+// semantics over the time-merged union: per-shard event extraction runs in
+// parallel, the planner merges the per-shard event lists in time order,
+// and the shared sliding-window sweep runs over the merged stream.
+func (l *ShardedLive) FindLabelSetContext(ctx context.Context, labels []tgraph.Label, opts Options) (Result, error) {
+	if len(l.shards) == 1 {
+		return l.shards[0].FindLabelSetContext(ctx, labels, opts)
+	}
+	opts = opts.normalize()
+	if len(labels) == 0 {
+		return Result{}, nil
+	}
+	if err := ctx.Err(); err != nil {
+		return Result{}, err
+	}
+	sv := l.pin()
+	defer l.unpin(sv)
+	need := labelNeed(labels)
+	perShard := make([][]lsEvent, len(sv.views))
+	var wg sync.WaitGroup
+	for i := range sv.views {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			v := sv.views[i]
+			perShard[i] = labelSetEvents(need, v.numEdges(), v.forEachEdge,
+				func(n tgraph.NodeID) tgraph.Label { return sv.labels[n] })
+		}(i)
+	}
+	wg.Wait()
+	return labelSetSweep(ctx, mergeEvents(perShard), need, opts)
+}
+
+// mergeEvents merges per-shard time-sorted label-event lists into one
+// time-sorted stream (ties toward the lower shard, deterministically; a
+// single edge's src-then-dst event order is preserved because both events
+// sit adjacent in one shard's list).
+func mergeEvents(perShard [][]lsEvent) []lsEvent {
+	total := 0
+	for _, evs := range perShard {
+		total += len(evs)
+	}
+	out := make([]lsEvent, 0, total)
+	idx := make([]int, len(perShard))
+	for len(out) < total {
+		best := -1
+		for i, evs := range perShard {
+			if idx[i] >= len(evs) {
+				continue
+			}
+			if best == -1 || evs[idx[i]].time < perShard[best][idx[best]].time {
+				best = i
+			}
+		}
+		out = append(out, perShard[best][idx[best]])
+		idx[best]++
+	}
+	return out
+}
+
+// FindLabelSet is the background-context compatibility form of
+// FindLabelSetContext.
+func (l *ShardedLive) FindLabelSet(labels []tgraph.Label, opts Options) Result {
+	r, _ := l.FindLabelSetContext(context.Background(), labels, opts)
+	return r
+}
+
+// Snapshot materializes an immutable Engine over the pinned cross-shard
+// edge set (the time-merged union of every shard's live edges), for
+// running many queries against one consistent cut. Panics if the
+// global-uniqueness clock contract was violated (two shards holding the
+// same timestamp cannot form the strict total order a static Engine
+// requires).
+func (l *ShardedLive) Snapshot() *Engine {
+	if len(l.shards) == 1 {
+		return l.shards[0].Snapshot()
+	}
+	sv := l.pin()
+	defer l.unpin(sv)
+	var b tgraph.Builder
+	for _, lab := range sv.labels {
+		b.AddNode(lab)
+	}
+	perShard := make([][]tgraph.Edge, len(sv.views))
+	for i, v := range sv.views {
+		es := make([]tgraph.Edge, 0, v.numEdges())
+		v.forEachEdge(func(e tgraph.Edge) bool {
+			es = append(es, e)
+			return true
+		})
+		perShard[i] = es
+	}
+	idx := make([]int, len(perShard))
+	for {
+		best := -1
+		for i, es := range perShard {
+			if idx[i] >= len(es) {
+				continue
+			}
+			if best == -1 || es[idx[i]].Time < perShard[best][idx[best]].Time {
+				best = i
+			}
+		}
+		if best == -1 {
+			break
+		}
+		e := perShard[best][idx[best]]
+		idx[best]++
+		if err := b.AddEdge(e.Src, e.Dst, e.Time); err != nil {
+			panic("search: sharded snapshot lost total time order (timestamps must be globally unique across shards): " + err.Error())
+		}
+	}
+	g, err := b.Finalize()
+	if err != nil {
+		panic("search: sharded snapshot failed to finalize: " + err.Error())
+	}
+	return NewEngine(g)
+}

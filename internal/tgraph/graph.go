@@ -12,6 +12,29 @@ import (
 // starting at 0.
 type NodeID int32
 
+// NodeShard maps a node to one of `shards` partitions with a 32-bit
+// avalanche mixer, so dense NodeIDs spread evenly and correlated ID ranges
+// (one producer's entities tend to get consecutive IDs) do not stripe onto
+// one shard. This is the cross-shard identity contract of the sharded live
+// engine: NodeIDs are global — every shard registers every node under the
+// same ID — and only edge OWNERSHIP is partitioned, by the source node's
+// shard. A node therefore resolves consistently when it appears as the
+// destination of an edge owned by a foreign shard, and any layer (facade
+// name dictionaries included) can route by calling NodeShard on the global
+// ID without per-shard remapping.
+func NodeShard(v NodeID, shards int) int {
+	if shards <= 1 {
+		return 0
+	}
+	x := uint32(v)
+	x ^= x >> 16
+	x *= 0x7feb352d
+	x ^= x >> 15
+	x *= 0x846ca68b
+	x ^= x >> 16
+	return int(x % uint32(shards))
+}
+
 // Edge is a directed edge (Src, Dst, Time) of a temporal graph. Timestamps
 // are non-negative integers; within a finalized Graph they are strictly
 // increasing in edge-slice order (total edge order).

@@ -10,13 +10,25 @@ import (
 
 // LiveOptions configures a LiveEngine.
 type LiveOptions struct {
-	// CompactEvery is the minimum number of appended edges before the
-	// append-only tail is folded into the engine's CSR base indexes
+	// CompactEvery is the minimum number of appended edges before a
+	// shard's append-only tail is folded into its CSR base indexes
 	// (default 4096; negative disables automatic compaction, leaving it to
-	// explicit Compact calls). Compaction additionally waits until the
-	// tail reaches half the base size, keeping total ingestion work linear
-	// (amortized O(1) per Append).
+	// explicit Compact calls). Compaction is normally an incremental
+	// tail-merge — O(tail + touched lists), independent of the base size —
+	// with a reclaiming full rebuild as the fallback; each shard compacts
+	// on its own schedule.
 	CompactEvery int
+
+	// Shards is the number of independent ingest shards (0 = GOMAXPROCS,
+	// 1 = a single unsharded engine, the pre-sharding behavior). Events
+	// partition by their SOURCE entity, so producers whose entities hash
+	// to different shards append fully in parallel instead of serializing
+	// on one writer mutex. Queries are answered by a cross-shard planner
+	// and are byte-identical at every shard count (differentially
+	// tested); shard only for multi-writer ingest throughput — a single
+	// producer gains nothing. See the README's sharding subsection for
+	// the consistency model.
+	Shards int
 }
 
 // LiveEngine is an incrementally growing temporal-graph engine for
@@ -35,12 +47,26 @@ type LiveOptions struct {
 // boundaries.
 //
 // A LiveEngine is safe for concurrent use and its reads are lock-free:
-// every mutation publishes a new immutable generation snapshot, and every
-// query runs against the generation current when it started. A long-lived
-// Stream therefore observes one consistent edge set for its whole lifetime
-// and never stalls ingestion — Append, EvictBefore, and Compact proceed
-// concurrently (and may safely be called from inside the consumer loop;
-// their effects become visible to the next query, not the running stream).
+// every query runs against an immutable snapshot pinned when it started. A
+// long-lived Stream therefore observes one consistent edge set for its
+// whole lifetime and never stalls ingestion — Append, EvictBefore, and
+// Compact proceed concurrently (and may safely be called from inside the
+// consumer loop; their effects become visible to the next query, not the
+// running stream).
+//
+// Multi-writer ingestion shards by source entity (LiveOptions.Shards,
+// default GOMAXPROCS): each shard has its own writer mutex, generation
+// chain, compaction schedule, and eviction floor, so concurrent producers
+// scale with cores instead of serializing. Entity identity is shard-aware
+// by construction — NodeIDs are global and every shard registers every
+// entity under the same ID, so the name→NodeID dictionary below needs no
+// per-shard remapping and an entity appearing as the destination of an
+// event owned by a foreign shard resolves consistently. Queries pin one
+// snapshot per shard (per-shard prefix consistency: each shard contributes
+// a prefix of its own append history, with no cross-shard barrier) and the
+// planner merges per-shard results back into the exact single-engine
+// answer; for that equivalence timestamps must stay globally unique, the
+// same strictly-increasing contract Append already documents.
 //
 // One sharp edge: the label Dict itself is not synchronized. Appending a
 // never-seen entity interns its label, so building query patterns against
@@ -48,8 +74,8 @@ type LiveOptions struct {
 // Author queries before ingestion starts, or serialize Dict access
 // externally; queries already built are safe to run at any time.
 type LiveEngine struct {
-	mu    sync.Mutex // guards nodes; the live engine has its own lock
-	live  *search.Live
+	mu    sync.Mutex // guards nodes; the live engine has its own locks
+	live  *search.ShardedLive
 	dict  *Dict
 	nodes map[string]NodeID
 }
@@ -62,7 +88,7 @@ func NewLiveEngine(dict *Dict, opts LiveOptions) *LiveEngine {
 		dict = NewDict()
 	}
 	return &LiveEngine{
-		live:  search.NewLive(search.LiveOptions{CompactEvery: opts.CompactEvery}),
+		live:  search.NewSharded(search.LiveOptions{CompactEvery: opts.CompactEvery, Shards: opts.Shards}),
 		dict:  dict,
 		nodes: make(map[string]NodeID),
 	}
@@ -70,6 +96,9 @@ func NewLiveEngine(dict *Dict, opts LiveOptions) *LiveEngine {
 
 // Dict returns the engine's label dictionary.
 func (le *LiveEngine) Dict() *Dict { return le.dict }
+
+// Shards reports the number of ingest shards.
+func (le *LiveEngine) Shards() int { return le.live.Shards() }
 
 // Node returns the node for the given entity name, creating it on first
 // use. The entity name doubles as its label.
@@ -98,6 +127,8 @@ func (le *LiveEngine) nodeLocked(name, label string) NodeID {
 
 // Append records a directed interaction src -> dst at time t, creating
 // nodes as needed. Timestamps must be strictly increasing across appends.
+// The event lands on src's shard; concurrent Appends whose sources hash to
+// different shards proceed in parallel.
 func (le *LiveEngine) Append(src, dst string, t int64) error {
 	le.mu.Lock()
 	s := le.nodeLocked(src, src)
@@ -106,48 +137,62 @@ func (le *LiveEngine) Append(src, dst string, t int64) error {
 	return le.live.Append(s, d, t)
 }
 
-// EvictBefore drops every edge with timestamp < t (sliding-window
-// retention). O(log E) — it advances a floor position queries skip in
-// O(log E); the space itself is reclaimed once the evicted prefix reaches
-// half the edge array and a compaction rebuilds (see Stats to observe
-// retention). Nodes are retained so identities stay stable.
+// EvictBefore drops every edge with timestamp < t on every shard
+// (sliding-window retention). O(log E) per shard — it advances a floor
+// position queries skip; the space itself is reclaimed once a shard's
+// evicted prefix reaches half its edge array and a compaction rebuilds
+// (see Stats to observe retention). Nodes are retained so identities stay
+// stable.
 func (le *LiveEngine) EvictBefore(t int64) { le.live.EvictBefore(t) }
 
-// Compact folds the append-only tail into the CSR indexes now instead of
-// waiting for the CompactEvery threshold. Compaction is normally an
-// incremental merge — the existing CSR base is extended with the
-// (already indexed, already position-sorted) tail segment in O(tail +
+// Compact folds every shard's append-only tail into its CSR indexes now
+// instead of waiting for the CompactEvery threshold. Compaction is
+// normally an incremental merge — the existing CSR base is extended with
+// the (already indexed, already position-sorted) tail segment in O(tail +
 // touched lists), not rebuilt — and falls back to a full rebuild that
 // reclaims the evicted prefix once that prefix reaches half the edge
 // array. Stats reports which path compactions took.
 func (le *LiveEngine) Compact() { le.live.Compact() }
 
-// LiveStats describes a LiveEngine's retention and compaction state at one
+// LiveStats describes live-engine retention and compaction state at one
 // instant: how much of the edge set sits in the compacted CSR base versus
 // the append-only tail, how far sliding-window eviction has advanced
-// (Floor counts evicted-but-not-yet-reclaimed edges), and how many
-// compactions ran — Merges of them incremental tail-merges, the rest
-// reclaiming rebuilds. Operators use it to watch retention and compaction
-// behavior; all counts are edges unless stated otherwise.
+// (Floor counts evicted-but-not-yet-reclaimed edges), how many compactions
+// ran — Merges of them incremental tail-merges, the rest reclaiming
+// rebuilds — plus memory accounting: RetainedBytes approximates the
+// storage the current generation holds, ActiveReaders counts in-flight
+// queries, and OldestReaderLag is how many edges have arrived since the
+// oldest still-running query pinned its snapshot (a paused stream consumer
+// pinning old storage shows up here). All counts are edges unless stated
+// otherwise.
 type LiveStats = search.LiveStats
 
-// Stats reports the engine's current retention and compaction state.
-// Lock-free and O(1); the fields are mutually consistent (they describe
-// one generation snapshot).
+// Stats reports the engine's current retention and compaction state,
+// aggregated across shards: edge counts, floors, compaction counters, and
+// retained bytes sum; Nodes is the global entity count (the node table is
+// replicated per shard, and RetainedBytes honestly includes that);
+// LastTime is the global maximum; ActiveReaders and OldestReaderLag take
+// the per-shard maximum, since one query registers on every shard. Use
+// ShardStats for the per-shard breakdown (e.g. to spot a hot shard or a
+// reader pinning one shard's old storage).
 func (le *LiveEngine) Stats() LiveStats { return le.live.Stats() }
+
+// ShardStats reports each ingest shard's retention and compaction state.
+func (le *LiveEngine) ShardStats() []LiveStats { return le.live.ShardStats() }
 
 // NumNodes reports the number of distinct entities seen.
 func (le *LiveEngine) NumNodes() int { return le.live.NumNodes() }
 
-// NumEdges reports the number of live (non-evicted) events.
+// NumEdges reports the number of live (non-evicted) events across shards.
 func (le *LiveEngine) NumEdges() int { return le.live.NumEdges() }
 
 // LastTime reports the largest appended timestamp (-1 when empty).
 func (le *LiveEngine) LastTime() int64 { return le.live.LastTime() }
 
-// Snapshot materializes an immutable Engine over the current live edge set,
-// for running many queries against one consistent state. Like all reads it
-// is lock-free; right after a compaction the engine's CSR base is shared
+// Snapshot materializes an immutable Engine over the current live edge set
+// (the time-merged union of every shard's live events), for running many
+// queries against one consistent state. Like all reads it is lock-free;
+// on a single-shard engine right after a compaction the CSR base is shared
 // directly with no copying.
 func (le *LiveEngine) Snapshot() *Engine { return &Engine{e: le.live.Snapshot()} }
 
@@ -167,7 +212,7 @@ func (le *LiveEngine) FindTemporalContext(ctx context.Context, p *Pattern, opts 
 
 // Stream evaluates a temporal behavior query against the live edge set,
 // yielding matches as they are found, with Engine.Stream semantics. The
-// stream runs lock-free against the generation snapshot current when it
+// stream runs lock-free against the per-shard snapshot cut pinned when it
 // started: it sees one consistent edge set no matter how long the consumer
 // takes, appends are never blocked by a slow (or paused) consumer, and
 // mutating the engine from inside the loop body is safe — evict-as-you-alert
@@ -177,6 +222,10 @@ func (le *LiveEngine) FindTemporalContext(ctx context.Context, p *Pattern, opts 
 //		if err != nil { break }
 //		alert(m); le.EvictBefore(m.End) // visible to the next query
 //	}
+//
+// On a sharded engine the planner fans the root loop out across shards and
+// merges the per-shard streams back into ascending-start order, so the
+// yield order matches the single-shard engine exactly.
 func (le *LiveEngine) Stream(ctx context.Context, p *Pattern, opts SearchOptions) iter.Seq2[Match, error] {
 	return le.live.StreamTemporal(ctx, p, opts.internal())
 }
@@ -190,8 +239,8 @@ func (le *LiveEngine) FindNonTemporal(p *NonTemporalPattern, opts SearchOptions)
 
 // FindNonTemporalContext evaluates an Ntemp (order-free) query against the
 // live edge set under a context, with Engine.FindNonTemporalContext
-// semantics. Lock-free: the query runs against the generation snapshot
-// current at the call.
+// semantics. Lock-free: the query runs against the snapshot cut pinned at
+// the call.
 func (le *LiveEngine) FindNonTemporalContext(ctx context.Context, p *NonTemporalPattern, opts SearchOptions) (SearchResult, error) {
 	r, err := le.live.FindNonTemporalContext(ctx, p, opts.internal())
 	return SearchResult{Matches: r.Matches, Truncated: r.Truncated}, err
@@ -206,7 +255,7 @@ func (le *LiveEngine) FindLabelSet(q *LabelSetQuery, opts SearchOptions) SearchR
 
 // FindLabelSetContext evaluates a NodeSet query against the live edge set
 // under a context, with Engine.FindLabelSetContext semantics. Lock-free:
-// the sweep runs against the generation snapshot current at the call.
+// the sweep runs against the snapshot cut pinned at the call.
 func (le *LiveEngine) FindLabelSetContext(ctx context.Context, q *LabelSetQuery, opts SearchOptions) (SearchResult, error) {
 	r, err := le.live.FindLabelSetContext(ctx, q.Labels, opts.internal())
 	return SearchResult{Matches: r.Matches, Truncated: r.Truncated}, err

@@ -326,4 +326,95 @@ func TestLiveEngineStats(t *testing.T) {
 	if s.Compactions != 4 || s.Merges != 2 {
 		t.Fatalf("reclaiming compaction counters %+v", s)
 	}
+	if s.RetainedBytes <= 0 {
+		t.Fatalf("RetainedBytes missing: %+v", s)
+	}
+}
+
+// TestLiveEngineSharded drives the facade at several explicit shard counts
+// through one event history and checks every query family answers
+// identically to the single-shard engine, plus the sharded stats surface.
+// (TestLiveEngineStats pins the exact single-shard counters; aggregates
+// over N shards sum per-shard schedules instead.)
+func TestLiveEngineSharded(t *testing.T) {
+	dict := NewDict()
+	// Distinct sources so the events actually spread across shards.
+	events := [][2]string{
+		{"sshd", "bash"}, {"bash", "ls"}, {"cron", "sh"}, {"sh", "ls"},
+		{"sshd", "bash2"}, {"bash2", "ls"}, {"initd", "bash"}, {"bash", "cat"},
+		{"sshd", "bash"}, {"bash", "ls"}, {"cron", "sh"}, {"sh", "cat"},
+	}
+	build := func(shards int) *LiveEngine {
+		le := NewLiveEngine(dict, LiveOptions{CompactEvery: 3, Shards: shards})
+		for i, ev := range events {
+			if err := le.Append(ev[0], ev[1], int64(i)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return le
+	}
+	single := build(1)
+	pb := NewGraphBuilder(dict)
+	_ = pb.AddEvent("sshd", "bash", 0)
+	_ = pb.AddEvent("bash", "ls", 1)
+	pg, err := pb.Finalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := PatternFromGraph(pg)
+	np := NonTemporalPatternFromGraph(pg)
+	lq := &LabelSetQuery{Labels: []Label{dict.Intern("sshd"), dict.Intern("ls")}}
+	for _, shards := range []int{2, 4} {
+		le := build(shards)
+		if le.Shards() != shards {
+			t.Fatalf("Shards() = %d, want %d", le.Shards(), shards)
+		}
+		if le.NumNodes() != single.NumNodes() || le.NumEdges() != single.NumEdges() {
+			t.Fatalf("shards=%d: %d/%d nodes/edges, single %d/%d",
+				shards, le.NumNodes(), le.NumEdges(), single.NumNodes(), single.NumEdges())
+		}
+		for name, got := range map[string]SearchResult{
+			"temporal":     le.FindTemporal(p, SearchOptions{Window: 4}),
+			"non-temporal": le.FindNonTemporal(np, SearchOptions{Window: 4}),
+			"label-set":    le.FindLabelSet(lq, SearchOptions{Window: 4}),
+		} {
+			var want SearchResult
+			switch name {
+			case "temporal":
+				want = single.FindTemporal(p, SearchOptions{Window: 4})
+			case "non-temporal":
+				want = single.FindNonTemporal(np, SearchOptions{Window: 4})
+			case "label-set":
+				want = single.FindLabelSet(lq, SearchOptions{Window: 4})
+			}
+			if len(got.Matches) != len(want.Matches) || got.Truncated != want.Truncated {
+				t.Fatalf("shards=%d %s: %v != single %v", shards, name, got, want)
+			}
+			for i := range got.Matches {
+				if got.Matches[i] != want.Matches[i] {
+					t.Fatalf("shards=%d %s: %v != single %v", shards, name, got.Matches, want.Matches)
+				}
+			}
+		}
+		per := le.ShardStats()
+		if len(per) != shards {
+			t.Fatalf("ShardStats: %d entries, want %d", len(per), shards)
+		}
+		agg := le.Stats()
+		sum := 0
+		for _, s := range per {
+			sum += s.LiveEdges
+			if s.Nodes != le.NumNodes() {
+				t.Fatalf("shard node table %d != global %d", s.Nodes, le.NumNodes())
+			}
+		}
+		if sum != agg.LiveEdges || agg.LiveEdges != len(events) {
+			t.Fatalf("aggregate LiveEdges %d (sum %d), want %d", agg.LiveEdges, sum, len(events))
+		}
+		// Eviction applies engine-wide.
+		le.EvictBefore(6)
+		if got := le.NumEdges(); got != len(events)-6 {
+			t.Fatalf("post-evict edges %d, want %d", got, len(events)-6)
+		}
+	}
 }
