@@ -520,6 +520,123 @@ func BenchmarkGrowthEnumeration(b *testing.B) {
 	}
 }
 
+// --- Incremental mining ---------------------------------------------------
+
+// incCorpus builds the continuous-mining benchmark corpus — 50 behavior and
+// 50 background graphs, so one graph is 1% of the set — plus an extended
+// variant of every graph (two appended events between existing nodes).
+// Dirty rounds toggle a graph between its base and extended variant, which
+// changes its content stamp every round while keeping the corpus size
+// constant across benchmark iterations.
+type incCorpus struct {
+	pos, neg       []*Graph
+	extPos, extNeg []*Graph
+}
+
+var (
+	incCorpusOnce sync.Once
+	incCorpusVal  incCorpus
+)
+
+func incBenchCorpus(b *testing.B) incCorpus {
+	b.Helper()
+	incCorpusOnce.Do(func() {
+		ds := GenerateSynthetic(SyntheticConfig{
+			Scale: 0.25, GraphsPerBehavior: 50, BackgroundGraphs: 50, Seed: 7,
+			Behaviors: []string{"sshd-login"},
+		})
+		extend := func(gs []*Graph) []*Graph {
+			out := make([]*Graph, len(gs))
+			for i, g := range gs {
+				last := g.EdgeAt(g.NumEdges() - 1).Time
+				n := tgraph.NodeID(g.NumNodes() - 1)
+				ext, err := g.ExtendSorted(nil, []tgraph.Edge{
+					{Src: 0, Dst: n, Time: last + 1},
+					{Src: n, Dst: 0, Time: last + 2},
+				})
+				if err != nil {
+					panic(err)
+				}
+				out[i] = ext
+			}
+			return out
+		}
+		incCorpusVal = incCorpus{
+			pos: ds.Behaviors[0].Graphs, neg: ds.Background,
+			extPos: extend(ds.Behaviors[0].Graphs), extNeg: extend(ds.Background),
+		}
+	})
+	return incCorpusVal
+}
+
+// BenchmarkMineIncremental compares batch re-mining (cold) against a
+// MineSession (warm) over an evolving 100-graph corpus at several dirty
+// fractions. warm-1pct-bg is the acceptance case — one background graph
+// (1% of the corpus) ingests new events between re-mines; warm-1pct-pos is
+// the honest worst case, where the updated graph is a behavior graph whose
+// content supports the discriminative seeds, so those seeds re-explore.
+func BenchmarkMineIncremental(b *testing.B) {
+	c := incBenchCorpus(b)
+	opts := MineOptions{MaxEdges: 4, Parallelism: 1}
+
+	b.Run("cold", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			res, err := Mine(c.pos, c.neg, opts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if res.TieCount == 0 {
+				b.Fatal("no patterns")
+			}
+		}
+	})
+
+	warm := func(dirtyPos, dirtyNeg int) func(b *testing.B) {
+		return func(b *testing.B) {
+			ses, err := NewMineSession(opts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			pos := append([]*Graph(nil), c.pos...)
+			neg := append([]*Graph(nil), c.neg...)
+			if _, err := ses.Mine(pos, neg); err != nil {
+				b.Fatal(err) // prime the cache outside the timed loop
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for j := 0; j < dirtyPos; j++ {
+					if i%2 == 0 {
+						pos[j] = c.extPos[j]
+					} else {
+						pos[j] = c.pos[j]
+					}
+				}
+				for j := 0; j < dirtyNeg; j++ {
+					if i%2 == 0 {
+						neg[j] = c.extNeg[j]
+					} else {
+						neg[j] = c.neg[j]
+					}
+				}
+				res, err := ses.Mine(pos, neg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.TieCount == 0 {
+					b.Fatal("no patterns")
+				}
+			}
+		}
+	}
+	b.Run("warm-clean", warm(0, 0))
+	b.Run("warm-1pct-bg", warm(0, 1))
+	b.Run("warm-1pct-pos", warm(1, 0))
+	b.Run("warm-10pct", warm(5, 5))
+	b.Run("warm-50pct", warm(25, 25))
+}
+
 // BenchmarkSyntheticGeneration measures corpus generation throughput.
 func BenchmarkSyntheticGeneration(b *testing.B) {
 	b.ReportAllocs()

@@ -27,7 +27,7 @@ import (
 var names = []string{
 	"table1", "table2", "table3",
 	"figure10", "figure11", "figure12", "figure13", "figure14", "figure15", "figure16",
-	"parallel", "sharded",
+	"parallel", "sharded", "livemine",
 }
 
 func main() {
@@ -133,6 +133,9 @@ func main() {
 			events = 500000
 		}
 		return experiments.ShardedIngest(ctx, parseCounts("shards", *shardSweep), events)
+	})
+	run("livemine", func() (interface{ Render() string }, error) {
+		return experiments.LiveMine(ctx, env)
 	})
 	if skipped {
 		fmt.Fprintf(os.Stderr, "experiments: cancelled (%v); completed experiments above\n", context.Cause(ctx))

@@ -1,0 +1,74 @@
+package grow
+
+import (
+	"testing"
+
+	"tgminer/internal/tgraph"
+)
+
+func buildChain(t *testing.T, labels []tgraph.Label, edges [][2]tgraph.NodeID) *tgraph.Graph {
+	t.Helper()
+	var b tgraph.Builder
+	for _, l := range labels {
+		b.AddNode(l)
+	}
+	for i, e := range edges {
+		if err := b.AddEdge(e[0], e[1], int64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	g, err := b.Finalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// TestSeedKeyAndFingerprint pins the cross-run seed identity and the
+// embedding-list fingerprint the incremental miner caches under.
+func TestSeedKeyAndFingerprint(t *testing.T) {
+	g1 := buildChain(t, []tgraph.Label{1, 2, 2}, [][2]tgraph.NodeID{{0, 1}, {0, 2}, {1, 1}})
+	g2 := buildChain(t, []tgraph.Label{1, 2}, [][2]tgraph.NodeID{{0, 1}})
+	seeds := Seeds([]*tgraph.Graph{g1, g2}, nil)
+	if len(seeds) != 2 {
+		t.Fatalf("want 2 seeds (1->2 and 2 self-loop), got %d", len(seeds))
+	}
+	keys := map[SeedKey]Seed{}
+	for _, s := range seeds {
+		keys[s.Key()] = s
+	}
+	plain, ok := keys[SeedKey{Src: 1, Dst: 2}]
+	if !ok {
+		t.Fatalf("seed key 1->2 missing; have %v", keys)
+	}
+	if _, ok := keys[SeedKey{Src: 2, Dst: 2, Loop: true}]; !ok {
+		t.Fatalf("self-loop seed key missing; have %v", keys)
+	}
+
+	// Fingerprint is deterministic and order/content sensitive.
+	if plain.Pos.Fingerprint() != plain.Pos.Fingerprint() {
+		t.Fatal("fingerprint not deterministic")
+	}
+	sub := plain.Pos[:len(plain.Pos)-1]
+	if sub.Fingerprint() == plain.Pos.Fingerprint() {
+		t.Fatal("shorter list fingerprints equal")
+	}
+	if (List{}).Fingerprint() == plain.Pos.Fingerprint() {
+		t.Fatal("empty list fingerprints equal to non-empty")
+	}
+
+	// Same occurrences re-enumerated from a content-identical graph set
+	// fingerprint identically.
+	again := Seeds([]*tgraph.Graph{g1, g2}, nil)
+	for i := range again {
+		if again[i].Pos.Fingerprint() != seeds[i].Pos.Fingerprint() {
+			t.Fatalf("seed %d fingerprint unstable across enumerations", i)
+		}
+	}
+
+	// SupportGraphs returns distinct graph IDs in order.
+	got := plain.Pos.SupportGraphs(nil)
+	if len(got) != 2 || got[0] != 0 || got[1] != 1 {
+		t.Fatalf("SupportGraphs = %v, want [0 1]", got)
+	}
+}

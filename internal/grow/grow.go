@@ -129,48 +129,94 @@ type Seed struct {
 	Neg     List
 }
 
-// seedKey identifies a one-edge pattern.
-type seedKey struct {
-	src, dst tgraph.Label
-	loop     bool
+// SeedKey identifies a one-edge pattern stably across mining runs: the
+// source and destination labels plus whether the edge is a self loop. It is
+// the identity incremental mining caches per-seed outcomes under.
+type SeedKey struct {
+	Src, Dst tgraph.Label
+	Loop     bool
+}
+
+// Key returns the seed's cross-run identity.
+func (s Seed) Key() SeedKey {
+	p := s.Pattern
+	loop := p.NumNodes() == 1
+	if loop {
+		return SeedKey{Src: p.LabelOf(0), Dst: p.LabelOf(0), Loop: true}
+	}
+	return SeedKey{Src: p.LabelOf(0), Dst: p.LabelOf(1)}
+}
+
+// Fingerprint hashes the embedding list's (GraphID, LastPos) reference
+// pairs with FNV-1a, folding in the length. Two lists over content-equal
+// graph sets are identical iff their occurrences coincide, so incremental
+// mining combines this fingerprint with per-graph content stamps to decide
+// whether a seed's whole exploration subtree is unchanged.
+func (l List) Fingerprint() uint64 {
+	h := uint64(14695981039346656037)
+	mix := func(v uint64) {
+		const prime = 1099511628211
+		h ^= v & 0xffffffff
+		h *= prime
+		h ^= v >> 32
+		h *= prime
+	}
+	mix(uint64(len(l)))
+	for _, e := range l {
+		mix(uint64(uint32(e.GraphID))<<32 | uint64(uint32(e.LastPos)))
+	}
+	return h
+}
+
+// SupportGraphs appends the distinct GraphIDs with at least one embedding
+// to buf (the list is ordered by GraphID, so distinct IDs are adjacent).
+func (l List) SupportGraphs(buf []int32) []int32 {
+	last := int32(-1)
+	for _, e := range l {
+		if e.GraphID != last {
+			buf = append(buf, e.GraphID)
+			last = e.GraphID
+		}
+	}
+	return buf
 }
 
 // Seeds enumerates all one-edge patterns occurring in the positive set with
 // their embeddings in both sets, ordered deterministically by (source label,
 // destination label, self-loop).
 func Seeds(pos, neg []*tgraph.Graph) []Seed {
-	posEmb := make(map[seedKey]List)
+	posEmb := make(map[SeedKey]List)
 	for gi, g := range pos {
-		collectSeeds(g, int32(gi), func(k seedKey, e Embedding) {
+		collectSeeds(g, int32(gi), func(k SeedKey, e Embedding) {
 			posEmb[k] = append(posEmb[k], e)
 		})
 	}
-	negEmb := make(map[seedKey]List)
+	negEmb := make(map[SeedKey]List)
 	for gi, g := range neg {
-		collectSeeds(g, int32(gi), func(k seedKey, e Embedding) {
+		collectSeeds(g, int32(gi), func(k SeedKey, e Embedding) {
 			if _, ok := posEmb[k]; ok { // only seeds that exist positively matter
 				negEmb[k] = append(negEmb[k], e)
 			}
 		})
 	}
-	keys := make([]seedKey, 0, len(posEmb))
+	keys := make([]SeedKey, 0, len(posEmb))
 	for k := range posEmb {
 		keys = append(keys, k)
 	}
 	sort.Slice(keys, func(i, j int) bool {
 		a, b := keys[i], keys[j]
-		if a.src != b.src {
-			return a.src < b.src
+		if a.Src != b.Src {
+			return a.Src < b.Src
 		}
-		if a.dst != b.dst {
-			return a.dst < b.dst
+		if a.Dst != b.Dst {
+			return a.Dst < b.Dst
 		}
-		return !a.loop && b.loop
+		return !a.Loop && b.Loop
 	})
 	out := make([]Seed, 0, len(keys))
 	for _, k := range keys {
 		out = append(out, Seed{
-			Pattern: tgraph.SingleEdgePattern(k.src, k.dst, k.loop),
+			Pattern: tgraph.SingleEdgePattern(k.Src, k.Dst, k.Loop),
 			Pos:     posEmb[k],
 			Neg:     negEmb[k],
 		})
@@ -178,11 +224,11 @@ func Seeds(pos, neg []*tgraph.Graph) []Seed {
 	return out
 }
 
-func collectSeeds(g *tgraph.Graph, gid int32, emit func(k seedKey, e Embedding)) {
+func collectSeeds(g *tgraph.Graph, gid int32, emit func(k SeedKey, e Embedding)) {
 	for pos, e := range g.Edges() {
-		k := seedKey{src: g.LabelOf(e.Src), dst: g.LabelOf(e.Dst), loop: e.Src == e.Dst}
+		k := SeedKey{Src: g.LabelOf(e.Src), Dst: g.LabelOf(e.Dst), Loop: e.Src == e.Dst}
 		var nodes []tgraph.NodeID
-		if k.loop {
+		if k.Loop {
 			nodes = []tgraph.NodeID{e.Src}
 		} else {
 			nodes = []tgraph.NodeID{e.Src, e.Dst}

@@ -249,62 +249,18 @@ func MineContext(ctx context.Context, pos, neg []*tgraph.Graph, opts Options) (*
 		return &Result{BestScore: inf(), Elapsed: time.Since(start)}, err
 	}
 	seeds := grow.Seeds(pos, neg)
-	// Explore high-positive-support, low-negative-support seeds first. F*
-	// reaches its ceiling as soon as a maximally frequent, zero-negative
-	// pattern is found, after which the upper-bound condition kills every
-	// lower-support branch on sight and the subgraph/supergraph conditions
-	// can cut redundant frequent-but-undiscriminative branches — the "find
-	// discriminative patterns early to prune early" strategy the paper
-	// cites from leap search [30]. Ordering only affects speed: the
-	// searched-or-pruned set of maximum-score patterns is unchanged.
-	sort.SliceStable(seeds, func(i, j int) bool {
-		pi, pj := seeds[i].Pos.SupportCount(), seeds[j].Pos.SupportCount()
-		if pi != pj {
-			return pi > pj
-		}
-		return seeds[i].Neg.SupportCount() < seeds[j].Neg.SupportCount()
-	})
+	sortSeeds(seeds)
 
-	workers := opts.Parallelism
-	if workers > len(seeds) && len(seeds) > 0 {
-		workers = len(seeds)
-	}
-	if workers < 1 {
-		workers = 1
-	}
+	workers := poolSize(opts.Parallelism, len(seeds))
 	sh := newShared(opts.MaxResults)
 	reg := newRegistry(opts.ResidualLinear, opts.MaxRegistry)
 	testers := testersFor(opts.Tester, workers)
 
-	searches := make([]*search, workers)
-	var next atomic.Int64
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wopts := opts
-		wopts.Tester = testers[w]
-		s := &search{pos: pos, neg: neg, opts: wopts, sh: sh, reg: reg}
-		searches[w] = s
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				if ctx.Err() != nil {
-					return
-				}
-				i := int(next.Add(1)) - 1
-				if i >= len(seeds) {
-					return
-				}
-				s.dfs(seeds[i].Pattern, seeds[i].Pos, seeds[i].Neg)
-			}
-		}()
+	ids := make([]int32, len(seeds))
+	for i := range ids {
+		ids[i] = int32(i)
 	}
-	wg.Wait()
-
-	var stats Stats
-	for _, s := range searches {
-		stats.merge(s.stats)
-	}
+	stats := runSeeds(ctx, pos, neg, opts, sh, reg, testers, seeds, ids, nil)
 	stats.RegistrySize = reg.size()
 	res := &Result{
 		Best:      sh.canonicalBest(),
@@ -317,6 +273,110 @@ func MineContext(ctx context.Context, pos, neg []*tgraph.Graph, opts Options) (*
 }
 
 func inf() float64 { return -1e308 }
+
+// sortSeeds orders seeds high-positive-support, low-negative-support first.
+// F* reaches its ceiling as soon as a maximally frequent, zero-negative
+// pattern is found, after which the upper-bound condition kills every
+// lower-support branch on sight and the subgraph/supergraph conditions can
+// cut redundant frequent-but-undiscriminative branches — the "find
+// discriminative patterns early to prune early" strategy the paper cites
+// from leap search [30]. Ordering only affects speed: the
+// searched-or-pruned set of maximum-score patterns is unchanged.
+func sortSeeds(seeds []grow.Seed) {
+	sort.SliceStable(seeds, func(i, j int) bool {
+		pi, pj := seeds[i].Pos.SupportCount(), seeds[j].Pos.SupportCount()
+		if pi != pj {
+			return pi > pj
+		}
+		return seeds[i].Neg.SupportCount() < seeds[j].Neg.SupportCount()
+	})
+}
+
+// poolSize clamps the configured parallelism to the available work.
+func poolSize(parallelism, work int) int {
+	if parallelism > work && work > 0 {
+		parallelism = work
+	}
+	if parallelism < 1 {
+		parallelism = 1
+	}
+	return parallelism
+}
+
+// seedOutcome summarizes one fully explored seed subtree for session
+// caching: the best score found, whether any F*-dependent prune cut part of
+// the subtree (when false, best is the exact subtree maximum and the tie
+// capture is complete), and the seed-local ties at best (count exact,
+// patterns capped at the smallest-MaxResults canonical keys, mirroring the
+// global retention rule).
+type seedOutcome struct {
+	explored bool
+	best     float64
+	pruned   bool
+	tieCount int
+	ties     []ScoredPattern
+	tieKeys  []string
+}
+
+// runSeeds drives the seed-level worker pool shared by MineContext and
+// Session.Mine. work[i] is explored tagged with registry ordinal ids[i];
+// when capture is non-nil (session mode), the subtree outcome of work[i]
+// is stored in capture[i]. Workers poll ctx between seeds, so each seed's
+// branch is either wholly mined or untouched.
+func runSeeds(ctx context.Context, pos, neg []*tgraph.Graph, opts Options, sh *shared, reg *registry, testers []SubgraphTester, work []grow.Seed, ids []int32, capture []seedOutcome) Stats {
+	workers := poolSize(opts.Parallelism, len(work))
+	if workers > len(testers) {
+		workers = len(testers)
+	}
+	searches := make([]*search, workers)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wopts := opts
+		wopts.Tester = testers[w]
+		s := &search{pos: pos, neg: neg, opts: wopts, sh: sh, reg: reg}
+		if capture != nil {
+			s.cap = &seedTies{}
+			s.cap.list.max = opts.MaxResults
+		}
+		searches[w] = s
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				if ctx.Err() != nil {
+					return
+				}
+				i := int(next.Add(1)) - 1
+				if i >= len(work) {
+					return
+				}
+				s.seedID = ids[i]
+				if s.cap != nil {
+					s.cap.reset()
+				}
+				best, pruned := s.dfs(work[i].Pattern, work[i].Pos, work[i].Neg)
+				if capture != nil {
+					s.cap.flush()
+					capture[i] = seedOutcome{
+						explored: true,
+						best:     best,
+						pruned:   pruned,
+						tieCount: s.cap.count,
+						ties:     append([]ScoredPattern(nil), s.cap.list.pats...),
+						tieKeys:  append([]string(nil), s.cap.list.keys...),
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	var stats Stats
+	for _, s := range searches {
+		stats.merge(s.stats)
+	}
+	return stats
+}
 
 // merge accumulates counters from a per-worker Stats.
 func (s *Stats) merge(o Stats) {
@@ -383,6 +443,58 @@ func (l *lockedTester) Test(g1, g2 *tgraph.Pattern) ([]tgraph.NodeID, bool) {
 	return l.t.Test(g1, g2)
 }
 
+// tieList is a tie set capped at max patterns, deterministically retaining
+// the smallest canonical keys. Used (under their owners' synchronization)
+// by the global shared best set and by the per-seed capture of incremental
+// sessions, so both apply the identical overflow rule and a replayed seed
+// reproduces the batch retention byte for byte.
+type tieList struct {
+	pats    []ScoredPattern
+	keys    []string // canonical keys parallel to pats
+	maxKeyI int      // index of the largest key once full; -1 = unknown
+	max     int
+}
+
+// replace resets the list to hold exactly one pattern.
+func (t *tieList) replace(sp ScoredPattern, key string) {
+	t.pats = append(t.pats[:0], sp)
+	t.keys = append(t.keys[:0], key)
+	t.maxKeyI = -1
+}
+
+// clear empties the list.
+func (t *tieList) clear() {
+	t.pats, t.keys, t.maxKeyI = t.pats[:0], t.keys[:0], -1
+}
+
+// add inserts a tie. When the list is at cap, the pattern with the largest
+// retained key is displaced iff the new key is smaller — a deterministic
+// rule, so the retained subset is identical across worker counts and
+// interleavings. The common reject path stays O(1): the index of the
+// largest retained key is cached and rescanned only after a replacement
+// invalidates it.
+func (t *tieList) add(sp ScoredPattern, key string) {
+	if len(t.pats) < t.max {
+		t.pats = append(t.pats, sp)
+		t.keys = append(t.keys, key)
+		t.maxKeyI = -1
+		return
+	}
+	if t.maxKeyI < 0 {
+		t.maxKeyI = 0
+		for i := 1; i < len(t.keys); i++ {
+			if t.keys[i] > t.keys[t.maxKeyI] {
+				t.maxKeyI = i
+			}
+		}
+	}
+	if key < t.keys[t.maxKeyI] {
+		t.pats[t.maxKeyI] = sp
+		t.keys[t.maxKeyI] = key
+		t.maxKeyI = -1
+	}
+}
+
 // shared is the cross-worker mining state: F* and the tied best set. F* is
 // additionally published as atomic float bits so the hot pruning paths can
 // read it without taking the mutex; it is monotonically non-decreasing, so a
@@ -390,17 +502,15 @@ func (l *lockedTester) Test(g1, g2 *tgraph.Pattern) ([]tgraph.NodeID, bool) {
 type shared struct {
 	fstarBits atomic.Uint64
 
-	mu         sync.Mutex
-	fstar      float64 // authoritative, guarded by mu
-	best       []ScoredPattern
-	bestKeys   []string // canonical keys parallel to best
-	maxKeyI    int      // index of the largest key once best is full; -1 = unknown
-	tieCount   int
-	maxResults int
+	mu       sync.Mutex
+	fstar    float64 // authoritative, guarded by mu
+	ties     tieList
+	tieCount int
 }
 
 func newShared(maxResults int) *shared {
-	sh := &shared{fstar: inf(), maxResults: maxResults}
+	sh := &shared{fstar: inf()}
+	sh.ties.max = maxResults
 	sh.fstarBits.Store(math.Float64bits(sh.fstar))
 	return sh
 }
@@ -410,10 +520,19 @@ func (sh *shared) load() float64 {
 	return math.Float64frombits(sh.fstarBits.Load())
 }
 
+// seedFstar warm-starts F* to f before any worker runs, with an (initially)
+// empty best set. Only sound when f is a score actually achieved by some
+// pattern on the data about to be mined — incremental sessions guarantee
+// that by seeding with the best cached score among clean seeds, whose
+// patterns provably still exist with that exact score. Must not be called
+// concurrently with workers.
+func (sh *shared) seedFstar(f float64) {
+	sh.fstar = f
+	sh.fstarBits.Store(math.Float64bits(f))
+}
+
 // record updates F* and the tied best set. When the tie set overflows
-// maxResults, the patterns with the smallest canonical keys are retained —
-// a deterministic rule, so the retained subset is identical across worker
-// counts and interleavings.
+// maxResults, the patterns with the smallest canonical keys are retained.
 func (sh *shared) record(p *tgraph.Pattern, sc, x, y float64) {
 	if sc < sh.load() {
 		return // stale reads only under-filter; re-checked under the lock
@@ -428,42 +547,44 @@ func (sh *shared) record(p *tgraph.Pattern, sc, x, y float64) {
 	case sc > sh.fstar:
 		sh.fstar = sc
 		sh.fstarBits.Store(math.Float64bits(sc))
-		sh.best = append(sh.best[:0], ScoredPattern{Pattern: p, Score: sc, PosFreq: x, NegFreq: y})
-		sh.bestKeys = append(sh.bestKeys[:0], key)
-		sh.maxKeyI = -1
+		sh.ties.replace(ScoredPattern{Pattern: p, Score: sc, PosFreq: x, NegFreq: y}, key)
 		sh.tieCount = 1
 	case sc == sh.fstar:
 		sh.tieCount++
-		if len(sh.best) < sh.maxResults {
-			sh.best = append(sh.best, ScoredPattern{Pattern: p, Score: sc, PosFreq: x, NegFreq: y})
-			sh.bestKeys = append(sh.bestKeys, key)
-			sh.maxKeyI = -1
-			return
-		}
-		// At cap: the common reject path must stay O(1), so the index of
-		// the largest retained key is cached and rescanned only after a
-		// replacement invalidates it.
-		if sh.maxKeyI < 0 {
-			sh.maxKeyI = 0
-			for i := 1; i < len(sh.bestKeys); i++ {
-				if sh.bestKeys[i] > sh.bestKeys[sh.maxKeyI] {
-					sh.maxKeyI = i
-				}
-			}
-		}
-		if key < sh.bestKeys[sh.maxKeyI] {
-			sh.best[sh.maxKeyI] = ScoredPattern{Pattern: p, Score: sc, PosFreq: x, NegFreq: y}
-			sh.bestKeys[sh.maxKeyI] = key
-			sh.maxKeyI = -1
-		}
+		sh.ties.add(ScoredPattern{Pattern: p, Score: sc, PosFreq: x, NegFreq: y}, key)
+	}
+}
+
+// injectTies replays a clean seed's cached tie set (count exact, patterns
+// capped at the smallest maxResults keys) into the shared state without
+// re-exploring the seed. Ties whose score has been overtaken by a higher
+// F* contribute nothing, exactly as their re-discovered patterns would
+// have been dropped by record.
+func (sh *shared) injectTies(score float64, pats []ScoredPattern, keys []string, count int) {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	switch {
+	case score < sh.fstar || count == 0:
+		return
+	case score > sh.fstar:
+		// Unreachable from Session (injection happens at score == warm F*),
+		// but keep the invariant "ties hold patterns scoring fstar" anyway.
+		sh.fstar = score
+		sh.fstarBits.Store(math.Float64bits(score))
+		sh.ties.clear()
+		sh.tieCount = 0
+	}
+	sh.tieCount += count
+	for i := range pats {
+		sh.ties.add(pats[i], keys[i])
 	}
 }
 
 // canonicalBest returns the best set sorted by canonical pattern key, the
 // deterministic order shared by sequential and parallel runs.
 func (sh *shared) canonicalBest() []ScoredPattern {
-	sort.Sort(&byKey{sp: sh.best, keys: sh.bestKeys})
-	return sh.best
+	sort.Sort(&byKey{sp: sh.ties.pats, keys: sh.ties.keys})
+	return sh.ties.pats
 }
 
 // byKey sorts the best set and its key cache in lockstep.
@@ -486,10 +607,68 @@ type search struct {
 	sh       *shared
 	reg      *registry
 	stats    Stats
+	// seedID is the registry ordinal of the seed currently being explored;
+	// entries registered during the seed's subtree carry it so incremental
+	// sessions can retain exactly the entries of still-clean seeds.
+	seedID int32
+	// cap, when non-nil (session mode), captures the current seed's local
+	// tie set so a later run can replay the seed without re-exploring it.
+	cap *seedTies
 	// setFree recycles residual.Set backing arrays across dfs frames (LIFO,
 	// worker-local, so no synchronization). Only valid in integer-compression
 	// mode: linear mode retains the sets inside registry entries.
 	setFree []residual.Set
+}
+
+// seedTies tracks the running best score within one seed's subtree and the
+// ties at it, under the same capped smallest-keys retention as the global
+// best set so replay reproduces batch retention exactly. Worker-local.
+type seedTies struct {
+	best  float64
+	count int
+	pend  []ScoredPattern // ties awaiting canonical keys
+	list  tieList
+}
+
+func (t *seedTies) reset() {
+	t.best = inf()
+	t.count = 0
+	t.pend = t.pend[:0]
+	t.list.clear()
+}
+
+// observe records a visited pattern against the seed's running best.
+// Canonical keys are deferred: ties at a momentary best that a later,
+// higher score wipes never pay for canonicalization. Keys are computed only
+// when the capped retention rule actually needs them — the list reaching
+// MaxResults — or when the seed finishes (flush), which yields the same
+// retained subset as eager keying.
+func (t *seedTies) observe(p *tgraph.Pattern, sc, x, y float64) {
+	if sc < t.best {
+		return
+	}
+	if sc > t.best {
+		t.best = sc
+		t.count = 0
+		t.pend = t.pend[:0]
+		t.list.clear()
+	}
+	t.count++
+	sp := ScoredPattern{Pattern: p, Score: sc, PosFreq: x, NegFreq: y}
+	if len(t.pend)+len(t.list.pats) < t.list.max {
+		t.pend = append(t.pend, sp)
+		return
+	}
+	t.flush()
+	t.list.add(sp, p.Key())
+}
+
+// flush keys every pending tie into the capped list.
+func (t *seedTies) flush() {
+	for i := range t.pend {
+		t.list.add(t.pend[i], t.pend[i].Pattern.Key())
+	}
+	t.pend = t.pend[:0]
 }
 
 // getSet pops a recycled residual-set buffer, or nil for a fresh one.
@@ -511,8 +690,12 @@ func (s *search) putSet(b residual.Set) {
 }
 
 // dfs explores the branch rooted at p, returning the best score seen in the
-// branch (p included).
-func (s *search) dfs(p *tgraph.Pattern, posE, negE grow.List) float64 {
+// branch (p included) and whether any F*-dependent prune (upper bound,
+// subgraph, or supergraph) cut part of the subtree. The MaxEdges cut is
+// structural — independent of F* — so it does not set the flag: a subtree
+// finished without F*-dependent prunes has been searched exhaustively
+// within the configured pattern-size bound, and its returned best is exact.
+func (s *search) dfs(p *tgraph.Pattern, posE, negE grow.List) (float64, bool) {
 	s.stats.PatternsExplored++
 	if n := p.NumEdges(); n > s.stats.MaxEdgesSeen {
 		s.stats.MaxEdgesSeen = n
@@ -521,7 +704,11 @@ func (s *search) dfs(p *tgraph.Pattern, posE, negE grow.List) float64 {
 	y := negE.Frequency(len(s.neg))
 	sc := s.opts.Score.Score(x, y)
 	s.sh.record(p, sc, x, y)
+	if s.cap != nil {
+		s.cap.observe(p, sc, x, y)
+	}
 	branchBest := sc
+	pruned := false
 
 	resPos := posE.ResidualSetInto(s.getSet())
 	iPos := resPos.I(s.pos)
@@ -547,16 +734,16 @@ func (s *search) dfs(p *tgraph.Pattern, posE, negE grow.List) float64 {
 		prune = true
 	case s.opts.Score.UpperBound(x) < s.sh.load():
 		s.stats.UpperBoundPrunes++
-		prune = true
+		prune, pruned = true, true
 	default:
 		if s.opts.SubgraphPruning && s.subgraphPrune(p, resPos, iPos) {
 			s.stats.SubgraphPrunes++
-			prune = true
+			prune, pruned = true, true
 		}
 		if !prune && s.opts.SupergraphPruning {
 			if s.supergraphPrune(p, resPos, iPos, negSet) {
 				s.stats.SupergraphPrunes++
-				prune = true
+				prune, pruned = true, true
 			}
 		}
 	}
@@ -566,13 +753,15 @@ func (s *search) dfs(p *tgraph.Pattern, posE, negE grow.List) float64 {
 			child := ext.Apply(p)
 			childPos := grow.Extend(ext, s.pos, posE)
 			childNeg := grow.Extend(ext, s.neg, negE)
-			if b := s.dfs(child, childPos, childNeg); b > branchBest {
+			b, pr := s.dfs(child, childPos, childNeg)
+			if b > branchBest {
 				branchBest = b
 			}
+			pruned = pruned || pr
 		}
 	}
 
-	s.register(p, resPos, iPos, negSet, branchBest)
+	s.register(p, resPos, iPos, negSet, branchBest, pruned)
 	// In integer mode nothing past this point references the sets (registry
 	// entries keep only iPos/iNeg), so their buffers recycle into the
 	// freelist; linear mode stores them in the entry and must not.
@@ -582,7 +771,7 @@ func (s *search) dfs(p *tgraph.Pattern, posE, negE grow.List) float64 {
 			s.putSet(resNeg)
 		}
 	}
-	return branchBest
+	return branchBest, pruned
 }
 
 // subgraphPrune implements Lemma 4: prune p when some earlier-discovered
@@ -686,7 +875,7 @@ func labelsTouchResiduals(set residual.Set, labels []tgraph.Label, graphs []*tgr
 }
 
 // register adds a completed branch to the pruning registry.
-func (s *search) register(p *tgraph.Pattern, resPos residual.Set, iPos int64, negSet func() (residual.Set, int64), branchBest float64) {
+func (s *search) register(p *tgraph.Pattern, resPos residual.Set, iPos int64, negSet func() (residual.Set, int64), branchBest float64, pruned bool) {
 	if !s.opts.SubgraphPruning && !s.opts.SupergraphPruning {
 		return
 	}
@@ -699,6 +888,8 @@ func (s *search) register(p *tgraph.Pattern, resPos residual.Set, iPos int64, ne
 		edges:      p.NumEdges(),
 		iPos:       iPos,
 		branchBest: branchBest,
+		seedID:     s.seedID,
+		pruned:     pruned,
 	}
 	if s.opts.SupergraphPruning {
 		resNeg, iNeg := negSet()
@@ -721,6 +912,8 @@ type entry struct {
 	iPos       int64
 	iNeg       int64
 	branchBest float64
+	seedID     int32        // registry ordinal of the owning seed (session carry-over)
+	pruned     bool         // an F*-dependent prune cut part of this entry's subtree
 	resPos     residual.Set // only in linear mode
 	resNeg     residual.Set // only in linear mode
 }
@@ -794,6 +987,58 @@ func (r *registry) add(e *entry) {
 	sh.mu.Lock()
 	sh.byIPos[e.iPos] = append(sh.byIPos[e.iPos], e)
 	sh.mu.Unlock()
+}
+
+// retain rebuilds the registry in place between runs, keeping only entries
+// for which keep returns true and applying adjust (when non-nil) to each
+// survivor. It mutates bucket backing arrays, so it must never run
+// concurrently with add or candidates — incremental sessions call it only
+// while no workers exist.
+func (r *registry) retain(keep func(*entry) bool, adjust func(*entry)) {
+	var n int64
+	for i := range r.shards {
+		sh := &r.shards[i]
+		sh.mu.Lock()
+		if r.linear {
+			kept := sh.all[:0]
+			for _, e := range sh.all {
+				if keep(e) {
+					if adjust != nil {
+						adjust(e)
+					}
+					kept = append(kept, e)
+				}
+			}
+			for j := len(kept); j < len(sh.all); j++ {
+				sh.all[j] = nil
+			}
+			sh.all = kept
+			n += int64(len(kept))
+		} else {
+			for ip, bucket := range sh.byIPos {
+				kept := bucket[:0]
+				for _, e := range bucket {
+					if keep(e) {
+						if adjust != nil {
+							adjust(e)
+						}
+						kept = append(kept, e)
+					}
+				}
+				if len(kept) == 0 {
+					delete(sh.byIPos, ip)
+					continue
+				}
+				for j := len(kept); j < len(bucket); j++ {
+					bucket[j] = nil
+				}
+				sh.byIPos[ip] = kept
+				n += int64(len(kept))
+			}
+		}
+		sh.mu.Unlock()
+	}
+	r.count.Store(n)
 }
 
 func (r *registry) candidates(iPos int64) []*entry {

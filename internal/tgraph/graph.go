@@ -240,6 +240,41 @@ func (g *Graph) buildIndexes() {
 	}
 }
 
+// Stamp is a cheap content-version fingerprint of a Graph, used by
+// incremental mining to decide whether a graph slot in a mined set still
+// holds the same content as the previous run. Two graphs related by the
+// supported evolution model — appending nodes and strictly-later edges
+// (ExtendSorted / live-engine growth) and/or dropping a time-prefix
+// (sliding-window eviction) — always stamp differently unless they are
+// content-identical: any append moves Last, any prefix drop moves First or
+// Edges, any node addition moves Nodes or LabelSum. The stamp is not a
+// cryptographic digest; hand-built graphs engineered to collide (e.g.
+// splicing different middles between identical first and last edges) are
+// out of contract and would defeat change detection.
+type Stamp struct {
+	Nodes    int
+	Edges    int
+	First    Edge   // zero value when the graph has no edges
+	Last     Edge   // zero value when the graph has no edges
+	LabelSum uint64 // order-sensitive FNV-1a over node labels
+}
+
+// Stamp computes the graph's content-version fingerprint in O(V + 1).
+func (g *Graph) Stamp() Stamp {
+	s := Stamp{Nodes: len(g.labels), Edges: len(g.edges)}
+	if len(g.edges) > 0 {
+		s.First = g.edges[0]
+		s.Last = g.edges[len(g.edges)-1]
+	}
+	h := uint64(14695981039346656037)
+	for _, l := range g.labels {
+		h ^= uint64(uint32(l))
+		h *= 1099511628211
+	}
+	s.LabelSum = h
+	return s
+}
+
 // NumNodes reports |V|.
 func (g *Graph) NumNodes() int { return len(g.labels) }
 

@@ -1,0 +1,97 @@
+package tgraph
+
+import "testing"
+
+// TestStampDetectsEvolution pins that Stamp distinguishes every step of the
+// supported graph evolution model: edge appends, node additions, and
+// prefix-dropping rebuilds.
+func TestStampDetectsEvolution(t *testing.T) {
+	var b Builder
+	a := b.AddNode(1)
+	c := b.AddNode(2)
+	if err := b.AddEdge(a, c, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.AddEdge(c, a, 2); err != nil {
+		t.Fatal(err)
+	}
+	g, err := b.Finalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := g.Stamp()
+	if base != g.Stamp() {
+		t.Fatal("stamp not deterministic")
+	}
+
+	// Content-identical rebuild stamps equal.
+	var b2 Builder
+	b2.AddNode(1)
+	b2.AddNode(2)
+	b2.AddEdge(0, 1, 1)
+	b2.AddEdge(1, 0, 2)
+	g2, err := b2.Finalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.Stamp() != base {
+		t.Fatalf("content-identical graphs stamp differently: %+v vs %+v", g2.Stamp(), base)
+	}
+
+	// Append moves the stamp.
+	ext, err := g.ExtendSorted(nil, []Edge{{Src: a, Dst: c, Time: 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ext.Stamp() == base {
+		t.Fatal("append did not change stamp")
+	}
+
+	// New node (even with no edges) moves the stamp.
+	ext2, err := g.ExtendSorted([]Label{7}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ext2.Stamp() == base {
+		t.Fatal("node addition did not change stamp")
+	}
+
+	// Prefix drop (eviction rebuild) moves the stamp.
+	var b3 Builder
+	b3.AddNode(1)
+	b3.AddNode(2)
+	b3.AddEdge(1, 0, 2)
+	g3, err := b3.Finalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g3.Stamp() == base {
+		t.Fatal("prefix drop did not change stamp")
+	}
+
+	// Label change at equal shape moves the stamp (LabelSum).
+	var b4 Builder
+	b4.AddNode(1)
+	b4.AddNode(3)
+	b4.AddEdge(0, 1, 1)
+	b4.AddEdge(1, 0, 2)
+	g4, err := b4.Finalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g4.Stamp() == base {
+		t.Fatal("label change did not change stamp")
+	}
+
+	// Empty graph stamps distinctly from non-empty.
+	var b5 Builder
+	b5.AddNode(1)
+	b5.AddNode(2)
+	g5, err := b5.Finalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g5.Stamp() == base || g5.Stamp().Edges != 0 {
+		t.Fatal("empty graph stamp wrong")
+	}
+}

@@ -78,6 +78,19 @@ type LiveEngine struct {
 	live  *search.ShardedLive
 	dict  *Dict
 	nodes map[string]NodeID
+
+	snapMu    sync.Mutex // guards the MineSnapshot cache below
+	snapGraph *Graph
+	snapKey   mineSnapKey
+}
+
+// mineSnapKey identifies a live engine's edge-set generation. Appends
+// strictly increase LastTime, evictions shrink NumEdges, and new entities
+// grow NumNodes, so no two distinct live edge sets of one engine ever share
+// a key.
+type mineSnapKey struct {
+	nodes, edges int
+	lastTime     int64
 }
 
 // NewLiveEngine returns an empty live engine interning labels into dict (a
@@ -195,6 +208,33 @@ func (le *LiveEngine) LastTime() int64 { return le.live.LastTime() }
 // on a single-shard engine right after a compaction the CSR base is shared
 // directly with no copying.
 func (le *LiveEngine) Snapshot() *Engine { return &Engine{e: le.live.Snapshot()} }
+
+// MineSnapshot returns the engine's current live edge set as one immutable
+// temporal graph for mining, cached per generation: if nothing was appended
+// or evicted since the last call, the identical *Graph pointer is returned,
+// which lets an incremental MineSession recognize the engine as unchanged
+// in O(1) and replay every cached seed it supports. Like Snapshot, the cut
+// is lock-free and consistent; the small cache check serializes only
+// concurrent MineSnapshot callers.
+func (le *LiveEngine) MineSnapshot() *Graph {
+	le.snapMu.Lock()
+	defer le.snapMu.Unlock()
+	key := le.mineSnapKeyNow()
+	if le.snapGraph != nil && key == le.snapKey {
+		return le.snapGraph
+	}
+	g := le.live.Snapshot().Graph()
+	// Only cache when the engine did not move during the cut; a torn key
+	// under concurrent ingest just means the next call rebuilds.
+	if le.mineSnapKeyNow() == key {
+		le.snapGraph, le.snapKey = g, key
+	}
+	return g
+}
+
+func (le *LiveEngine) mineSnapKeyNow() mineSnapKey {
+	return mineSnapKey{nodes: le.live.NumNodes(), edges: le.live.NumEdges(), lastTime: le.live.LastTime()}
+}
 
 // FindTemporal evaluates a temporal behavior query against the live edge
 // set (compatibility form of FindTemporalContext).

@@ -3,6 +3,8 @@ package tgminer
 import (
 	"context"
 	"fmt"
+	"sort"
+	"sync"
 
 	"tgminer/internal/core"
 	"tgminer/internal/gspan"
@@ -144,6 +146,196 @@ func (opts MineOptions) minerOptions() (miner.Options, error) {
 		mo.Parallelism = opts.Parallelism
 	}
 	return mo, nil
+}
+
+// MineSessionStats reports seed-reuse accounting for the most recent
+// session round: dirty/skipped/injected/explored seed counts, carried
+// pruning-registry entries, and the warm-start F*.
+type MineSessionStats = miner.SessionStats
+
+// DriftKind classifies a drift alert between consecutive session rounds.
+type DriftKind string
+
+// Drift alert kinds.
+const (
+	// DriftNewPattern: a pattern entered the tied best set this round.
+	DriftNewPattern DriftKind = "new-pattern"
+	// DriftDroppedPattern: a pattern left the tied best set this round.
+	DriftDroppedPattern DriftKind = "dropped-pattern"
+	// DriftSupportDecay: a retained best pattern's positive support fell.
+	DriftSupportDecay DriftKind = "support-decay"
+	// DriftScoreShift: the best score F* itself moved.
+	DriftScoreShift DriftKind = "score-shift"
+)
+
+// DriftAlert describes one change in the mined best set between two
+// consecutive session rounds — the signal a continuous-monitoring deployment
+// watches: behavior queries appearing, disappearing, or losing support as
+// the live graphs evolve.
+type DriftAlert struct {
+	Kind DriftKind
+	// Key is the canonical key of the pattern concerned (empty for
+	// DriftScoreShift, which concerns F* itself).
+	Key string
+	// Pattern is the pattern concerned (the new, dropped, or decayed one);
+	// nil for DriftScoreShift.
+	Pattern *Pattern
+	// Before and After hold the changing quantity: positive support for
+	// DriftSupportDecay, F* for DriftScoreShift, and the pattern's score
+	// for DriftNewPattern (Before 0) and DriftDroppedPattern (After 0).
+	Before, After float64
+}
+
+// MineSession mines repeatedly over an evolving graph set, making warm
+// re-mines dramatically cheaper than batch Mine calls by caching per-seed
+// exploration outcomes between rounds.
+//
+// A seed (a single-edge pattern and its embedding lists) is re-explored
+// only when *dirty*: some graph supporting it changed content, its
+// embedding lists changed, or its cached outcome cannot be proven
+// complete under the new threshold. Clean seeds replay their cached
+// contribution in O(1), and the previous round's surviving best score
+// warm-starts the shared pruning threshold before any worker runs — which
+// is safe because that score is still achieved on the current data, so the
+// threshold stays a valid lower bound of the true F* and can only
+// under-prune. Results are byte-identical (Best, BestScore, TieCount) to a
+// cold Mine over the same data; only Stats counters differ. See
+// internal/miner's incremental documentation for the full invalidation
+// model and its proof obligations.
+//
+// Options are fixed at construction. Methods are safe for concurrent use;
+// rounds serialize, and each round parallelizes internally per
+// MineOptions.Parallelism.
+type MineSession struct {
+	mu    sync.Mutex
+	ses   *miner.Session
+	prev  *MineResult
+	drift []DriftAlert
+}
+
+// NewMineSession creates a continuous-mining session with fixed options.
+func NewMineSession(opts MineOptions) (*MineSession, error) {
+	mo, err := opts.minerOptions()
+	if err != nil {
+		return nil, err
+	}
+	return &MineSession{ses: miner.NewSession(mo)}, nil
+}
+
+// Mine runs one session round with a background context.
+func (s *MineSession) Mine(pos, neg []*Graph) (*MineResult, error) {
+	return s.MineContext(context.Background(), pos, neg)
+}
+
+// MineContext runs one session round over the current graph sets. Graphs
+// are matched to the previous round positionally: index i of pos (and neg)
+// should be the same evolving graph each round — unchanged graphs are
+// recognized by pointer or content stamp, changed ones dirty exactly the
+// seeds they support. Cancellation has MineContext semantics (partial
+// result + ctx.Err()); a cancelled round leaves the session caches as of
+// the last complete round, and drift is not updated.
+func (s *MineSession) MineContext(ctx context.Context, pos, neg []*Graph) (*MineResult, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	res, err := s.ses.MineContext(ctx, pos, neg)
+	if res == nil {
+		return nil, err
+	}
+	out := &MineResult{BestScore: res.BestScore, TieCount: res.TieCount, Stats: res.Stats}
+	for _, sp := range res.Best {
+		out.Best = append(out.Best, MinedPattern{
+			Pattern: sp.Pattern, Score: sp.Score, PosFreq: sp.PosFreq, NegFreq: sp.NegFreq,
+		})
+	}
+	if err == nil {
+		s.drift = driftAlerts(s.prev, out)
+		s.prev = out
+	}
+	return out, err
+}
+
+// MineLive runs one session round over live engines with a background
+// context.
+func (s *MineSession) MineLive(pos, neg []*LiveEngine) (*MineResult, error) {
+	return s.MineLiveContext(context.Background(), pos, neg)
+}
+
+// MineLiveContext runs one session round treating each LiveEngine as one
+// evolving temporal graph: engine i's current edge set (captured via
+// MineSnapshot's cached generation cut) is graph i of the corpus. Engines
+// that ingested nothing since the previous round reuse both their snapshot
+// and every cached seed outcome they support.
+func (s *MineSession) MineLiveContext(ctx context.Context, pos, neg []*LiveEngine) (*MineResult, error) {
+	pg := make([]*Graph, len(pos))
+	for i, le := range pos {
+		pg[i] = le.MineSnapshot()
+	}
+	ng := make([]*Graph, len(neg))
+	for i, le := range neg {
+		ng[i] = le.MineSnapshot()
+	}
+	return s.MineContext(ctx, pg, ng)
+}
+
+// Stats returns reuse accounting for the most recent complete round.
+func (s *MineSession) Stats() MineSessionStats {
+	return s.ses.Stats()
+}
+
+// Drift returns the alerts comparing the last complete round's best set
+// with the round before it (nil after the first round).
+func (s *MineSession) Drift() []DriftAlert {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.drift
+}
+
+// driftAlerts diffs two consecutive rounds' best sets.
+func driftAlerts(prev, cur *MineResult) []DriftAlert {
+	if prev == nil {
+		return nil
+	}
+	var alerts []DriftAlert
+	if prev.BestScore != cur.BestScore {
+		alerts = append(alerts, DriftAlert{
+			Kind: DriftScoreShift, Before: prev.BestScore, After: cur.BestScore,
+		})
+	}
+	old := make(map[string]MinedPattern, len(prev.Best))
+	for _, mp := range prev.Best {
+		old[mp.Pattern.Key()] = mp
+	}
+	seen := make(map[string]bool, len(cur.Best))
+	for _, mp := range cur.Best {
+		k := mp.Pattern.Key()
+		seen[k] = true
+		before, ok := old[k]
+		switch {
+		case !ok:
+			alerts = append(alerts, DriftAlert{
+				Kind: DriftNewPattern, Key: k, Pattern: mp.Pattern, After: mp.Score,
+			})
+		case mp.PosFreq < before.PosFreq:
+			alerts = append(alerts, DriftAlert{
+				Kind: DriftSupportDecay, Key: k, Pattern: mp.Pattern,
+				Before: before.PosFreq, After: mp.PosFreq,
+			})
+		}
+	}
+	for k, mp := range old {
+		if !seen[k] {
+			alerts = append(alerts, DriftAlert{
+				Kind: DriftDroppedPattern, Key: k, Pattern: mp.Pattern, Before: mp.Score,
+			})
+		}
+	}
+	sort.Slice(alerts, func(i, j int) bool {
+		if alerts[i].Kind != alerts[j].Kind {
+			return alerts[i].Kind < alerts[j].Kind
+		}
+		return alerts[i].Key < alerts[j].Key
+	})
+	return alerts
 }
 
 // TopKResult is the outcome of MineTopK.

@@ -1,0 +1,201 @@
+package tgminer
+
+import (
+	"testing"
+)
+
+// liveCorpus builds n live engines over a shared dict, each fed the given
+// event chain at distinct offsets so timestamps stay strictly increasing.
+func liveCorpus(t *testing.T, dict *Dict, n int, events [][2]string) []*LiveEngine {
+	t.Helper()
+	out := make([]*LiveEngine, n)
+	for i := range out {
+		le := NewLiveEngine(dict, LiveOptions{Shards: 1})
+		for j, ev := range events {
+			if err := le.Append(ev[0], ev[1], int64(j)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		out[i] = le
+	}
+	return out
+}
+
+func assertSameMineResult(t *testing.T, label string, got, want *MineResult) {
+	t.Helper()
+	if got.BestScore != want.BestScore || got.TieCount != want.TieCount || len(got.Best) != len(want.Best) {
+		t.Fatalf("%s: (score %v ties %d |best| %d) vs cold (score %v ties %d |best| %d)",
+			label, got.BestScore, got.TieCount, len(got.Best),
+			want.BestScore, want.TieCount, len(want.Best))
+	}
+	cold := map[string]float64{}
+	for _, mp := range want.Best {
+		cold[mp.Pattern.Key()] = mp.Score
+	}
+	for _, mp := range got.Best {
+		if sc, ok := cold[mp.Pattern.Key()]; !ok || sc != mp.Score {
+			t.Fatalf("%s: pattern %q (score %v) not in cold best set", label, mp.Pattern.Key(), mp.Score)
+		}
+	}
+}
+
+// TestMineSessionLiveMatchesCold drives the continuous-mining facade over
+// evolving LiveEngines and checks every round against a cold Mine on the
+// same snapshots.
+func TestMineSessionLiveMatchesCold(t *testing.T) {
+	dict := NewDict()
+	pos := liveCorpus(t, dict, 3, [][2]string{
+		{"sshd", "bash"}, {"bash", "ls"}, {"bash", "cat"}, {"sshd", "bash"}, {"bash", "ls"},
+	})
+	neg := liveCorpus(t, dict, 4, [][2]string{
+		{"cron", "sh"}, {"sh", "ls"}, {"cron", "sh"}, {"sh", "cat"},
+	})
+	// Give pos[0] seeds of its own, so mutating pos[1] later leaves some
+	// seeds (supported only by pos[0]) provably clean.
+	if err := pos[0].Append("sshd", "tar", 50); err != nil {
+		t.Fatal(err)
+	}
+	if err := pos[0].Append("tar", "gzip", 51); err != nil {
+		t.Fatal(err)
+	}
+	opts := MineOptions{MaxEdges: 3, Parallelism: 2}
+	ses, err := NewMineSession(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	coldOf := func() *MineResult {
+		pg := make([]*Graph, len(pos))
+		for i, le := range pos {
+			pg[i] = le.MineSnapshot()
+		}
+		ng := make([]*Graph, len(neg))
+		for i, le := range neg {
+			ng[i] = le.MineSnapshot()
+		}
+		res, err := Mine(pg, ng, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+
+	// Round 1: cold.
+	warm, err := ses.MineLive(pos, neg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameMineResult(t, "round 1", warm, coldOf())
+	if ses.Drift() != nil {
+		t.Fatal("drift non-nil after first round")
+	}
+
+	// Round 2: nothing changed — full reuse, zero dirty seeds.
+	warm, err = ses.MineLive(pos, neg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameMineResult(t, "round 2", warm, coldOf())
+	if st := ses.Stats(); st.LastDirty != 0 {
+		t.Fatalf("unchanged round dirtied %d seeds", st.LastDirty)
+	}
+
+	// Round 3: one positive engine ingests; only its seeds go dirty.
+	if err := pos[1].Append("bash", "curl", 100); err != nil {
+		t.Fatal(err)
+	}
+	if err := pos[1].Append("curl", "ls", 101); err != nil {
+		t.Fatal(err)
+	}
+	warm, err = ses.MineLive(pos, neg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameMineResult(t, "round 3", warm, coldOf())
+	st := ses.Stats()
+	if st.LastDirty == 0 || st.LastDirty == st.LastSeeds {
+		t.Fatalf("one-engine ingest should dirty some but not all seeds: %d of %d",
+			st.LastDirty, st.LastSeeds)
+	}
+
+	// Round 4: eviction on a negative engine.
+	neg[0].EvictBefore(2)
+	warm, err = ses.MineLive(pos, neg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameMineResult(t, "round 4", warm, coldOf())
+}
+
+// TestMineSnapshotGenerationCache pins the O(1) unchanged-engine path: the
+// same *Graph pointer comes back until the engine moves.
+func TestMineSnapshotGenerationCache(t *testing.T) {
+	le := NewLiveEngine(nil, LiveOptions{})
+	if err := le.Append("a", "b", 1); err != nil {
+		t.Fatal(err)
+	}
+	s1 := le.MineSnapshot()
+	if s2 := le.MineSnapshot(); s2 != s1 {
+		t.Fatal("unchanged engine returned a new snapshot")
+	}
+	if err := le.Append("b", "c", 2); err != nil {
+		t.Fatal(err)
+	}
+	s3 := le.MineSnapshot()
+	if s3 == s1 {
+		t.Fatal("append did not invalidate the mine snapshot")
+	}
+	if s3.NumEdges() != 2 {
+		t.Fatalf("snapshot has %d edges, want 2", s3.NumEdges())
+	}
+	le.EvictBefore(2)
+	if s4 := le.MineSnapshot(); s4 == s3 || s4.NumEdges() != 1 {
+		t.Fatal("eviction did not invalidate the mine snapshot")
+	}
+}
+
+// TestDriftAlerts pins the drift classification between two rounds.
+func TestDriftAlerts(t *testing.T) {
+	dict := NewDict()
+	mk := func(events ...[2]string) *Pattern {
+		gb := NewGraphBuilder(dict)
+		for i, ev := range events {
+			if err := gb.AddEvent(ev[0], ev[1], int64(i)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		g, err := gb.Finalize()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return PatternFromGraph(g)
+	}
+	stay := mk([2]string{"a", "b"}, [2]string{"b", "c"})
+	gone := mk([2]string{"a", "b"}, [2]string{"b", "d"})
+	born := mk([2]string{"a", "b"}, [2]string{"b", "e"})
+
+	prev := &MineResult{BestScore: 2, Best: []MinedPattern{
+		{Pattern: stay, Score: 2, PosFreq: 1.0},
+		{Pattern: gone, Score: 2, PosFreq: 0.8},
+	}}
+	cur := &MineResult{BestScore: 1.5, Best: []MinedPattern{
+		{Pattern: stay, Score: 1.5, PosFreq: 0.6}, // support decayed
+		{Pattern: born, Score: 1.5, PosFreq: 0.6},
+	}}
+	alerts := driftAlerts(prev, cur)
+	counts := map[DriftKind]int{}
+	for _, a := range alerts {
+		counts[a.Kind]++
+	}
+	want := map[DriftKind]int{
+		DriftScoreShift: 1, DriftNewPattern: 1, DriftDroppedPattern: 1, DriftSupportDecay: 1,
+	}
+	for k, n := range want {
+		if counts[k] != n {
+			t.Fatalf("drift %v: got %d alerts, want %d (all: %+v)", k, counts[k], n, alerts)
+		}
+	}
+	if driftAlerts(nil, cur) != nil {
+		t.Fatal("first round should produce no drift")
+	}
+}
