@@ -22,12 +22,13 @@ import (
 
 	"tgminer/internal/cmdutil"
 	"tgminer/internal/experiments"
+	"tgminer/internal/experiments/serveload"
 )
 
 var names = []string{
 	"table1", "table2", "table3",
 	"figure10", "figure11", "figure12", "figure13", "figure14", "figure15", "figure16",
-	"parallel", "sharded", "livemine",
+	"parallel", "sharded", "livemine", "serve",
 }
 
 func main() {
@@ -136,6 +137,13 @@ func main() {
 	})
 	run("livemine", func() (interface{ Render() string }, error) {
 		return experiments.LiveMine(ctx, env)
+	})
+	run("serve", func() (interface{ Render() string }, error) {
+		window := 600 * time.Millisecond
+		if *full {
+			window = 5 * time.Second
+		}
+		return serveload.ServeLoad(ctx, nil, window)
 	})
 	if skipped {
 		fmt.Fprintf(os.Stderr, "experiments: cancelled (%v); completed experiments above\n", context.Cause(ctx))

@@ -14,6 +14,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"fmt"
 	"log"
 	"time"
@@ -143,6 +144,14 @@ func main() {
 	for i, ss := range live.ShardStats() {
 		fmt.Printf("  shard %d: %d live edge(s), %d compaction(s)\n", i, ss.LiveEdges, ss.Compactions)
 	}
+
+	// LiveStats marshals to the same stable JSON representation tgminerd's
+	// GET /v1/statsz serves (field names pinned by
+	// TestLiveStatsJSONRoundTrip), so a scraper built against the daemon
+	// reads this example's output — and vice versa — unchanged.
+	j, err := json.Marshal(st)
+	check(err)
+	fmt.Printf("\nas served by tgminerd /v1/statsz: %s\n", j)
 }
 
 // mustShape builds the behavior shape used for the non-temporal query.

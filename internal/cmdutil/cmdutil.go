@@ -6,18 +6,22 @@ import (
 	"context"
 	"os"
 	"os/signal"
+	"syscall"
 	"time"
 )
 
 // SignalContext returns the command's working context: cancelled by the
-// first SIGINT and, when timeout > 0, by the deadline. sigCtx is the
+// first SIGINT or SIGTERM and, when timeout > 0, by the deadline. Both
+// signals take the same cooperative path — cancel, drain, report partial
+// results — so supervisors (systemd, Kubernetes, CI) that stop processes
+// with SIGTERM get the exact Ctrl-C shutdown behavior. sigCtx is the
 // signal-only parent (no deadline) — commands use it to derive a bounded
 // follow-up phase after a deadline expiry while staying Ctrl-C-cancellable.
-// The SIGINT handler unhooks itself after the first signal, so a second
-// Ctrl-C kills the process the usual way if the cooperative path is too
-// slow. Call stop to release the signal hook and any timer.
+// The handler unhooks itself after the first signal, so a second signal
+// kills the process the usual way if the cooperative path is too slow.
+// Call stop to release the signal hook and any timer.
 func SignalContext(timeout time.Duration) (ctx, sigCtx context.Context, stop func()) {
-	sigCtx, unhook := signal.NotifyContext(context.Background(), os.Interrupt)
+	sigCtx, unhook := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	go func() {
 		<-sigCtx.Done()
 		unhook()

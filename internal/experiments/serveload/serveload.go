@@ -1,0 +1,295 @@
+// Package serveload is the tgminerd serving-tier load-generator exhibit.
+// It lives beside (not inside) internal/experiments because it drives the
+// real serve.Server, which fronts the tgminer facade — and the facade's
+// in-package bench suite imports internal/experiments, so folding this
+// exhibit into that package would close an import cycle.
+package serveload
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"tgminer"
+	"tgminer/internal/experiments"
+	"tgminer/internal/serve"
+	"tgminer/internal/tgraph"
+)
+
+// ServeLoadCell is one measured configuration of the tgminerd load
+// generator: K HTTP producers ingesting concurrently with M HTTP consumers
+// querying, against a K-shard live engine.
+type ServeLoadCell struct {
+	Producers int
+	Consumers int
+	Cache     bool
+	// Idle marks the repeated-dashboard regime: producers off, the same
+	// query shapes replayed against a quiesced engine — the generation-keyed
+	// cache's designed win.
+	Idle bool
+
+	Seconds    float64
+	Ingested   int     // events appended during the window
+	IngestRate float64 // events/sec sustained through HTTP
+	Queries    int
+	QPS        float64
+	P50Ms      float64
+	P99Ms      float64
+	HitPct     float64 // result-cache hit rate (hits / lookups)
+}
+
+// ServeLoadResult is the tgminerd serving-tier exhibit: per K×M cell, query
+// latency and sustained ingest rate with the result cache off, on under
+// live ingest, and on against a quiesced engine.
+type ServeLoadResult struct {
+	Cells []ServeLoadCell
+	Cores int
+}
+
+// serveLoadSources picks one source entity per shard (probing the facade's
+// first-touch NodeID assignment), because the sharded engine's clock
+// contract — strictly increasing per shard — requires each producer to own
+// its shard's timeline, the PR 5 one-producer-per-partition deployment.
+func serveLoadSources(eng *tgminer.LiveEngine, shards int) ([]string, error) {
+	srcs := make([]string, shards)
+	owned := make([]bool, shards)
+	found := 0
+	for probe := 0; found < shards; probe++ {
+		if probe > 4096 {
+			return nil, fmt.Errorf("serve: no source entity found for every shard after %d probes", probe)
+		}
+		name := fmt.Sprintf("src#%d", probe)
+		id := eng.NodeWithLabel(name, "src")
+		if s := tgraph.NodeShard(id, shards); !owned[s] {
+			owned[s] = true
+			srcs[s] = name
+			found++
+		}
+	}
+	return srcs, nil
+}
+
+// ServeLoad drives a real serve.Server over HTTP at each K×M size (default
+// 1×1, 4×4, 8×16) for roughly window per cell, measuring sustained ingest
+// rate and query latency percentiles in three regimes per size: cache off,
+// cache on under live ingest, and cache on with ingest idle.
+func ServeLoad(ctx context.Context, sizes [][2]int, window time.Duration) (*ServeLoadResult, error) {
+	if len(sizes) == 0 {
+		sizes = [][2]int{{1, 1}, {4, 4}, {8, 16}}
+	}
+	if window <= 0 {
+		window = 600 * time.Millisecond
+	}
+	out := &ServeLoadResult{Cores: runtime.GOMAXPROCS(0)}
+	for _, km := range sizes {
+		for _, regime := range []struct{ cache, idle bool }{
+			{false, false}, {true, false}, {true, true},
+		} {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			cell, err := serveLoadCell(ctx, km[0], km[1], regime.cache, regime.idle, window)
+			if err != nil {
+				return nil, fmt.Errorf("serve %dx%d (cache=%v idle=%v): %w", km[0], km[1], regime.cache, regime.idle, err)
+			}
+			out.Cells = append(out.Cells, *cell)
+		}
+	}
+	return out, nil
+}
+
+func serveLoadCell(ctx context.Context, producers, consumers int, cache, idle bool, window time.Duration) (*ServeLoadCell, error) {
+	const seedPerShard = 2000
+	const batch = 100
+	eng := tgminer.NewLiveEngine(nil, tgminer.LiveOptions{Shards: producers})
+	srcs, err := serveLoadSources(eng, producers)
+	if err != nil {
+		return nil, err
+	}
+	// Seed every shard so consumers have matches from the first request.
+	// Producer w owns timestamps congruent to w mod producers: strictly
+	// increasing per shard, globally unique.
+	next := make([]int64, producers)
+	for w := 0; w < producers; w++ {
+		dst := fmt.Sprintf("dst#%d", w)
+		eng.NodeWithLabel(dst, "dst")
+		for i := 0; i < seedPerShard; i++ {
+			if err := eng.Append(srcs[w], dst, int64(w)+1+int64(i)*int64(producers)); err != nil {
+				return nil, err
+			}
+		}
+		next[w] = int64(seedPerShard)
+	}
+
+	cacheEntries := -1 // disabled
+	if cache {
+		cacheEntries = 256
+	}
+	srv := serve.New(serve.Config{Engine: eng, CacheEntries: cacheEntries})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	client := ts.Client()
+	post := func(path string, v any) (*http.Response, error) {
+		b, err := json.Marshal(v)
+		if err != nil {
+			return nil, err
+		}
+		return client.Post(ts.URL+path, "application/json", bytes.NewReader(b))
+	}
+
+	runCtx, cancel := context.WithTimeout(ctx, window)
+	defer cancel()
+	var wg sync.WaitGroup
+	errs := make(chan error, producers+consumers)
+	start := time.Now()
+
+	ingested := make([]int, producers)
+	if !idle {
+		for w := 0; w < producers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				dst := fmt.Sprintf("dst#%d", w)
+				for runCtx.Err() == nil {
+					evs := make([]serve.Event, batch)
+					for i := range evs {
+						evs[i] = serve.Event{Time: int64(w) + 1 + (next[w]+int64(i))*int64(producers), Src: srcs[w], Dst: dst}
+					}
+					resp, err := post("/v1/events", serve.IngestRequest{Events: evs})
+					if err != nil {
+						if runCtx.Err() == nil {
+							errs <- err
+						}
+						return
+					}
+					var ir serve.IngestResponse
+					jerr := json.NewDecoder(resp.Body).Decode(&ir)
+					resp.Body.Close()
+					if jerr != nil || (resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusTooManyRequests) {
+						errs <- fmt.Errorf("ingest status %d (%v)", resp.StatusCode, jerr)
+						return
+					}
+					next[w] += int64(ir.Appended)
+					ingested[w] += ir.Appended
+				}
+			}(w)
+		}
+	}
+
+	// Consumers cycle through four query shapes (distinct windows, so
+	// distinct cache keys): a dashboard replaying the same panel set.
+	windows := []int64{2, 4, 8, 16}
+	latencies := make([][]float64, consumers)
+	counts := make([]int, consumers)
+	for c := 0; c < consumers; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := 0; runCtx.Err() == nil; i++ {
+				q := serve.QueryRequest{
+					Nodes: []string{"src", "dst"}, Edges: []serve.QueryEdge{{Src: 0, Dst: 1}},
+					Window: windows[i%len(windows)], Limit: 64,
+				}
+				t0 := time.Now()
+				resp, err := post("/v1/query/temporal", q)
+				if err != nil {
+					if runCtx.Err() == nil {
+						errs <- err
+					}
+					return
+				}
+				var buf bytes.Buffer
+				_, rerr := buf.ReadFrom(resp.Body)
+				resp.Body.Close()
+				if rerr != nil || resp.StatusCode != http.StatusOK {
+					errs <- fmt.Errorf("query status %d (%v)", resp.StatusCode, rerr)
+					return
+				}
+				latencies[c] = append(latencies[c], time.Since(t0).Seconds()*1000)
+				counts[c]++
+			}
+		}(c)
+	}
+
+	wg.Wait()
+	elapsed := time.Since(start)
+	if elapsed < window {
+		elapsed = window
+	}
+	close(errs)
+	if err := <-errs; err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+
+	cell := &ServeLoadCell{
+		Producers: producers, Consumers: consumers, Cache: cache, Idle: idle,
+		Seconds: elapsed.Seconds(),
+	}
+	var all []float64
+	for c := range latencies {
+		all = append(all, latencies[c]...)
+		cell.Queries += counts[c]
+	}
+	if len(all) == 0 {
+		return nil, fmt.Errorf("no queries completed in %s", window)
+	}
+	sort.Float64s(all)
+	cell.P50Ms = all[len(all)/2]
+	cell.P99Ms = all[(len(all)*99)/100]
+	cell.QPS = float64(cell.Queries) / elapsed.Seconds()
+	for _, n := range ingested {
+		cell.Ingested += n
+	}
+	cell.IngestRate = float64(cell.Ingested) / elapsed.Seconds()
+
+	resp, err := client.Get(ts.URL + "/v1/statsz")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	var stz serve.StatszResponse
+	if err := json.NewDecoder(resp.Body).Decode(&stz); err != nil {
+		return nil, err
+	}
+	if lookups := stz.Server.CacheHits + stz.Server.CacheMisses; lookups > 0 {
+		cell.HitPct = float64(stz.Server.CacheHits) / float64(lookups)
+	}
+	return cell, nil
+}
+
+// Render prints the serving-tier load matrix.
+func (r *ServeLoadResult) Render() string {
+	t := &experiments.Table{
+		Title:   "tgminerd serving tier: HTTP ingest + query load (K producers x M consumers)",
+		Headers: []string{"KxM", "Regime", "Ingest ev/s", "Queries", "q/s", "p50 ms", "p99 ms", "Cache hit%"},
+	}
+	for _, c := range r.Cells {
+		regime := "cache off"
+		switch {
+		case c.Idle:
+			regime = "cache on, idle"
+		case c.Cache:
+			regime = "cache on, live"
+		}
+		ingest := fmt.Sprintf("%.0f", c.IngestRate)
+		if c.Idle {
+			ingest = "-"
+		}
+		t.AddRow(fmt.Sprintf("%dx%d", c.Producers, c.Consumers), regime, ingest,
+			fmt.Sprintf("%d", c.Queries), fmt.Sprintf("%.0f", c.QPS),
+			fmt.Sprintf("%.3f", c.P50Ms), fmt.Sprintf("%.3f", c.P99Ms),
+			fmt.Sprintf("%.1f", 100*c.HitPct))
+	}
+	t.AddNote("cache keys include the per-shard generation cut, so under live ingest hits only occur between appends; the 'idle' rows are the repeated-dashboard regime the cache is designed for (%d core(s) here)", r.Cores)
+	return t.String()
+}

@@ -361,6 +361,29 @@ func (v genView) cutBefore(t int64) int32 {
 	return v.g.baseEdges + int32(j)
 }
 
+// CutKey identifies a Live engine's live edge set: two equal keys read from
+// the same engine — at any two instants — denote byte-identical live edge
+// sets, so a query answer recorded under one key may be replayed verbatim
+// whenever the key is observed again. The converse is deliberately not
+// promised: a compaction changes the key without changing the edge set (a
+// harmless cache miss). Soundness rests on per-epoch monotonicity: within
+// one compaction epoch (equal Compactions), End grows only by appends and
+// Floor only by evictions, and positions are write-once, so equal
+// (Compactions, Floor, End) pins exactly one set of live positions; the
+// Compactions counter disambiguates the position-space rebasing a
+// reclaiming rebuild performs (no ABA).
+type CutKey struct {
+	Compactions int
+	Floor, End  int32
+}
+
+// CutKey reports the engine's current generation-cut key (one atomic view
+// capture; lock-free).
+func (l *Live) CutKey() CutKey {
+	v := l.snap()
+	return CutKey{Compactions: v.g.compactions, Floor: v.g.floor, End: v.end()}
+}
+
 // numReaderSlots bounds the reader-accounting table. Purely observability:
 // when all slots are busy additional queries run normally and simply go
 // uncounted (ActiveReaders/OldestReaderLag then under-report).
@@ -680,33 +703,38 @@ func (l *Live) Snapshot() *Engine {
 // CSR base versus the append-only tail, how far eviction has advanced,
 // what the compactor has been doing, and how much storage the engine (and
 // any slow readers) retain. All counts are edges unless stated otherwise.
+//
+// The JSON field names are a stable wire contract shared by tgminerd's
+// /v1/statsz endpoint and examples/monitor; renaming one is a breaking
+// protocol change (TestLiveStatsJSONRoundTrip pins the set).
 type LiveStats struct {
-	Nodes     int   // nodes ever added (evicted edges keep their nodes)
-	BaseEdges int   // edges held by the CSR base, including any evicted prefix
-	TailLen   int   // edges in the append-only tail awaiting compaction
-	Floor     int   // global position of the first live edge; earlier ones are evicted but not yet reclaimed
-	LiveEdges int   // non-evicted edges (BaseEdges + TailLen - Floor)
-	LastTime  int64 // largest appended timestamp; -1 when empty
+	Nodes     int   `json:"nodes"`     // nodes ever added (evicted edges keep their nodes)
+	BaseEdges int   `json:"baseEdges"` // edges held by the CSR base, including any evicted prefix
+	TailLen   int   `json:"tailLen"`   // edges in the append-only tail awaiting compaction
+	Floor     int   `json:"floor"`     // global position of the first live edge; earlier ones are evicted but not yet reclaimed
+	LiveEdges int   `json:"liveEdges"` // non-evicted edges (BaseEdges + TailLen - Floor)
+	FirstTime int64 `json:"firstTime"` // oldest live (non-evicted) timestamp; -1 when empty
+	LastTime  int64 `json:"lastTime"`  // largest appended timestamp; -1 when empty
 
-	Compactions     int // compactions since creation
-	Merges          int // of which took the incremental merge path (the rest were reclaiming rebuilds)
-	LastCompactTail int // tail edges folded by the most recent compaction
+	Compactions     int `json:"compactions"`     // compactions since creation
+	Merges          int `json:"merges"`          // of which took the incremental merge path (the rest were reclaiming rebuilds)
+	LastCompactTail int `json:"lastCompactTail"` // tail edges folded by the most recent compaction
 
 	// RetainedBytes approximates the bytes of storage the current
 	// generation keeps alive: base edge array and CSR indexes, node
 	// labels, tail backing array, and tail position lists. Readers
 	// pinning older generations retain their (pre-compaction) storage on
 	// top of this; watch OldestReaderLag for that.
-	RetainedBytes int
+	RetainedBytes int `json:"retainedBytes"`
 	// ActiveReaders counts queries currently running against some view of
 	// this engine (a stream counts until its consumer finishes). Best
 	// effort: at most 64 readers are tracked, further ones go uncounted.
-	ActiveReaders int
+	ActiveReaders int `json:"activeReaders"`
 	// OldestReaderLag is the number of edges appended since the oldest
 	// active reader's snapshot was taken (0 when idle). A large or growing
 	// value means a slow or paused reader is pinning old generations —
 	// and, across compactions, their pre-compaction storage — alive.
-	OldestReaderLag int
+	OldestReaderLag int `json:"oldestReaderLag"`
 }
 
 // Stats reports the current view's retention and compaction state. Lock
@@ -722,12 +750,17 @@ func (l *Live) Stats() LiveStats {
 			lag = d
 		}
 	}
+	firstTime := int64(-1)
+	if v.numEdges() > 0 {
+		firstTime = v.edgeAt(g.floor).Time
+	}
 	return LiveStats{
 		Nodes:           len(g.labels),
 		BaseEdges:       int(g.baseEdges),
 		TailLen:         len(v.tail),
 		Floor:           int(g.floor),
 		LiveEdges:       v.numEdges(),
+		FirstTime:       firstTime,
 		LastTime:        v.lastTime(),
 		Compactions:     g.compactions,
 		Merges:          g.merges,

@@ -209,6 +209,7 @@ func (l *ShardedLive) ShardStats() []LiveStats {
 // per-shard MAXIMUM, since one cross-shard query registers on every shard.
 func (l *ShardedLive) Stats() LiveStats {
 	var agg LiveStats
+	agg.FirstTime = -1
 	agg.LastTime = -1
 	for i, sh := range l.shards {
 		s := sh.Stats()
@@ -219,6 +220,9 @@ func (l *ShardedLive) Stats() LiveStats {
 		agg.TailLen += s.TailLen
 		agg.Floor += s.Floor
 		agg.LiveEdges += s.LiveEdges
+		if s.FirstTime >= 0 && (agg.FirstTime < 0 || s.FirstTime < agg.FirstTime) {
+			agg.FirstTime = s.FirstTime
+		}
 		if s.LastTime > agg.LastTime {
 			agg.LastTime = s.LastTime
 		}
@@ -234,6 +238,20 @@ func (l *ShardedLive) Stats() LiveStats {
 		}
 	}
 	return agg
+}
+
+// CutKey reports one generation-cut key per shard (see Live.CutKey): two
+// equal key slices read from the same engine denote byte-identical live
+// edge sets on every shard, and therefore identical answers to every query
+// — the foundation of tgminerd's generation-keyed result cache. Each
+// shard's key is one atomic view capture; the slice as a whole carries the
+// same per-shard prefix consistency as a query's pinned cut.
+func (l *ShardedLive) CutKey() []CutKey {
+	out := make([]CutKey, len(l.shards))
+	for i, sh := range l.shards {
+		out[i] = sh.CutKey()
+	}
+	return out
 }
 
 // shardedView is a query's pinned cross-shard cut: one genView per shard

@@ -1,0 +1,69 @@
+package search
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+)
+
+// TestLiveStatsJSONRoundTrip pins the stable JSON representation of
+// LiveStats shared by tgminerd's /v1/statsz and examples/monitor: every
+// field carries an explicit lowerCamel tag, the wire names are frozen
+// (scrapers depend on them — renaming one must break this test), and
+// marshal/unmarshal round-trips exactly.
+func TestLiveStatsJSONRoundTrip(t *testing.T) {
+	in := LiveStats{
+		Nodes: 1, BaseEdges: 2, TailLen: 3, Floor: 4, LiveEdges: 5,
+		FirstTime: 6, LastTime: 7, Compactions: 8, Merges: 9,
+		LastCompactTail: 10, RetainedBytes: 11, ActiveReaders: 12,
+		OldestReaderLag: 13,
+	}
+	wantNames := []string{
+		"nodes", "baseEdges", "tailLen", "floor", "liveEdges",
+		"firstTime", "lastTime", "compactions", "merges",
+		"lastCompactTail", "retainedBytes", "activeReaders",
+		"oldestReaderLag",
+	}
+
+	// Every field must be populated above and explicitly tagged, so adding
+	// a field without a tag — or without extending this test — fails here.
+	rv := reflect.ValueOf(in)
+	if rv.NumField() != len(wantNames) {
+		t.Fatalf("LiveStats has %d fields but the test pins %d wire names — update both", rv.NumField(), len(wantNames))
+	}
+	for i := 0; i < rv.NumField(); i++ {
+		f := rv.Type().Field(i)
+		if rv.Field(i).IsZero() {
+			t.Errorf("field %s not exercised — assign it a distinct value above", f.Name)
+		}
+		if tag := f.Tag.Get("json"); tag == "" || tag == "-" {
+			t.Errorf("field %s lacks a stable json tag", f.Name)
+		}
+	}
+
+	b, err := json.Marshal(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var names map[string]any
+	if err := json.Unmarshal(b, &names); err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range wantNames {
+		if _, ok := names[n]; !ok {
+			t.Errorf("wire name %q missing from %s", n, b)
+		}
+		delete(names, n)
+	}
+	for n := range names {
+		t.Errorf("unexpected wire name %q in %s", n, b)
+	}
+
+	var out LiveStats
+	if err := json.Unmarshal(b, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out != in {
+		t.Fatalf("round trip changed the value:\n in %+v\nout %+v", in, out)
+	}
+}

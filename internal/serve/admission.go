@@ -1,0 +1,172 @@
+package serve
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"tgminer"
+)
+
+// Watermarks configures ingest admission control: the serving tier's answer
+// to the PR 5 follow-up of *acting* on the engine's OldestReaderLag /
+// RetainedBytes accounting instead of just exposing it. Every threshold is
+// evaluated per shard (the max across shards), because one pinned reader or
+// one hot shard is exactly the failure mode the accounting exists to catch.
+//
+// Crossing a soft watermark sheds writers: ingest batches get 429 with a
+// Retry-After hint while queries keep answering, giving the slow reader (or
+// the compactor) time to catch up. Crossing the hard RetainedBytes
+// watermark additionally fires the evict-on-pressure policy when
+// HardPolicy is "evict": the oldest EvictFraction of the live time window
+// is dropped (sliding-window retention, the engine's O(log E) EvictBefore)
+// and the batch is admitted against the freed budget. Reader lag has no
+// evict remedy — eviction cannot unpin a reader's snapshot — so a hard lag
+// crossing always sheds, whatever the policy.
+type Watermarks struct {
+	SoftLagEdges      int // shed writers when any shard's OldestReaderLag reaches this (0 = disabled)
+	HardLagEdges      int // as above, but reported as hard pressure (0 = disabled)
+	SoftRetainedBytes int // shed writers when any shard retains this many bytes (0 = disabled)
+	HardRetainedBytes int // evict-on-pressure (or shed, per HardPolicy) at this retention (0 = disabled)
+
+	// HardPolicy selects the hard RetainedBytes response: "reject" (default)
+	// sheds the batch like a soft crossing; "evict" drops the oldest
+	// EvictFraction of the live time window and admits the batch.
+	HardPolicy string
+	// EvictFraction is the fraction of the live [FirstTime, LastTime] span
+	// evicted per firing (default 0.25).
+	EvictFraction float64
+
+	// RetryAfter is the backoff hint attached to 429 responses (default 1s).
+	RetryAfter time.Duration
+	// SampleInterval bounds how often admission control recomputes engine
+	// stats (the walk is O(nodes) per shard — too hot for per-batch
+	// evaluation). Default 25ms; pressure decisions may be that stale.
+	SampleInterval time.Duration
+}
+
+func (w Watermarks) normalize() Watermarks {
+	if w.HardPolicy == "" {
+		w.HardPolicy = "reject"
+	}
+	if w.EvictFraction <= 0 || w.EvictFraction >= 1 {
+		w.EvictFraction = 0.25
+	}
+	if w.RetryAfter <= 0 {
+		w.RetryAfter = time.Second
+	}
+	if w.SampleInterval <= 0 {
+		w.SampleInterval = 25 * time.Millisecond
+	}
+	return w
+}
+
+// enabled reports whether any watermark is configured.
+func (w Watermarks) enabled() bool {
+	return w.SoftLagEdges > 0 || w.HardLagEdges > 0 || w.SoftRetainedBytes > 0 || w.HardRetainedBytes > 0
+}
+
+// pressureSample is one admission-control reading: per-shard maxima of the
+// two pressure signals plus the live time span (the evict policy's input).
+type pressureSample struct {
+	maxLag    int
+	maxBytes  int
+	firstTime int64
+	lastTime  int64
+}
+
+// sampler caches pressure readings for SampleInterval, serializing the
+// stats walk so a burst of ingest batches pays for one reading, not one
+// each.
+type sampler struct {
+	eng      *tgminer.LiveEngine
+	interval time.Duration
+
+	mu     sync.Mutex
+	at     time.Time
+	sample pressureSample
+}
+
+// get returns a pressure reading at most interval old.
+func (s *sampler) get() pressureSample {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if now := time.Now(); s.at.IsZero() || now.Sub(s.at) >= s.interval {
+		s.sample = s.read()
+		s.at = now
+	}
+	return s.sample
+}
+
+// refresh forces a fresh reading (used right after an evict-on-pressure so
+// the admission decision sees the relief).
+func (s *sampler) refresh() pressureSample {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.sample = s.read()
+	s.at = time.Now()
+	return s.sample
+}
+
+func (s *sampler) read() pressureSample {
+	out := pressureSample{firstTime: -1, lastTime: -1}
+	for _, st := range s.eng.ShardStats() {
+		if st.OldestReaderLag > out.maxLag {
+			out.maxLag = st.OldestReaderLag
+		}
+		if st.RetainedBytes > out.maxBytes {
+			out.maxBytes = st.RetainedBytes
+		}
+		if st.FirstTime >= 0 && (out.firstTime < 0 || st.FirstTime < out.firstTime) {
+			out.firstTime = st.FirstTime
+		}
+		if st.LastTime > out.lastTime {
+			out.lastTime = st.LastTime
+		}
+	}
+	return out
+}
+
+// admit runs the admission decision for one ingest batch. It returns
+// evictedBefore != nil when the evict-on-pressure policy fired (the batch
+// is then admitted), and err != nil when the batch must be shed with 429;
+// the error text names the signal and shard-maximum that tripped.
+func (s *Server) admit() (evictedBefore *int64, err error) {
+	w := s.cfg.Watermarks
+	if !w.enabled() {
+		return nil, nil
+	}
+	p := s.sampler.get()
+	if w.HardRetainedBytes > 0 && p.maxBytes >= w.HardRetainedBytes && w.HardPolicy == "evict" {
+		// Evict the oldest fraction of the live window. EvictBefore only
+		// advances a floor; the bytes come back once a compaction reclaims
+		// the dead prefix, which may take a few more appends — so the byte
+		// watermarks are waived for this batch (the remedy was applied; a
+		// 429 on top would make "evict" behave like "reject") and each
+		// subsequent batch advances the floor further until compaction
+		// catches up. Reader-lag watermarks still apply: eviction cannot
+		// unpin a reader.
+		if p.firstTime >= 0 && p.lastTime > p.firstTime {
+			cut := p.firstTime + int64(float64(p.lastTime-p.firstTime)*w.EvictFraction)
+			if cut <= p.firstTime {
+				cut = p.firstTime + 1
+			}
+			s.eng.EvictBefore(cut)
+			s.pressureEvictions.Add(1)
+			evictedBefore = &cut
+			p = s.sampler.refresh()
+		}
+	}
+	evicted := evictedBefore != nil
+	switch {
+	case w.HardLagEdges > 0 && p.maxLag >= w.HardLagEdges:
+		err = fmt.Errorf("backpressure (hard): a reader is %d edges behind (watermark %d); evicting cannot unpin it — retry later", p.maxLag, w.HardLagEdges)
+	case !evicted && w.HardRetainedBytes > 0 && p.maxBytes >= w.HardRetainedBytes:
+		err = fmt.Errorf("backpressure (hard): a shard retains %d bytes (watermark %d)", p.maxBytes, w.HardRetainedBytes)
+	case w.SoftLagEdges > 0 && p.maxLag >= w.SoftLagEdges:
+		err = fmt.Errorf("backpressure: a reader is %d edges behind (watermark %d)", p.maxLag, w.SoftLagEdges)
+	case !evicted && w.SoftRetainedBytes > 0 && p.maxBytes >= w.SoftRetainedBytes:
+		err = fmt.Errorf("backpressure: a shard retains %d bytes (watermark %d)", p.maxBytes, w.SoftRetainedBytes)
+	}
+	return evictedBefore, err
+}

@@ -1,0 +1,105 @@
+package serve
+
+import (
+	"container/list"
+	"sync"
+	"sync/atomic"
+
+	"tgminer"
+)
+
+// resultCache memoizes complete query answers keyed on (query family,
+// canonical request key, per-shard generation cut). The cut component is
+// what makes hits sound with zero invalidation machinery: any append,
+// eviction, or compaction on any shard changes the engine's cut string, so
+// a stale entry can never be returned — it simply becomes unreachable and
+// ages out of the LRU. A hit is therefore exactly a replay of a prior run
+// at the same per-shard generation cut: same matches, same order, same
+// Truncated flag.
+//
+// Only complete answers are stored (a partial, cancelled run is not a
+// replayable value), and only answers whose cut provably did not move
+// during evaluation (the caller checks cut-before == cut-after; per-shard
+// key monotonicity then pins the run to that cut).
+type resultCache struct {
+	mu      sync.Mutex
+	max     int // entry cap; <= 0 disables the cache
+	ll      *list.List
+	entries map[cacheKey]*list.Element
+
+	hits, misses atomic.Int64
+}
+
+type cacheKey struct {
+	family string
+	query  string // canonical serialization of the request (pattern + bounds)
+	cut    string
+}
+
+type cacheVal struct {
+	key       cacheKey
+	matches   []tgminer.Match
+	truncated bool
+}
+
+func newResultCache(max int) *resultCache {
+	c := &resultCache{max: max}
+	if max > 0 {
+		c.ll = list.New()
+		c.entries = make(map[cacheKey]*list.Element, max)
+	}
+	return c
+}
+
+// get returns the cached answer for key, if any, and promotes it to
+// most-recently-used. The returned slice is shared — callers must not
+// modify it.
+func (c *resultCache) get(key cacheKey) (matches []tgminer.Match, truncated, ok bool) {
+	if c.max <= 0 {
+		return nil, false, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[key]
+	if !ok {
+		c.misses.Add(1)
+		return nil, false, false
+	}
+	c.hits.Add(1)
+	c.ll.MoveToFront(el)
+	v := el.Value.(*cacheVal)
+	return v.matches, v.truncated, true
+}
+
+// put stores a complete answer, evicting the least-recently-used entry at
+// the cap. The matches slice is retained — callers must not modify it after
+// the call.
+func (c *resultCache) put(key cacheKey, matches []tgminer.Match, truncated bool) {
+	if c.max <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		c.ll.MoveToFront(el)
+		v := el.Value.(*cacheVal)
+		v.matches, v.truncated = matches, truncated
+		return
+	}
+	c.entries[key] = c.ll.PushFront(&cacheVal{key: key, matches: matches, truncated: truncated})
+	for c.ll.Len() > c.max {
+		el := c.ll.Back()
+		c.ll.Remove(el)
+		delete(c.entries, el.Value.(*cacheVal).key)
+	}
+}
+
+// len reports the number of cached entries.
+func (c *resultCache) len() int {
+	if c.max <= 0 {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}

@@ -1,0 +1,113 @@
+package serve
+
+// Wire types of the tgminerd HTTP/JSON protocol. Ingest is plain JSON
+// request/response; queries respond as an NDJSON stream of MatchRecord
+// lines closed by one QueryDone line, so a consumer can act on matches as
+// the backtracking search finds them instead of waiting for the batch.
+
+import "tgminer"
+
+// Event is one ingest record: a directed interaction src -> dst at Time.
+// Entity names double as node labels unless SrcLabel/DstLabel override them
+// (several entities may share a label, as in the paper's process/file/socket
+// typing). Timestamps must be strictly increasing per ingest shard and
+// globally unique across producers — the engine's clock contract.
+type Event struct {
+	Time     int64  `json:"time"`
+	Src      string `json:"src"`
+	Dst      string `json:"dst"`
+	SrcLabel string `json:"srcLabel,omitempty"`
+	DstLabel string `json:"dstLabel,omitempty"`
+}
+
+// IngestRequest is the body of POST /v1/events.
+type IngestRequest struct {
+	Events []Event `json:"events"`
+}
+
+// IngestResponse reports an ingest batch's outcome. Appended counts events
+// durably accepted before any error: a 4xx/429 response with Appended > 0
+// means a prefix of the batch landed (the engine has no batch rollback), so
+// producers must resume after the last accepted event, not replay the batch.
+type IngestResponse struct {
+	Appended      int    `json:"appended"`
+	LastTime      int64  `json:"lastTime"`
+	EvictedBefore *int64 `json:"evictedBefore,omitempty"` // set when the hard-pressure evict policy fired
+	Error         string `json:"error,omitempty"`
+	RetryAfterMs  int64  `json:"retryAfterMs,omitempty"` // set on 429 responses, mirroring the Retry-After header
+}
+
+// QueryEdge is one pattern edge by node index.
+type QueryEdge struct {
+	Src int `json:"src"`
+	Dst int `json:"dst"`
+}
+
+// QueryRequest is the body of POST /v1/query/{temporal,ntemp,nodeset}.
+// Temporal and ntemp queries give Nodes (label names) plus Edges (node
+// indexes; edge order is the temporal order for /temporal and ignored by
+// /ntemp); nodeset queries give Labels (a label multiset). Window, Limit,
+// and TimeoutMs bound the run (zero picks the server defaults); NoCache
+// bypasses the result cache for this request only.
+type QueryRequest struct {
+	Nodes  []string    `json:"nodes,omitempty"`
+	Edges  []QueryEdge `json:"edges,omitempty"`
+	Labels []string    `json:"labels,omitempty"`
+
+	Window    int64 `json:"window,omitempty"`
+	Limit     int   `json:"limit,omitempty"`
+	TimeoutMs int64 `json:"timeoutMs,omitempty"`
+	NoCache   bool  `json:"noCache,omitempty"`
+}
+
+// MatchRecord is one streamed match line.
+type MatchRecord struct {
+	Start int64 `json:"start"`
+	End   int64 `json:"end"`
+}
+
+// QueryDone is the terminal NDJSON line of a query stream. Done is true on
+// a complete answer (Truncated then has the engine's exact semantics: a
+// further distinct match exists beyond Limit); a deadline, cancellation, or
+// server drain instead sets Error, and Matches counts the lines already
+// streamed (partial results, the same contract as the context-aware library
+// calls). Cached reports a result-cache hit — by construction an exact
+// replay of a prior run at the same per-shard generation cut. Cut is set
+// only when the answer verifiably ran at one cut (the cut did not move
+// during evaluation); a cached answer always carries its cut.
+type QueryDone struct {
+	Done      bool   `json:"done"`
+	Matches   int    `json:"matches"`
+	Truncated bool   `json:"truncated"`
+	Cached    bool   `json:"cached"`
+	Cut       string `json:"cut,omitempty"`
+	Error     string `json:"error,omitempty"`
+}
+
+// ServerStats are tgminerd's own counters, served by /v1/statsz next to the
+// engine's LiveStats.
+type ServerStats struct {
+	InFlightQueries   int64   `json:"inFlightQueries"`
+	Queries           int64   `json:"queries"`
+	QueryErrors       int64   `json:"queryErrors"`
+	CacheHits         int64   `json:"cacheHits"`
+	CacheMisses       int64   `json:"cacheMisses"`
+	CacheEntries      int     `json:"cacheEntries"`
+	IngestBatches     int64   `json:"ingestBatches"`
+	IngestEvents      int64   `json:"ingestEvents"`
+	IngestRejected    int64   `json:"ingestRejected"`    // batches shed with 429 by admission control
+	PressureEvictions int64   `json:"pressureEvictions"` // hard-watermark evict-on-pressure firings
+	IngestRatePerSec  float64 `json:"ingestRatePerSec"`
+	UptimeSec         float64 `json:"uptimeSec"`
+}
+
+// StatszResponse is the body of GET /v1/statsz: the engine's aggregated
+// LiveStats, the per-shard breakdown, the current generation cut, and the
+// server counters. LiveStats' JSON field names are the stable representation
+// shared with examples/monitor.
+type StatszResponse struct {
+	Stats  tgminer.LiveStats   `json:"stats"`
+	Shards []tgminer.LiveStats `json:"shards"`
+	Cut    string              `json:"cut"`
+	Server ServerStats         `json:"server"`
+}

@@ -3,9 +3,11 @@ package tgminer
 import (
 	"context"
 	"iter"
+	"strconv"
 	"sync"
 
 	"tgminer/internal/search"
+	"tgminer/internal/tgraph"
 )
 
 // LiveOptions configures a LiveEngine.
@@ -177,7 +179,9 @@ func (le *LiveEngine) Compact() { le.live.Compact() }
 // queries, and OldestReaderLag is how many edges have arrived since the
 // oldest still-running query pinned its snapshot (a paused stream consumer
 // pinning old storage shows up here). All counts are edges unless stated
-// otherwise.
+// otherwise. LiveStats marshals to JSON with stable lowerCamel field names
+// — the representation tgminerd's /v1/statsz endpoint and examples/monitor
+// share.
 type LiveStats = search.LiveStats
 
 // Stats reports the engine's current retention and compaction state,
@@ -234,6 +238,52 @@ func (le *LiveEngine) MineSnapshot() *Graph {
 
 func (le *LiveEngine) mineSnapKeyNow() mineSnapKey {
 	return mineSnapKey{nodes: le.live.NumNodes(), edges: le.live.NumEdges(), lastTime: le.live.LastTime()}
+}
+
+// GenerationCut returns a stable key identifying the engine's current live
+// edge set, one component per ingest shard: two equal cut strings read from
+// the same engine — at any two instants — denote byte-identical live edge
+// sets on every shard, so any query answer computed under one cut may be
+// replayed verbatim whenever the same cut is observed again (this is what
+// makes tgminerd's result cache exactly "a replay at the same per-shard
+// generation cut"). The converse is not promised: internal reorganization
+// (a compaction) changes the cut without changing the edge set — a
+// harmless cache miss, never a stale hit. Lock-free: one atomic generation
+// load per shard, the same per-shard prefix-consistent capture a query
+// pins.
+//
+// The string is opaque; compare it only for equality and do not persist it
+// across engine restarts.
+func (le *LiveEngine) GenerationCut() string {
+	keys := le.live.CutKey()
+	// Worst case ~3 numbers * 20 digits per shard; typical cuts are short.
+	buf := make([]byte, 0, 16*len(keys))
+	for i, k := range keys {
+		if i > 0 {
+			buf = append(buf, '/')
+		}
+		buf = strconv.AppendInt(buf, int64(k.Compactions), 36)
+		buf = append(buf, '.')
+		buf = strconv.AppendInt(buf, int64(k.Floor), 36)
+		buf = append(buf, '.')
+		buf = strconv.AppendInt(buf, int64(k.End), 36)
+	}
+	return string(buf)
+}
+
+// LookupLabel resolves a label name to its interned Label under the
+// engine's ingest lock, reporting false for a name the engine has never
+// seen. Unlike Dict.Lookup — which must not run concurrently with Append
+// (interning mutates the Dict; see the type comment's sharp edge) —
+// LookupLabel serializes with the engine's own interning, so a serving
+// tier can build query patterns while producers keep appending. A label
+// the engine does not know cannot appear on any edge, so callers may
+// short-circuit such queries to zero matches.
+func (le *LiveEngine) LookupLabel(name string) (Label, bool) {
+	le.mu.Lock()
+	defer le.mu.Unlock()
+	l := le.dict.Lookup(name)
+	return l, l != tgraph.NoLabel
 }
 
 // FindTemporal evaluates a temporal behavior query against the live edge
