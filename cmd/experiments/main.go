@@ -28,7 +28,7 @@ import (
 var names = []string{
 	"table1", "table2", "table3",
 	"figure10", "figure11", "figure12", "figure13", "figure14", "figure15", "figure16",
-	"parallel", "sharded", "livemine", "serve",
+	"parallel", "sharded", "livemine", "serve", "constraints",
 }
 
 func main() {
@@ -137,6 +137,9 @@ func main() {
 	})
 	run("livemine", func() (interface{ Render() string }, error) {
 		return experiments.LiveMine(ctx, env)
+	})
+	run("constraints", func() (interface{ Render() string }, error) {
+		return experiments.ConstraintExhibit(ctx, env)
 	})
 	run("serve", func() (interface{ Render() string }, error) {
 		window := 600 * time.Millisecond

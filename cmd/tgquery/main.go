@@ -37,6 +37,8 @@ func main() {
 	size := flag.Int("size", 6, "query size in edges")
 	top := flag.Int("top", 5, "number of queries to evaluate (union of matches)")
 	window := flag.Int64("window", 0, "match window in ticks (default: from truth file, else unbounded)")
+	minGap := flag.Int64("min-gap", 0, "temporal mode: minimum gap in ticks between consecutive hops (0 = unbounded)")
+	maxGap := flag.Int64("max-gap", 0, "temporal mode: maximum gap in ticks between consecutive hops (0 = unbounded)")
 	mode := flag.String("mode", "temporal", "query family: temporal, ntemp, nodeset")
 	timeout := flag.Duration("timeout", 0, "overall deadline (e.g. 30s); 0 = none. Ctrl-C also cancels; partial results are reported")
 	flag.Parse()
@@ -51,7 +53,7 @@ func main() {
 	// SIGINT kills the process the usual way (see cmdutil.SignalContext).
 	ctx, sigCtx, stop := cmdutil.SignalContext(*timeout)
 	defer stop()
-	err := run(ctx, sigCtx, *timeout, *posPath, *negPath, *testPath, *truthPath, *behavior, *mode, *size, *top, *window)
+	err := run(ctx, sigCtx, *timeout, *posPath, *negPath, *testPath, *truthPath, *behavior, *mode, *size, *top, *window, *minGap, *maxGap)
 	switch {
 	case err == nil:
 	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
@@ -63,7 +65,10 @@ func main() {
 	}
 }
 
-func run(ctx, sigCtx context.Context, timeout time.Duration, posPath, negPath, testPath, truthPath, behavior, mode string, size, top int, window int64) error {
+func run(ctx, sigCtx context.Context, timeout time.Duration, posPath, negPath, testPath, truthPath, behavior, mode string, size, top int, window, minGap, maxGap int64) error {
+	if (minGap != 0 || maxGap != 0) && mode != "temporal" && mode != "" {
+		return fmt.Errorf("-min-gap/-max-gap apply only to -mode temporal (got %q)", mode)
+	}
 	dict := tgminer.NewDict()
 	pos, err := tgminer.LoadCorpusFile(posPath, dict)
 	if err != nil {
@@ -128,8 +133,21 @@ func run(ctx, sigCtx context.Context, timeout time.Duration, posPath, negPath, t
 		fmt.Printf("discovered %d temporal queries (F* = %.4f)\n", len(bq.Queries), bq.BestScore)
 		results := make([]tgminer.SearchResult, len(bq.Queries))
 		for i, q := range bq.Queries {
+			// -min-gap/-max-gap constrain every hop after the anchor; the
+			// constraint set sizes per query since query sizes can differ.
+			qsopts := sopts
+			if minGap != 0 || maxGap != 0 {
+				hops := make([]tgminer.HopConstraint, q.NumEdges())
+				for h := 1; h < len(hops); h++ {
+					hops[h] = tgminer.HopConstraint{MinGap: minGap, MaxGap: maxGap}
+				}
+				qsopts.Constraints = &tgminer.TemporalConstraints{Hops: hops}
+				if err := qsopts.Constraints.Validate(q.NumEdges()); err != nil {
+					return err
+				}
+			}
 			var serr error
-			results[i], serr = eng.FindTemporalContext(ctx, q, sopts)
+			results[i], serr = eng.FindTemporalContext(ctx, q, qsopts)
 			fmt.Printf("query #%d: %d matches%s\n", i+1, len(results[i].Matches),
 				truncNote(results[i].Truncated))
 			if serr != nil {

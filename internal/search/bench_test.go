@@ -100,3 +100,81 @@ func BenchmarkLiveCompact(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkConstrainedTemporal measures what the compiled guards buy over
+// match-then-filter. The host is a set of hubs: one proc->file anchor edge,
+// then a wide fan of file->sock continuations spread over time, of which a
+// MaxGap guard admits only the first few. "guard" pushes the bound into the
+// candidate scan (upper-bound early exit per hub); "postfilter" runs the
+// unconstrained matcher and drops wide spans afterwards — the semantics are
+// identical for this two-hop pattern (span == gap), which the benchmark
+// asserts once outside the timed loop. Recorded in BENCH_PR8.json.
+func BenchmarkConstrainedTemporal(b *testing.B) {
+	const hubs = 64
+	const fanout = 256
+	const gap = 8
+	var bld tgraph.Builder
+	tm := int64(0)
+	for h := 0; h < hubs; h++ {
+		a := bld.AddNode(0)
+		hub := bld.AddNode(1)
+		tm++
+		if err := bld.AddEdge(a, hub, tm); err != nil {
+			b.Fatal(err)
+		}
+		for i := 0; i < fanout; i++ {
+			c := bld.AddNode(2)
+			tm++
+			if err := bld.AddEdge(hub, c, tm); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	g, err := bld.Finalize()
+	if err != nil {
+		b.Fatal(err)
+	}
+	eng := NewEngine(g)
+	p, err := tgraph.NewPattern([]tgraph.Label{0, 1, 2}, []tgraph.PEdge{{Src: 0, Dst: 1}, {Src: 1, Dst: 2}})
+	if err != nil {
+		b.Fatal(err)
+	}
+	cons := &Constraints{Hops: []HopConstraint{{}, {MaxGap: gap}}}
+	postFilter := func(res Result) []Match {
+		out := res.Matches[:0:0]
+		for _, m := range res.Matches {
+			if m.End-m.Start <= gap {
+				out = append(out, m)
+			}
+		}
+		return out
+	}
+	guarded := eng.FindTemporal(p, Options{Constraints: cons})
+	filtered := postFilter(eng.FindTemporal(p, Options{}))
+	if len(guarded.Matches) != hubs*gap || len(filtered) != len(guarded.Matches) {
+		b.Fatalf("guard/postfilter disagree: %d vs %d matches (want %d)",
+			len(guarded.Matches), len(filtered), hubs*gap)
+	}
+	for i := range filtered {
+		if filtered[i] != guarded.Matches[i] {
+			b.Fatalf("match %d: guard %v != postfilter %v", i, guarded.Matches[i], filtered[i])
+		}
+	}
+
+	b.Run("guard", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if res := eng.FindTemporal(p, Options{Constraints: cons}); len(res.Matches) != hubs*gap {
+				b.Fatal("wrong match count")
+			}
+		}
+	})
+	b.Run("postfilter", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if out := postFilter(eng.FindTemporal(p, Options{})); len(out) != hubs*gap {
+				b.Fatal("wrong match count")
+			}
+		}
+	})
+}

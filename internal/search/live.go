@@ -838,49 +838,68 @@ func (l *Live) NumEdges() int { return l.snap().numEdges() }
 // LastTime reports the largest appended timestamp (-1 when empty).
 func (l *Live) LastTime() int64 { return l.snap().lastTime() }
 
-// liveState is the temporal matcher over a live view: the same
-// backtracking search as tState (stream.go), iterating base + tail as one
-// position sequence. The two match methods are deliberate twins — kept
-// monomorphic so the static hot path pays no interface dispatch. A change
-// to either MUST be mirrored in the other (and in the cross-shard
-// shardedState, sharded.go); TestLiveMatchesStaticDifferential enforces
-// agreement.
+// liveState is the temporal matcher over a live view: the same compiled
+// step-program driver as tState (stream.go) — see tState for the
+// (k, rep) recursion contract — iterating base + tail as one position
+// sequence. The two match methods are deliberate twins — kept monomorphic
+// so the static hot path pays no interface dispatch. A change to either
+// MUST be mirrored in the other (and in the cross-shard shardedState,
+// sharded.go); TestLiveMatchesStaticDifferential enforces agreement.
 type liveState struct {
 	matchCore
 	v genView
 }
 
-func (s *liveState) match(k int, lastPos int32) {
+func (s *liveState) match(k, rep int, lastPos int32, lastTime int64) {
 	if s.stepCancelled() {
 		return
 	}
-	if k == s.p.NumEdges() {
-		s.emit(Match{Start: s.startTime, End: s.v.edgeAt(lastPos).Time})
+	if k == len(s.prog.steps) {
+		s.emit(Match{Start: s.startTime, End: lastTime})
 		return
 	}
-	pe := s.p.EdgeAt(k)
-	ms, md := s.mapping[pe.Src], s.mapping[pe.Dst]
-	deadline := int64(-1)
-	if s.opts.Window > 0 {
-		deadline = s.startTime + s.opts.Window - 1
+	st := &s.prog.steps[k]
+	if rep >= st.minRep {
+		s.match(k+1, 0, lastPos, lastTime)
+		if s.done {
+			return
+		}
 	}
+	if rep >= st.maxRep {
+		return
+	}
+	lo := st.loTime(s.startTime, lastTime)
+	hi := st.hiTime(s.startTime, lastTime, s.opts.Window)
+	if hi >= 0 && lo > hi {
+		return
+	}
+	after := lastPos
+	if lo > lastTime+1 {
+		// Guard-driven skip-ahead on the constrained path only, as in
+		// tState: cutBefore is the view's time->position binary search.
+		if cut := s.v.cutBefore(lo) - 1; cut > after {
+			after = cut
+		}
+	}
+	pe := st.pe
+	ms, md := s.mapping[pe.Src], s.mapping[pe.Dst]
 	try := func(pos int32) {
 		ge := s.v.edgeAt(pos)
-		if deadline >= 0 && ge.Time > deadline {
+		if hi >= 0 && ge.Time > hi {
 			return
 		}
 		if (pe.Src == pe.Dst) != (ge.Src == ge.Dst) {
 			return
 		}
-		if s.v.g.labels[ge.Src] != s.p.LabelOf(pe.Src) || s.v.g.labels[ge.Dst] != s.p.LabelOf(pe.Dst) {
+		if s.v.g.labels[ge.Src] != st.srcLab || s.v.g.labels[ge.Dst] != st.dstLab {
 			return
 		}
-		s.bindEdge(pe, ge, func() { s.match(k+1, pos) })
+		s.bindEdge(pe, ge, func() { s.match(k, rep+1, pos, ge.Time) })
 	}
 	switch {
 	case ms != -1:
-		s.v.forEachOut(ms, lastPos, func(pos int32) bool {
-			if deadline >= 0 && s.v.edgeAt(pos).Time > deadline {
+		s.v.forEachOut(ms, after, func(pos int32) bool {
+			if hi >= 0 && s.v.edgeAt(pos).Time > hi {
 				return false
 			}
 			if md != -1 && s.v.edgeAt(pos).Dst != md {
@@ -890,17 +909,17 @@ func (s *liveState) match(k int, lastPos int32) {
 			return !s.done
 		})
 	case md != -1:
-		s.v.forEachIn(md, lastPos, func(pos int32) bool {
-			if deadline >= 0 && s.v.edgeAt(pos).Time > deadline {
+		s.v.forEachIn(md, after, func(pos int32) bool {
+			if hi >= 0 && s.v.edgeAt(pos).Time > hi {
 				return false
 			}
 			try(pos)
 			return !s.done
 		})
 	default:
-		// Unreachable for T-connected patterns beyond the first edge, but
-		// handle defensively via the pair index.
-		s.v.forEachPair(s.p.LabelOf(pe.Src), s.p.LabelOf(pe.Dst), lastPos, func(pos int32) bool {
+		// Reached when neither endpoint is bound: the first step, and any
+		// step whose predecessors were all skipped optional hops.
+		s.v.forEachPair(st.srcLab, st.dstLab, after, func(pos int32) bool {
 			try(pos)
 			return !s.done
 		})
@@ -920,6 +939,11 @@ func (l *Live) StreamTemporal(ctx context.Context, p *tgraph.Pattern, opts Optio
 		if p.NumEdges() == 0 {
 			return
 		}
+		prog, err := compileProgram(p, opts.Constraints)
+		if err != nil {
+			yield(Match{}, err)
+			return
+		}
 		v := l.snap()
 		slot := l.readers.acquire(v.end())
 		defer l.readers.release(slot)
@@ -927,6 +951,7 @@ func (l *Live) StreamTemporal(ctx context.Context, p *tgraph.Pattern, opts Optio
 		defer res.release()
 		st := &liveState{v: v}
 		st.p = p
+		st.prog = prog
 		st.opts = opts
 		st.res = res
 		st.ctx = ctx
@@ -934,19 +959,19 @@ func (l *Live) StreamTemporal(ctx context.Context, p *tgraph.Pattern, opts Optio
 		u.reset(len(v.g.labels))
 		st.init(p.NumNodes(), u)
 		defer l.used.Put(u)
-		first := p.EdgeAt(0)
-		v.forEachPair(p.LabelOf(first.Src), p.LabelOf(first.Dst), v.g.floor-1, func(pos int32) bool {
+		first := &prog.steps[0]
+		v.forEachPair(first.srcLab, first.dstLab, v.g.floor-1, func(pos int32) bool {
 			if st.rootCancelled() {
 				return false
 			}
 			res.nextRoot()
 			ge := v.edgeAt(pos)
-			if (first.Src == first.Dst) != (ge.Src == ge.Dst) {
+			if (first.pe.Src == first.pe.Dst) != (ge.Src == ge.Dst) {
 				return true
 			}
-			st.bindEdge(first, ge, func() {
+			st.bindEdge(first.pe, ge, func() {
 				st.startTime = ge.Time
-				st.match(1, pos)
+				st.match(0, 1, pos, ge.Time)
 			})
 			return !st.done
 		})

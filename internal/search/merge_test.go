@@ -2,6 +2,7 @@ package search
 
 import (
 	"errors"
+	"fmt"
 	"math"
 	"math/rand"
 	"testing"
@@ -68,6 +69,13 @@ func checkAllFamilies(t *testing.T, rng *rand.Rand, live liveLike, static *Engin
 		}
 		if err := sameResult(live.FindTemporal(p, opts), static.FindTemporal(p, opts)); err != nil {
 			return err
+		}
+		// The same query under a random temporal-constraint set must stay
+		// pinned equal too: the engines drive one compiled program.
+		copts := opts
+		copts.Constraints = randomConstraints(rng, p.NumEdges())
+		if err := sameResult(live.FindTemporal(p, copts), static.FindTemporal(p, copts)); err != nil {
+			return fmt.Errorf("constrained (%+v): %w", copts.Constraints, err)
 		}
 		np := collapseQuery(p)
 		if err := sameResult(live.FindNonTemporal(np, opts), static.FindNonTemporal(np, opts)); err != nil {

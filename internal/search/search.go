@@ -280,6 +280,12 @@ type Options struct {
 	// (Truncated=true) or exhausts (false) — use a context deadline, not
 	// Limit, as a hard work bound.
 	Limit int
+	// Constraints attaches per-hop temporal constraints (gaps, start
+	// windows, optional hops, bounded repetition) to TEMPORAL queries; nil
+	// matches the plain order-preserving semantics. Non-temporal and
+	// label-set queries ignore it. See Constraints and HopConstraint
+	// (automaton.go).
+	Constraints *Constraints
 }
 
 func (o Options) normalize() Options {
@@ -302,6 +308,16 @@ type Result struct {
 func (e *Engine) FindTemporal(p *tgraph.Pattern, opts Options) Result {
 	r, _ := e.FindTemporalContext(context.Background(), p, opts)
 	return r
+}
+
+// posOfTime returns the first global edge position whose time is >= t.
+// Positions are time-ordered (the Builder enforces strictly increasing
+// timestamps), so this is the guard-pruning skip-ahead for constrained
+// temporal steps. Works for merged-mode engines too: their host graph is
+// the fully merged, time-sorted edge sequence.
+func (e *Engine) posOfTime(t int64) int32 {
+	edges := e.g.Edges()
+	return int32(sort.Search(len(edges), func(i int) bool { return edges[i].Time >= t }))
 }
 
 // iterAfter calls fn on each position strictly greater than after, in

@@ -418,17 +418,21 @@ func shardPos(shard int, pos int32) int64 {
 }
 
 // shardedState is the temporal matcher over a cross-shard cut: the same
-// backtracking search as tState (stream.go) and liveState (live.go) — the
-// third deliberate twin; a semantic change to any MUST be mirrored in the
-// others — with timestamps as the "position after" total order and
-// continuation candidates drawn from all shards. Out-edges of a bound
-// source live only on its shard; in-edge and label-pair candidates merge
-// across shards in time order.
+// compiled step-program driver as tState (stream.go) and liveState
+// (live.go) — the third deliberate twin; a semantic change to any MUST be
+// mirrored in the others — with timestamps as the "position after" total
+// order and continuation candidates drawn from all shards. Out-edges of a
+// bound source live only on its shard; in-edge and label-pair candidates
+// merge across shards in time order. Guard lower bounds fold into the
+// cursors' time-keyed seeks; upper bounds early-exit the merged scan. See
+// tState for the (k, rep) recursion contract.
 type shardedState struct {
 	matchCore
 	sv *shardedView
-	// cur[k] holds one cursor per shard for recursion depth k, reused
-	// across that depth's successive candidate scans.
+	// cur[d] holds one cursor per shard for recursion depth d — the number
+	// of host edges bound so far, NOT the step index: a repeated step scans
+	// at successive depths, so its nested scans never clobber an enclosing
+	// scan's cursors. Sized by the program's maximum occurrence count.
 	cur [][]posCursor
 }
 
@@ -441,28 +445,46 @@ func newShardedCursors(depths, shards int) [][]posCursor {
 	return out
 }
 
-func (s *shardedState) match(k int, lastTime int64) {
+func (s *shardedState) match(k, rep, depth int, lastTime int64) {
 	if s.stepCancelled() {
 		return
 	}
-	if k == s.p.NumEdges() {
+	if k == len(s.prog.steps) {
 		s.emit(Match{Start: s.startTime, End: lastTime})
 		return
 	}
-	pe := s.p.EdgeAt(k)
-	ms, md := s.mapping[pe.Src], s.mapping[pe.Dst]
-	deadline := int64(-1)
-	if s.opts.Window > 0 {
-		deadline = s.startTime + s.opts.Window - 1
+	st := &s.prog.steps[k]
+	if rep >= st.minRep {
+		s.match(k+1, 0, depth, lastTime)
+		if s.done {
+			return
+		}
 	}
+	if rep >= st.maxRep {
+		return
+	}
+	lo := st.loTime(s.startTime, lastTime)
+	hi := st.hiTime(s.startTime, lastTime, s.opts.Window)
+	if hi >= 0 && lo > hi {
+		return
+	}
+	// The cursors seek to the first position with time > afterT: the
+	// guard's lower bound folds directly into the cross-shard ordering key
+	// (initAfterTime is a per-shard time binary search).
+	afterT := lastTime
+	if lo-1 > afterT {
+		afterT = lo - 1
+	}
+	pe := st.pe
+	ms, md := s.mapping[pe.Src], s.mapping[pe.Dst]
 	try := func(v genView, ge tgraph.Edge, t int64) {
 		if (pe.Src == pe.Dst) != (ge.Src == ge.Dst) {
 			return
 		}
-		if s.sv.labels[ge.Src] != s.p.LabelOf(pe.Src) || s.sv.labels[ge.Dst] != s.p.LabelOf(pe.Dst) {
+		if s.sv.labels[ge.Src] != st.srcLab || s.sv.labels[ge.Dst] != st.dstLab {
 			return
 		}
-		s.bindEdge(pe, ge, func() { s.match(k+1, t) })
+		s.bindEdge(pe, ge, func() { s.match(k, rep+1, depth+1, t) })
 	}
 	switch {
 	case ms != -1:
@@ -472,11 +494,11 @@ func (s *shardedState) match(k int, lastTime int64) {
 			return
 		}
 		v := s.sv.views[shard]
-		c := &s.cur[k][0]
+		c := &s.cur[depth][0]
 		base, tail := v.outSegs(ms)
-		c.initAfterTime(v, base, tail, lastTime)
+		c.initAfterTime(v, base, tail, afterT)
 		for c.ok && !s.done {
-			if deadline >= 0 && c.time > deadline {
+			if hi >= 0 && c.time > hi {
 				break
 			}
 			ge := v.edgeAt(c.pos)
@@ -486,11 +508,11 @@ func (s *shardedState) match(k int, lastTime int64) {
 			c.advance()
 		}
 	case md != -1:
-		cs := s.cur[k]
+		cs := s.cur[depth]
 		for i := range s.sv.views {
 			if s.sv.hasNode(i, md) {
 				base, tail := s.sv.views[i].inSegs(md)
-				cs[i].initAfterTime(s.sv.views[i], base, tail, lastTime)
+				cs[i].initAfterTime(s.sv.views[i], base, tail, afterT)
 			} else {
 				cs[i].ok = false
 			}
@@ -501,19 +523,19 @@ func (s *shardedState) match(k int, lastTime int64) {
 				break
 			}
 			c := &cs[i]
-			if deadline >= 0 && c.time > deadline {
+			if hi >= 0 && c.time > hi {
 				break // merged order is global time order: nothing later fits
 			}
 			try(s.sv.views[i], s.sv.views[i].edgeAt(c.pos), c.time)
 			c.advance()
 		}
 	default:
-		// Unreachable for T-connected patterns beyond the first edge, but
-		// handle defensively via the pair indexes.
-		cs := s.cur[k]
+		// Reached when neither endpoint is bound: the first step, and any
+		// step whose predecessors were all skipped optional hops.
+		cs := s.cur[depth]
 		for i := range s.sv.views {
-			base, tail := s.sv.views[i].pairSegs(s.p.LabelOf(pe.Src), s.p.LabelOf(pe.Dst))
-			cs[i].initAfterTime(s.sv.views[i], base, tail, lastTime)
+			base, tail := s.sv.views[i].pairSegs(st.srcLab, st.dstLab)
+			cs[i].initAfterTime(s.sv.views[i], base, tail, afterT)
 		}
 		for !s.done {
 			i := minCursor(cs)
@@ -521,7 +543,7 @@ func (s *shardedState) match(k int, lastTime int64) {
 				break
 			}
 			c := &cs[i]
-			if deadline >= 0 && c.time > deadline {
+			if hi >= 0 && c.time > hi {
 				break // merged order is global time order: nothing later fits
 			}
 			try(s.sv.views[i], s.sv.views[i].edgeAt(c.pos), c.time)
@@ -552,7 +574,7 @@ type shardStream struct {
 // matches tagged with the root time. Per-worker rootDedup is globally
 // sufficient: roots on different shards have distinct timestamps, and all
 // matches under one root share its start time.
-func (l *ShardedLive) temporalWorker(ctx context.Context, sv *shardedView, shard int, p *tgraph.Pattern, opts Options, out *shardStream) {
+func (l *ShardedLive) temporalWorker(ctx context.Context, sv *shardedView, shard int, p *tgraph.Pattern, prog *program, opts Options, out *shardStream) {
 	defer close(out.ch)
 	res := newRootDedup(opts.Limit, func(m Match) bool {
 		select {
@@ -565,18 +587,19 @@ func (l *ShardedLive) temporalWorker(ctx context.Context, sv *shardedView, shard
 	defer res.release()
 	st := &shardedState{sv: sv}
 	st.p = p
+	st.prog = prog
 	st.opts = opts
 	st.res = res
 	st.ctx = ctx
-	st.cur = newShardedCursors(p.NumEdges()+1, len(sv.views))
+	st.cur = newShardedCursors(prog.maxOccurrences()+1, len(sv.views))
 	u := l.used.Get().(*usedSet)
 	u.reset(len(sv.labels))
 	defer l.used.Put(u)
 	st.init(p.NumNodes(), u)
-	first := p.EdgeAt(0)
+	first := &prog.steps[0]
 	v := sv.views[shard]
 	var c posCursor
-	base, tail := v.pairSegs(p.LabelOf(first.Src), p.LabelOf(first.Dst))
+	base, tail := v.pairSegs(first.srcLab, first.dstLab)
 	c.init(v, base, tail, -1)
 	for c.ok {
 		if st.rootCancelled() {
@@ -584,10 +607,10 @@ func (l *ShardedLive) temporalWorker(ctx context.Context, sv *shardedView, shard
 		}
 		res.nextRoot()
 		ge := v.edgeAt(c.pos)
-		if (first.Src == first.Dst) == (ge.Src == ge.Dst) {
-			st.bindEdge(first, ge, func() {
+		if (first.pe.Src == first.pe.Dst) == (ge.Src == ge.Dst) {
+			st.bindEdge(first.pe, ge, func() {
 				st.startTime = ge.Time
-				st.match(1, ge.Time)
+				st.match(0, 1, 1, ge.Time)
 			})
 		}
 		if st.done {
@@ -669,6 +692,11 @@ func (l *ShardedLive) StreamTemporal(ctx context.Context, p *tgraph.Pattern, opt
 		if p.NumEdges() == 0 {
 			return
 		}
+		prog, err := compileProgram(p, opts.Constraints)
+		if err != nil {
+			yield(Match{}, err)
+			return
+		}
 		sv := l.pin()
 		defer l.unpin(sv)
 		// The derived context stops abandoned workers (consumer break,
@@ -678,7 +706,7 @@ func (l *ShardedLive) StreamTemporal(ctx context.Context, p *tgraph.Pattern, opt
 		outs := make([]*shardStream, len(sv.views))
 		for i := range outs {
 			outs[i] = &shardStream{ch: make(chan taggedMatch, 64)}
-			go l.temporalWorker(wctx, sv, i, p, opts, outs[i])
+			go l.temporalWorker(wctx, sv, i, p, prog, opts, outs[i])
 		}
 		// Worker streams are globally distinct already (per-worker root
 		// dedup; cross-shard roots have distinct start times), so counting

@@ -158,6 +158,7 @@ func (b *binder) bindEdge(pe tgraph.PEdge, ge tgraph.Edge, fn func()) {
 type matchCore struct {
 	binder
 	p         *tgraph.Pattern
+	prog      *program
 	opts      Options
 	res       *rootDedup
 	startTime int64
@@ -203,49 +204,83 @@ func (c *matchCore) rootCancelled() bool {
 	return false
 }
 
-// tState is the temporal matcher over a static Engine.
+// tState is the temporal matcher over a static Engine: a driver of the
+// compiled step program (automaton.go).
 //
 // tState.match and liveState.match (live.go) are deliberate twins: the
 // recursion is kept monomorphic per host so the static hot path stays free
 // of interface dispatch. A semantic change to either MUST be mirrored in
-// the other; the live==static differential property test
+// the other (and in the cross-shard shardedState, sharded.go); the
+// live==static differential property test
 // (TestLiveMatchesStaticDifferential) enforces agreement.
+//
+// match is the program driver: (k, rep) says "step k has matched rep
+// occurrences so far". When rep satisfies the step's minimum the driver
+// first tries advancing to step k+1 (so an optional or satisfied-repetition
+// hop is skipped before further occurrences are scanned — the candidate
+// enumeration order all three engines share), then, while rep is below the
+// step's maximum, scans for the next occurrence strictly after lastPos
+// within the step's guard interval. The guard's lower bound skips ahead by
+// binary search on edge time (position order is time order), and its upper
+// bound early-exits the time-sorted candidate scan; both are no-ops for
+// unconstrained steps, which therefore walk exactly the historical
+// fixed-sequence search.
 type tState struct {
 	matchCore
 	e *Engine
 }
 
-func (s *tState) match(k int, lastPos int32) {
+func (s *tState) match(k, rep int, lastPos int32, lastTime int64) {
 	if s.stepCancelled() {
 		return
 	}
-	if k == s.p.NumEdges() {
-		s.emit(Match{Start: s.startTime, End: s.e.g.EdgeAt(int(lastPos)).Time})
+	if k == len(s.prog.steps) {
+		s.emit(Match{Start: s.startTime, End: lastTime})
 		return
 	}
-	pe := s.p.EdgeAt(k)
-	ms, md := s.mapping[pe.Src], s.mapping[pe.Dst]
-	deadline := int64(-1)
-	if s.opts.Window > 0 {
-		deadline = s.startTime + s.opts.Window - 1
+	st := &s.prog.steps[k]
+	if rep >= st.minRep {
+		s.match(k+1, 0, lastPos, lastTime)
+		if s.done {
+			return
+		}
 	}
+	if rep >= st.maxRep {
+		return
+	}
+	lo := st.loTime(s.startTime, lastTime)
+	hi := st.hiTime(s.startTime, lastTime, s.opts.Window)
+	if hi >= 0 && lo > hi {
+		return
+	}
+	after := lastPos
+	if lo > lastTime+1 {
+		// Guard-driven skip-ahead: the first admissible position is the
+		// first with time >= lo. Only reached for constrained steps, so the
+		// unconstrained hot path pays nothing.
+		if cut := s.e.posOfTime(lo) - 1; cut > after {
+			after = cut
+		}
+	}
+	pe := st.pe
+	ms, md := s.mapping[pe.Src], s.mapping[pe.Dst]
 	try := func(pos int32) {
 		ge := s.e.g.EdgeAt(int(pos))
-		if deadline >= 0 && ge.Time > deadline {
+		if hi >= 0 && ge.Time > hi {
 			return
 		}
 		if (pe.Src == pe.Dst) != (ge.Src == ge.Dst) {
 			return
 		}
-		if s.e.g.LabelOf(ge.Src) != s.p.LabelOf(pe.Src) || s.e.g.LabelOf(ge.Dst) != s.p.LabelOf(pe.Dst) {
+		if s.e.g.LabelOf(ge.Src) != st.srcLab || s.e.g.LabelOf(ge.Dst) != st.dstLab {
 			return
 		}
-		s.bindEdge(pe, ge, func() { s.match(k+1, pos) })
+		s.bindEdge(pe, ge, func() { s.match(k, rep+1, pos, ge.Time) })
 	}
 	switch {
 	case ms != -1:
-		iterAfter(s.e.outAt(ms), lastPos, func(pos int32) bool {
-			if deadline >= 0 && s.e.g.EdgeAt(int(pos)).Time > deadline {
+		iterAfter(s.e.outAt(ms), after, func(pos int32) bool {
+			if hi >= 0 && s.e.g.EdgeAt(int(pos)).Time > hi {
 				return false
 			}
 			if md != -1 && s.e.g.EdgeAt(int(pos)).Dst != md {
@@ -255,61 +290,69 @@ func (s *tState) match(k int, lastPos int32) {
 			return !s.done
 		})
 	case md != -1:
-		iterAfter(s.e.inAt(md), lastPos, func(pos int32) bool {
-			if deadline >= 0 && s.e.g.EdgeAt(int(pos)).Time > deadline {
+		iterAfter(s.e.inAt(md), after, func(pos int32) bool {
+			if hi >= 0 && s.e.g.EdgeAt(int(pos)).Time > hi {
 				return false
 			}
 			try(pos)
 			return !s.done
 		})
 	default:
-		// Unreachable for T-connected patterns beyond the first edge, but
-		// handle defensively via the pair index.
-		iterAfter(s.e.pairPositions(s.p.LabelOf(pe.Src), s.p.LabelOf(pe.Dst)), lastPos, func(pos int32) bool {
+		// Reached when neither endpoint is bound: the first step, and any
+		// step whose predecessors were all skipped optional hops.
+		iterAfter(s.e.pairPositions(st.srcLab, st.dstLab), after, func(pos int32) bool {
 			try(pos)
 			return !s.done
 		})
 	}
 }
 
-// StreamTemporal yields the distinct intervals where the temporal pattern
-// embeds with edge order preserved, in discovery order (ascending Start), as
-// the backtracking search finds them. The stream holds O(matches per root)
-// scratch, independent of how many matches are yielded.
+// StreamTemporal yields the distinct intervals where the temporal pattern —
+// optionally under Options.Constraints — embeds with edge order preserved,
+// in discovery order (ascending Start), as the backtracking search finds
+// them. The stream holds O(matches per root) scratch, independent of how
+// many matches are yielded.
 //
 // Each element is (match, nil). Three terminations are possible: the stream
 // simply ends (search exhausted), the final element is (zero Match, ctx.Err())
 // after a cancellation, or (zero Match, ErrTruncated) when Options.Limit
-// matches were yielded. Breaking out of the range at any point releases the
-// engine's pooled scratch immediately.
+// matches were yielded. Invalid constraints yield a single
+// (zero Match, validation error) element. Breaking out of the range at any
+// point releases the engine's pooled scratch immediately.
 func (e *Engine) StreamTemporal(ctx context.Context, p *tgraph.Pattern, opts Options) iter.Seq2[Match, error] {
 	opts = opts.normalize()
 	return func(yield func(Match, error) bool) {
 		if p.NumEdges() == 0 {
 			return
 		}
+		prog, err := compileProgram(p, opts.Constraints)
+		if err != nil {
+			yield(Match{}, err)
+			return
+		}
 		res := newRootDedup(opts.Limit, func(m Match) bool { return yield(m, nil) })
 		defer res.release()
 		st := &tState{e: e}
 		st.p = p
+		st.prog = prog
 		st.opts = opts
 		st.res = res
 		st.ctx = ctx
 		st.init(p.NumNodes(), e.getUsed())
 		defer e.used.Put(st.used)
-		first := p.EdgeAt(0)
-		for _, pos := range e.pairPositions(p.LabelOf(first.Src), p.LabelOf(first.Dst)) {
+		first := &prog.steps[0]
+		for _, pos := range e.pairPositions(first.srcLab, first.dstLab) {
 			if st.rootCancelled() {
 				break
 			}
 			res.nextRoot()
 			ge := e.g.EdgeAt(int(pos))
-			if (first.Src == first.Dst) != (ge.Src == ge.Dst) {
+			if (first.pe.Src == first.pe.Dst) != (ge.Src == ge.Dst) {
 				continue
 			}
-			st.bindEdge(first, ge, func() {
+			st.bindEdge(first.pe, ge, func() {
 				st.startTime = ge.Time
-				st.match(1, pos)
+				st.match(0, 1, pos, ge.Time)
 			})
 		}
 		finishStream(yield, res, st.ctxErr)

@@ -475,3 +475,195 @@ func TestServeReaderAbandonment(t *testing.T) {
 		time.Sleep(5 * time.Millisecond)
 	}
 }
+
+// gapSessions builds two-hop sessions whose second hop lags by gap ticks:
+// proc#k -> file#k at base+1, file#k -> sock#k at base+1+gap. Sessions are
+// spaced far apart so gap guards, not windows, decide what matches.
+func gapSessions(from, n int, gap int64) []Event {
+	evs := make([]Event, 0, 2*n)
+	for k := from; k < from+n; k++ {
+		base := int64(100 * k)
+		evs = append(evs,
+			Event{Time: base + 1, Src: fmt.Sprintf("proc#%d", k), Dst: fmt.Sprintf("file#%d", k), SrcLabel: "proc", DstLabel: "file"},
+			Event{Time: base + 1 + gap, Src: fmt.Sprintf("file#%d", k), Dst: fmt.Sprintf("sock#%d", k), SrcLabel: "file", DstLabel: "sock"},
+		)
+	}
+	return evs
+}
+
+// TestServeConstrainedDifferential extends the HTTP differential to
+// constrained queries: a hops-carrying request must stream byte-identically
+// to the in-process engine under the same TemporalConstraints at the same
+// cut — and the constraint must demonstrably prune (the unconstrained
+// answer is strictly larger).
+func TestServeConstrainedDifferential(t *testing.T) {
+	_, ts, eng := newTestServer(t, 2, Watermarks{})
+	// Even sessions have a tight second hop (gap 1), odd ones a slow hop
+	// (gap 50); the paper's "within 30s" rule admits only the tight half.
+	var evs []Event
+	for k := 0; k < 10; k++ {
+		gap := int64(1)
+		if k%2 == 1 {
+			gap = 50
+		}
+		evs = append(evs, gapSessions(k, 1, gap)...)
+	}
+	ingest(t, ts.URL, evs)
+	cut := eng.GenerationCut()
+	ctx := context.Background()
+	tp, err := tgraph.NewPattern(mustLabels(t, eng, "proc", "file", "sock"),
+		[]tgraph.PEdge{{Src: 0, Dst: 1}, {Src: 1, Dst: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cons := &tgminer.TemporalConstraints{Hops: []tgminer.HopConstraint{{}, {MaxGap: 30}}}
+	res, err := eng.FindTemporalContext(ctx, tp, tgminer.SearchOptions{Constraints: cons})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Matches) != 5 {
+		t.Fatalf("constrained in-process answer has %d matches, want the 5 tight sessions", len(res.Matches))
+	}
+	unres, err := eng.FindTemporalContext(ctx, tp, tgminer.SearchOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(unres.Matches) != 10 {
+		t.Fatalf("unconstrained answer has %d matches, want 10 — the guard comparison would be vacuous", len(unres.Matches))
+	}
+
+	req := QueryRequest{
+		Nodes:   []string{"proc", "file", "sock"},
+		Edges:   []QueryEdge{{0, 1}, {1, 2}},
+		Hops:    []HopSpec{{}, {MaxGap: 30}},
+		NoCache: true,
+	}
+	resp, body := postJSON(t, ts.URL+"/v1/query/temporal", req)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	if want := expectedBody(t, res, cut); string(body) != want {
+		t.Fatalf("constrained HTTP body differs from in-process answer\n got: %s\nwant: %s", body, want)
+	}
+}
+
+// TestServeConstrainedCacheDistinct pins that a constrained query and its
+// unconstrained twin occupy distinct cache entries: the hops fold into the
+// canonical key, so neither run can replay the other's answer.
+func TestServeConstrainedCacheDistinct(t *testing.T) {
+	srv, ts, _ := newTestServer(t, 2, Watermarks{})
+	var evs []Event
+	for k := 0; k < 6; k++ {
+		gap := int64(1)
+		if k%2 == 1 {
+			gap = 50
+		}
+		evs = append(evs, gapSessions(k, 1, gap)...)
+	}
+	ingest(t, ts.URL, evs)
+
+	run := func(hops []HopSpec) QueryDone {
+		req := QueryRequest{Nodes: []string{"proc", "file", "sock"}, Edges: []QueryEdge{{0, 1}, {1, 2}}, Hops: hops}
+		resp, body := postJSON(t, ts.URL+"/v1/query/temporal", req)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("status %d: %s", resp.StatusCode, body)
+		}
+		lines := strings.Split(strings.TrimSuffix(string(body), "\n"), "\n")
+		var done QueryDone
+		if err := json.Unmarshal([]byte(lines[len(lines)-1]), &done); err != nil {
+			t.Fatal(err)
+		}
+		return done
+	}
+	hops := []HopSpec{{}, {MaxGap: 30}}
+
+	plain1 := run(nil)
+	if plain1.Cached || plain1.Matches != 6 {
+		t.Fatalf("unconstrained first run: %+v, want 6 uncached matches", plain1)
+	}
+	cons1 := run(hops)
+	if cons1.Cached {
+		t.Fatalf("constrained first run hit the unconstrained cache entry: %+v", cons1)
+	}
+	if cons1.Matches != 3 {
+		t.Fatalf("constrained run found %d matches, want the 3 tight sessions", cons1.Matches)
+	}
+	cons2 := run(hops)
+	if !cons2.Cached || cons2.Matches != cons1.Matches || cons2.Cut != cons1.Cut {
+		t.Fatalf("constrained replay is not an exact cache hit: %+v vs %+v", cons2, cons1)
+	}
+	plain2 := run(nil)
+	if !plain2.Cached || plain2.Matches != plain1.Matches {
+		t.Fatalf("unconstrained replay disturbed by the constrained entry: %+v vs %+v", plain2, plain1)
+	}
+	if n := srv.cache.len(); n != 2 {
+		t.Fatalf("cache holds %d entries, want 2 (constrained + unconstrained)", n)
+	}
+}
+
+// postRaw posts a raw JSON body, for requests a typed struct cannot express
+// (unknown fields).
+func postRaw(t *testing.T, url, body string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out bytes.Buffer
+	if _, err := out.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	return resp, out.Bytes()
+}
+
+// TestServeRejectsUnknownAndInvalidConstraintFields pins the strict-decoding
+// and validation contract: a typo'd constraint field is a 400 naming the
+// offender (never a silently unconstrained query), hops outside the temporal
+// family are rejected, and contradictory hop fields fail validation.
+func TestServeRejectsUnknownAndInvalidConstraintFields(t *testing.T) {
+	_, ts, _ := newTestServer(t, 1, Watermarks{})
+	ingest(t, ts.URL, sessions(0, 2))
+
+	// The motivating hazard: "maxGapp" must 400 and name the field.
+	resp, body := postRaw(t, ts.URL+"/v1/query/temporal",
+		`{"nodes":["proc","file"],"edges":[{"src":0,"dst":1}],"hops":[{},{"maxGapp":30}]}`)
+	if resp.StatusCode != http.StatusBadRequest || !strings.Contains(string(body), "maxGapp") {
+		t.Fatalf("typo'd hop field: status %d, body %s — want 400 naming maxGapp", resp.StatusCode, body)
+	}
+	// Top-level typos too.
+	resp, body = postRaw(t, ts.URL+"/v1/query/temporal",
+		`{"nodes":["proc","file"],"edges":[{"src":0,"dst":1}],"windoww":5}`)
+	if resp.StatusCode != http.StatusBadRequest || !strings.Contains(string(body), "windoww") {
+		t.Fatalf("typo'd request field: status %d, body %s", resp.StatusCode, body)
+	}
+	// And the ingest endpoint.
+	resp, body = postRaw(t, ts.URL+"/v1/events",
+		`{"events":[{"time":999,"src":"a","dst":"b","srcLabell":"x"}]}`)
+	if resp.StatusCode != http.StatusBadRequest || !strings.Contains(string(body), "srcLabell") {
+		t.Fatalf("typo'd event field: status %d, body %s", resp.StatusCode, body)
+	}
+
+	// Hops outside the temporal family are rejected up front.
+	for _, path := range []string{"/v1/query/ntemp", "/v1/query/nodeset"} {
+		req := QueryRequest{Nodes: []string{"proc", "file"}, Edges: []QueryEdge{{0, 1}},
+			Labels: []string{"proc"}, Hops: []HopSpec{{MaxGap: 3}}}
+		resp, body := postJSON(t, ts.URL+path, req)
+		if resp.StatusCode != http.StatusBadRequest || !strings.Contains(string(body), "temporal") {
+			t.Fatalf("%s with hops: status %d, body %s", path, resp.StatusCode, body)
+		}
+	}
+
+	// Contradictory or oversized hop sets fail validation with 400.
+	for _, hops := range [][]HopSpec{
+		{{}, {MinGap: 9, MaxGap: 2}},
+		{{}, {Optional: true, MinRepeat: 1}},
+		{{Optional: true}},
+		{{}, {}, {}}, // more hops than edges
+	} {
+		req := QueryRequest{Nodes: []string{"proc", "file"}, Edges: []QueryEdge{{0, 1}}, Hops: hops}
+		if resp, body := postJSON(t, ts.URL+"/v1/query/temporal", req); resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("invalid hops %+v: status %d, body %s", hops, resp.StatusCode, body)
+		}
+	}
+}

@@ -175,7 +175,11 @@ func (s *Server) CancelQueries() { s.cancel() }
 
 func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	var req IngestRequest
-	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)).Decode(&req); err != nil {
+	// Strict decoding: an unknown field is a 400 naming the offender, not a
+	// silently dropped option.
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
 		writeJSON(w, http.StatusBadRequest, IngestResponse{Error: "bad request: " + err.Error()})
 		return
 	}
@@ -238,6 +242,7 @@ type canonQuery struct {
 	Nodes  []string    `json:"n,omitempty"`
 	Edges  []QueryEdge `json:"e,omitempty"`
 	Labels []string    `json:"l,omitempty"`
+	Hops   []HopSpec   `json:"h,omitempty"`
 	Window int64       `json:"w"`
 	Limit  int         `json:"k"`
 }
@@ -254,6 +259,27 @@ func (s *Server) buildRunner(family string, req *QueryRequest, opts tgminer.Sear
 	case "temporal", "ntemp":
 		if len(req.Nodes) == 0 || len(req.Edges) == 0 {
 			return nil, "", fmt.Errorf("%s query needs nodes and edges", family)
+		}
+		if len(req.Hops) > 0 {
+			if family != "temporal" {
+				return nil, "", errors.New("hops constraints apply only to temporal queries")
+			}
+			hops := make([]tgminer.HopConstraint, len(req.Hops))
+			for i, h := range req.Hops {
+				hops[i] = tgminer.HopConstraint{
+					MinGap: h.MinGap, MaxGap: h.MaxGap,
+					After: h.After, Within: h.Within,
+					Optional: h.Optional, MinRepeat: h.MinRepeat, MaxRepeat: h.MaxRepeat,
+				}
+			}
+			opts.Constraints = &tgminer.TemporalConstraints{Hops: hops}
+			if err := opts.Constraints.Validate(len(req.Edges)); err != nil {
+				return nil, "", err
+			}
+			// Constrained requests key separately from unconstrained ones:
+			// the hops fold into the canonical query, so the two variants can
+			// never alias each other's cache entries.
+			canon.Hops = req.Hops
 		}
 		for i, e := range req.Edges {
 			if e.Src < 0 || e.Src >= len(req.Nodes) || e.Dst < 0 || e.Dst >= len(req.Nodes) {
@@ -321,6 +347,9 @@ func (s *Server) buildRunner(family string, req *QueryRequest, opts tgminer.Sear
 		if len(req.Labels) == 0 {
 			return nil, "", errors.New("nodeset query needs labels")
 		}
+		if len(req.Hops) > 0 {
+			return nil, "", errors.New("hops constraints apply only to temporal queries")
+		}
 		canon.Labels = append([]string(nil), req.Labels...)
 		sort.Strings(canon.Labels)
 		labels := make([]tgraph.Label, len(req.Labels))
@@ -362,7 +391,11 @@ func (s *Server) buildRunner(family string, req *QueryRequest, opts tgminer.Sear
 func (s *Server) handleQuery(family string) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		var req QueryRequest
-		if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)).Decode(&req); err != nil {
+		// Strict decoding: a typo'd constraint field ("maxGapp") must be a
+		// 400 naming the offender, never a silently unconstrained query.
+		dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&req); err != nil {
 			writeJSON(w, http.StatusBadRequest, QueryDone{Error: "bad request: " + err.Error()})
 			return
 		}

@@ -43,16 +43,38 @@ type QueryEdge struct {
 	Dst int `json:"dst"`
 }
 
+// HopSpec is one hop's temporal constraints on a /v1/query/temporal
+// request, mirroring tgminer.HopConstraint: hops[i] constrains pattern edge
+// i. All fields are optional; zero means unconstrained. minGap/maxGap bound
+// the gap to the previous matched hop; after/within bound the hop relative
+// to the match start; optional allows zero occurrences; minRepeat/maxRepeat
+// allow bounded repetition of the hop. The server validates the set up
+// front and rejects contradictions with 400.
+type HopSpec struct {
+	MinGap    int64 `json:"minGap,omitempty"`
+	MaxGap    int64 `json:"maxGap,omitempty"`
+	After     int64 `json:"after,omitempty"`
+	Within    int64 `json:"within,omitempty"`
+	Optional  bool  `json:"optional,omitempty"`
+	MinRepeat int   `json:"minRepeat,omitempty"`
+	MaxRepeat int   `json:"maxRepeat,omitempty"`
+}
+
 // QueryRequest is the body of POST /v1/query/{temporal,ntemp,nodeset}.
 // Temporal and ntemp queries give Nodes (label names) plus Edges (node
 // indexes; edge order is the temporal order for /temporal and ignored by
-// /ntemp); nodeset queries give Labels (a label multiset). Window, Limit,
-// and TimeoutMs bound the run (zero picks the server defaults); NoCache
-// bypasses the result cache for this request only.
+// /ntemp); nodeset queries give Labels (a label multiset). Hops attaches
+// per-hop temporal constraints (temporal family only; other families reject
+// it with 400). Window, Limit, and TimeoutMs bound the run (zero picks the
+// server defaults); NoCache bypasses the result cache for this request
+// only. Unknown fields are rejected with 400 naming the offender, so a
+// typo'd constraint field ("maxGapp") can never silently match
+// unconstrained.
 type QueryRequest struct {
 	Nodes  []string    `json:"nodes,omitempty"`
 	Edges  []QueryEdge `json:"edges,omitempty"`
 	Labels []string    `json:"labels,omitempty"`
+	Hops   []HopSpec   `json:"hops,omitempty"`
 
 	Window    int64 `json:"window,omitempty"`
 	Limit     int   `json:"limit,omitempty"`

@@ -22,6 +22,22 @@ type Interval = search.Interval
 // Metrics are precision/recall statistics per the paper's Section 6.2.
 type Metrics = search.Metrics
 
+// TemporalConstraints attaches per-hop temporal constraints to a temporal
+// behavior query: time windows relative to the match start, min/max gaps to
+// the previous hop, optional hops, and bounded Kleene repetition. Hops[i]
+// constrains pattern edge i; a nil value (or empty Hops) is the plain
+// order-preserving semantics. The pattern + constraints compile into an
+// automaton program that every engine (static, live, sharded) drives, with
+// the guards pruning the indexed search rather than post-filtering. Use
+// Validate to check a constraint set against a pattern's edge count before
+// running.
+type TemporalConstraints = search.Constraints
+
+// HopConstraint is one hop's constraint fields; see TemporalConstraints.
+// The paper's cybersecurity rule "B follows A within 30 seconds" is
+// HopConstraint{MaxGap: 30} on B's hop.
+type HopConstraint = search.HopConstraint
+
 // SearchOptions bounds a query run.
 type SearchOptions struct {
 	// Window is the maximum time span of a match (the paper uses the
@@ -32,6 +48,13 @@ type SearchOptions struct {
 	// match genuinely exists beyond the cap, which the search runs on to
 	// establish; use a context deadline, not Limit, as a hard work bound.
 	Limit int
+	// Constraints attaches per-hop temporal constraints to TEMPORAL
+	// queries (FindTemporal*, Stream); nil is unconstrained. Non-temporal
+	// and label-set queries ignore it. Invalid constraints surface as the
+	// stream's terminal error (FindTemporalContext returns it; the
+	// background-context FindTemporal silently returns no matches — use
+	// TemporalConstraints.Validate up front when that matters).
+	Constraints *TemporalConstraints
 }
 
 // SearchResult is a query outcome.
@@ -51,7 +74,7 @@ func NewEngine(g *Graph) *Engine {
 }
 
 func (o SearchOptions) internal() search.Options {
-	return search.Options{Window: o.Window, Limit: o.Limit}
+	return search.Options{Window: o.Window, Limit: o.Limit, Constraints: o.Constraints}
 }
 
 // FindTemporal evaluates a temporal behavior query (order-preserving). It

@@ -40,6 +40,13 @@
 //		alert(m)
 //	}
 //
+// Temporal queries accept per-hop constraints (SearchOptions.Constraints):
+// min/max gaps to the previous hop, time windows relative to the match
+// start, optional hops, and bounded repetition — the paper's "B follows A
+// within 30 seconds" rules. Pattern + constraints compile into one automaton
+// program every engine drives, with guards pruning the indexed search rather
+// than post-filtering; see TemporalConstraints and HopConstraint.
+//
 // For a graph that never stops growing — the paper's monitoring deployment —
 // LiveEngine ingests events incrementally (Append), keeps a sliding window
 // (EvictBefore), periodically compacts its append-only tail into CSR
