@@ -1,0 +1,96 @@
+// Command tglint is the repo's static-analysis gate: it runs the custom
+// invariant analyzers of internal/analysis (generation-snapshot access
+// discipline, published-length capture, checked position arithmetic,
+// context-first cancellation, JSON wire compatibility, nilness) over the
+// packages matching its arguments, and by default also runs the stock
+// `go vet` passes (copylocks, lostcancel, and the rest of vet's suite) so
+// one command is the whole gate:
+//
+//	go run ./cmd/tglint ./...
+//
+// Exit status: 0 clean, 1 diagnostics reported, 2 the tree failed to load.
+// Diagnostics inside a declaration annotated
+// `// tglint:ignore <analyzer> <reason>` are suppressed; see
+// internal/analysis/doc.go for the invariant catalog and the annotation
+// grammar.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"strings"
+
+	"tgminer/internal/analysis"
+)
+
+func main() {
+	var (
+		list    = flag.Bool("list", false, "list the analyzers in the suite and exit")
+		runVet  = flag.Bool("vet", true, "also run the stock `go vet` passes")
+		only    = flag.String("only", "", "comma-separated analyzer names to run (default: all)")
+		verbose = flag.Bool("v", false, "report the packages checked")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, a := range analysis.All {
+			summary := strings.SplitN(a.Doc, "\n", 2)[0]
+			fmt.Printf("%-14s %s\n", a.Name, summary)
+		}
+		return
+	}
+
+	suite := analysis.All
+	if *only != "" {
+		suite = nil
+		for _, name := range strings.Split(*only, ",") {
+			a := analysis.ByName(strings.TrimSpace(name))
+			if a == nil {
+				fmt.Fprintf(os.Stderr, "tglint: unknown analyzer %q (see tglint -list)\n", name)
+				os.Exit(2)
+			}
+			suite = append(suite, a)
+		}
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	pkgs, err := analysis.Load(".", patterns...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tglint: %v\n", err)
+		os.Exit(2)
+	}
+	if *verbose {
+		for _, p := range pkgs {
+			fmt.Fprintf(os.Stderr, "tglint: checking %s\n", p.ImportPath)
+		}
+	}
+
+	failed := false
+	for _, d := range analysis.RunAll(pkgs, suite) {
+		fmt.Println(d)
+		failed = true
+	}
+
+	if *runVet {
+		cmd := exec.Command("go", append([]string{"vet"}, patterns...)...)
+		cmd.Stdout = os.Stdout
+		cmd.Stderr = os.Stderr
+		if err := cmd.Run(); err != nil {
+			if _, isExit := err.(*exec.ExitError); !isExit {
+				fmt.Fprintf(os.Stderr, "tglint: go vet: %v\n", err)
+				os.Exit(2)
+			}
+			failed = true
+		}
+	}
+
+	if failed {
+		os.Exit(1)
+	}
+}

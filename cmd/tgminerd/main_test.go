@@ -59,7 +59,9 @@ func TestTGMinerdSmoke(t *testing.T) {
 		return logs.String()
 	}
 	addrc := make(chan string, 1)
+	scanDone := make(chan struct{})
 	go func() {
+		defer close(scanDone)
 		re := regexp.MustCompile(`serving on http://(\S+)`)
 		sc := bufio.NewScanner(stderr)
 		for sc.Scan() {
@@ -197,20 +199,24 @@ func TestTGMinerdSmoke(t *testing.T) {
 		t.Fatalf("statsz counters off: %s", body)
 	}
 
-	// SIGTERM must take the cooperative drain path and exit 130.
+	// SIGTERM must take the cooperative drain path and exit 130. Read
+	// stderr to EOF before reaping: Wait closes the pipe on process exit
+	// and can discard the buffered tail — including the drain line — while
+	// the scanner goroutine is still behind it.
 	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
 		t.Fatal(err)
+	}
+	select {
+	case <-scanDone:
+	case <-time.After(30 * time.Second):
+		t.Fatalf("tgminerd stderr never hit EOF after SIGTERM; logs:\n%s", logText())
 	}
 	err = cmd.Wait()
 	ee, ok := err.(*exec.ExitError)
 	if !ok || ee.ExitCode() != 130 {
 		t.Fatalf("exit after SIGTERM: %v (logs:\n%s)", err, logText())
 	}
-	deadline := time.Now().Add(2 * time.Second)
-	for !strings.Contains(logText(), "drained") {
-		if time.Now().After(deadline) {
-			t.Fatalf("no drain log line after SIGTERM; logs:\n%s", logText())
-		}
-		time.Sleep(10 * time.Millisecond)
+	if !strings.Contains(logText(), "drained") {
+		t.Fatalf("no drain log line after SIGTERM; logs:\n%s", logText())
 	}
 }

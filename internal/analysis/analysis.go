@@ -1,0 +1,148 @@
+package analysis
+
+// Core framework types: Analyzer, Pass, Diagnostic, and the suite runner
+// with tglint:ignore suppression and directive validation. The shape
+// mirrors golang.org/x/tools/go/analysis so the analyzers would port to the
+// upstream API mechanically; see doc.go for why the dependency is rebuilt
+// here instead of imported.
+
+import (
+	"fmt"
+	"go/token"
+	"sort"
+)
+
+// An Analyzer is one named invariant checker.
+type Analyzer struct {
+	// Name is the short lower-case identifier, used in diagnostics and in
+	// tglint:ignore directives.
+	Name string
+	// Doc describes the invariant the analyzer enforces; the first line is
+	// the summary shown by `tglint -list`.
+	Doc string
+	// Run reports the package's violations through pass.Reportf.
+	Run func(*Pass)
+}
+
+// A Pass carries one analyzer's run over one loaded package.
+type Pass struct {
+	Analyzer *Analyzer
+	Pkg      *Package
+
+	report func(token.Pos, string)
+}
+
+// Reportf records a diagnostic at pos. Diagnostics inside a declaration
+// annotated `// tglint:ignore <analyzer> <reason>` for this analyzer are
+// suppressed by the framework.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(pos, fmt.Sprintf(format, args...))
+}
+
+// A Diagnostic is one reported invariant violation.
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s: %s", d.Pos, d.Analyzer, d.Message)
+}
+
+// All is the tglint suite, in reporting order. cmd/tglint runs exactly this
+// set (plus `go vet` for the stock passes).
+var All = []*Analyzer{GenAccess, AtomicCapture, PosChecked, CtxFirst, JSONWire, Nilness}
+
+// ByName returns the analyzer with the given name, or nil.
+func ByName(name string) *Analyzer {
+	for _, a := range All {
+		if a.Name == name {
+			return a
+		}
+	}
+	return nil
+}
+
+// RunAll runs every analyzer over every package, validates the packages'
+// tglint directives against the analyzer set, and drops diagnostics
+// suppressed by tglint:ignore annotations. Diagnostics come back sorted by
+// file position.
+func RunAll(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	known := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		known[a.Name] = true
+	}
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		diags = append(diags, checkDirectives(pkg, known)...)
+		for _, a := range analyzers {
+			diags = append(diags, runOne(pkg, a)...)
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return diags
+}
+
+// runOne runs a single analyzer over a single package with ignore
+// suppression applied. The fixture tests use it directly.
+func runOne(pkg *Package, a *Analyzer) []Diagnostic {
+	var diags []Diagnostic
+	pass := &Pass{Analyzer: a, Pkg: pkg}
+	pass.report = func(pos token.Pos, msg string) {
+		if pkg.ignoredAt(a.Name, pos) {
+			return
+		}
+		diags = append(diags, Diagnostic{Analyzer: a.Name, Pos: pkg.Fset.Position(pos), Message: msg})
+	}
+	a.Run(pass)
+	return diags
+}
+
+// checkDirectives validates the package's tglint directives: ignore needs a
+// known analyzer name and a reason, writer/snapshot attach only to
+// functions, and unknown directive verbs are flagged. This keeps the
+// annotation layer itself honest — a typo'd ignore can never silently
+// suppress anything.
+func checkDirectives(pkg *Package, known map[string]bool) []Diagnostic {
+	var diags []Diagnostic
+	bad := func(pos token.Pos, format string, args ...any) {
+		diags = append(diags, Diagnostic{
+			Analyzer: "tglint",
+			Pos:      pkg.Fset.Position(pos),
+			Message:  fmt.Sprintf(format, args...),
+		})
+	}
+	for _, d := range pkg.directives {
+		switch d.verb {
+		case "writer", "snapshot":
+			if !d.onFunc {
+				bad(d.pos, "tglint:%s applies only to function declarations", d.verb)
+			}
+		case "ignore":
+			switch {
+			case d.analyzer == "":
+				bad(d.pos, "tglint:ignore needs an analyzer name and a reason: // tglint:ignore <analyzer> <reason>")
+			case !known[d.analyzer]:
+				bad(d.pos, "tglint:ignore names unknown analyzer %q", d.analyzer)
+			case d.reason == "":
+				bad(d.pos, "tglint:ignore %s needs a reason (annotated exceptions must say why)", d.analyzer)
+			}
+		default:
+			bad(d.pos, "unknown tglint directive %q (want writer, snapshot, or ignore)", d.verb)
+		}
+	}
+	return diags
+}

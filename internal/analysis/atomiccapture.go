@@ -1,0 +1,50 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// AtomicCapture enforces the published-length capture protocol: a function
+// reads any given atomic counter at most once, binding the value to a
+// local, so every index derived from the length refers to the same
+// publication point. Two loads of generation.tailN in one reader can
+// straddle a concurrent Append and tear the view the genView capture in
+// internal/search/live.go exists to make impossible.
+var AtomicCapture = &Analyzer{
+	Name: "atomiccapture",
+	Doc: `published lengths are captured exactly once per function:
+a second atomic Load of the same counter can observe a newer publication
+than the first, tearing the reader's view. Capture once, pass the local.`,
+	Run: runAtomicCapture,
+}
+
+func runAtomicCapture(pass *Pass) {
+	pkg := pass.Pkg
+	for _, sc := range pkg.scopes() {
+		if sc.Body == nil {
+			continue
+		}
+		// Function literals are separate scopes: a closure captures its own
+		// view, and attributing its loads to the enclosing function would
+		// double-count.
+		seen := map[string]bool{}
+		inspectShallow(sc.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok || sel.Sel.Name != "Load" || !isAtomicType(pkg.Info.TypeOf(sel.X)) {
+				return true
+			}
+			key := types.ExprString(sel.X)
+			if seen[key] {
+				pass.Reportf(call.Pos(), "%s loads %s again — published lengths are captured exactly once per function (a second load can observe a newer publication and tear the view)", sc.Name, key)
+				return true
+			}
+			seen[key] = true
+			return true
+		})
+	}
+}

@@ -1,0 +1,159 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// ctxGatedPkgs are the packages whose exported looping entry points must
+// accept a context (rule C): the facade and the engine/serving tiers whose
+// loops iterate seeds, candidates, shards, or requests.
+var ctxGatedPkgs = map[string]bool{
+	"tgminer": true, "search": true, "miner": true, "serve": true,
+}
+
+// CtxFirst enforces the context-first cooperative-cancellation conventions.
+var CtxFirst = &Analyzer{
+	Name: "ctxfirst",
+	Doc: `context-first cancellation discipline:
+(A) a context.Context parameter comes first; (B) library code never calls
+context.Background() — mains, tests, and one-statement compatibility
+wrappers delegating to a *Context variant excepted; (C) an exported looping
+function that calls context-taking callees itself accepts a context.`,
+	Run: runCtxFirst,
+}
+
+func runCtxFirst(pass *Pass) {
+	pkg := pass.Pkg
+	if pkg.Name == "main" {
+		return
+	}
+
+	// ctxParamIndex returns the position of the first context.Context
+	// parameter, or -1.
+	ctxParamIndex := func(ft *ast.FuncType) int {
+		if ft.Params == nil {
+			return -1
+		}
+		i := 0
+		for _, field := range ft.Params.List {
+			n := len(field.Names)
+			if n == 0 {
+				n = 1
+			}
+			if isContextType(pkg.Info.TypeOf(field.Type)) {
+				return i
+			}
+			i += n
+		}
+		return -1
+	}
+
+	// isCompatWrapper recognizes the sanctioned Background() site: a one- or
+	// two-statement function whose Background() feeds the first argument of
+	// a call to its *Context-suffixed variant (Mine → MineContext).
+	isCompatWrapper := func(sc *funcScope) bool {
+		if sc.Lit != nil || sc.Decl == nil || sc.Body == nil || len(sc.Body.List) > 2 {
+			return false
+		}
+		found := false
+		inspectShallow(sc.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) == 0 {
+				return true
+			}
+			var callee string
+			switch fun := ast.Unparen(call.Fun).(type) {
+			case *ast.Ident:
+				callee = fun.Name
+			case *ast.SelectorExpr:
+				callee = fun.Sel.Name
+			default:
+				return true
+			}
+			if !strings.HasSuffix(callee, "Context") {
+				return true
+			}
+			if arg, ok := ast.Unparen(call.Args[0]).(*ast.CallExpr); ok && isCallTo(pkg.Info, arg, "context", "Background") {
+				found = true
+				return false
+			}
+			return true
+		})
+		return found
+	}
+
+	for _, sc := range pkg.scopes() {
+		if sc.Body == nil {
+			continue
+		}
+
+		// Rule A: context parameter, if any, comes first.
+		if idx := ctxParamIndex(sc.Type); idx > 0 {
+			pass.Reportf(sc.Type.Pos(), "%s takes context.Context at parameter %d — the context comes first (context-first convention)", sc.Name, idx)
+		}
+
+		// Rule B: no context.Background() in library code.
+		wrapper := isCompatWrapper(sc)
+		inspectShallow(sc.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !isCallTo(pkg.Info, call, "context", "Background") {
+				return true
+			}
+			if wrapper {
+				return true
+			}
+			pass.Reportf(call.Pos(), "%s calls context.Background() in library code — thread the caller's context instead (only mains, tests, and *Context compatibility wrappers may mint a root context)", sc.Name)
+			return true
+		})
+
+		// Rule C: an exported looping function whose loop body calls
+		// context-taking callees must itself accept a context, so the loop
+		// stays cancelable.
+		if !ctxGatedPkgs[pkg.Name] || !sc.exported() || ctxParamIndex(sc.Type) >= 0 {
+			continue
+		}
+		reported := false
+		inspectShallow(sc.Body, func(n ast.Node) bool {
+			if reported {
+				return false
+			}
+			var loopBody *ast.BlockStmt
+			switch n := n.(type) {
+			case *ast.ForStmt:
+				loopBody = n.Body
+			case *ast.RangeStmt:
+				loopBody = n.Body
+			default:
+				return true
+			}
+			inspectShallow(loopBody, func(m ast.Node) bool {
+				if reported {
+					return false
+				}
+				call, ok := m.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				fn := calleeFunc(pkg.Info, call)
+				if fn == nil {
+					return true
+				}
+				sig, ok := fn.Type().(*types.Signature)
+				if !ok {
+					return true
+				}
+				for i := 0; i < sig.Params().Len(); i++ {
+					if isContextType(sig.Params().At(i).Type()) {
+						pass.Reportf(sc.Type.Pos(), "%s loops over context-taking calls (%s) without accepting a context — exported looping entry points must stay cancelable (context-first convention)", sc.Name, fn.Name())
+						reported = true
+						return false
+					}
+				}
+				return true
+			})
+			return true
+		})
+	}
+}

@@ -1,0 +1,95 @@
+// Package analysis implements tglint, the repo's static-analysis gate: a
+// small go/analysis-style framework plus the custom analyzers that
+// machine-check the concurrency and semantics invariants the engine's
+// correctness rests on. The suite is driven by cmd/tglint (which also runs
+// the stock `go vet` passes — copylocks, lostcancel, and friends — so one
+// command is the whole static gate) and by the fixture tests in this
+// package; the smoke test asserts the suite runs clean on the real tree,
+// so the gate cannot silently rot.
+//
+// The framework mirrors the golang.org/x/tools/go/analysis API shape
+// (Analyzer, Pass, diagnostics, analysistest-style fixture runs) but is
+// rebuilt on the standard library alone: the repo vendors no dependencies,
+// so packages are loaded with `go list -e -deps -export -json` and
+// type-checked from source against the gc export data of their
+// dependencies. Porting an analyzer to the upstream API is mechanical.
+//
+// # Invariant catalog
+//
+// These are the hand-kept rules earlier PRs established by convention and
+// differential tests; each analyzer turns one of them into a machine check.
+// The generation-snapshot model itself is documented at length in
+// internal/search/live.go's file comment and the README's "Live engines"
+// and "Sharded multi-writer ingestion" sections.
+//
+// genaccess — RCU generation-snapshot access discipline (internal/search).
+// All mutable live-engine state lives in immutable generation values
+// published through Live.cur; the tail backing array (generation.tailArr)
+// is revealed by an atomic published length (generation.tailN), and each
+// posList's storage (n, arr) follows the same single-writer
+// publish-after-write protocol. Reading or writing that state is legal only
+// (a) from a function holding the writer mutex, declared with a
+// `// tglint:writer` annotation that the analyzer verifies against an
+// actual .mu.Lock() acquisition (or against the function being called
+// exclusively from verified writers), or (b) from a snapshot-capture
+// function declared `// tglint:snapshot`, verified to load a published
+// atomic counter and to mutate nothing. Live.cur itself may only be touched
+// through its atomic Load/Store/CompareAndSwap methods, Store being
+// writer-only.
+//
+// atomiccapture — the published-length capture protocol (everywhere).
+// A reader of an atomically published length (generation.tailN, posList.n,
+// posList.arr, ...) must load it exactly once per function and bind it to a
+// local; a second load of the same counter in one function can observe a
+// newer value than the first — the exact torn-read bug the genView capture
+// in live.go exists to prevent. The analyzer flags any function that loads
+// the same atomic field twice.
+//
+// poschecked — the int32 position-space budget (internal/search).
+// Global edge positions are int32 and capped at 2^31-1, enforced by Append
+// returning ErrPositionsExhausted before the space can wrap. Arithmetic
+// that could silently leave the space is banned: additions whose static
+// type is int32 and int32(...) conversions of arithmetic expressions must
+// flow through the checked helpers in pos.go (addPos, pos32), which panic
+// on overflow instead of wrapping a position into a posList. Subtractions
+// are exempt (the difference of two in-space positions cannot leave the
+// space).
+//
+// ctxfirst — context-first cooperative cancellation (facade,
+// internal/{search,miner,serve}). Functions taking a context.Context take
+// it as the first parameter; library code never calls context.Background()
+// — except main packages, tests, and the recognized compatibility-wrapper
+// idiom (a one- or two-statement function delegating to its *Context
+// variant); and an exported function that loops over seeds, candidates, or
+// shards while calling context-taking functions must itself accept a
+// context.
+//
+// jsonwire — the serving tier's wire-compatibility rules (internal/serve).
+// Every JSON decoder calls DisallowUnknownFields before Decode (a typo'd
+// field must be a 400 naming the offender, never a silently unconstrained
+// query — TestServeRejectsUnknownAndInvalidConstraintFields), json.Unmarshal
+// is banned in favor of strict decoders, and every wire struct (any struct
+// with a json-tagged field) tags all exported fields with explicit
+// lowerCamel names (the stable protocol contract
+// TestLiveStatsJSONRoundTrip pins for LiveStats).
+//
+// nilness — a stdlib-only lite of the x/tools nilness pass: flags uses that
+// must panic on a value just established to be nil (field access through a
+// nil pointer, calling a nil func, method calls on a nil interface). The
+// full stock passes (copylocks, lostcancel, ...) come from the `go vet` run
+// cmd/tglint bundles.
+//
+// # Annotations
+//
+// Three comment directives, written in a declaration's doc comment:
+//
+//	// tglint:writer
+//	// tglint:snapshot
+//	// tglint:ignore <analyzer> <reason>
+//
+// writer/snapshot are genaccess opt-ins and are verified (see above); an
+// unverifiable annotation is itself a diagnostic. ignore suppresses one
+// analyzer's diagnostics inside the annotated declaration and requires a
+// reason; a malformed directive or an unknown analyzer name is a
+// diagnostic, so annotations cannot rot either.
+package analysis

@@ -1,0 +1,244 @@
+package analysis
+
+// genaccess machine-checks the RCU generation-snapshot access discipline of
+// internal/search (see the invariant catalog in doc.go and the four
+// disciplines in internal/search/live.go's file comment).
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// GenAccess verifies that writer-owned live-engine state is touched only
+// from verified writer (tglint:writer) functions or captured through
+// verified snapshot (tglint:snapshot) functions.
+var GenAccess = &Analyzer{
+	Name: "genaccess",
+	Doc: `generation-snapshot access discipline (internal/search):
+writer-owned state (generation.tailArr/tailN, posList.n/arr, Live.cur) is
+only legal from // tglint:writer functions (verified to hold the writer
+mutex, directly or via their callers) or // tglint:snapshot capture
+functions (verified to load a published atomic counter and mutate nothing).`,
+	Run: runGenAccess,
+}
+
+// genProtected lists the writer-or-snapshot fields by owning struct. The
+// analyzer matches on type name within package search, so the fixture
+// package can replicate miniature twins of the real structs.
+var genProtected = map[string]map[string]bool{
+	"generation": {"tailArr": true, "tailN": true},
+	"posList":    {"n": true, "arr": true},
+	"Live":       {"cur": true},
+}
+
+// atomicAPIMethods are the methods through which Live.cur (and the
+// protected atomic counters) may be touched.
+var atomicReadMethods = map[string]bool{"Load": true}
+var atomicWriteMethods = map[string]bool{"Store": true, "CompareAndSwap": true, "Swap": true, "Add": true}
+
+func runGenAccess(pass *Pass) {
+	pkg := pass.Pkg
+	if pkg.Name != "search" {
+		return
+	}
+
+	// Per-declaration facts. Function literals inherit their enclosing
+	// declaration's writer/snapshot status: a snapshot capture or a locked
+	// writer may structure its work with closures.
+	type declFacts struct {
+		ann          annotations
+		locked       bool // body acquires a sync.Mutex/RWMutex .Lock()
+		snapshotLoad bool // body atomically Loads a protected counter
+		mutates      []string
+		accesses     []struct {
+			pos   token.Pos
+			field string
+		}
+		curMisuse []token.Pos
+		curStore  []token.Pos
+	}
+	facts := make(map[*ast.FuncDecl]*declFacts)
+	declOf := make(map[*types.Func]*ast.FuncDecl)
+	var decls []*ast.FuncDecl
+	for _, f := range pkg.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			decls = append(decls, fd)
+			facts[fd] = &declFacts{ann: pkg.annotationsOf(fd)}
+			if fn, ok := pkg.Info.Defs[fd.Name].(*types.Func); ok {
+				declOf[fn] = fd
+			}
+		}
+	}
+	sort.Slice(decls, func(i, j int) bool { return decls[i].Pos() < decls[j].Pos() })
+
+	// protectedSel reports whether sel is an access to a protected field,
+	// returning its "Type.field" name.
+	protectedSel := func(sel *ast.SelectorExpr) (string, string, bool) {
+		s, ok := pkg.Info.Selections[sel]
+		if !ok || s.Kind() != types.FieldVal {
+			return "", "", false
+		}
+		recv := s.Recv()
+		if ptr, isPtr := recv.(*types.Pointer); isPtr {
+			recv = ptr.Elem()
+		}
+		named, isNamed := recv.(*types.Named)
+		if !isNamed {
+			return "", "", false
+		}
+		tname := named.Obj().Name()
+		if fields, isProt := genProtected[tname]; isProt && fields[sel.Sel.Name] {
+			return tname, sel.Sel.Name, true
+		}
+		return "", "", false
+	}
+
+	// Gather per-declaration accesses. A walk with a parent map lets the
+	// cur rule see how the selector is used (atomic method call vs leak).
+	callersOf := make(map[*ast.FuncDecl]map[*ast.FuncDecl]bool)
+	for _, fd := range decls {
+		df := facts[fd]
+		parents := map[ast.Node]ast.Node{}
+		var stack []ast.Node
+		ast.Inspect(fd, func(n ast.Node) bool {
+			if n == nil {
+				stack = stack[:len(stack)-1]
+				return true
+			}
+			if len(stack) > 0 {
+				parents[n] = stack[len(stack)-1]
+			}
+			stack = append(stack, n)
+
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				// Writer-mutex acquisition and the package call graph.
+				if sel, ok := n.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "Lock" && isMutexType(pkg.Info.TypeOf(sel.X)) {
+					df.locked = true
+				}
+				if callee := calleeFunc(pkg.Info, n); callee != nil {
+					if cd, ok := declOf[callee]; ok && cd != fd {
+						if callersOf[cd] == nil {
+							callersOf[cd] = map[*ast.FuncDecl]bool{}
+						}
+						callersOf[cd][fd] = true
+					}
+				}
+			case *ast.SelectorExpr:
+				tname, fname, prot := protectedSel(n)
+				if !prot {
+					return true
+				}
+				qual := tname + "." + fname
+				// How is the protected selector used? An atomic method call
+				// on it is classified read or write; anything else is a raw
+				// access.
+				if psel, ok := parents[n].(*ast.SelectorExpr); ok && psel.X == n {
+					if call, ok2 := parents[psel].(*ast.CallExpr); ok2 && call.Fun == psel {
+						if atomicReadMethods[psel.Sel.Name] && isAtomicType(pkg.Info.TypeOf(n)) {
+							df.snapshotLoad = true
+							if fname == "cur" {
+								return true // Live.cur.Load() is legal anywhere
+							}
+							df.accesses = append(df.accesses, struct {
+								pos   token.Pos
+								field string
+							}{n.Pos(), qual})
+							return true
+						}
+						if atomicWriteMethods[psel.Sel.Name] && isAtomicType(pkg.Info.TypeOf(n)) {
+							df.mutates = append(df.mutates, qual+"."+psel.Sel.Name)
+							if fname == "cur" {
+								df.curStore = append(df.curStore, n.Pos())
+							} else {
+								df.accesses = append(df.accesses, struct {
+									pos   token.Pos
+									field string
+								}{n.Pos(), qual})
+							}
+							return true
+						}
+					}
+				}
+				if fname == "cur" {
+					df.curMisuse = append(df.curMisuse, n.Pos())
+					return true
+				}
+				df.accesses = append(df.accesses, struct {
+					pos   token.Pos
+					field string
+				}{n.Pos(), qual})
+			}
+			return true
+		})
+	}
+
+	// Writer verification: a declaration is a verified writer context when
+	// it acquires a mutex itself, or when every static in-package caller is
+	// a verified writer (helpers documented "caller holds the writer
+	// mutex", e.g. posList.push). Fixpoint over the call graph.
+	verifiedWriter := make(map[*ast.FuncDecl]bool)
+	for _, fd := range decls {
+		if facts[fd].locked {
+			verifiedWriter[fd] = true
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, fd := range decls {
+			if verifiedWriter[fd] || len(callersOf[fd]) == 0 {
+				continue
+			}
+			ok := true
+			for c := range callersOf[fd] {
+				if !verifiedWriter[c] {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				verifiedWriter[fd] = true
+				changed = true
+			}
+		}
+	}
+
+	for _, fd := range decls {
+		df := facts[fd]
+		name := funcDisplayName(fd)
+		switch {
+		case df.ann.Writer && df.ann.Snapshot:
+			pass.Reportf(fd.Pos(), "%s is annotated both tglint:writer and tglint:snapshot — a function is one or the other", name)
+		case df.ann.Writer:
+			if !verifiedWriter[fd] {
+				pass.Reportf(fd.Pos(), "tglint:writer on %s is not verified: the function neither acquires a writer mutex (.mu.Lock()) nor is called exclusively from verified writer functions", name)
+			}
+		case df.ann.Snapshot:
+			if !df.snapshotLoad {
+				pass.Reportf(fd.Pos(), "tglint:snapshot on %s is not verified: no atomic Load of a published counter (tailN/posList state) in its body", name)
+			}
+			if len(df.mutates) > 0 {
+				pass.Reportf(fd.Pos(), "tglint:snapshot %s mutates writer-owned state (%s) — snapshot functions are read-only", name, strings.Join(df.mutates, ", "))
+			}
+		default:
+			for _, acc := range df.accesses {
+				pass.Reportf(acc.pos, "%s touches writer-owned %s outside a tglint:writer/tglint:snapshot function (generation-snapshot invariant: tail storage and published counters are valid only under the writer mutex or through a captured view)", name, acc.field)
+			}
+		}
+		for _, pos := range df.curStore {
+			if !df.ann.Writer || !verifiedWriter[fd] {
+				pass.Reportf(pos, "%s publishes Live.cur outside a verified tglint:writer function (only mutex-holding writers may publish a generation)", name)
+			}
+		}
+		for _, pos := range df.curMisuse {
+			pass.Reportf(pos, "%s accesses Live.cur directly — the published-generation pointer may only be touched through its atomic Load/Store/CompareAndSwap methods", name)
+		}
+	}
+}

@@ -1,0 +1,142 @@
+package analysis
+
+import (
+	"go/ast"
+	"reflect"
+	"regexp"
+	"strings"
+)
+
+// lowerCamel matches the explicit wire-name grammar: a lowercase first
+// word, camel humps after.
+var lowerCamel = regexp.MustCompile(`^[a-z][a-zA-Z0-9]*$`)
+
+// JSONWire enforces the serving tier's wire-compatibility rules
+// (internal/serve): strict decoders and an explicit, stable field-name
+// contract on every wire struct.
+var JSONWire = &Analyzer{
+	Name: "jsonwire",
+	Doc: `wire-compatibility rules (internal/serve):
+every json.Decoder calls DisallowUnknownFields before Decode (a typo'd
+request field is a 400 naming the offender, never a silently unconstrained
+query), json.Unmarshal is banned in favor of strict decoders, and every
+wire struct tags all exported fields with explicit lowerCamel names.`,
+	Run: runJSONWire,
+}
+
+func runJSONWire(pass *Pass) {
+	pkg := pass.Pkg
+	if pkg.Name != "serve" {
+		return
+	}
+
+	// Decoder discipline, per scope: DisallowUnknownFields must precede the
+	// first Decode, and json.Unmarshal never appears.
+	for _, sc := range pkg.scopes() {
+		if sc.Body == nil {
+			continue
+		}
+		strictFrom := map[string]bool{} // receiver expr strings made strict
+		inspectShallow(sc.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if isCallTo(pkg.Info, call, "encoding/json", "Unmarshal") {
+				pass.Reportf(call.Pos(), "%s uses json.Unmarshal — the serving tier decodes through json.Decoder with DisallowUnknownFields so unknown request fields fail loudly (wire-compatibility invariant)", sc.Name)
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok || !namedIn(pkg.Info.TypeOf(sel.X), "encoding/json", "Decoder") {
+				return true
+			}
+			key := exprKey(sel.X)
+			switch sel.Sel.Name {
+			case "DisallowUnknownFields":
+				strictFrom[key] = true
+			case "Decode":
+				if !strictFrom[key] {
+					pass.Reportf(call.Pos(), "%s calls Decode on a json.Decoder without DisallowUnknownFields — unknown wire fields must be a 400 naming the offender, not silently dropped (wire-compatibility invariant)", sc.Name)
+				}
+			}
+			return true
+		})
+	}
+
+	// Wire-struct tags: a struct with any json-tagged field is a wire
+	// struct, and every exported field of a wire struct carries an explicit
+	// lowerCamel json name.
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				st, ok := ts.Type.(*ast.StructType)
+				if !ok {
+					continue
+				}
+				type fieldTag struct {
+					field *ast.Field
+					name  string
+					tag   string // json tag value, "" if absent
+				}
+				var fields []fieldTag
+				isWire := false
+				for _, field := range st.Fields.List {
+					tag := ""
+					if field.Tag != nil {
+						raw := strings.Trim(field.Tag.Value, "`")
+						tag = reflect.StructTag(raw).Get("json")
+						if tag != "" {
+							isWire = true
+						}
+					}
+					for _, name := range field.Names {
+						fields = append(fields, fieldTag{field, name.Name, tag})
+					}
+					if len(field.Names) == 0 { // embedded
+						fields = append(fields, fieldTag{field, "", tag})
+					}
+				}
+				if !isWire {
+					continue
+				}
+				for _, ft := range fields {
+					if ft.name != "" && !ast.IsExported(ft.name) {
+						continue
+					}
+					wireName := strings.Split(ft.tag, ",")[0]
+					switch {
+					case ft.tag == "":
+						pass.Reportf(ft.field.Pos(), "wire struct %s: field %s has no json tag — wire structs name every exported field explicitly (the encoding/json default capitalized name is not a stable protocol contract)", ts.Name.Name, ft.name)
+					case wireName == "-":
+						// explicitly excluded from the wire: fine
+					case !lowerCamel.MatchString(wireName):
+						pass.Reportf(ft.field.Pos(), "wire struct %s: field %s has json name %q — wire names are explicit lowerCamel identifiers", ts.Name.Name, ft.name, wireName)
+					}
+				}
+			}
+		}
+	}
+}
+
+// exprKey renders a receiver expression for strict-decoder matching. Chains
+// of method values on the same receiver hash to the same key.
+func exprKey(e ast.Expr) string {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return exprKey(e.X) + "." + e.Sel.Name
+	case *ast.CallExpr:
+		return exprKey(e.Fun) + "()"
+	default:
+		return "?"
+	}
+}

@@ -1,0 +1,130 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Nilness is a stdlib-only lite of the x/tools nilness pass: inside a
+// branch whose condition just established a value to be nil, any use that
+// must dereference it (field access through a pointer, calling it as a
+// function, a method call) is a guaranteed panic. The heavyweight stock
+// passes ride in via the `go vet` run cmd/tglint bundles; this one is
+// reimplemented because it is not in vet's default set.
+var Nilness = &Analyzer{
+	Name: "nilness",
+	Doc: `guaranteed nil dereference:
+inside an if x == nil branch, a field access, call, or method call on x
+panics unconditionally. (Lite port of x/tools nilness.)`,
+	Run: runNilness,
+}
+
+func runNilness(pass *Pass) {
+	pkg := pass.Pkg
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			ifs, ok := n.(*ast.IfStmt)
+			if !ok || ifs.Init != nil {
+				return true
+			}
+			cond, ok := ast.Unparen(ifs.Cond).(*ast.BinaryExpr)
+			if !ok || cond.Op != token.EQL {
+				return true
+			}
+			// Normalize to "x == nil" with x a plain identifier of a type
+			// where dereference/call panics: pointer, func, interface, map
+			// access is fine, slices index-panic anyway — keep to the
+			// must-panic shapes.
+			var id *ast.Ident
+			if isNilIdent(pkg.Info, cond.Y) {
+				id, _ = ast.Unparen(cond.X).(*ast.Ident)
+			} else if isNilIdent(pkg.Info, cond.X) {
+				id, _ = ast.Unparen(cond.Y).(*ast.Ident)
+			}
+			if id == nil {
+				return true
+			}
+			obj := pkg.Info.Uses[id]
+			if obj == nil {
+				return true
+			}
+			switch pkg.Info.TypeOf(id).Underlying().(type) {
+			case *types.Pointer, *types.Signature, *types.Interface:
+			default:
+				return true
+			}
+
+			// Walk the then-branch in source order; stop at any reassignment
+			// of x (including &x escapes, conservatively via unary &).
+			stopped := false
+			ast.Inspect(ifs.Body, func(m ast.Node) bool {
+				if stopped {
+					return false
+				}
+				switch m := m.(type) {
+				case *ast.AssignStmt:
+					for _, lhs := range m.Lhs {
+						if lid, ok := ast.Unparen(lhs).(*ast.Ident); ok && pkg.Info.Uses[lid] == obj {
+							stopped = true
+							return false
+						}
+					}
+				case *ast.UnaryExpr:
+					if m.Op == token.AND {
+						if uid, ok := ast.Unparen(m.X).(*ast.Ident); ok && pkg.Info.Uses[uid] == obj {
+							stopped = true
+							return false
+						}
+					}
+				case *ast.SelectorExpr:
+					x, ok := ast.Unparen(m.X).(*ast.Ident)
+					if !ok || pkg.Info.Uses[x] != obj {
+						return true
+					}
+					if s, ok := pkg.Info.Selections[m]; ok {
+						_, ptrRecv := s.Recv().Underlying().(*types.Pointer)
+						_, ifaceRecv := s.Recv().Underlying().(*types.Interface)
+						if (s.Kind() == types.FieldVal && ptrRecv) || (s.Kind() == types.MethodVal && (ifaceRecv || ptrRecvDerefs(s))) {
+							pass.Reportf(m.Pos(), "%s.%s dereferences %s, established nil by the enclosing condition — guaranteed panic", x.Name, m.Sel.Name, x.Name)
+						}
+					}
+				case *ast.CallExpr:
+					if fid, ok := ast.Unparen(m.Fun).(*ast.Ident); ok && pkg.Info.Uses[fid] == obj {
+						pass.Reportf(m.Pos(), "calling %s, established nil by the enclosing condition — guaranteed panic", fid.Name)
+					}
+				}
+				return true
+			})
+			return true
+		})
+	}
+}
+
+// ptrRecvDerefs reports whether a method value on a nil pointer receiver
+// must dereference: true only for value-receiver methods promoted through a
+// pointer (the implicit deref panics); pointer-receiver methods on a nil
+// pointer are legal to call.
+func ptrRecvDerefs(s *types.Selection) bool {
+	fn, ok := s.Obj().(*types.Func)
+	if !ok {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	_, calleeWantsPtr := sig.Recv().Type().(*types.Pointer)
+	_, haveptr := s.Recv().Underlying().(*types.Pointer)
+	return haveptr && !calleeWantsPtr
+}
+
+// isNilIdent reports whether e is the predeclared nil.
+func isNilIdent(info *types.Info, e ast.Expr) bool {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	_, isNil := info.Uses[id].(*types.Nil)
+	return isNil
+}

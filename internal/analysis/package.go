@@ -1,0 +1,296 @@
+package analysis
+
+// Package representation plus the shared syntax utilities the analyzers
+// build on: tglint directive parsing, function-scope enumeration (FuncDecls
+// and FuncLits as separate scopes), and small type predicates.
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// A Package is one loaded, type-checked package plus the tglint annotation
+// index built from its doc comments.
+type Package struct {
+	ImportPath string
+	Name       string
+	Dir        string
+	Fset       *token.FileSet
+	Files      []*ast.File
+	Types      *types.Package
+	Info       *types.Info
+
+	funcAnn    map[*ast.FuncDecl]annotations
+	directives []directive
+	ignores    []ignoreSpan
+	scopeList  []*funcScope
+}
+
+// annotations are the parsed tglint directives of one declaration.
+type annotations struct {
+	Writer   bool
+	Snapshot bool
+	Ignore   map[string]string // analyzer -> reason
+}
+
+// directive is one raw tglint directive, kept for validation.
+type directive struct {
+	pos      token.Pos
+	verb     string // writer | snapshot | ignore | anything typo'd
+	analyzer string // ignore only
+	reason   string // ignore only
+	onFunc   bool
+}
+
+// ignoreSpan suppresses one analyzer inside one declaration.
+type ignoreSpan struct {
+	analyzer   string
+	start, end token.Pos
+}
+
+// prepare builds the annotation index. Called once by Load.
+func (p *Package) prepare() {
+	p.funcAnn = make(map[*ast.FuncDecl]annotations)
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			var doc *ast.CommentGroup
+			_, isFunc := decl.(*ast.FuncDecl)
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				doc = d.Doc
+			case *ast.GenDecl:
+				doc = d.Doc
+			}
+			ann, dirs := parseAnnotations(doc, isFunc)
+			for _, dir := range dirs {
+				p.directives = append(p.directives, dir)
+			}
+			if fd, ok := decl.(*ast.FuncDecl); ok {
+				p.funcAnn[fd] = ann
+			}
+			for name := range ann.Ignore {
+				p.ignores = append(p.ignores, ignoreSpan{name, decl.Pos(), decl.End()})
+			}
+		}
+	}
+}
+
+// parseAnnotations extracts tglint directives from a doc comment.
+func parseAnnotations(doc *ast.CommentGroup, onFunc bool) (annotations, []directive) {
+	ann := annotations{Ignore: map[string]string{}}
+	var dirs []directive
+	if doc == nil {
+		return ann, nil
+	}
+	for _, c := range doc.List {
+		line := strings.TrimPrefix(c.Text, "//")
+		line = strings.TrimSpace(line)
+		if !strings.HasPrefix(line, "tglint:") {
+			continue
+		}
+		fields := strings.Fields(strings.TrimPrefix(line, "tglint:"))
+		d := directive{pos: c.Pos(), onFunc: onFunc}
+		if len(fields) > 0 {
+			d.verb = fields[0]
+		}
+		switch d.verb {
+		case "writer":
+			ann.Writer = true
+		case "snapshot":
+			ann.Snapshot = true
+		case "ignore":
+			if len(fields) > 1 {
+				d.analyzer = fields[1]
+			}
+			if len(fields) > 2 {
+				d.reason = strings.Join(fields[2:], " ")
+			}
+			ann.Ignore[d.analyzer] = d.reason
+		}
+		dirs = append(dirs, d)
+	}
+	return ann, dirs
+}
+
+// ignoredAt reports whether the analyzer is suppressed at pos.
+func (p *Package) ignoredAt(analyzer string, pos token.Pos) bool {
+	for _, sp := range p.ignores {
+		if sp.analyzer == analyzer && sp.start <= pos && pos < sp.end {
+			return true
+		}
+	}
+	return false
+}
+
+// annotationsOf returns fd's parsed annotations (zero value if none).
+func (p *Package) annotationsOf(fd *ast.FuncDecl) annotations {
+	return p.funcAnn[fd]
+}
+
+// A funcScope is one function body: a declaration, or a function literal
+// treated as its own scope (a closure with its own context parameter is a
+// separate compliance unit from its enclosing function).
+type funcScope struct {
+	Decl *ast.FuncDecl // enclosing declaration; nil for a package-level literal
+	Lit  *ast.FuncLit  // nil when the scope is the declaration itself
+	Type *ast.FuncType
+	Body *ast.BlockStmt
+	Name string // for diagnostics
+}
+
+// exported reports whether the scope is an exported function or method
+// declaration (literals are never exported).
+func (s *funcScope) exported() bool {
+	return s.Lit == nil && s.Decl != nil && s.Decl.Name.IsExported()
+}
+
+// scopes enumerates every function body in the package: each FuncDecl and
+// each FuncLit, the literals carrying a pointer to their enclosing
+// declaration (for annotation lookup).
+func (p *Package) scopes() []*funcScope {
+	if p.scopeList != nil {
+		return p.scopeList
+	}
+	var out []*funcScope
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			var encl *ast.FuncDecl
+			name := "package-level literal"
+			if ok {
+				encl = fd
+				name = funcDisplayName(fd)
+				if fd.Body != nil {
+					out = append(out, &funcScope{Decl: fd, Type: fd.Type, Body: fd.Body, Name: name})
+				}
+			}
+			ast.Inspect(decl, func(n ast.Node) bool {
+				if lit, isLit := n.(*ast.FuncLit); isLit {
+					out = append(out, &funcScope{
+						Decl: encl,
+						Lit:  lit,
+						Type: lit.Type,
+						Body: lit.Body,
+						Name: "function literal in " + name,
+					})
+				}
+				return true
+			})
+		}
+	}
+	p.scopeList = out
+	return out
+}
+
+// funcDisplayName renders "Recv.Name" or "Name" for diagnostics.
+func funcDisplayName(fd *ast.FuncDecl) string {
+	if fd.Recv != nil && len(fd.Recv.List) == 1 {
+		t := fd.Recv.List[0].Type
+		if st, ok := t.(*ast.StarExpr); ok {
+			t = st.X
+		}
+		if idx, ok := t.(*ast.IndexExpr); ok { // generic receiver
+			t = idx.X
+		}
+		if id, ok := t.(*ast.Ident); ok {
+			return id.Name + "." + fd.Name.Name
+		}
+	}
+	return fd.Name.Name
+}
+
+// inspectShallow walks root in source order without descending into
+// function literals (other than root itself, if it is one). Analyzers that
+// treat literals as separate scopes use this so a node is attributed to
+// exactly one scope.
+func inspectShallow(root ast.Node, fn func(ast.Node) bool) {
+	ast.Inspect(root, func(n ast.Node) bool {
+		if lit, ok := n.(*ast.FuncLit); ok && lit != root {
+			return false
+		}
+		return fn(n)
+	})
+}
+
+// declFor returns the FuncDecl whose span contains pos, or nil.
+func (p *Package) declFor(pos token.Pos) *ast.FuncDecl {
+	for fd := range p.funcAnn {
+		if fd.Pos() <= pos && pos < fd.End() {
+			return fd
+		}
+	}
+	return nil
+}
+
+// --- type predicates -------------------------------------------------------
+
+// namedIn reports whether t (after pointer indirection) is the named type
+// pkgPath.name.
+func namedIn(t types.Type, pkgPath, name string) bool {
+	if t == nil {
+		return false
+	}
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == pkgPath && obj.Name() == name
+}
+
+// isAtomicType reports whether t (after pointer indirection) is one of the
+// sync/atomic value types (Int32, Int64, Uint32, Uint64, Bool, Value,
+// Pointer[T], ...).
+func isAtomicType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == "sync/atomic"
+}
+
+// isContextType reports whether t is context.Context.
+func isContextType(t types.Type) bool {
+	return namedIn(t, "context", "Context")
+}
+
+// isMutexType reports whether t (after pointer indirection) is sync.Mutex
+// or sync.RWMutex.
+func isMutexType(t types.Type) bool {
+	return namedIn(t, "sync", "Mutex") || namedIn(t, "sync", "RWMutex")
+}
+
+// calleeFunc resolves a call expression's callee to its types.Func, if it
+// statically resolves to a function or method (nil for calls through
+// function values, conversions, and builtins).
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if fn, ok := info.Uses[fun].(*types.Func); ok {
+			return fn
+		}
+	case *ast.SelectorExpr:
+		if fn, ok := info.Uses[fun.Sel].(*types.Func); ok {
+			return fn
+		}
+	}
+	return nil
+}
+
+// isCallTo reports whether the call statically resolves to pkgPath.name.
+func isCallTo(info *types.Info, call *ast.CallExpr, pkgPath, name string) bool {
+	fn := calleeFunc(info, call)
+	return fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == pkgPath && fn.Name() == name
+}

@@ -1,0 +1,91 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// PosChecked enforces the int32 position-space budget of internal/search:
+// global edge positions are int32, capped by Append's ErrPositionsExhausted
+// check, and arithmetic that could silently leave the space must flow
+// through the checked helpers in pos.go (addPos, pos32) that panic instead
+// of wrapping a corrupt position into a posList.
+var PosChecked = &Analyzer{
+	Name: "poschecked",
+	Doc: `int32 position arithmetic flows through checked helpers (internal/search):
+raw int32 additions and int32(...) conversions of arithmetic expressions can
+wrap past the 2^31-1 position budget; use addPos/pos32 from pos.go, which
+panic on overflow. Subtraction of in-space positions is exempt.`,
+	Run: runPosChecked,
+}
+
+func runPosChecked(pass *Pass) {
+	pkg := pass.Pkg
+	if pkg.Name != "search" {
+		return
+	}
+
+	isInt32 := func(e ast.Expr) bool {
+		t := pkg.Info.TypeOf(e)
+		if t == nil {
+			return false
+		}
+		b, ok := t.Underlying().(*types.Basic)
+		return ok && b.Kind() == types.Int32
+	}
+	isConst := func(e ast.Expr) bool {
+		tv, ok := pkg.Info.Types[e]
+		return ok && tv.Value != nil
+	}
+	isArith := func(e ast.Expr) (token.Token, bool) {
+		be, ok := ast.Unparen(e).(*ast.BinaryExpr)
+		if !ok {
+			return 0, false
+		}
+		switch be.Op {
+		case token.ADD, token.SUB, token.MUL, token.SHL:
+			return be.Op, true
+		}
+		return 0, false
+	}
+
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.BinaryExpr:
+				// Overflow-capable int32 arithmetic outside the checked
+				// helpers. SUB is exempt: the difference of two in-space
+				// positions cannot leave the space.
+				switch n.Op {
+				case token.ADD, token.MUL, token.SHL:
+					if isInt32(n) && !isConst(n) {
+						pass.Reportf(n.Pos(), "unchecked int32 %s — position arithmetic can wrap past the 2^31-1 budget; use addPos/pos32 (pos.go), which panic instead of corrupting a posList", n.Op)
+					}
+				}
+			case *ast.AssignStmt:
+				if n.Tok == token.ADD_ASSIGN && len(n.Lhs) == 1 && isInt32(n.Lhs[0]) {
+					pass.Reportf(n.Pos(), "unchecked int32 += — position arithmetic can wrap past the 2^31-1 budget; use addPos/pos32 (pos.go), which panic instead of corrupting a posList")
+				}
+			case *ast.CallExpr:
+				// int32(x op y): the conversion truncates whatever the wider
+				// arithmetic produced, so an out-of-budget intermediate slips
+				// into position space silently.
+				if len(n.Args) != 1 {
+					return true
+				}
+				id, ok := ast.Unparen(n.Fun).(*ast.Ident)
+				if !ok || id.Name != "int32" {
+					return true
+				}
+				if _, isType := pkg.Info.Uses[id].(*types.TypeName); !isType {
+					return true
+				}
+				if op, arith := isArith(n.Args[0]); arith && !isConst(n.Args[0]) {
+					pass.Reportf(n.Pos(), "int32(...) conversion of a %s expression truncates out-of-budget intermediates into position space; compute with addPos/pos32 (pos.go) or convert the operands before the arithmetic", op)
+				}
+			}
+			return true
+		})
+	}
+}

@@ -1,0 +1,152 @@
+package analysis
+
+// Fixture tests in the analysistest style: each analyzer runs over a
+// miniature package under testdata/src/<analyzer>/, and `// want "regex"`
+// comments on the offending lines state the expected diagnostics — every
+// diagnostic must be wanted, every want must be hit. The smoke test at the
+// bottom runs the whole suite over the real tree and requires it clean,
+// which is what keeps the annotations in internal/{search,miner,serve}
+// honest.
+
+import (
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+var wantRE = regexp.MustCompile(`want "((?:[^"\\]|\\.)*)"`)
+
+type expectation struct {
+	file string // base name
+	line int
+	re   *regexp.Regexp
+	hit  bool
+}
+
+func loadFixture(t *testing.T, name string) *Package {
+	t.Helper()
+	dir, err := filepath.Abs(filepath.Join("testdata", "src", name))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := Load(dir, ".")
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", name, err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("fixture %s: got %d packages, want 1", name, len(pkgs))
+	}
+	return pkgs[0]
+}
+
+func expectations(t *testing.T, pkg *Package) []*expectation {
+	t.Helper()
+	var exps []*expectation
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				for _, m := range wantRE.FindAllStringSubmatch(c.Text, -1) {
+					re, err := regexp.Compile(m[1])
+					if err != nil {
+						t.Fatalf("bad want regexp %q: %v", m[1], err)
+					}
+					pos := pkg.Fset.Position(c.Pos())
+					exps = append(exps, &expectation{file: filepath.Base(pos.Filename), line: pos.Line, re: re})
+				}
+			}
+		}
+	}
+	return exps
+}
+
+// runFixture checks one analyzer against its fixture package.
+func runFixture(t *testing.T, fixture, analyzer string) {
+	t.Helper()
+	pkg := loadFixture(t, fixture)
+	a := ByName(analyzer)
+	if a == nil {
+		t.Fatalf("no analyzer %q", analyzer)
+	}
+	exps := expectations(t, pkg)
+	for _, d := range runOne(pkg, a) {
+		matched := false
+		for _, e := range exps {
+			if !e.hit && e.file == filepath.Base(d.Pos.Filename) && e.line == d.Pos.Line && e.re.MatchString(d.Message) {
+				e.hit = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for _, e := range exps {
+		if !e.hit {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", e.file, e.line, e.re)
+		}
+	}
+}
+
+func TestGenAccessFixture(t *testing.T)     { runFixture(t, "genaccess", "genaccess") }
+func TestAtomicCaptureFixture(t *testing.T) { runFixture(t, "atomiccapture", "atomiccapture") }
+func TestPosCheckedFixture(t *testing.T)    { runFixture(t, "poschecked", "poschecked") }
+func TestCtxFirstFixture(t *testing.T)      { runFixture(t, "ctxfirst", "ctxfirst") }
+func TestJSONWireFixture(t *testing.T)      { runFixture(t, "jsonwire", "jsonwire") }
+func TestNilnessFixture(t *testing.T)       { runFixture(t, "nilness", "nilness") }
+
+// TestDirectiveValidation checks the annotation layer itself: malformed or
+// unknown directives are diagnostics (they anchor to the comment line,
+// where a want comment cannot sit, so this test matches by message).
+func TestDirectiveValidation(t *testing.T) {
+	pkg := loadFixture(t, "directives")
+	known := map[string]bool{}
+	for _, a := range All {
+		known[a.Name] = true
+	}
+	diags := checkDirectives(pkg, known)
+	wants := []string{
+		`unknown tglint directive "frobnicate"`,
+		"needs an analyzer name",
+		`unknown analyzer "nosuchanalyzer"`,
+		"needs a reason",
+		"applies only to function declarations",
+	}
+	for _, w := range wants {
+		found := false
+		for _, d := range diags {
+			if strings.Contains(d.Message, w) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("no directive diagnostic containing %q in %v", w, diags)
+		}
+	}
+	if len(diags) != len(wants) {
+		t.Errorf("got %d directive diagnostics, want %d:\n%v", len(diags), len(wants), diags)
+	}
+}
+
+// TestSuiteCleanOnTree is the gate behind the gate: the full suite (custom
+// analyzers plus directive validation) must be clean on the real tree, so
+// the annotations and checked helpers in the engine packages cannot rot
+// without a test failure.
+func TestSuiteCleanOnTree(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and type-checks the whole module")
+	}
+	root, err := filepath.Abs(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := Load(root, "./...")
+	if err != nil {
+		t.Fatalf("loading tree: %v", err)
+	}
+	for _, d := range RunAll(pkgs, All) {
+		t.Errorf("tree is not tglint-clean: %s", d)
+	}
+}

@@ -1,0 +1,40 @@
+// Fixture for the atomiccapture analyzer: published lengths are loaded
+// exactly once per function.
+package capture
+
+import "sync/atomic"
+
+type counter struct{ n atomic.Int32 }
+
+func single(c *counter) int32 {
+	return c.n.Load()
+}
+
+func double(c *counter) (int32, int32) {
+	a := c.n.Load()
+	b := c.n.Load() // want "loads c.n again"
+	return a, b
+}
+
+func distinctReceivers(a, b *counter) int32 {
+	return a.n.Load() + b.n.Load()
+}
+
+func closureIsItsOwnScope(c *counter) func() int32 {
+	n := c.n.Load()
+	_ = n
+	return func() int32 { return c.n.Load() }
+}
+
+func doubleInsideClosure(c *counter) func() int32 {
+	return func() int32 {
+		a := c.n.Load()
+		return a + c.n.Load() // want "loads c.n again"
+	}
+}
+
+// tglint:ignore atomiccapture fixture: a CAS retry loop re-reads by design
+func suppressed(c *counter) int32 {
+	_ = c.n.Load()
+	return c.n.Load()
+}

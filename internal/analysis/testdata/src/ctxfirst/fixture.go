@@ -1,0 +1,59 @@
+// Fixture for the ctxfirst analyzer: context-first parameters, no
+// context.Background() in library code, and exported loops stay cancelable.
+package miner
+
+import "context"
+
+var todo = context.TODO()
+
+func Good(ctx context.Context, name string) error {
+	_ = name
+	<-ctx.Done()
+	return nil
+}
+
+func CtxSecond(name string, ctx context.Context) error { // want "takes context.Context at parameter 1"
+	_ = name
+	<-ctx.Done()
+	return nil
+}
+
+func rootInLibrary() context.Context {
+	return context.Background() // want "calls context.Background\(\) in library code"
+}
+
+// The sanctioned compatibility-wrapper idiom: one statement delegating to
+// the *Context variant.
+
+func Mine(n int) error { return MineContext(context.Background(), n) }
+
+func MineContext(ctx context.Context, n int) error {
+	_ = n
+	return ctx.Err()
+}
+
+// An exported function looping over context-taking calls must itself
+// accept a context.
+
+func MineAll(seeds []int) { // want "loops over context-taking calls \(MineContext\) without accepting a context"
+	for _, s := range seeds {
+		_ = MineContext(todo, s)
+	}
+}
+
+func MineAllContext(ctx context.Context, seeds []int) {
+	for _, s := range seeds {
+		_ = MineContext(ctx, s)
+	}
+}
+
+func mineAllUnexported(seeds []int) {
+	for _, s := range seeds {
+		_ = MineContext(todo, s)
+	}
+}
+
+// tglint:ignore ctxfirst fixture: legacy root kept for wire compatibility
+func LegacyRoot() context.Context {
+	return context.Background()
+}

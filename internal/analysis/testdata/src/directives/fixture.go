@@ -1,0 +1,31 @@
+// Fixture for tglint directive validation (checked by code in
+// directives_test.go rather than want comments: directive diagnostics
+// anchor to the comment line itself, where a want comment cannot sit).
+package directives
+
+// tglint:frobnicate
+func unknownVerb() {}
+
+// tglint:ignore
+func ignoreMissingAnalyzer() {}
+
+// tglint:ignore nosuchanalyzer because reasons
+func ignoreUnknownAnalyzer() {}
+
+// tglint:ignore genaccess
+func ignoreMissingReason() {}
+
+// tglint:writer
+var notAFunction int
+
+// tglint:ignore ctxfirst a well-formed ignore is accepted silently
+func wellFormed() {}
+
+func use() {
+	unknownVerb()
+	ignoreMissingAnalyzer()
+	ignoreUnknownAnalyzer()
+	ignoreMissingReason()
+	wellFormed()
+	notAFunction++
+}

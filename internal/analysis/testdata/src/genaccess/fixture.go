@@ -1,0 +1,111 @@
+// Fixture for the genaccess analyzer: miniature twins of the live-engine
+// structs whose fields the analyzer protects by (type, field) name.
+package search
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+type generation struct {
+	tailArr []int
+	tailN   *atomic.Int32
+}
+
+type posList struct {
+	n   atomic.Int32
+	arr atomic.Pointer[[]int32]
+}
+
+type Live struct {
+	mu  sync.Mutex
+	cur atomic.Pointer[generation]
+}
+
+// Unannotated functions may not touch protected state at all.
+
+func rawRead(g *generation) int {
+	return len(g.tailArr) // want "touches writer-owned generation.tailArr"
+}
+
+func rawCounter(p *posList) int32 {
+	return p.n.Load() // want "touches writer-owned posList.n"
+}
+
+// A verified writer: annotation plus a real mutex acquisition.
+//
+// tglint:writer
+func (l *Live) append(g *generation) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	g.tailArr = append(g.tailArr, 1)
+	writerHelper(g)
+	l.cur.Store(g)
+}
+
+// A helper called only from verified writers verifies transitively.
+//
+// tglint:writer
+func writerHelper(g *generation) {
+	g.tailN.Store(int32(len(g.tailArr)))
+}
+
+// An annotation with neither a lock nor verified callers is itself flagged.
+//
+// tglint:writer
+func bogusWriter(g *generation) { // want "tglint:writer on bogusWriter is not verified"
+	g.tailArr = nil
+}
+
+// A verified snapshot: loads a published counter, mutates nothing.
+//
+// tglint:snapshot
+func capture(g *generation) []int {
+	n := g.tailN.Load()
+	return g.tailArr[:n:n]
+}
+
+// A snapshot with no atomic load captures nothing.
+//
+// tglint:snapshot
+func bogusSnapshot(g *generation) []int { // want "tglint:snapshot on bogusSnapshot is not verified"
+	return g.tailArr // the raw read is subsumed by the annotation failure
+}
+
+// A snapshot that mutates is not a snapshot.
+//
+// tglint:snapshot
+func mutatingSnapshot(p *posList) int32 { // want "mutates writer-owned state"
+	n := p.n.Load()
+	p.n.Store(n)
+	return n
+}
+
+// A function is a writer or a snapshot, never both.
+//
+// tglint:writer
+// tglint:snapshot
+func confused(l *Live) { // want "annotated both tglint:writer and tglint:snapshot"
+	l.mu.Lock()
+	defer l.mu.Unlock()
+}
+
+// Live.cur: atomic Load is legal anywhere, Store is writer-only, and the
+// pointer itself never leaks.
+
+func readCur(l *Live) *generation {
+	return l.cur.Load()
+}
+
+func publishCur(l *Live, g *generation) {
+	l.cur.Store(g) // want "publishes Live.cur outside a verified tglint:writer function"
+}
+
+func leakCur(l *Live) any {
+	return &l.cur // want "accesses Live.cur directly"
+}
+
+// tglint:ignore genaccess fixture: capacity accounting over immutable backing storage
+func suppressed(g *generation) int {
+	return cap(g.tailArr)
+}

@@ -1,0 +1,56 @@
+// Fixture for the jsonwire analyzer: strict decoders and explicit
+// lowerCamel wire names.
+package serve
+
+import (
+	"encoding/json"
+	"io"
+)
+
+type goodWire struct {
+	Name    string `json:"name"`
+	HopSpan int    `json:"hopSpan,omitempty"`
+	Skipped string `json:"-"`
+	hidden  int
+}
+
+type badWire struct {
+	Name  string `json:"Name"` // want "has json name \"Name\""
+	Count int    // want "field Count has no json tag"
+}
+
+type notWire struct {
+	Name string
+	N    int
+}
+
+func decodeStrict(r io.Reader, v any) error {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	return dec.Decode(v)
+}
+
+func decodeLoose(r io.Reader, v any) error {
+	dec := json.NewDecoder(r)
+	return dec.Decode(v) // want "without DisallowUnknownFields"
+}
+
+func unmarshalBanned(b []byte, v any) error {
+	return json.Unmarshal(b, v) // want "uses json.Unmarshal"
+}
+
+// tglint:ignore jsonwire fixture: trusted internal blob, not wire input
+func unmarshalSuppressed(b []byte, v any) error {
+	return json.Unmarshal(b, v)
+}
+
+func use(r io.Reader, b []byte) {
+	var g goodWire
+	var bad badWire
+	var n notWire
+	_ = decodeStrict(r, &g)
+	_ = decodeLoose(r, &bad)
+	_ = unmarshalBanned(b, &n)
+	_ = unmarshalSuppressed(b, &n)
+	_ = g.hidden
+}

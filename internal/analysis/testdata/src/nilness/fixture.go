@@ -1,0 +1,44 @@
+// Fixture for the nilness-lite analyzer: uses that must panic on a value
+// the enclosing condition just established to be nil.
+package nilcheck
+
+type node struct {
+	next *node
+	val  int
+}
+
+func derefNil(n *node) int {
+	if n == nil {
+		return n.val // want "n.val dereferences n, established nil"
+	}
+	return n.val
+}
+
+func derefNilReversed(n *node) int {
+	if nil == n {
+		return n.val // want "n.val dereferences n, established nil"
+	}
+	return 0
+}
+
+func callNil(f func() int) int {
+	if f == nil {
+		return f() // want "calling f, established nil"
+	}
+	return f()
+}
+
+func reassignedIsFine(n *node) int {
+	if n == nil {
+		n = &node{}
+		return n.val
+	}
+	return n.val
+}
+
+func inequalityIsFine(n *node) int {
+	if n != nil {
+		return n.val
+	}
+	return 0
+}

@@ -1,0 +1,61 @@
+// Fixture for the poschecked analyzer: int32 position arithmetic flows
+// through checked helpers. The helpers are replicated here because the
+// fixture package is its own miniature "search".
+package search
+
+import "math"
+
+// tglint:ignore poschecked fixture twin of the checked helper
+func addPos(a, b int32) int32 {
+	s := int64(a) + int64(b)
+	if s < 0 || s > math.MaxInt32 {
+		panic("overflow")
+	}
+	return int32(s)
+}
+
+// tglint:ignore poschecked fixture twin of the checked helper
+func pos32(n int) int32 {
+	if n < 0 || n > math.MaxInt32 {
+		panic("out of range")
+	}
+	return int32(n)
+}
+
+func rawAdd(a, b int32) int32 {
+	return a + b // want "unchecked int32 \+"
+}
+
+func rawAddAssign(a, b int32) int32 {
+	a += b // want "unchecked int32 \+="
+	return a
+}
+
+func rawMul(a, b int32) int32 {
+	return a * b // want "unchecked int32 \*"
+}
+
+func truncatingConversion(n int) int32 {
+	return int32(n + 1) // want "conversion of a \+ expression truncates"
+}
+
+func checkedAdd(a, b int32) int32 {
+	return addPos(a, b)
+}
+
+func checkedConversion(n int) int32 {
+	return pos32(n + 1)
+}
+
+func subIsExempt(a, b int32) int32 {
+	return a - b
+}
+
+func constantsAreExempt() int32 {
+	const k = 10
+	return k + 21
+}
+
+func wideArithmeticIsFine(a, b int64) int64 {
+	return a + b
+}

@@ -20,6 +20,8 @@ import (
 // The handler unhooks itself after the first signal, so a second signal
 // kills the process the usual way if the cooperative path is too slow.
 // Call stop to release the signal hook and any timer.
+//
+// tglint:ignore ctxfirst this helper mints the root context on behalf of main packages — it is the process entry point's context factory
 func SignalContext(timeout time.Duration) (ctx, sigCtx context.Context, stop func()) {
 	sigCtx, unhook := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	go func() {

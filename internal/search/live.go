@@ -120,6 +120,8 @@ type posList struct {
 
 // push appends one position. Writer-exclusive (callers hold the Live
 // writer mutex).
+//
+// tglint:writer
 func (p *posList) push(pos int32) {
 	n := int(p.n.Load())
 	cur := p.arr.Load()
@@ -137,11 +139,13 @@ func (p *posList) push(pos int32) {
 	} else {
 		(*cur)[n] = pos
 	}
-	p.n.Store(int32(n + 1))
+	p.n.Store(pos32(n + 1))
 }
 
 // view returns a consistent prefix of the list. Safe to call concurrently
 // with push; the returned slice is never written again at indexes < len.
+//
+// tglint:snapshot
 func (p *posList) view() []int32 {
 	n := p.n.Load()
 	if n == 0 {
@@ -152,6 +156,8 @@ func (p *posList) view() []int32 {
 }
 
 // capBytes reports the bytes retained by the list's backing array.
+//
+// tglint:snapshot
 func (p *posList) capBytes() int {
 	if arr := p.arr.Load(); arr != nil {
 		return 4 * len(*arr)
@@ -199,6 +205,8 @@ type generation struct {
 // genView is an immutable, internally consistent snapshot: every edge below
 // its end is present in every index it consults. Writers (holding the
 // mutex) get an exact view; readers get the latest published prefix.
+//
+// tglint:snapshot
 func (g *generation) view() genView {
 	n := g.tailN.Load()
 	return genView{g: g, tail: g.tailArr[:n:n]}
@@ -222,7 +230,7 @@ type genView struct {
 }
 
 // end returns one past the last global position of this view.
-func (v genView) end() int32 { return v.g.baseEdges + int32(len(v.tail)) }
+func (v genView) end() int32 { return addPos(v.g.baseEdges, pos32(len(v.tail))) }
 
 // numEdges reports the number of live (non-evicted) edges.
 func (v genView) numEdges() int { return int(v.end() - v.g.floor) }
@@ -358,7 +366,7 @@ func (v genView) cutBefore(t int64) int32 {
 		}
 	}
 	j := sort.Search(len(v.tail), func(i int) bool { return v.tail[i].Time >= t })
-	return v.g.baseEdges + int32(j)
+	return addPos(v.g.baseEdges, pos32(j))
 }
 
 // CutKey identifies a Live engine's live edge set: two equal keys read from
@@ -423,7 +431,7 @@ func (r *readerSlots) oldest() (count int, minEnd int32) {
 	for i := range r.slot {
 		if s := r.slot[i].Load(); s != 0 {
 			count++
-			if e := int32(s - 1); e < minEnd {
+			if e := int32(s) - 1; e < minEnd {
 				minEnd = e
 			}
 		}
@@ -465,6 +473,8 @@ type Live struct {
 }
 
 // NewLive returns an empty live engine.
+//
+// tglint:ignore genaccess the constructor publishes the first generation before the engine escapes to any reader
 func NewLive(opts LiveOptions) *Live {
 	l := &Live{opts: opts.normalize()}
 	l.cur.Store(&generation{
@@ -487,6 +497,8 @@ func (l *Live) snap() genView { return l.gen().view() }
 // AddNode appends a node with the given label and returns its NodeID.
 // The successor generation gets a fresh tail counter so views of the
 // predecessor never surface edges that reference the new node.
+//
+// tglint:writer
 func (l *Live) AddNode(label tgraph.Label) tgraph.NodeID {
 	l.mu.Lock()
 	defer l.mu.Unlock()
@@ -525,6 +537,8 @@ func newTailArr(folded int) []tgraph.Edge {
 // lands in pre-sized tail storage and is revealed by one atomic length
 // store; the tail folds into the CSR base on the geometric schedule
 // described on LiveOptions.CompactEvery.
+//
+// tglint:writer
 func (l *Live) Append(src, dst tgraph.NodeID, t int64) error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
@@ -554,8 +568,8 @@ func (l *Live) Append(src, dst tgraph.NodeID, t int64) error {
 			return fmt.Errorf("%w: edge (%d,%d,%d) rejected", ErrPositionsExhausted, src, dst, t)
 		}
 	}
-	n := int32(len(v.tail))
-	pos := g.baseEdges + n
+	n := pos32(len(v.tail))
+	pos := addPos(g.baseEdges, n)
 
 	// Structural changes this generation's indexes cannot describe — a
 	// label pair new to the pair map or a full tail array — freeze its
@@ -598,7 +612,7 @@ func (l *Live) Append(src, dst tgraph.NodeID, t int64) error {
 	g.tailOut[src].push(pos)
 	g.tailIn[dst].push(pos)
 	pl.push(pos)
-	g.tailN.Store(n + 1)
+	g.tailN.Store(addPos(n, 1))
 
 	// Automatic compaction schedule. The incremental merge (merge.go)
 	// costs O(tail + touched lists) plus per-merge bookkeeping linear in
@@ -632,6 +646,8 @@ func (l *Live) Append(src, dst tgraph.NodeID, t int64) error {
 // space reclaimed once the evicted prefix reaches half the edge array and
 // a compaction takes the rebuild path. Nodes are retained so NodeIDs stay
 // stable.
+//
+// tglint:writer
 func (l *Live) EvictBefore(t int64) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
@@ -653,6 +669,8 @@ func (l *Live) EvictBefore(t int64) {
 // prefix carried along; once the evicted prefix reaches half the edge
 // array (or before the first compaction) it is a full rebuild instead,
 // which reclaims the evicted space and rebases the floor to zero.
+//
+// tglint:writer
 func (l *Live) Compact() {
 	l.mu.Lock()
 	defer l.mu.Unlock()
@@ -773,6 +791,8 @@ func (l *Live) Stats() LiveStats {
 
 // retainedBytes approximates the storage the view's generation keeps
 // alive. O(nodes + pairs): it walks the tail position lists.
+//
+// tglint:ignore genaccess capacity accounting reads len(tailArr), which is immutable per generation (only the contents are writer-owned)
 func (v genView) retainedBytes() int {
 	g := v.g
 	b := engineRetainedBytes(g.base)

@@ -1,0 +1,33 @@
+package search
+
+// Checked arithmetic for the int32 global position space. Positions are
+// capped at 2^31-1 (Append returns ErrPositionsExhausted before the space
+// can wrap), so any arithmetic that could leave the space must flow through
+// these helpers rather than raw int32 operations — enforced by the
+// poschecked analyzer (cmd/tglint). A wrapped position silently corrupts
+// every posList it lands in; panicking here turns that into a loud bug.
+
+import "math"
+
+// addPos returns a+b, panicking if the sum leaves the int32 position
+// space. Both operands must already be in-space (non-negative).
+//
+// tglint:ignore poschecked this is the checked helper the analyzer points raw arithmetic at
+func addPos(a, b int32) int32 {
+	s := int64(a) + int64(b)
+	if s < 0 || s > math.MaxInt32 {
+		panic("search: position arithmetic overflow (addPos)")
+	}
+	return int32(s)
+}
+
+// pos32 converts an int index to an in-space int32 position, panicking if
+// it does not fit.
+//
+// tglint:ignore poschecked this is the checked helper the analyzer points raw arithmetic at
+func pos32(n int) int32 {
+	if n < 0 || n > math.MaxInt32 {
+		panic("search: position out of int32 space (pos32)")
+	}
+	return int32(n)
+}

@@ -98,12 +98,12 @@ func NewEngine(g *tgraph.Graph) *Engine {
 	e.outOff = make([]int32, n+1)
 	e.inOff = make([]int32, n+1)
 	for _, ed := range edges {
-		e.outOff[ed.Src+1]++
-		e.inOff[ed.Dst+1]++
+		e.outOff[int(ed.Src)+1]++
+		e.inOff[int(ed.Dst)+1]++
 	}
 	for v := 0; v < n; v++ {
-		e.outOff[v+1] += e.outOff[v]
-		e.inOff[v+1] += e.inOff[v]
+		e.outOff[v+1] = addPos(e.outOff[v+1], e.outOff[v])
+		e.inOff[v+1] = addPos(e.inOff[v+1], e.inOff[v])
 	}
 	e.outPos = make([]int32, len(edges))
 	e.inPos = make([]int32, len(edges))
@@ -148,7 +148,7 @@ func (e *Engine) buildDensePairs(edges []tgraph.Edge, cells int) {
 		e.pairOff[e.pairCell(ed)+1]++
 	}
 	for c := 0; c < cells; c++ {
-		e.pairOff[c+1] += e.pairOff[c]
+		e.pairOff[c+1] = addPos(e.pairOff[c+1], e.pairOff[c])
 	}
 	next := append([]int32(nil), e.pairOff[:cells]...)
 	for pos, ed := range edges {
@@ -223,7 +223,7 @@ func (e *Engine) outAt(v tgraph.NodeID) []int32 {
 	if e.outList != nil {
 		return e.outList[v]
 	}
-	return e.outPos[e.outOff[v]:e.outOff[v+1]]
+	return e.outPos[e.outOff[v]:e.outOff[int(v)+1]]
 }
 
 // inAt returns the positions of edges with node v as destination.
@@ -231,7 +231,7 @@ func (e *Engine) inAt(v tgraph.NodeID) []int32 {
 	if e.inList != nil {
 		return e.inList[v]
 	}
-	return e.inPos[e.inOff[v]:e.inOff[v+1]]
+	return e.inPos[e.inOff[v]:e.inOff[int(v)+1]]
 }
 
 // usedSet is an epoch-stamped node set: reset is O(1) (bump the epoch), and

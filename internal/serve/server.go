@@ -135,6 +135,8 @@ type Server struct {
 }
 
 // New returns a Server over cfg.Engine. It panics if Engine is nil.
+//
+// tglint:ignore ctxfirst the server owns its base context; Shutdown cancels it — callers bound request lifetimes per-request, not here
 func New(cfg Config) *Server {
 	if cfg.Engine == nil {
 		panic("serve: Config.Engine is required")
