@@ -42,6 +42,7 @@ func main() {
 	hardBytes := flag.Int("hard-bytes", 0, "hard retained-bytes watermark (0 = off)")
 	hardPolicy := flag.String("hard-policy", "reject", "hard retained-bytes response: reject (429) or evict (drop the oldest slice of the window)")
 	evictFraction := flag.Float64("evict-fraction", 0.25, "fraction of the live time window dropped per evict-on-pressure firing")
+	retryAfter := flag.Duration("retry-after", 0, "cap on the Retry-After hint sent with 429s; shed responses project a shorter hint from observed pressure decay (0 = server default)")
 	grace := flag.Duration("grace", 10*time.Second, "shutdown grace: how long in-flight queries may finish before being cancelled")
 	flag.Parse()
 
@@ -49,7 +50,7 @@ func main() {
 		serve.Watermarks{
 			SoftLagEdges: *softLag, HardLagEdges: *hardLag,
 			SoftRetainedBytes: *softBytes, HardRetainedBytes: *hardBytes,
-			HardPolicy: *hardPolicy, EvictFraction: *evictFraction,
+			HardPolicy: *hardPolicy, EvictFraction: *evictFraction, RetryAfter: *retryAfter,
 		}, *grace); err != nil {
 		fmt.Fprintln(os.Stderr, "tgminerd:", err)
 		os.Exit(1)

@@ -135,7 +135,10 @@ func main() {
 	// parallel; queries answer identically at any shard count). The new
 	// memory accounting shows what the engine retains and whether a slow
 	// reader is pinning old storage (OldestReaderLag counts edges appended
-	// since the oldest running query pinned its snapshot).
+	// since the oldest running query pinned its snapshot). Stats is an
+	// O(1) read — the retained-bytes figure is a counter the writer
+	// maintains incrementally, not a walk over the engine — so polling it
+	// on every batch (as tgminerd's admission control does) costs nothing.
 	st := live.Stats()
 	fmt.Printf("\nengine stats: %d nodes, %d live edges (base %d + tail %d - evicted %d), %d compaction(s) (%d merged)\n",
 		st.Nodes, st.LiveEdges, st.BaseEdges, st.TailLen, st.Floor, st.Compactions, st.Merges)

@@ -27,7 +27,9 @@
 // published through Live.cur; the tail backing array (generation.tailArr)
 // is revealed by an atomic published length (generation.tailN), and each
 // posList's storage (n, arr) follows the same single-writer
-// publish-after-write protocol. Reading or writing that state is legal only
+// publish-after-write protocol, as does the incremental retained-bytes
+// counter (Live.retained) that makes Stats O(1). Reading or writing that
+// state is legal only
 // (a) from a function holding the writer mutex, declared with a
 // `// tglint:writer` annotation that the analyzer verifies against an
 // actual .mu.Lock() acquisition (or against the function being called

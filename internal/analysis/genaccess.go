@@ -18,10 +18,11 @@ import (
 var GenAccess = &Analyzer{
 	Name: "genaccess",
 	Doc: `generation-snapshot access discipline (internal/search):
-writer-owned state (generation.tailArr/tailN, posList.n/arr, Live.cur) is
-only legal from // tglint:writer functions (verified to hold the writer
-mutex, directly or via their callers) or // tglint:snapshot capture
-functions (verified to load a published atomic counter and mutate nothing).`,
+writer-owned state (generation.tailArr/tailN, posList.n/arr, Live.cur,
+Live.retained) is only legal from // tglint:writer functions (verified to
+hold the writer mutex, directly or via their callers) or // tglint:snapshot
+capture functions (verified to load a published atomic counter and mutate
+nothing).`,
 	Run: runGenAccess,
 }
 
@@ -31,7 +32,7 @@ functions (verified to load a published atomic counter and mutate nothing).`,
 var genProtected = map[string]map[string]bool{
 	"generation": {"tailArr": true, "tailN": true},
 	"posList":    {"n": true, "arr": true},
-	"Live":       {"cur": true},
+	"Live":       {"cur": true, "retained": true},
 }
 
 // atomicAPIMethods are the methods through which Live.cur (and the

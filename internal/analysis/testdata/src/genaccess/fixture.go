@@ -18,8 +18,9 @@ type posList struct {
 }
 
 type Live struct {
-	mu  sync.Mutex
-	cur atomic.Pointer[generation]
+	mu       sync.Mutex
+	cur      atomic.Pointer[generation]
+	retained atomic.Int64
 }
 
 // Unannotated functions may not touch protected state at all.
@@ -108,4 +109,28 @@ func leakCur(l *Live) any {
 // tglint:ignore genaccess fixture: capacity accounting over immutable backing storage
 func suppressed(g *generation) int {
 	return cap(g.tailArr)
+}
+
+// Live.retained: the incremental retained-bytes counter is writer-owned
+// like the posList counters — writers fold deltas in under the mutex,
+// snapshot functions may Load it, anything else is flagged.
+
+// tglint:writer
+func (l *Live) account(d int64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.retained.Add(d)
+}
+
+// tglint:snapshot
+func statsCapture(l *Live) int64 {
+	return l.retained.Load()
+}
+
+func rawRetained(l *Live) int64 {
+	return l.retained.Load() // want "touches writer-owned Live.retained"
+}
+
+func bumpRetained(l *Live) {
+	l.retained.Add(1) // want "touches writer-owned Live.retained"
 }

@@ -42,7 +42,7 @@ type ServeLoadCell struct {
 	QPS        float64
 	P50Ms      float64
 	P99Ms      float64
-	HitPct     float64 // result-cache hit rate (hits / lookups)
+	HitPct     float64 // result-cache hit rate, as reported by /v1/statsz
 }
 
 // ServeLoadResult is the tgminerd serving-tier exhibit: per K×M cell, query
@@ -261,9 +261,7 @@ func serveLoadCell(ctx context.Context, producers, consumers int, cache, idle bo
 	if err := json.NewDecoder(resp.Body).Decode(&stz); err != nil {
 		return nil, err
 	}
-	if lookups := stz.Server.CacheHits + stz.Server.CacheMisses; lookups > 0 {
-		cell.HitPct = float64(stz.Server.CacheHits) / float64(lookups)
-	}
+	cell.HitPct = stz.Server.CacheHitRate
 	return cell, nil
 }
 

@@ -101,6 +101,47 @@ func BenchmarkLiveCompact(b *testing.B) {
 	}
 }
 
+// BenchmarkLiveStats pins the O(1) Stats read path against the O(nodes +
+// pairs) retained-bytes walk it replaced, over a node-count sweep. The
+// "stats" series must stay flat from 1e3 to 1e6 nodes (an atomic counter
+// load plus a snapshot capture, independent of engine size), while the
+// "walk" series — the recomputation the differential tests still run, and
+// what every Stats call used to cost — grows linearly. This is what makes
+// per-batch exact admission control in tgminerd affordable. Recorded in
+// BENCH_PR10.json.
+func BenchmarkLiveStats(b *testing.B) {
+	for _, n := range []int{1e3, 1e4, 1e5, 1e6} {
+		l := NewLive(LiveOptions{CompactEvery: -1})
+		nodes := make([]tgraph.NodeID, n)
+		for i := range nodes {
+			nodes[i] = l.AddNode(tgraph.Label(i % 4))
+		}
+		for i := 0; i < n; i++ {
+			if err := l.Append(nodes[i], nodes[(i+1)%n], int64(i)+1); err != nil {
+				b.Fatal(err)
+			}
+		}
+		l.Compact()
+		b.Run(fmt.Sprintf("stats/nodes=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if st := l.Stats(); st.Nodes != n {
+					b.Fatal("wrong node count")
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("walk/nodes=%d", n), func(b *testing.B) {
+			v := l.snap()
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if v.retainedBytes() <= 0 {
+					b.Fatal("empty walk")
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkConstrainedTemporal measures what the compiled guards buy over
 // match-then-filter. The host is a set of hubs: one proc->file anchor edge,
 // then a wide fan of file->sock continuations spread over time, of which a

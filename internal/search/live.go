@@ -118,18 +118,25 @@ type posList struct {
 	arr atomic.Pointer[[]int32] // backing array (len == cap), grown by doubling
 }
 
-// push appends one position. Writer-exclusive (callers hold the Live
-// writer mutex).
+// push appends one position and returns the bytes newly retained by any
+// backing-array growth (0 in the no-grow common case); the caller folds the
+// delta into the engine's incremental retained-bytes counter so Stats never
+// has to re-walk the lists. Writer-exclusive (callers hold the Live writer
+// mutex).
 //
 // tglint:writer
-func (p *posList) push(pos int32) {
+func (p *posList) push(pos int32) int {
 	n := int(p.n.Load())
 	cur := p.arr.Load()
+	grownBytes := 0
 	if cur == nil || n == len(*cur) {
 		newCap := 4
+		oldCap := 0
 		if cur != nil {
-			newCap = 2 * len(*cur)
+			oldCap = len(*cur)
+			newCap = 2 * oldCap
 		}
+		grownBytes = 4 * (newCap - oldCap)
 		grown := make([]int32, newCap)
 		if cur != nil {
 			copy(grown, *cur)
@@ -140,6 +147,7 @@ func (p *posList) push(pos int32) {
 		(*cur)[n] = pos
 	}
 	p.n.Store(pos32(n + 1))
+	return grownBytes
 }
 
 // view returns a consistent prefix of the list. Safe to call concurrently
@@ -467,6 +475,16 @@ type Live struct {
 
 	cur atomic.Pointer[generation]
 
+	// retained is the incrementally maintained retained-bytes counter:
+	// every mutation folds its exact storage delta in (posList/tail-array
+	// growth, node additions) and every compaction rebases it to a full
+	// walk of the new generation, so Stats reads it in O(1). Writer-owned:
+	// mutated only under mu; readers Load it. It tracks the engine's
+	// current storage — the same live-capacity accounting the walk
+	// (genView.retainedBytes) performs — and the differential stats suite
+	// pins the two equal after every mutation.
+	retained atomic.Int64
+
 	readers readerSlots // in-flight query accounting for Stats
 
 	used sync.Pool // *usedSet per-query scratch
@@ -510,8 +528,14 @@ func (l *Live) AddNode(label tgraph.Label) tgraph.NodeID {
 	ng.lastTime = g.view().lastTime()
 	ng.tailN = freshCounter(g.tailN.Load())
 	l.cur.Store(&ng)
+	l.retained.Add(nodeStatsBytes)
 	return tgraph.NodeID(len(ng.labels) - 1)
 }
+
+// nodeStatsBytes is the storage delta of one AddNode: a 4-byte label plus
+// one pointer slot in each of tailOut and tailIn (the fresh posLists hold no
+// backing array yet, so they count 0 until their first push grows one).
+const nodeStatsBytes = 4 + 2*ptrBytes
 
 // minTailCap sizes the first tail backing array; growth doubles from there
 // and compaction seeds the next cycle's array at the steady-state size.
@@ -561,7 +585,7 @@ func (l *Live) Append(src, dst tgraph.NodeID, t int64) error {
 		// CompactEvery < 0 for 2^31 appends).
 		if g.floor > 0 {
 			g = rebuildGen(v)
-			l.cur.Store(g)
+			l.publishCompacted(g)
 			v = g.view()
 		}
 		if int64(g.baseEdges)+int64(len(v.tail)) >= math.MaxInt32 {
@@ -587,6 +611,7 @@ func (l *Live) Append(src, dst tgraph.NodeID, t int64) error {
 			arr := make([]tgraph.Edge, newCap)
 			copy(arr, v.tail)
 			ng.tailArr = arr
+			l.retained.Add(int64(edgeBytes * (newCap - len(g.tailArr))))
 		}
 		if pl == nil {
 			// First edge with this label pair: copy-on-write the map so
@@ -609,9 +634,12 @@ func (l *Live) Append(src, dst tgraph.NodeID, t int64) error {
 	// position is beyond every published end, so concurrent readers skip
 	// it until the store below.
 	g.tailArr[n] = tgraph.Edge{Src: src, Dst: dst, Time: t}
-	g.tailOut[src].push(pos)
-	g.tailIn[dst].push(pos)
-	pl.push(pos)
+	grown := g.tailOut[src].push(pos)
+	grown += g.tailIn[dst].push(pos)
+	grown += pl.push(pos)
+	if grown != 0 {
+		l.retained.Add(int64(grown))
+	}
 	g.tailN.Store(addPos(n, 1))
 
 	// Automatic compaction schedule. The incremental merge (merge.go)
@@ -632,10 +660,10 @@ func (l *Live) Append(src, dst tgraph.NodeID, t int64) error {
 		switch {
 		case canMerge(nv) && !l.opts.disableMerge:
 			if 8*len(nv.tail) >= len(g.labels)+len(g.base.pairExt) {
-				l.cur.Store(mergeGen(nv))
+				l.publishCompacted(mergeGen(nv))
 			}
 		case int64(len(nv.tail))*2 >= int64(g.baseEdges)-int64(g.floor):
-			l.cur.Store(rebuildGen(nv))
+			l.publishCompacted(rebuildGen(nv))
 		}
 	}
 	return nil
@@ -675,7 +703,21 @@ func (l *Live) Compact() {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	v := l.snap() // writer-exact under the mutex
-	l.cur.Store(compactGen(l.opts, v))
+	l.publishCompacted(compactGen(l.opts, v))
+}
+
+// publishCompacted publishes a freshly compacted (or rebuilt) generation
+// and rebases the incremental retained-bytes counter to an exact walk of
+// the new generation's storage. Compaction already does work linear in the
+// folded tail (and, for rebuilds, the live set), so the O(nodes + pairs)
+// walk does not change its complexity — and rebasing here keeps the
+// incremental deltas drift-free across storage handoffs. Caller holds the
+// writer mutex.
+//
+// tglint:writer
+func (l *Live) publishCompacted(ng *generation) {
+	l.cur.Store(ng)
+	l.retained.Store(int64(ng.view().retainedBytes()))
 }
 
 // compactGen picks the compaction strategy for a view: the incremental
@@ -722,6 +764,14 @@ func (l *Live) Snapshot() *Engine {
 // what the compactor has been doing, and how much storage the engine (and
 // any slow readers) retain. All counts are edges unless stated otherwise.
 //
+// Every field is O(1) to produce. Nodes through LastCompactTail are carried
+// by (or derived from) the pinned generation view; RetainedBytes is the
+// writer-maintained incremental counter (every mutation folds its storage
+// delta in, every compaction rebases it to an exact walk); only
+// ActiveReaders and OldestReaderLag are derived from the fixed-size reader
+// table rather than the view. Stats is therefore cheap enough to read per
+// batch — tgminerd's admission control does exactly that.
+//
 // The JSON field names are a stable wire contract shared by tgminerd's
 // /v1/statsz endpoint and examples/monitor; renaming one is a breaking
 // protocol change (TestLiveStatsJSONRoundTrip pins the set).
@@ -738,11 +788,14 @@ type LiveStats struct {
 	Merges          int `json:"merges"`          // of which took the incremental merge path (the rest were reclaiming rebuilds)
 	LastCompactTail int `json:"lastCompactTail"` // tail edges folded by the most recent compaction
 
-	// RetainedBytes approximates the bytes of storage the current
-	// generation keeps alive: base edge array and CSR indexes, node
-	// labels, tail backing array, and tail position lists. Readers
-	// pinning older generations retain their (pre-compaction) storage on
-	// top of this; watch OldestReaderLag for that.
+	// RetainedBytes approximates the bytes of storage the engine currently
+	// keeps alive: base edge array and CSR indexes, node labels, tail
+	// backing array, and tail position lists. Maintained incrementally by
+	// writers (O(1) to read); under concurrent ingest it may run a
+	// mutation ahead of the pinned view, exactly as the old recomputed
+	// walk did (list capacities were always read live). Readers pinning
+	// older generations retain their (pre-compaction) storage on top of
+	// this; watch OldestReaderLag for that.
 	RetainedBytes int `json:"retainedBytes"`
 	// ActiveReaders counts queries currently running against some view of
 	// this engine (a stream counts until its consumer finishes). Best
@@ -756,8 +809,12 @@ type LiveStats struct {
 }
 
 // Stats reports the current view's retention and compaction state. Lock
-// free; the fields are mutually consistent (one view). O(nodes) for the
-// retained-bytes walk, so call it at operator cadence, not per append.
+// free and O(1): the view-derived fields are mutually consistent (one
+// view), RetainedBytes reads the writer-maintained incremental counter,
+// and the reader fields scan the fixed-size reader table. Cheap enough to
+// call per append or per admission decision.
+//
+// tglint:snapshot
 func (l *Live) Stats() LiveStats {
 	v := l.snap()
 	g := v.g
@@ -783,14 +840,18 @@ func (l *Live) Stats() LiveStats {
 		Compactions:     g.compactions,
 		Merges:          g.merges,
 		LastCompactTail: g.lastCompactTail,
-		RetainedBytes:   v.retainedBytes(),
+		RetainedBytes:   int(l.retained.Load()),
 		ActiveReaders:   readers,
 		OldestReaderLag: lag,
 	}
 }
 
 // retainedBytes approximates the storage the view's generation keeps
-// alive. O(nodes + pairs): it walks the tail position lists.
+// alive. O(nodes + pairs): it walks the tail position lists. This is the
+// reference accounting for Live.retained: compaction rebases the
+// incremental counter to this walk, and the stats differential suite pins
+// the counter byte-equal to it after every mutation — Stats itself never
+// calls it.
 //
 // tglint:ignore genaccess capacity accounting reads len(tailArr), which is immutable per generation (only the contents are writer-owned)
 func (v genView) retainedBytes() int {

@@ -207,6 +207,8 @@ func (l *ShardedLive) ShardStats() []LiveStats {
 // RetainedBytes honestly includes that); Nodes is the global node count,
 // LastTime the global maximum. ActiveReaders and OldestReaderLag take the
 // per-shard MAXIMUM, since one cross-shard query registers on every shard.
+// O(shards): per-shard Stats is O(1), so aggregation is cheap enough to
+// run on every ingest batch (tgminerd's admission control does).
 func (l *ShardedLive) Stats() LiveStats {
 	var agg LiveStats
 	agg.FirstTime = -1

@@ -1,0 +1,200 @@
+package search
+
+// Differential suite for the incrementally maintained LiveStats counters:
+// after every mutation, the writer-owned retained-bytes counter (and the
+// view-derived stat fields) must byte-equal an independent recomputation —
+// the O(nodes + pairs) walk Stats used to perform on every call. The
+// adversarial scripts and random interleavings reuse the merge-test
+// machinery, so the counter is pinned across evictions, AddNodes straddling
+// compactions, forced rebuilds, and posList/tail-array growth.
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"tgminer/internal/tgraph"
+)
+
+// verifyStatsCounters compares Stats() against independent recomputations
+// on a quiescent engine: the retained-bytes counter against the reference
+// walk, and the edge-derived fields against a full edge iteration.
+func verifyStatsCounters(l *Live) error {
+	st := l.Stats()
+	v := l.snap()
+	if walk := v.retainedBytes(); st.RetainedBytes != walk {
+		return fmt.Errorf("RetainedBytes counter %d != recomputed walk %d", st.RetainedBytes, walk)
+	}
+	first, edges := int64(-1), 0
+	v.forEachEdge(func(e tgraph.Edge) bool {
+		if edges == 0 {
+			first = e.Time
+		}
+		edges++
+		return true
+	})
+	if st.LiveEdges != edges {
+		return fmt.Errorf("LiveEdges %d != recounted %d", st.LiveEdges, edges)
+	}
+	if st.FirstTime != first {
+		return fmt.Errorf("FirstTime %d != recomputed %d", st.FirstTime, first)
+	}
+	if st.Nodes != len(v.g.labels) {
+		return fmt.Errorf("Nodes %d != %d", st.Nodes, len(v.g.labels))
+	}
+	if want := st.BaseEdges + st.TailLen - st.Floor; st.LiveEdges != want {
+		return fmt.Errorf("LiveEdges %d != BaseEdges+TailLen-Floor %d", st.LiveEdges, want)
+	}
+	return nil
+}
+
+// TestLiveStatsCountersMatchWalk replays the deterministic adversarial
+// scripts (evict-everything, double compaction, AddNode straddling
+// compactions, evict-into-tail) into merge-compacting and rebuild-only
+// engines, checking counter == walk after every single op.
+func TestLiveStatsCountersMatchWalk(t *testing.T) {
+	for _, sc := range adversarialScripts() {
+		t.Run(sc.name, func(t *testing.T) {
+			for _, disableMerge := range []bool{false, true} {
+				l := NewLive(LiveOptions{CompactEvery: -1, disableMerge: disableMerge})
+				for i, op := range sc.ops {
+					replayOp(t, l, op)
+					if err := verifyStatsCounters(l); err != nil {
+						t.Fatalf("op %d (disableMerge=%v): %v", i, disableMerge, err)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestLiveStatsCountersMatchWalkRandom is the property form: random
+// append/addnode/evict/compact interleavings at several automatic
+// compaction cadences — including CompactEvery: -1, which grows the tail
+// array and the per-node posLists through many doublings — with
+// counter == walk asserted after every op.
+func TestLiveStatsCountersMatchWalkRandom(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		compactEvery := []int{-1, 2, 5, 16}[rng.Intn(4)]
+		l := NewLive(LiveOptions{CompactEvery: compactEvery, disableMerge: rng.Intn(4) == 0})
+		nodes := 0
+		tm := int64(0)
+		for i := 0; i < 3; i++ {
+			l.AddNode(tgraph.Label(rng.Intn(3)))
+			nodes++
+		}
+		for step := 0; step < 160; step++ {
+			switch r := rng.Intn(100); {
+			case r < 4:
+				l.AddNode(tgraph.Label(rng.Intn(3)))
+				nodes++
+			case r < 8:
+				// Evict a random slice of the window (sometimes everything).
+				l.EvictBefore(1 + rng.Int63n(tm+1))
+			case r < 12:
+				l.Compact()
+			default:
+				tm++
+				if err := l.Append(tgraph.NodeID(rng.Intn(nodes)), tgraph.NodeID(rng.Intn(nodes)), tm); err != nil {
+					t.Fatalf("seed %d step %d: %v", seed, step, err)
+				}
+			}
+			if err := verifyStatsCounters(l); err != nil {
+				t.Errorf("seed %d step %d (compactEvery=%d): %v", seed, step, compactEvery, err)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestShardedStatsCountersMatchWalk drives a sharded engine through random
+// mutations and checks every shard's counter against its own walk, plus the
+// aggregate RetainedBytes against the per-shard sum.
+func TestShardedStatsCountersMatchWalk(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	l := NewSharded(LiveOptions{CompactEvery: 4, Shards: 3})
+	nodes := 0
+	for i := 0; i < 4; i++ {
+		l.AddNode(tgraph.Label(rng.Intn(3)))
+		nodes++
+	}
+	tm := int64(0)
+	for step := 0; step < 400; step++ {
+		switch r := rng.Intn(100); {
+		case r < 3:
+			l.AddNode(tgraph.Label(rng.Intn(3)))
+			nodes++
+		case r < 6:
+			l.EvictBefore(1 + rng.Int63n(tm+1))
+		case r < 9:
+			l.Compact()
+		default:
+			tm++
+			if err := l.Append(tgraph.NodeID(rng.Intn(nodes)), tgraph.NodeID(rng.Intn(nodes)), tm); err != nil {
+				t.Fatalf("step %d: %v", step, err)
+			}
+		}
+		sum := 0
+		for si, sh := range l.shards {
+			if err := verifyStatsCounters(sh); err != nil {
+				t.Fatalf("step %d shard %d: %v", step, si, err)
+			}
+			sum += sh.Stats().RetainedBytes
+		}
+		if agg := l.Stats().RetainedBytes; agg != sum {
+			t.Fatalf("step %d: aggregate RetainedBytes %d != per-shard sum %d", step, agg, sum)
+		}
+	}
+}
+
+// TestLiveStatsConcurrentReads hammers Stats from readers while a writer
+// appends, evicts, and compacts. Run under -race this pins the O(1) Stats
+// read path (atomic counter load + view capture) data-race free; the final
+// quiescent check pins that the concurrent traffic left no drift.
+func TestLiveStatsConcurrentReads(t *testing.T) {
+	l := NewLive(LiveOptions{CompactEvery: 64})
+	for i := 0; i < 8; i++ {
+		l.AddNode(tgraph.Label(i % 3))
+	}
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	for r := 0; r < 2; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-done:
+					return
+				default:
+					st := l.Stats()
+					if st.RetainedBytes < 0 {
+						t.Error("negative RetainedBytes")
+						return
+					}
+				}
+			}
+		}()
+	}
+	rng := rand.New(rand.NewSource(11))
+	for tm := int64(1); tm <= 4000; tm++ {
+		if err := l.Append(tgraph.NodeID(rng.Intn(8)), tgraph.NodeID(rng.Intn(8)), tm); err != nil {
+			t.Fatal(err)
+		}
+		if tm%512 == 0 {
+			l.EvictBefore(tm - 256)
+		}
+	}
+	close(done)
+	wg.Wait()
+	if err := verifyStatsCounters(l); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -2,7 +2,6 @@ package serve
 
 import (
 	"fmt"
-	"sync"
 	"time"
 
 	"tgminer"
@@ -13,6 +12,12 @@ import (
 // RetainedBytes accounting instead of just exposing it. Every threshold is
 // evaluated per shard (the max across shards), because one pinned reader or
 // one hot shard is exactly the failure mode the accounting exists to catch.
+//
+// Admission is exact and per batch: engine stats are O(1) incremental
+// counters, so every /v1/events batch takes a fresh per-shard pressure
+// reading before it is admitted. There is no sampling interval and no
+// staleness window — once a hard watermark is truly crossed, the very next
+// batch sees it.
 //
 // Crossing a soft watermark sheds writers: ingest batches get 429 with a
 // Retry-After hint while queries keep answering, giving the slow reader (or
@@ -37,12 +42,14 @@ type Watermarks struct {
 	// evicted per firing (default 0.25).
 	EvictFraction float64
 
-	// RetryAfter is the backoff hint attached to 429 responses (default 1s).
+	// RetryAfter caps the backoff hint attached to 429 responses (default
+	// 1s). The hint itself is derived from observed pressure decay: when
+	// consecutive admission decisions see the tripped signal falling, the
+	// hint is the projected time until it drops below its watermark,
+	// clamped to [minRetryHint, RetryAfter]. When pressure is flat,
+	// rising, or this is the first reading — no decay to extrapolate —
+	// the full RetryAfter is returned (the conservative constant hint).
 	RetryAfter time.Duration
-	// SampleInterval bounds how often admission control recomputes engine
-	// stats (the walk is O(nodes) per shard — too hot for per-batch
-	// evaluation). Default 25ms; pressure decisions may be that stale.
-	SampleInterval time.Duration
 }
 
 func (w Watermarks) normalize() Watermarks {
@@ -55,15 +62,39 @@ func (w Watermarks) normalize() Watermarks {
 	if w.RetryAfter <= 0 {
 		w.RetryAfter = time.Second
 	}
-	if w.SampleInterval <= 0 {
-		w.SampleInterval = 25 * time.Millisecond
-	}
 	return w
 }
 
 // enabled reports whether any watermark is configured.
 func (w Watermarks) enabled() bool {
 	return w.SoftLagEdges > 0 || w.HardLagEdges > 0 || w.SoftRetainedBytes > 0 || w.HardRetainedBytes > 0
+}
+
+// minRetryHint floors the decay-derived Retry-After so a shed producer
+// never busy-spins against the server even when pressure is draining fast.
+const minRetryHint = 10 * time.Millisecond
+
+// retryHint projects how long a shed producer should back off before the
+// tripped signal (current value cur, watermark mark) drops below its
+// watermark, given the previous reading prev observed dt ago. Pressure
+// decaying at r units/sec clears the overshoot in (cur-mark+1)/r seconds;
+// that projection is clamped to [minRetryHint, RetryAfter]. Flat or rising
+// pressure (and a missing previous reading, dt <= 0) yields the full
+// RetryAfter: there is no drain rate to extrapolate, so the conservative
+// constant applies.
+func (w Watermarks) retryHint(cur, mark, prev int, dt time.Duration) time.Duration {
+	if dt <= 0 || prev <= cur {
+		return w.RetryAfter
+	}
+	rate := float64(prev-cur) / dt.Seconds()
+	hint := time.Duration(float64(cur-mark+1) / rate * float64(time.Second))
+	if hint < minRetryHint {
+		hint = minRetryHint
+	}
+	if hint > w.RetryAfter {
+		hint = w.RetryAfter
+	}
+	return hint
 }
 
 // pressureSample is one admission-control reading: per-shard maxima of the
@@ -75,42 +106,13 @@ type pressureSample struct {
 	lastTime  int64
 }
 
-// sampler caches pressure readings for SampleInterval, serializing the
-// stats walk so a burst of ingest batches pays for one reading, not one
-// each.
-type sampler struct {
-	eng      *tgminer.LiveEngine
-	interval time.Duration
-
-	mu     sync.Mutex
-	at     time.Time
-	sample pressureSample
-}
-
-// get returns a pressure reading at most interval old.
-func (s *sampler) get() pressureSample {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if now := time.Now(); s.at.IsZero() || now.Sub(s.at) >= s.interval {
-		s.sample = s.read()
-		s.at = now
-	}
-	return s.sample
-}
-
-// refresh forces a fresh reading (used right after an evict-on-pressure so
-// the admission decision sees the relief).
-func (s *sampler) refresh() pressureSample {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.sample = s.read()
-	s.at = time.Now()
-	return s.sample
-}
-
-func (s *sampler) read() pressureSample {
+// readPressure takes one exact pressure reading. O(shards): per-shard
+// Stats is an O(1) read of the engine's incremental counters, which is
+// what lets admission re-evaluate on every batch instead of caching a
+// 25ms-stale sample.
+func readPressure(eng *tgminer.LiveEngine) pressureSample {
 	out := pressureSample{firstTime: -1, lastTime: -1}
-	for _, st := range s.eng.ShardStats() {
+	for _, st := range eng.ShardStats() {
 		if st.OldestReaderLag > out.maxLag {
 			out.maxLag = st.OldestReaderLag
 		}
@@ -127,16 +129,19 @@ func (s *sampler) read() pressureSample {
 	return out
 }
 
-// admit runs the admission decision for one ingest batch. It returns
-// evictedBefore != nil when the evict-on-pressure policy fired (the batch
-// is then admitted), and err != nil when the batch must be shed with 429;
-// the error text names the signal and shard-maximum that tripped.
-func (s *Server) admit() (evictedBefore *int64, err error) {
+// admit runs the admission decision for one ingest batch against a fresh
+// pressure reading. It returns evictedBefore != nil when the
+// evict-on-pressure policy fired (the batch is then admitted), and
+// err != nil when the batch must be shed with 429 — retry is then the
+// decay-derived Retry-After hint and the error text names the signal and
+// shard-maximum that tripped. Each decision also records its reading so
+// the next shed can estimate the drain rate.
+func (s *Server) admit() (evictedBefore *int64, retry time.Duration, err error) {
 	w := s.cfg.Watermarks
 	if !w.enabled() {
-		return nil, nil
+		return nil, 0, nil
 	}
-	p := s.sampler.get()
+	p := readPressure(s.eng)
 	if w.HardRetainedBytes > 0 && p.maxBytes >= w.HardRetainedBytes && w.HardPolicy == "evict" {
 		// Evict the oldest fraction of the live window. EvictBefore only
 		// advances a floor; the bytes come back once a compaction reclaims
@@ -154,19 +159,40 @@ func (s *Server) admit() (evictedBefore *int64, err error) {
 			s.eng.EvictBefore(cut)
 			s.pressureEvictions.Add(1)
 			evictedBefore = &cut
-			p = s.sampler.refresh()
+			p = readPressure(s.eng)
 		}
 	}
+
+	// Swap this reading in as the decay baseline and recover the previous
+	// one: a shed below extrapolates the drain rate from (prev -> p).
+	now := time.Now()
+	s.pressMu.Lock()
+	prev, prevAt := s.prevPress, s.prevPressAt
+	s.prevPress, s.prevPressAt = p, now
+	s.pressMu.Unlock()
+	dt := time.Duration(0)
+	if !prevAt.IsZero() {
+		dt = now.Sub(prevAt)
+	}
+
 	evicted := evictedBefore != nil
 	switch {
 	case w.HardLagEdges > 0 && p.maxLag >= w.HardLagEdges:
+		s.shedHardLag.Add(1)
+		retry = w.retryHint(p.maxLag, w.HardLagEdges, prev.maxLag, dt)
 		err = fmt.Errorf("backpressure (hard): a reader is %d edges behind (watermark %d); evicting cannot unpin it — retry later", p.maxLag, w.HardLagEdges)
 	case !evicted && w.HardRetainedBytes > 0 && p.maxBytes >= w.HardRetainedBytes:
+		s.shedHardBytes.Add(1)
+		retry = w.retryHint(p.maxBytes, w.HardRetainedBytes, prev.maxBytes, dt)
 		err = fmt.Errorf("backpressure (hard): a shard retains %d bytes (watermark %d)", p.maxBytes, w.HardRetainedBytes)
 	case w.SoftLagEdges > 0 && p.maxLag >= w.SoftLagEdges:
+		s.shedSoftLag.Add(1)
+		retry = w.retryHint(p.maxLag, w.SoftLagEdges, prev.maxLag, dt)
 		err = fmt.Errorf("backpressure: a reader is %d edges behind (watermark %d)", p.maxLag, w.SoftLagEdges)
 	case !evicted && w.SoftRetainedBytes > 0 && p.maxBytes >= w.SoftRetainedBytes:
+		s.shedSoftBytes.Add(1)
+		retry = w.retryHint(p.maxBytes, w.SoftRetainedBytes, prev.maxBytes, dt)
 		err = fmt.Errorf("backpressure: a shard retains %d bytes (watermark %d)", p.maxBytes, w.SoftRetainedBytes)
 	}
-	return evictedBefore, err
+	return evictedBefore, retry, err
 }

@@ -1,0 +1,110 @@
+package serve
+
+// Hand-rolled NDJSON encoding for the query streaming hot path. Every match
+// a query streams used to pay json.Encoder's reflection and buffer
+// allocations; at "millions of users" fan-out that is the dominant per-match
+// serving cost. lineWriter appends MatchRecord / QueryDone lines into one
+// pooled buffer reused across all lines of a request, so the steady-state
+// per-match cost is zero allocations.
+//
+// The output is byte-identical to encoding/json for these two types —
+// including field order, bool/int formatting, omitempty, and string
+// escaping — because the serve differential tests (and any cached client)
+// compare bodies byte-for-byte against json.Marshal renderings.
+// TestNDJSONMatchesStdlib pins the equivalence.
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strconv"
+	"sync"
+)
+
+// lineBufPool holds per-request line buffers. A MatchRecord line is ~40
+// bytes; QueryDone with a cut string maybe 120 — 256 covers the common case
+// without a grow, and a grown buffer is retained for the next request.
+var lineBufPool = sync.Pool{New: func() any { b := make([]byte, 0, 256); return &b }}
+
+// lineWriter streams NDJSON lines to w, flushing each so consumers see
+// matches as the search finds them rather than at buffer boundaries.
+// Not safe for concurrent use; release() returns the buffer to the pool.
+type lineWriter struct {
+	w   io.Writer
+	fl  http.Flusher
+	buf *[]byte
+}
+
+func newLineWriter(w io.Writer) lineWriter {
+	fl, _ := w.(http.Flusher)
+	return lineWriter{w: w, fl: fl, buf: lineBufPool.Get().(*[]byte)}
+}
+
+func (lw *lineWriter) release() { lineBufPool.Put(lw.buf) }
+
+func (lw *lineWriter) line(b []byte) error {
+	*lw.buf = b // keep any growth for the request's next line
+	if _, err := lw.w.Write(b); err != nil {
+		return err
+	}
+	if lw.fl != nil {
+		lw.fl.Flush()
+	}
+	return nil
+}
+
+func (lw *lineWriter) writeMatch(m MatchRecord) error {
+	return lw.line(appendMatchRecord((*lw.buf)[:0], m))
+}
+
+func (lw *lineWriter) writeDone(d QueryDone) error {
+	return lw.line(appendQueryDone((*lw.buf)[:0], d))
+}
+
+func appendMatchRecord(b []byte, m MatchRecord) []byte {
+	b = append(b, `{"start":`...)
+	b = strconv.AppendInt(b, m.Start, 10)
+	b = append(b, `,"end":`...)
+	b = strconv.AppendInt(b, m.End, 10)
+	return append(b, '}', '\n')
+}
+
+func appendQueryDone(b []byte, d QueryDone) []byte {
+	b = append(b, `{"done":`...)
+	b = strconv.AppendBool(b, d.Done)
+	b = append(b, `,"matches":`...)
+	b = strconv.AppendInt(b, int64(d.Matches), 10)
+	b = append(b, `,"truncated":`...)
+	b = strconv.AppendBool(b, d.Truncated)
+	b = append(b, `,"cached":`...)
+	b = strconv.AppendBool(b, d.Cached)
+	if d.Cut != "" {
+		b = append(b, `,"cut":`...)
+		b = appendJSONString(b, d.Cut)
+	}
+	if d.Error != "" {
+		b = append(b, `,"error":`...)
+		b = appendJSONString(b, d.Error)
+	}
+	return append(b, '}', '\n')
+}
+
+// appendJSONString appends s as a JSON string, byte-identical to
+// encoding/json: plain ASCII needing no escapes (this covers every cut
+// string — base-36 digits, '.', '/') appends directly; anything needing
+// escaping — quotes, backslashes, control bytes, DEL, non-ASCII, or the
+// HTML-escaped < > & — falls back to json.Marshal, inheriting its exact
+// escape table (short \n forms, \u00XX control bytes, U+2028/U+2029,
+// invalid-UTF-8 replacement). The fallback allocates, but only error
+// messages ever take it.
+func appendJSONString(b []byte, s string) []byte {
+	for i := 0; i < len(s); i++ {
+		if c := s[i]; c < 0x20 || c >= 0x7f || c == '"' || c == '\\' || c == '<' || c == '>' || c == '&' {
+			j, _ := json.Marshal(s) // a string value cannot fail to marshal
+			return append(b, j...)
+		}
+	}
+	b = append(b, '"')
+	b = append(b, s...)
+	return append(b, '"')
+}

@@ -1,0 +1,173 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"math/rand"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestNDJSONMatchesStdlib pins the hand-rolled streaming encoder
+// byte-identical to encoding/json for both NDJSON line types, across
+// omitempty combinations and adversarial strings (escapes, HTML characters,
+// U+2028/U+2029, invalid UTF-8). The serve differential tests compare whole
+// HTTP bodies against json.Marshal renderings, so any divergence here would
+// break byte-identity of served answers.
+func TestNDJSONMatchesStdlib(t *testing.T) {
+	stdline := func(v any) string {
+		j, err := json.Marshal(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(j) + "\n"
+	}
+
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 200; i++ {
+		m := MatchRecord{Start: rng.Int63() - rng.Int63(), End: rng.Int63() - rng.Int63()}
+		if got, want := string(appendMatchRecord(nil, m)), stdline(m); got != want {
+			t.Fatalf("MatchRecord %+v: got %q, want %q", m, got, want)
+		}
+	}
+
+	strs := []string{
+		"",
+		"plain ascii",
+		"a1.2f.0/b3.0.7",                // a generation-cut string
+		`quo"te and back\slash`,         // short-form escapes
+		"tab\tand\nnewline\rand more",   // control characters with short forms
+		"\x00\x01\x1f",                  // control characters without
+		"html <b>&</b> escapes",         // encoding/json's HTML escaping
+		"  line   separator",            // the JS-hostile separators
+		"héllo 世界",                      // multibyte UTF-8
+		"\x7f del",                      // DEL passes through stdlib unescaped
+		string([]byte{0xff, 0xfe, 'x'}), // invalid UTF-8 -> replacement rune
+		strings.Repeat("long plain string. ", 40), // beyond the pooled buffer's 256 bytes
+		strings.Repeat("long \"escaped\" string. ", 40) + "<>&",
+	}
+	for _, cut := range []string{"", "1.0.2f/0.0.3e"} {
+		for _, errStr := range strs {
+			for _, done := range []bool{false, true} {
+				d := QueryDone{
+					Done: done, Matches: rng.Intn(1 << 20), Truncated: rng.Intn(2) == 0,
+					Cached: rng.Intn(2) == 0, Cut: cut, Error: errStr,
+				}
+				if got, want := string(appendQueryDone(nil, d)), stdline(d); got != want {
+					t.Fatalf("QueryDone %+v: got %q, want %q", d, got, want)
+				}
+			}
+		}
+	}
+
+	// The pooled writer produces the same bytes through its buffer-reuse
+	// path, across lines that grow and shrink.
+	var sink bytes.Buffer
+	lw := newLineWriter(&sink)
+	defer lw.release()
+	var want strings.Builder
+	for i := 0; i < 50; i++ {
+		m := MatchRecord{Start: int64(i), End: int64(i + 1)}
+		if err := lw.writeMatch(m); err != nil {
+			t.Fatal(err)
+		}
+		want.WriteString(stdline(m))
+		d := QueryDone{Done: i%2 == 0, Matches: i, Error: strs[i%len(strs)]}
+		if err := lw.writeDone(d); err != nil {
+			t.Fatal(err)
+		}
+		want.WriteString(stdline(d))
+	}
+	if sink.String() != want.String() {
+		t.Fatal("lineWriter stream diverged from stdlib rendering")
+	}
+}
+
+// TestRetryHintFromDecay unit-tests the decay-derived Retry-After
+// projection: decaying pressure yields the time to drop below the
+// watermark, clamped both ways; flat, rising, or first-reading pressure
+// yields the configured constant.
+func TestRetryHintFromDecay(t *testing.T) {
+	w := Watermarks{RetryAfter: time.Second}
+	cases := []struct {
+		name            string
+		cur, mark, prev int
+		dt              time.Duration
+		want            time.Duration
+	}{
+		{"decaying", 150, 100, 250, time.Second, 510 * time.Millisecond}, // 100/s drain, 51 over
+		{"fast-decay-clamps-to-floor", 100, 100, 10100, time.Second, minRetryHint},
+		{"slow-decay-clamps-to-cap", 1000, 100, 1001, time.Second, time.Second},
+		{"rising", 150, 100, 50, time.Second, time.Second},
+		{"flat", 150, 100, 150, time.Second, time.Second},
+		{"no-previous-reading", 150, 100, 0, 0, time.Second},
+	}
+	for _, c := range cases {
+		if got := w.retryHint(c.cur, c.mark, c.prev, c.dt); got != c.want {
+			t.Errorf("%s: retryHint(%d,%d,%d,%v) = %v, want %v", c.name, c.cur, c.mark, c.prev, c.dt, got, c.want)
+		}
+	}
+}
+
+// TestServeHardWatermarkRejectsNextBatch is the no-staleness-window
+// acceptance check: once a batch truly crosses a hard watermark, the very
+// next batch — and every one after it — is rejected. Before PR 10 a 25ms
+// sampler window could admit an arbitrary number of batches after a hard
+// crossing; admission now takes an exact O(shards) pressure reading per
+// batch, so this test needs (and tolerates) no sleeps or interval knobs.
+func TestServeHardWatermarkRejectsNextBatch(t *testing.T) {
+	_, ts, _ := newTestServer(t, 1, Watermarks{HardRetainedBytes: 1, RetryAfter: 30 * time.Second})
+
+	// An empty engine retains nothing: the first batch is admitted, and its
+	// events push retention past the (deliberately tiny) hard watermark.
+	ingest(t, ts.URL, sessions(0, 1))
+
+	for i := 0; i < 5; i++ {
+		resp, body := postJSON(t, ts.URL+"/v1/events", IngestRequest{Events: sessions(1+i, 1)})
+		if resp.StatusCode != http.StatusTooManyRequests {
+			t.Fatalf("batch %d after the hard crossing: status %d, want 429: %s", i+1, resp.StatusCode, body)
+		}
+		var ir IngestResponse
+		if err := json.Unmarshal(body, &ir); err != nil {
+			t.Fatal(err)
+		}
+		if ir.Appended != 0 {
+			t.Fatalf("batch %d appended %d events past a hard watermark", i+1, ir.Appended)
+		}
+		// Pressure is not decaying (nothing drains), so the hint must be
+		// the full configured constant, mirrored in header and body.
+		if resp.Header.Get("Retry-After") != "30" || ir.RetryAfterMs != 30000 {
+			t.Fatalf("batch %d: Retry-After %q / retryAfterMs %d, want 30s constant", i+1, resp.Header.Get("Retry-After"), ir.RetryAfterMs)
+		}
+	}
+
+	// Run one cacheable query twice so the statsz check below also covers
+	// the new cache-hit-rate gauge.
+	for i := 0; i < 2; i++ {
+		q := QueryRequest{Labels: []string{"proc", "file"}, Window: 5}
+		if resp, body := postJSON(t, ts.URL+"/v1/query/nodeset", q); resp.StatusCode != http.StatusOK {
+			t.Fatalf("query %d: status %d: %s", i, resp.StatusCode, body)
+		}
+	}
+
+	r, err := http.Get(ts.URL + "/v1/statsz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Body.Close()
+	var stz StatszResponse
+	if err := json.NewDecoder(r.Body).Decode(&stz); err != nil {
+		t.Fatal(err)
+	}
+	if stz.Server.IngestRejected != 5 || stz.Server.ShedHardBytes != 5 {
+		t.Fatalf("shed accounting: rejected %d, shedHardBytes %d, want 5/5 (%+v)", stz.Server.IngestRejected, stz.Server.ShedHardBytes, stz.Server)
+	}
+	if stz.Server.ShedSoftLag != 0 || stz.Server.ShedHardLag != 0 || stz.Server.ShedSoftBytes != 0 {
+		t.Fatalf("wrong signal attributed: %+v", stz.Server)
+	}
+	if stz.Server.CacheHits != 1 || stz.Server.CacheHitRate != 0.5 {
+		t.Fatalf("cache gauge: hits %d rate %v, want 1 and 0.5", stz.Server.CacheHits, stz.Server.CacheHitRate)
+	}
+}

@@ -288,9 +288,11 @@ func TestServeCacheReplay(t *testing.T) {
 // TestServeBackpressure is the acceptance check: a pinned slow reader
 // drives OldestReaderLag past the soft watermark, new ingest observes 429s
 // with a Retry-After hint, queries keep answering throughout, and ingest
-// recovers once the reader finishes.
+// recovers once the reader finishes. Admission reads exact per-batch
+// pressure (no sampling interval), so the shed decisions below are
+// deterministic — no knob or sleep makes the stats "fresh enough".
 func TestServeBackpressure(t *testing.T) {
-	_, ts, eng := newTestServer(t, 1, Watermarks{SoftLagEdges: 4, SampleInterval: time.Nanosecond})
+	_, ts, eng := newTestServer(t, 1, Watermarks{SoftLagEdges: 4})
 	ingest(t, ts.URL, sessions(0, 10))
 
 	// Pin a reader: an in-process stream paused after its first match holds
@@ -374,7 +376,6 @@ func TestServeEvictOnPressure(t *testing.T) {
 	}
 	srv := New(Config{Engine: eng, Watermarks: Watermarks{
 		HardRetainedBytes: 1, HardPolicy: "evict", EvictFraction: 0.5,
-		SampleInterval: time.Nanosecond,
 	}})
 	ts := httptest.NewServer(srv.Handler())
 	defer ts.Close()

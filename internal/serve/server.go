@@ -3,13 +3,17 @@
 // live engine (tgminer.LiveEngine, sharded multi-writer underneath).
 //
 //   - POST /v1/events ingests batched events under admission control:
-//     crossing a reader-lag or retained-bytes watermark sheds writers with
-//     429 + Retry-After, or fires the evict-on-pressure policy (Watermarks).
+//     every batch is checked against a fresh per-shard pressure reading
+//     (engine stats are O(1), so there is no sampling window); crossing a
+//     reader-lag or retained-bytes watermark sheds writers with 429 + a
+//     decay-derived Retry-After, or fires the evict-on-pressure policy
+//     (Watermarks).
 //   - POST /v1/query/{temporal,ntemp,nodeset} evaluates the three query
-//     families of the paper, streaming matches as NDJSON with per-request
-//     deadlines, a server-wide concurrency cap, and a result cache keyed on
-//     (canonical query, per-shard generation cut) — a hit is exactly a
-//     replay of a prior run at the same cut.
+//     families of the paper, streaming matches as NDJSON (a pooled
+//     append-based encoder, byte-identical to encoding/json) with
+//     per-request deadlines, a server-wide concurrency cap, and a result
+//     cache keyed on (canonical query, per-shard generation cut) — a hit is
+//     exactly a replay of a prior run at the same cut.
 //   - GET /v1/statsz serves the engine's LiveStats (aggregate and per
 //     shard) plus the server's own counters.
 //
@@ -24,6 +28,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log"
 	"net/http"
 	"runtime"
 	"sort"
@@ -68,6 +73,10 @@ type Config struct {
 
 	// Watermarks drive ingest admission control; the zero value disables it.
 	Watermarks Watermarks
+
+	// Logger receives server-side operational errors (e.g. a response that
+	// failed to encode mid-write). Defaults to log.Default().
+	Logger *log.Logger
 }
 
 func (c Config) normalize() Config {
@@ -108,12 +117,12 @@ const defaultLimit = 100000
 // New, mount Handler on an http.Server, and call CancelQueries during
 // shutdown to cut in-flight queries loose after the drain grace period.
 type Server struct {
-	cfg     Config
-	eng     *tgminer.LiveEngine
-	cache   *resultCache
-	sampler *sampler
-	sem     chan struct{}
-	mux     *http.ServeMux
+	cfg   Config
+	eng   *tgminer.LiveEngine
+	cache *resultCache
+	sem   chan struct{}
+	mux   *http.ServeMux
+	log   *log.Logger
 
 	baseCtx context.Context // cancelled by CancelQueries: the drain signal
 	cancel  context.CancelFunc
@@ -127,6 +136,19 @@ type Server struct {
 	ingestEvents      atomic.Int64
 	ingestRejected    atomic.Int64
 	pressureEvictions atomic.Int64
+
+	// Per-signal shed counters (which watermark tripped), surfaced in
+	// /v1/statsz; ingestRejected is their sum.
+	shedSoftLag   atomic.Int64
+	shedHardLag   atomic.Int64
+	shedSoftBytes atomic.Int64
+	shedHardBytes atomic.Int64
+
+	// Previous admission pressure reading, the decay baseline for the
+	// Retry-After hint (admission.go).
+	pressMu     sync.Mutex
+	prevPress   pressureSample
+	prevPressAt time.Time
 
 	rateMu    sync.Mutex
 	rateAt    time.Time
@@ -143,13 +165,16 @@ func New(cfg Config) *Server {
 	}
 	cfg = cfg.normalize()
 	s := &Server{
-		cfg:     cfg,
-		eng:     cfg.Engine,
-		cache:   newResultCache(cfg.CacheEntries),
-		sampler: &sampler{eng: cfg.Engine, interval: cfg.Watermarks.SampleInterval},
-		sem:     make(chan struct{}, cfg.MaxConcurrentQueries),
-		mux:     http.NewServeMux(),
-		start:   time.Now(),
+		cfg:   cfg,
+		eng:   cfg.Engine,
+		cache: newResultCache(cfg.CacheEntries),
+		sem:   make(chan struct{}, cfg.MaxConcurrentQueries),
+		mux:   http.NewServeMux(),
+		log:   cfg.Logger,
+		start: time.Now(),
+	}
+	if s.log == nil {
+		s.log = log.Default()
 	}
 	s.baseCtx, s.cancel = context.WithCancel(context.Background())
 	s.rateAt = s.start
@@ -182,25 +207,24 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&req); err != nil {
-		writeJSON(w, http.StatusBadRequest, IngestResponse{Error: "bad request: " + err.Error()})
+		s.writeJSON(w, http.StatusBadRequest, IngestResponse{Error: "bad request: " + err.Error()})
 		return
 	}
 	if len(req.Events) == 0 {
-		writeJSON(w, http.StatusBadRequest, IngestResponse{Error: "bad request: empty events batch"})
+		s.writeJSON(w, http.StatusBadRequest, IngestResponse{Error: "bad request: empty events batch"})
 		return
 	}
 	if len(req.Events) > s.cfg.MaxBatch {
-		writeJSON(w, http.StatusBadRequest, IngestResponse{
+		s.writeJSON(w, http.StatusBadRequest, IngestResponse{
 			Error: fmt.Sprintf("bad request: batch of %d exceeds the %d-event cap", len(req.Events), s.cfg.MaxBatch)})
 		return
 	}
 	s.ingestBatches.Add(1)
-	evicted, err := s.admit()
+	evicted, retry, err := s.admit()
 	if err != nil {
 		s.ingestRejected.Add(1)
-		retry := s.cfg.Watermarks.RetryAfter
 		w.Header().Set("Retry-After", strconv.FormatInt(int64((retry+time.Second-1)/time.Second), 10))
-		writeJSON(w, http.StatusTooManyRequests, IngestResponse{Error: err.Error(), RetryAfterMs: retry.Milliseconds()})
+		s.writeJSON(w, http.StatusTooManyRequests, IngestResponse{Error: err.Error(), RetryAfterMs: retry.Milliseconds()})
 		return
 	}
 	resp := IngestResponse{EvictedBefore: evicted}
@@ -219,14 +243,14 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 			// producer resumes after the last accepted event.
 			resp.Error = err.Error()
 			resp.LastTime = s.eng.LastTime()
-			writeJSON(w, http.StatusBadRequest, resp)
+			s.writeJSON(w, http.StatusBadRequest, resp)
 			return
 		}
 		resp.Appended++
 	}
 	s.ingestEvents.Add(int64(len(req.Events)))
 	resp.LastTime = s.eng.LastTime()
-	writeJSON(w, http.StatusOK, resp)
+	s.writeJSON(w, http.StatusOK, resp)
 }
 
 // --- queries --------------------------------------------------------------
@@ -398,7 +422,7 @@ func (s *Server) handleQuery(family string) http.HandlerFunc {
 		dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
 		dec.DisallowUnknownFields()
 		if err := dec.Decode(&req); err != nil {
-			writeJSON(w, http.StatusBadRequest, QueryDone{Error: "bad request: " + err.Error()})
+			s.writeJSON(w, http.StatusBadRequest, QueryDone{Error: "bad request: " + err.Error()})
 			return
 		}
 		opts := tgminer.SearchOptions{Window: req.Window, Limit: req.Limit}
@@ -407,7 +431,7 @@ func (s *Server) handleQuery(family string) http.HandlerFunc {
 		}
 		run, canon, err := s.buildRunner(family, &req, opts)
 		if err != nil {
-			writeJSON(w, http.StatusBadRequest, QueryDone{Error: "bad request: " + err.Error()})
+			s.writeJSON(w, http.StatusBadRequest, QueryDone{Error: "bad request: " + err.Error()})
 			return
 		}
 		timeout := s.cfg.DefaultQueryTimeout
@@ -428,7 +452,7 @@ func (s *Server) handleQuery(family string) http.HandlerFunc {
 			defer func() { <-s.sem }()
 		case <-ctx.Done():
 			s.queryErr.Add(1)
-			writeJSON(w, http.StatusServiceUnavailable, QueryDone{Error: "query admission timed out: " + ctx.Err().Error()})
+			s.writeJSON(w, http.StatusServiceUnavailable, QueryDone{Error: "query admission timed out: " + ctx.Err().Error()})
 			return
 		}
 		s.inFlight.Add(1)
@@ -437,16 +461,19 @@ func (s *Server) handleQuery(family string) http.HandlerFunc {
 		key := cacheKey{family: family, query: canon, cut: s.eng.GenerationCut()}
 		useCache := !req.NoCache && s.cfg.CacheEntries > 0
 		w.Header().Set("Content-Type", "application/x-ndjson")
-		fl, _ := w.(http.Flusher)
-		enc := json.NewEncoder(w)
+		// Matches stream through the pooled append-based encoder (ndjson.go):
+		// one buffer serves every line of the request, so the per-match cost
+		// is zero allocations (BenchmarkServeStream).
+		lw := newLineWriter(w)
+		defer lw.release()
 		if useCache {
 			if matches, truncated, ok := s.cache.get(key); ok {
 				for _, m := range matches {
-					if writeLine(enc, fl, MatchRecord{Start: m.Start, End: m.End}) != nil {
+					if lw.writeMatch(MatchRecord{Start: m.Start, End: m.End}) != nil {
 						return
 					}
 				}
-				writeLine(enc, fl, QueryDone{Done: true, Matches: len(matches), Truncated: truncated, Cached: true, Cut: key.cut})
+				lw.writeDone(QueryDone{Done: true, Matches: len(matches), Truncated: truncated, Cached: true, Cut: key.cut})
 				return
 			}
 		}
@@ -456,7 +483,7 @@ func (s *Server) handleQuery(family string) http.HandlerFunc {
 		collect := useCache
 		var collected []tgminer.Match
 		truncated, err := run(ctx, func(m tgminer.Match) bool {
-			if writeLine(enc, fl, MatchRecord{Start: m.Start, End: m.End}) != nil {
+			if lw.writeMatch(MatchRecord{Start: m.Start, End: m.End}) != nil {
 				// Client gone: cancel the search promptly so its reader slot
 				// and pinned generation release instead of running to
 				// completion for nobody.
@@ -479,7 +506,7 @@ func (s *Server) handleQuery(family string) http.HandlerFunc {
 			return
 		case err != nil:
 			s.queryErr.Add(1)
-			writeLine(enc, fl, QueryDone{Matches: n, Error: err.Error()})
+			lw.writeDone(QueryDone{Matches: n, Error: err.Error()})
 			return
 		}
 		done := QueryDone{Done: true, Matches: n, Truncated: truncated}
@@ -492,7 +519,7 @@ func (s *Server) handleQuery(family string) http.HandlerFunc {
 				s.cache.put(key, collected, truncated)
 			}
 		}
-		writeLine(enc, fl, done)
+		lw.writeDone(done)
 	}
 }
 
@@ -513,12 +540,19 @@ func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
 			IngestBatches:     s.ingestBatches.Load(),
 			IngestEvents:      s.ingestEvents.Load(),
 			IngestRejected:    s.ingestRejected.Load(),
+			ShedSoftLag:       s.shedSoftLag.Load(),
+			ShedHardLag:       s.shedHardLag.Load(),
+			ShedSoftBytes:     s.shedSoftBytes.Load(),
+			ShedHardBytes:     s.shedHardBytes.Load(),
 			PressureEvictions: s.pressureEvictions.Load(),
 			IngestRatePerSec:  s.ingestRate(),
 			UptimeSec:         time.Since(s.start).Seconds(),
 		},
 	}
-	writeJSON(w, http.StatusOK, resp)
+	if lookups := resp.Server.CacheHits + resp.Server.CacheMisses; lookups > 0 {
+		resp.Server.CacheHitRate = float64(resp.Server.CacheHits) / float64(lookups)
+	}
+	s.writeJSON(w, http.StatusOK, resp)
 }
 
 // ingestRate reports events/sec over the window since the previous sample,
@@ -538,20 +572,13 @@ func (s *Server) ingestRate() float64 {
 
 // --- helpers --------------------------------------------------------------
 
-func writeJSON(w http.ResponseWriter, status int, v any) {
+// writeJSON writes one complete JSON response body. An encode error here is
+// almost always the client disconnecting mid-write; the status line is
+// already gone, so the best the server can do is record it.
+func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
-	_ = json.NewEncoder(w).Encode(v)
-}
-
-// writeLine emits one NDJSON line and flushes it, so consumers see each
-// match as the search finds it rather than at buffer boundaries.
-func writeLine(enc *json.Encoder, fl http.Flusher, v any) error {
-	if err := enc.Encode(v); err != nil {
-		return err
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		s.log.Printf("serve: writing %T response: %v", v, err)
 	}
-	if fl != nil {
-		fl.Flush()
-	}
-	return nil
 }

@@ -114,10 +114,15 @@ type ServerStats struct {
 	QueryErrors       int64   `json:"queryErrors"`
 	CacheHits         int64   `json:"cacheHits"`
 	CacheMisses       int64   `json:"cacheMisses"`
+	CacheHitRate      float64 `json:"cacheHitRate"` // hits / (hits + misses); 0 before any lookup
 	CacheEntries      int     `json:"cacheEntries"`
 	IngestBatches     int64   `json:"ingestBatches"`
 	IngestEvents      int64   `json:"ingestEvents"`
 	IngestRejected    int64   `json:"ingestRejected"`    // batches shed with 429 by admission control
+	ShedSoftLag       int64   `json:"shedSoftLag"`       // of which tripped the soft reader-lag watermark
+	ShedHardLag       int64   `json:"shedHardLag"`       // ... the hard reader-lag watermark
+	ShedSoftBytes     int64   `json:"shedSoftBytes"`     // ... the soft retained-bytes watermark
+	ShedHardBytes     int64   `json:"shedHardBytes"`     // ... the hard retained-bytes watermark
 	PressureEvictions int64   `json:"pressureEvictions"` // hard-watermark evict-on-pressure firings
 	IngestRatePerSec  float64 `json:"ingestRatePerSec"`
 	UptimeSec         float64 `json:"uptimeSec"`

@@ -179,9 +179,11 @@ func (le *LiveEngine) Compact() { le.live.Compact() }
 // queries, and OldestReaderLag is how many edges have arrived since the
 // oldest still-running query pinned its snapshot (a paused stream consumer
 // pinning old storage shows up here). All counts are edges unless stated
-// otherwise. LiveStats marshals to JSON with stable lowerCamel field names
-// — the representation tgminerd's /v1/statsz endpoint and examples/monitor
-// share.
+// otherwise. Every field is O(1) to produce: RetainedBytes is a
+// writer-maintained incremental counter (not a recomputed walk), and only
+// ActiveReaders/OldestReaderLag come from the fixed-size reader table.
+// LiveStats marshals to JSON with stable lowerCamel field names — the
+// representation tgminerd's /v1/statsz endpoint and examples/monitor share.
 type LiveStats = search.LiveStats
 
 // Stats reports the engine's current retention and compaction state,
@@ -189,9 +191,10 @@ type LiveStats = search.LiveStats
 // retained bytes sum; Nodes is the global entity count (the node table is
 // replicated per shard, and RetainedBytes honestly includes that);
 // LastTime is the global maximum; ActiveReaders and OldestReaderLag take
-// the per-shard maximum, since one query registers on every shard. Use
-// ShardStats for the per-shard breakdown (e.g. to spot a hot shard or a
-// reader pinning one shard's old storage).
+// the per-shard maximum, since one query registers on every shard. O(shards)
+// — cheap enough to call per ingest batch, which is exactly what tgminerd's
+// admission control does. Use ShardStats for the per-shard breakdown (e.g.
+// to spot a hot shard or a reader pinning one shard's old storage).
 func (le *LiveEngine) Stats() LiveStats { return le.live.Stats() }
 
 // ShardStats reports each ingest shard's retention and compaction state.
